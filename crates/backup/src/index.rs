@@ -1,0 +1,133 @@
+//! The dedup index on the backup server.
+//!
+//! Maps chunk fingerprints to presence at the backup site (§7.2: "a
+//! lookup thread picks up the enqueued chunk fingerprints and looks up
+//! in the index whether a particular chunk needs to be backed up or is
+//! already present"). Sharded by a fast FNV prefix internally, as a real
+//! in-memory index would be; the collision-resistant identity is the
+//! full SHA-256 digest.
+
+use std::collections::HashMap;
+
+use shredder_hash::{fnv1a_64, Digest};
+
+/// The fingerprint index.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_backup::DedupIndex;
+/// use shredder_hash::sha256;
+///
+/// let mut index = DedupIndex::new();
+/// let d = sha256(b"chunk");
+/// assert!(!index.contains(&d));
+/// assert!(index.insert(d));
+/// assert!(index.contains(&d));
+/// assert!(!index.insert(d)); // already present
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DedupIndex {
+    shards: Vec<HashMap<Digest, ()>>,
+    lookups: u64,
+    hits: u64,
+}
+
+const SHARDS: usize = 64;
+
+impl DedupIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        DedupIndex {
+            shards: vec![HashMap::new(); SHARDS],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    fn shard(&self, digest: &Digest) -> usize {
+        (fnv1a_64(&digest.0[..8]) as usize) % SHARDS
+    }
+
+    /// True if the fingerprint is indexed. Counts a lookup.
+    pub fn lookup(&mut self, digest: &Digest) -> bool {
+        self.lookups += 1;
+        let present = self.shards[self.shard(digest)].contains_key(digest);
+        if present {
+            self.hits += 1;
+        }
+        present
+    }
+
+    /// Non-counting presence check.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.shards[self.shard(digest)].contains_key(digest)
+    }
+
+    /// Inserts a fingerprint; returns `true` if it was new.
+    pub fn insert(&mut self, digest: Digest) -> bool {
+        let shard = self.shard(&digest);
+        self.shards[shard].insert(digest, ()).is_none()
+    }
+
+    /// Distinct fingerprints indexed.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookup hits (duplicates found).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shredder_hash::sha256;
+
+    #[test]
+    fn insert_lookup_cycle() {
+        let mut idx = DedupIndex::new();
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert!(!idx.lookup(&a));
+        idx.insert(a);
+        assert!(idx.lookup(&a));
+        assert!(!idx.lookup(&b));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.lookups(), 3);
+        assert_eq!(idx.hits(), 1);
+    }
+
+    #[test]
+    fn many_digests_spread_over_shards() {
+        let mut idx = DedupIndex::new();
+        for i in 0..10_000u32 {
+            idx.insert(sha256(&i.to_le_bytes()));
+        }
+        assert_eq!(idx.len(), 10_000);
+        // No shard should hold more than 5× the average.
+        let max = idx.shards.iter().map(HashMap::len).max().unwrap();
+        assert!(max < 5 * (10_000 / SHARDS), "max shard {max}");
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut idx = DedupIndex::new();
+        let d = sha256(b"x");
+        assert!(idx.insert(d));
+        assert!(!idx.insert(d));
+        assert_eq!(idx.len(), 1);
+    }
+}

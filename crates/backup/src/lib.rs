@@ -1,0 +1,55 @@
+//! The consolidated cloud-backup system (paper §7, case study II).
+//!
+//! In the paper's target architecture (Figure 16), VM image snapshots
+//! are mounted by a backup agent on a dedicated backup server, which
+//! deduplicates them with Shredder before shipping to the backup site
+//! (Figure 17):
+//!
+//! > "The Reader thread on the backup server reads the incoming data and
+//! > pushes that into Shredder to form chunks. Once the chunks are
+//! > formed, the Store thread computes a hash for the overall chunk …
+//! > these hashes … are batched together to enqueue in an index lookup
+//! > queue. Finally, a lookup thread picks up the enqueued chunk
+//! > fingerprints and looks up in the index whether a particular chunk
+//! > needs to be backed up or is already present in the backup site."
+//!
+//! * [`config`] — the §7.3 emulation parameters: 10 Gbps image source,
+//!   the *unoptimized* index/network stage the paper names as the
+//!   bandwidth limiter, min/max chunk sizes on.
+//! * [`index`] — the dedup index (digest → present-at-site).
+//! * [`site`] — the backup site: the receiving Shredder agent that
+//!   stores new chunks and reconstructs images from chunk references.
+//! * [`server`] — the backup server pipeline: ingest → chunk → hash →
+//!   index lookup → ship, with end-to-end bandwidth accounting
+//!   (Figure 18).
+//!
+//! # Examples
+//!
+//! ```
+//! use shredder_backup::{BackupConfig, BackupServer};
+//! use shredder_core::{HostChunker, HostChunkerConfig};
+//! use shredder_rabin::ChunkParams;
+//!
+//! let mut server = BackupServer::new(BackupConfig::paper());
+//! let service = HostChunker::new(HostChunkerConfig {
+//!     params: ChunkParams::backup(),
+//!     ..HostChunkerConfig::optimized()
+//! });
+//!
+//! let image = shredder_workloads::compressible_bytes(1 << 20, 256, 1);
+//! let report = server.backup_image(&image, &service);
+//! assert_eq!(server.site().restore(report.image_id).unwrap(), image);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod index;
+pub mod server;
+pub mod site;
+
+pub use config::BackupConfig;
+pub use index::DedupIndex;
+pub use server::{BackupReport, BackupServer};
+pub use site::BackupSite;

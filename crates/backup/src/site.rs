@@ -1,0 +1,177 @@
+//! The backup site: the receiving Shredder agent (§7.2).
+//!
+//! "We deploy an additional Shredder agent residing on the backup site,
+//! which receives all the chunks and pointers and recreates the original
+//! uncompressed data."
+
+use bytes::Bytes;
+use shredder_hash::{sha256, Digest};
+use shredder_hdfs::ChunkStore;
+
+/// A reference in an image manifest: either a pointer to an existing
+/// chunk or (logically) the chunk that was shipped alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Chunk fingerprint.
+    pub digest: Digest,
+    /// Chunk length in bytes.
+    pub len: usize,
+    /// True if the chunk payload was shipped for this image (false = a
+    /// pointer to an already-present chunk).
+    pub shipped: bool,
+}
+
+/// The backup site: chunk storage plus per-image manifests.
+#[derive(Debug, Clone, Default)]
+pub struct BackupSite {
+    store: ChunkStore,
+    images: Vec<Vec<ChunkRef>>,
+}
+
+impl BackupSite {
+    /// Creates an empty site.
+    pub fn new() -> Self {
+        BackupSite::default()
+    }
+
+    /// Starts a new image manifest, returning its id.
+    pub fn begin_image(&mut self) -> usize {
+        self.images.push(Vec::new());
+        self.images.len() - 1
+    }
+
+    /// Receives a shipped chunk payload for an image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not exist or the payload digest mismatches
+    /// (in debug builds).
+    pub fn receive_chunk(&mut self, image: usize, digest: Digest, payload: Bytes) {
+        let len = payload.len();
+        self.store.put_with_digest(digest, payload);
+        self.images[image].push(ChunkRef {
+            digest,
+            len,
+            shipped: true,
+        });
+    }
+
+    /// Receives a pointer to an already-present chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not exist.
+    pub fn receive_pointer(&mut self, image: usize, digest: Digest, len: usize) {
+        debug_assert!(
+            self.store.contains(&digest),
+            "pointer to chunk the site does not hold"
+        );
+        self.images[image].push(ChunkRef {
+            digest,
+            len,
+            shipped: false,
+        });
+    }
+
+    /// True if the site already holds a chunk.
+    pub fn holds(&self, digest: &Digest) -> bool {
+        self.store.contains(digest)
+    }
+
+    /// Reconstructs an image from its manifest, verifying every chunk
+    /// digest (end-to-end integrity).
+    ///
+    /// Returns `None` if the image id is unknown or a chunk is missing
+    /// or corrupt.
+    pub fn restore(&self, image: usize) -> Option<Vec<u8>> {
+        let manifest = self.images.get(image)?;
+        let total: usize = manifest.iter().map(|r| r.len).sum();
+        let mut out = Vec::with_capacity(total);
+        for r in manifest {
+            let payload = self.store.get(&r.digest)?;
+            if payload.len() != r.len || sha256(&payload) != r.digest {
+                return None;
+            }
+            out.extend_from_slice(&payload);
+        }
+        Some(out)
+    }
+
+    /// Number of images stored.
+    pub fn image_count(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Physical bytes stored after dedup.
+    pub fn physical_bytes(&self) -> u64 {
+        self.store.physical_bytes()
+    }
+
+    /// Logical bytes across all manifests.
+    pub fn logical_bytes(&self) -> u64 {
+        self.images
+            .iter()
+            .flatten()
+            .map(|r| r.len as u64)
+            .sum()
+    }
+
+    /// Dedup ratio achieved at the site (logical / physical).
+    pub fn dedup_ratio(&self) -> f64 {
+        let phys = self.physical_bytes();
+        if phys == 0 {
+            return 1.0;
+        }
+        self.logical_bytes() as f64 / phys as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ship_and_restore() {
+        let mut site = BackupSite::new();
+        let img = site.begin_image();
+        let a = Bytes::from_static(b"hello ");
+        let b = Bytes::from_static(b"world");
+        site.receive_chunk(img, sha256(&a), a.clone());
+        site.receive_chunk(img, sha256(&b), b.clone());
+        assert_eq!(site.restore(img).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn pointers_reuse_stored_chunks() {
+        let mut site = BackupSite::new();
+        let payload = Bytes::from_static(b"shared-content");
+        let d = sha256(&payload);
+
+        let img1 = site.begin_image();
+        site.receive_chunk(img1, d, payload.clone());
+        let img2 = site.begin_image();
+        site.receive_pointer(img2, d, payload.len());
+
+        assert_eq!(site.restore(img2).unwrap(), payload.as_ref());
+        assert_eq!(site.physical_bytes(), payload.len() as u64);
+        assert!((site.dedup_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_image_returns_none() {
+        let site = BackupSite::new();
+        assert!(site.restore(0).is_none());
+        assert_eq!(site.image_count(), 0);
+    }
+
+    #[test]
+    fn holds_reflects_store() {
+        let mut site = BackupSite::new();
+        let payload = Bytes::from_static(b"x");
+        let d = sha256(&payload);
+        assert!(!site.holds(&d));
+        let img = site.begin_image();
+        site.receive_chunk(img, d, payload);
+        assert!(site.holds(&d));
+    }
+}

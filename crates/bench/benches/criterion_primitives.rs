@@ -1,0 +1,71 @@
+//! Real wall-clock micro-benchmarks of the functional primitives
+//! (Criterion).
+//!
+//! These are *not* paper figures — the paper's timing is reproduced by
+//! the simulated experiments — but they measure the actual Rust
+//! implementations: Rabin table fingerprinting, sequential vs parallel
+//! CDC, fixed-size chunking, and SHA-256.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shredder_hash::sha256;
+use shredder_rabin::{chunk_all, chunk_fixed, ChunkParams, ParallelChunker, RabinTables};
+
+fn test_data(len: usize) -> Vec<u8> {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+fn bench_rabin_tables(c: &mut Criterion) {
+    let tables = RabinTables::paper();
+    let data = test_data(1 << 20);
+    let mut group = c.benchmark_group("rabin_fingerprint");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sliding_window_1MiB", |b| {
+        b.iter(|| {
+            let mut fp = 0u64;
+            for &byte in &data {
+                fp = tables.push(fp, byte);
+            }
+            fp
+        })
+    });
+    group.finish();
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let params = ChunkParams::paper();
+    let data = test_data(8 << 20);
+    let mut group = c.benchmark_group("chunking_8MiB");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("sequential_cdc", |b| b.iter(|| chunk_all(&data, &params)));
+    for threads in [2usize, 4, 8] {
+        let chunker = ParallelChunker::new(&params, threads);
+        group.bench_with_input(
+            BenchmarkId::new("parallel_cdc", threads),
+            &threads,
+            |b, _| b.iter(|| chunker.chunk(&data)),
+        );
+    }
+    group.bench_function("fixed_size", |b| b.iter(|| chunk_fixed(&data, 8192)));
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = test_data(1 << 20);
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("digest_1MiB", |b| b.iter(|| sha256(&data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_rabin_tables, bench_chunking, bench_sha256);
+criterion_main!(benches);

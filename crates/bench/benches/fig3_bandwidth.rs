@@ -1,0 +1,79 @@
+//! Figure 3: bandwidth test between host and device.
+//!
+//! Sweeps buffer sizes 4 KB – 64 MB for both directions and both host
+//! memory kinds, printing effective throughput in MB/s (the paper's
+//! y-axis). Shape checks: small transfers are slow; pinned beats
+//! pageable; pinned saturates by 256 KB; the gap narrows at large sizes.
+
+use shredder_bench::{check, header, table};
+use shredder_gpu::dma::Direction;
+use shredder_gpu::{DmaModel, HostMemKind};
+
+fn main() {
+    header("Figure 3", "Bandwidth test between host and device");
+
+    let dma = DmaModel::new();
+    let sizes: Vec<(&str, u64)> = vec![
+        ("4K", 4 << 10),
+        ("16K", 16 << 10),
+        ("32K", 32 << 10),
+        ("64K", 64 << 10),
+        ("256K", 256 << 10),
+        ("1M", 1 << 20),
+        ("4M", 4 << 20),
+        ("16M", 16 << 20),
+        ("32M", 32 << 20),
+        ("64M", 64 << 20),
+    ];
+
+    let series = [
+        ("H2D-Pageable", Direction::HostToDevice, HostMemKind::Pageable),
+        ("H2D-Pinned", Direction::HostToDevice, HostMemKind::Pinned),
+        ("D2H-Pageable", Direction::DeviceToHost, HostMemKind::Pageable),
+        ("D2H-Pinned", Direction::DeviceToHost, HostMemKind::Pinned),
+    ];
+
+    let rows: Vec<(String, Vec<String>)> = sizes
+        .iter()
+        .map(|&(label, bytes)| {
+            let values = series
+                .iter()
+                .map(|&(_, dir, kind)| {
+                    format!("{:.0} MB/s", dma.effective_bandwidth(dir, kind, bytes) / 1e6)
+                })
+                .collect();
+            (label.to_string(), values)
+        })
+        .collect();
+    table(
+        &series.iter().map(|s| s.0).collect::<Vec<_>>(),
+        &rows,
+    );
+
+    println!();
+    let bw = |dir, kind, bytes| dma.effective_bandwidth(dir, kind, bytes);
+    let h2d = Direction::HostToDevice;
+
+    check(
+        "(i) small transfers are much slower than large ones (pinned 4K < 20% of 64M)",
+        bw(h2d, HostMemKind::Pinned, 4 << 10) < 0.2 * bw(h2d, HostMemKind::Pinned, 64 << 20),
+    );
+    check(
+        "(ii) pinned saturates by 256 KB (>80% of asymptote)",
+        bw(h2d, HostMemKind::Pinned, 256 << 10) > 0.8 * bw(h2d, HostMemKind::Pinned, 1 << 30),
+    );
+    check(
+        "(ii) pageable has NOT saturated at 256 KB",
+        bw(h2d, HostMemKind::Pageable, 256 << 10) < 0.8 * bw(h2d, HostMemKind::Pageable, 1 << 30),
+    );
+    check(
+        "(iii) pageable/pinned gap narrows at large sizes (<2x at 64M, >2x at 4K)",
+        bw(h2d, HostMemKind::Pinned, 64 << 20) / bw(h2d, HostMemKind::Pageable, 64 << 20) < 2.0
+            && bw(h2d, HostMemKind::Pinned, 4 << 10) / bw(h2d, HostMemKind::Pageable, 4 << 10)
+                > 2.0,
+    );
+    check(
+        "(iv) saturated PCIe bandwidth on the order of 5 GB/s",
+        bw(h2d, HostMemKind::Pinned, 1 << 30) > 5.0e9,
+    );
+}

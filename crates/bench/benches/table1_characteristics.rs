@@ -1,0 +1,62 @@
+//! Table 1: performance characteristics of the GPU (NVidia Tesla C2050).
+//!
+//! Regenerates the paper's device-characteristics table from the
+//! simulator configuration and measures the two derived quantities
+//! (host↔device bandwidth at saturation) through the DMA model.
+
+use shredder_bench::{check, header, result_line};
+use shredder_gpu::dma::Direction;
+use shredder_gpu::{calibration, DeviceConfig, DmaModel, HostMemKind};
+
+fn main() {
+    header(
+        "Table 1",
+        "Performance characteristics of the GPU (NVidia Tesla C2050)",
+    );
+
+    let cfg = DeviceConfig::tesla_c2050();
+    let dma = DmaModel::new();
+
+    // GFLOPS: 448 cores × 1.15 GHz × 2 (FMA) ≈ 1030 GFlops as published.
+    let gflops = cfg.total_cores() as f64 * cfg.clock_hz * 2.0 / 1e9;
+    result_line(
+        "GPU Processing Capacity (paper: 1030 GFlops)",
+        format!("{gflops:.0} GFlops"),
+    );
+    result_line(
+        "Reader (I/O) Bandwidth (paper: 2 GBps)",
+        format!("{:.1} GBps", calibration::READER_IO_BW / 1e9),
+    );
+
+    let h2d = dma.effective_bandwidth(Direction::HostToDevice, HostMemKind::Pinned, 1 << 30);
+    let d2h = dma.effective_bandwidth(Direction::DeviceToHost, HostMemKind::Pinned, 1 << 30);
+    result_line(
+        "Host-to-Device Bandwidth (paper: 5.406 GBps)",
+        format!("{:.3} GBps", h2d / 1e9),
+    );
+    result_line(
+        "Device-to-Host Bandwidth (paper: 5.129 GBps)",
+        format!("{:.3} GBps", d2h / 1e9),
+    );
+    result_line(
+        "Device Memory Latency (paper: 400-600 cycles)",
+        format!("{} cycles", cfg.mem_latency_cycles),
+    );
+    result_line(
+        "Device Memory Bandwidth (paper: 144 GBps)",
+        format!("{:.0} GBps", cfg.mem_bandwidth / 1e9),
+    );
+    result_line(
+        "Shared Memory Latency (paper: L1, a few cycles)",
+        "L1-equivalent (modelled as compute cost)",
+    );
+
+    println!();
+    check("processing capacity within 5% of 1030 GFlops", (gflops - 1030.4).abs() < 52.0);
+    check("H2D saturated bandwidth within 2% of 5.406 GBps", (h2d / 1e9 - 5.406).abs() < 0.11);
+    check("D2H saturated bandwidth within 2% of 5.129 GBps", (d2h / 1e9 - 5.129).abs() < 0.11);
+    check(
+        "memory latency in published 400-600 cycle band",
+        (400..=600).contains(&cfg.mem_latency_cycles),
+    );
+}

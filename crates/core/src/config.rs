@@ -1,0 +1,254 @@
+//! Configuration for the Shredder pipeline and the host-only baseline.
+
+use serde::{Deserialize, Serialize};
+use shredder_gpu::kernel::KernelVariant;
+use shredder_gpu::{calibration, DeviceConfig};
+use shredder_rabin::ChunkParams;
+
+/// Configuration of the GPU-accelerated Shredder pipeline.
+///
+/// The three presets correspond to the GPU systems compared in
+/// Figure 12:
+///
+/// | preset | §  | copy/exec | host buffers | pipeline | kernel |
+/// |---|---|---|---|---|---|
+/// | [`gpu_basic`](ShredderConfig::gpu_basic) | 3.1 | serialized (1 device buffer) | pageable, allocated per buffer | 2 in flight (AIO reader) | basic |
+/// | [`gpu_streams`](ShredderConfig::gpu_streams) | 4.1–4.2 | double buffered | pinned ring | 4 stages | basic |
+/// | [`gpu_streams_memory`](ShredderConfig::gpu_streams_memory) | 4.3 | double buffered | pinned ring | 4 stages | coalesced |
+///
+/// # Examples
+///
+/// ```
+/// use shredder_core::ShredderConfig;
+///
+/// let cfg = ShredderConfig::gpu_streams_memory().with_buffer_size(64 << 20);
+/// assert_eq!(cfg.buffer_size, 64 << 20);
+/// assert_eq!(cfg.pipeline_depth, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShredderConfig {
+    /// Content-defined chunking parameters.
+    pub params: ChunkParams,
+    /// Size of each stream buffer fed through the pipeline, bytes.
+    pub buffer_size: usize,
+    /// Maximum buffers admitted to the pipeline simultaneously (the
+    /// Figure 9 "number of pipeline stages"); 1 = fully sequential.
+    pub pipeline_depth: usize,
+    /// Device-side buffers for copy/compute overlap: 1 = serialized
+    /// (§3.1), 2 = double buffering (§4.1.1, Figure 4).
+    pub twin_buffers: usize,
+    /// Use the pre-pinned circular ring (§4.1.2). When `false`, host
+    /// buffers are pageable and allocated every iteration (the basic
+    /// design), which both slows DMA and adds allocation time.
+    pub pinned_ring: bool,
+    /// Chunking kernel variant (§3.1 basic vs §4.3 coalesced).
+    pub kernel: KernelVariant,
+    /// Simulated device.
+    pub device: DeviceConfig,
+    /// Reader (SAN) bandwidth in bytes/s (Table 1: 2 GB/s). The §5.3
+    /// testbed reads over GPUDirect into pinned buffers, so no staging
+    /// memcpy is charged when `pinned_ring` is on.
+    pub reader_bandwidth: f64,
+}
+
+impl ShredderConfig {
+    /// The basic GPU design of §3.1 / Figure 2.
+    pub fn gpu_basic() -> Self {
+        ShredderConfig {
+            params: ChunkParams::paper(),
+            buffer_size: 32 << 20,
+            pipeline_depth: 2, // Reader is its own thread even in Fig. 2
+            twin_buffers: 1,
+            pinned_ring: false,
+            kernel: KernelVariant::Basic,
+            device: DeviceConfig::tesla_c2050(),
+            reader_bandwidth: calibration::READER_IO_BW,
+        }
+    }
+
+    /// Double buffering + pinned ring + 4-stage streaming pipeline
+    /// (§4.1–§4.2) with the unoptimized kernel — Figure 12's
+    /// "GPU Streams".
+    pub fn gpu_streams() -> Self {
+        ShredderConfig {
+            pipeline_depth: 4,
+            twin_buffers: 2,
+            pinned_ring: true,
+            ..ShredderConfig::gpu_basic()
+        }
+    }
+
+    /// All optimizations including memory coalescing (§4.3) — Figure 12's
+    /// "GPU Streams + Memory".
+    pub fn gpu_streams_memory() -> Self {
+        ShredderConfig {
+            kernel: KernelVariant::Coalesced,
+            ..ShredderConfig::gpu_streams()
+        }
+    }
+
+    /// Sets the per-buffer size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_buffer_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "buffer size must be non-zero");
+        self.buffer_size = bytes;
+        self
+    }
+
+    /// Sets the pipeline admission depth (1–4 in the paper's Figure 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "pipeline depth must be non-zero");
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the chunking parameters.
+    pub fn with_params(mut self, params: ChunkParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Number of pinned ring slots: "as low as the number of stages in
+    /// the streaming pipeline" (§4.1.2).
+    pub fn ring_slots(&self) -> usize {
+        self.pipeline_depth
+    }
+}
+
+impl Default for ShredderConfig {
+    /// The fully optimized configuration.
+    fn default() -> Self {
+        ShredderConfig::gpu_streams_memory()
+    }
+}
+
+/// The memory allocator used by the host-only chunker (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Allocator {
+    /// Stock glibc `malloc`: allocation serializes across threads.
+    Malloc,
+    /// The Hoard scalable allocator \[13\].
+    Hoard,
+}
+
+impl Allocator {
+    /// Fraction of parallel chunking throughput lost to allocator
+    /// contention (calibrated, see `shredder_gpu::calibration`).
+    pub fn contention_loss(self) -> f64 {
+        match self {
+            Allocator::Malloc => calibration::MALLOC_CONTENTION_LOSS,
+            Allocator::Hoard => calibration::HOARD_CONTENTION_LOSS,
+        }
+    }
+}
+
+impl std::fmt::Display for Allocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Allocator::Malloc => f.write_str("malloc"),
+            Allocator::Hoard => f.write_str("hoard"),
+        }
+    }
+}
+
+/// Configuration of the host-only pthreads chunker (§5.1, §5.3: 12
+/// threads on the Xeon X5650 testbed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostChunkerConfig {
+    /// Chunking parameters.
+    pub params: ChunkParams,
+    /// Worker thread count (paper: 12).
+    pub threads: usize,
+    /// Allocator model.
+    pub allocator: Allocator,
+    /// Host clock in Hz (Table 2 / §5.3: 2.67 GHz).
+    pub clock_hz: f64,
+}
+
+impl HostChunkerConfig {
+    /// The paper's optimized host baseline: 12 threads with Hoard.
+    pub fn optimized() -> Self {
+        HostChunkerConfig {
+            params: ChunkParams::paper(),
+            threads: 12,
+            allocator: Allocator::Hoard,
+            clock_hz: calibration::HOST_CLOCK_HZ,
+        }
+    }
+
+    /// The unoptimized baseline: 12 threads with stock `malloc`.
+    pub fn unoptimized() -> Self {
+        HostChunkerConfig {
+            allocator: Allocator::Malloc,
+            ..HostChunkerConfig::optimized()
+        }
+    }
+}
+
+impl Default for HostChunkerConfig {
+    fn default() -> Self {
+        HostChunkerConfig::optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_as_documented() {
+        let basic = ShredderConfig::gpu_basic();
+        let streams = ShredderConfig::gpu_streams();
+        let full = ShredderConfig::gpu_streams_memory();
+
+        assert_eq!(basic.twin_buffers, 1);
+        assert!(!basic.pinned_ring);
+        assert_eq!(basic.kernel, KernelVariant::Basic);
+
+        assert_eq!(streams.twin_buffers, 2);
+        assert!(streams.pinned_ring);
+        assert_eq!(streams.pipeline_depth, 4);
+        assert_eq!(streams.kernel, KernelVariant::Basic);
+
+        assert_eq!(full.kernel, KernelVariant::Coalesced);
+        assert_eq!(ShredderConfig::default(), full);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let cfg = ShredderConfig::default()
+            .with_buffer_size(1 << 20)
+            .with_pipeline_depth(3);
+        assert_eq!(cfg.buffer_size, 1 << 20);
+        assert_eq!(cfg.ring_slots(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_buffer_size_panics() {
+        let _ = ShredderConfig::default().with_buffer_size(0);
+    }
+
+    #[test]
+    fn allocator_losses_ordered() {
+        assert!(Allocator::Malloc.contention_loss() > Allocator::Hoard.contention_loss());
+        assert_eq!(Allocator::Hoard.to_string(), "hoard");
+    }
+
+    #[test]
+    fn host_configs() {
+        assert_eq!(HostChunkerConfig::optimized().threads, 12);
+        assert_eq!(HostChunkerConfig::unoptimized().allocator, Allocator::Malloc);
+        assert_eq!(
+            HostChunkerConfig::default().allocator,
+            Allocator::Hoard
+        );
+    }
+}

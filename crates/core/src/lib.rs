@@ -1,0 +1,55 @@
+//! The Shredder framework: GPU-accelerated content-based chunking.
+//!
+//! This crate assembles the substrates (Rabin chunking, the GPU model,
+//! the DES kernel) into the system of the paper's §3–§5:
+//!
+//! * [`config`] — [`ShredderConfig`] with presets matching the Figure 12
+//!   systems: `gpu_basic()` (§3.1), `gpu_streams()` (double buffering +
+//!   pinned ring + 4-stage pipeline, §4.1–§4.2) and
+//!   `gpu_streams_memory()` (adds the coalesced kernel, §4.3).
+//! * [`pipeline`] — the Reader→Transfer→Kernel→Store workflow as a
+//!   discrete-event pipeline with admission control (the Figure 9
+//!   "number of stages"), device twin buffers (Figure 4) and the pinned
+//!   circular ring (Figure 7).
+//! * [`host_chunker`] — the host-only pthreads baseline of §5.1: real
+//!   multi-threaded SPMD chunking plus the calibrated timing model with
+//!   `malloc`-vs-Hoard allocator contention.
+//! * [`service`] — the [`ChunkingService`] trait that the case studies
+//!   (Inc-HDFS, cloud backup) program against, with the upcall-style
+//!   boundary delivery of §3.1.
+//!
+//! Everywhere, chunk boundaries are **real** (computed by the shared
+//! Rabin tables over the actual bytes, identical across every engine) and
+//! *time* is simulated (see `DESIGN.md` §1).
+//!
+//! # Examples
+//!
+//! ```
+//! use shredder_core::{ChunkingService, HostChunker, Shredder, ShredderConfig};
+//!
+//! let data: Vec<u8> = (0..1u32 << 20).map(|i| (i.wrapping_mul(0x9e3779b9) >> 11) as u8).collect();
+//!
+//! let gpu = Shredder::new(ShredderConfig::gpu_streams_memory());
+//! let cpu = HostChunker::with_defaults();
+//!
+//! let g = gpu.chunk_stream(&data);
+//! let c = cpu.chunk_stream(&data);
+//! // Same boundaries, different (simulated) speed.
+//! assert_eq!(g.chunks, c.chunks);
+//! assert!(g.report.throughput_gbps() > c.report.throughput_gbps());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod host_chunker;
+pub mod pipeline;
+pub mod report;
+pub mod service;
+
+pub use config::{Allocator, HostChunkerConfig, ShredderConfig};
+pub use host_chunker::HostChunker;
+pub use pipeline::Shredder;
+pub use report::{BufferTimeline, HostReport, PipelineReport, Report, StageBusy};
+pub use service::{ChunkOutcome, ChunkingService};

@@ -1,0 +1,145 @@
+//! Timing reports produced by the chunking engines.
+
+use serde::{Deserialize, Serialize};
+use shredder_des::{Dur, SimTime};
+
+/// Per-stage busy time of the four pipeline threads (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageBusy {
+    /// Reader (SAN I/O) busy time.
+    pub read: Dur,
+    /// Host→device transfer busy time.
+    pub transfer: Dur,
+    /// Chunking-kernel busy time.
+    pub kernel: Dur,
+    /// Store (boundary return + adjustment + upcall) busy time.
+    pub store: Dur,
+}
+
+/// Timestamps of one buffer's trip through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferTimeline {
+    /// Buffer index in stream order.
+    pub index: usize,
+    /// Bytes in this buffer.
+    pub bytes: usize,
+    /// Reader started fetching.
+    pub read_start: SimTime,
+    /// Reader finished (buffer resident at host).
+    pub read_end: SimTime,
+    /// H2D DMA finished (buffer resident on device).
+    pub transfer_end: SimTime,
+    /// Chunking kernel finished.
+    pub kernel_end: SimTime,
+    /// Store finished (boundaries delivered to the application).
+    pub store_end: SimTime,
+}
+
+/// Report of a GPU pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Total input bytes.
+    pub bytes: u64,
+    /// Buffers processed.
+    pub buffers: usize,
+    /// End-to-end simulated time (first read start → last store end).
+    pub makespan: Dur,
+    /// Per-stage busy times.
+    pub stage_busy: StageBusy,
+    /// Per-buffer timestamps.
+    pub timeline: Vec<BufferTimeline>,
+    /// Total kernel-only time (sum of kernel durations).
+    pub kernel_time: Dur,
+    /// One-time pinned-ring setup cost (not part of the makespan; the
+    /// ring is allocated once at system initialization, §4.1.2).
+    pub ring_setup: Dur,
+    /// Raw cuts found before min/max adjustment.
+    pub raw_cuts: usize,
+}
+
+/// Report of a host-only chunking run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostReport {
+    /// Total input bytes.
+    pub bytes: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Allocator description.
+    pub allocator: String,
+    /// Simulated chunking time.
+    pub makespan: Dur,
+}
+
+/// A chunking-engine report: pipeline (GPU) or host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Report {
+    /// GPU pipeline run.
+    Pipeline(PipelineReport),
+    /// Host-only run.
+    Host(HostReport),
+}
+
+impl Report {
+    /// Total input bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Report::Pipeline(r) => r.bytes,
+            Report::Host(r) => r.bytes,
+        }
+    }
+
+    /// End-to-end simulated time.
+    pub fn makespan(&self) -> Dur {
+        match self {
+            Report::Pipeline(r) => r.makespan,
+            Report::Host(r) => r.makespan,
+        }
+    }
+
+    /// Simulated chunking throughput in GB/s (10⁹ bytes per second, the
+    /// unit of the paper's Figure 12 y-axis).
+    pub fn throughput_gbps(&self) -> f64 {
+        let s = self.makespan().as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.bytes() as f64 / s / 1e9
+    }
+
+    /// The pipeline report, if this was a GPU run.
+    pub fn as_pipeline(&self) -> Option<&PipelineReport> {
+        match self {
+            Report::Pipeline(r) => Some(r),
+            Report::Host(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_computation() {
+        let r = Report::Host(HostReport {
+            bytes: 2_000_000_000,
+            threads: 12,
+            allocator: "hoard".into(),
+            makespan: Dur::from_secs(2),
+        });
+        assert!((r.throughput_gbps() - 1.0).abs() < 1e-9);
+        assert_eq!(r.bytes(), 2_000_000_000);
+        assert!(r.as_pipeline().is_none());
+    }
+
+    #[test]
+    fn zero_makespan_throughput_is_zero() {
+        let r = Report::Host(HostReport {
+            bytes: 0,
+            threads: 1,
+            allocator: "malloc".into(),
+            makespan: Dur::ZERO,
+        });
+        assert_eq!(r.throughput_gbps(), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The chunking-service abstraction the case studies consume.
+//!
+//! The Shredder library notifies applications of chunk boundaries via an
+//! upcall (§3.1: "the Store thread uses an upcall to notify the chunk
+//! boundaries to the application that is using the Shredder library").
+//! [`ChunkingService::chunk_stream_with`] is that interface; the
+//! convenience [`chunk_stream`](ChunkingService::chunk_stream) collects
+//! the upcalls into a [`ChunkOutcome`].
+
+use shredder_hash::{sha256, Digest};
+use shredder_rabin::Chunk;
+
+use crate::report::Report;
+
+/// Result of chunking a stream: the chunks plus the engine's timing
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkOutcome {
+    /// The chunks, tiling the input in order.
+    pub chunks: Vec<Chunk>,
+    /// Simulated timing report.
+    pub report: Report,
+}
+
+impl ChunkOutcome {
+    /// Computes the SHA-256 digest of every chunk (the hashing step of
+    /// §2.1, performed by the Store thread in the backup case study).
+    pub fn digests(&self, data: &[u8]) -> Vec<Digest> {
+        self.chunks.iter().map(|c| sha256(c.slice(data))).collect()
+    }
+
+    /// Mean chunk size in bytes.
+    pub fn mean_chunk_size(&self) -> f64 {
+        if self.chunks.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.chunks.iter().map(|c| c.len).sum();
+        total as f64 / self.chunks.len() as f64
+    }
+}
+
+/// A content-based chunking engine (GPU pipeline or host threads).
+///
+/// # Examples
+///
+/// ```
+/// use shredder_core::{ChunkingService, HostChunker};
+///
+/// let data = vec![3u8; 100_000];
+/// let service = HostChunker::with_defaults();
+/// let mut sizes: Vec<usize> = Vec::new();
+/// service.chunk_stream_with(&data, &mut |chunk| sizes.push(chunk.len));
+/// assert_eq!(sizes.iter().sum::<usize>(), data.len());
+/// ```
+pub trait ChunkingService {
+    /// Chunks `data`, delivering each chunk through the `upcall` in
+    /// stream order, and returns the timing report.
+    fn chunk_stream_with(&self, data: &[u8], upcall: &mut dyn FnMut(Chunk)) -> Report;
+
+    /// Chunks `data` and collects the upcalls.
+    fn chunk_stream(&self, data: &[u8]) -> ChunkOutcome {
+        let mut chunks = Vec::new();
+        let report = self.chunk_stream_with(data, &mut |c| chunks.push(c));
+        ChunkOutcome { chunks, report }
+    }
+
+    /// Human-readable engine name (used in experiment output).
+    fn service_name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::HostReport;
+    use shredder_des::Dur;
+
+    struct FakeService;
+
+    impl ChunkingService for FakeService {
+        fn chunk_stream_with(&self, data: &[u8], upcall: &mut dyn FnMut(Chunk)) -> Report {
+            upcall(Chunk {
+                offset: 0,
+                len: data.len(),
+            });
+            Report::Host(HostReport {
+                bytes: data.len() as u64,
+                threads: 1,
+                allocator: "none".into(),
+                makespan: Dur::from_micros(1),
+            })
+        }
+
+        fn service_name(&self) -> String {
+            "fake".into()
+        }
+    }
+
+    #[test]
+    fn collect_outcome() {
+        let data = vec![1u8; 64];
+        let out = FakeService.chunk_stream(&data);
+        assert_eq!(out.chunks.len(), 1);
+        assert_eq!(out.mean_chunk_size(), 64.0);
+        let digests = out.digests(&data);
+        assert_eq!(digests.len(), 1);
+        assert_eq!(digests[0], shredder_hash::sha256(&data));
+    }
+
+    #[test]
+    fn empty_outcome_stats() {
+        let out = ChunkOutcome {
+            chunks: vec![],
+            report: Report::Host(HostReport {
+                bytes: 0,
+                threads: 1,
+                allocator: "none".into(),
+                makespan: Dur::ZERO,
+            }),
+        };
+        assert_eq!(out.mean_chunk_size(), 0.0);
+        assert!(out.digests(&[]).is_empty());
+    }
+}

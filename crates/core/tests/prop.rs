@@ -1,0 +1,76 @@
+//! Property-based tests: the Shredder pipeline is a drop-in equivalent
+//! of sequential chunking for arbitrary data and configurations.
+
+use proptest::prelude::*;
+use shredder_core::{ChunkingService, HostChunker, HostChunkerConfig, Shredder, ShredderConfig};
+use shredder_rabin::{chunk_all, ChunkParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any preset, any buffer size, any data: GPU pipeline chunks equal
+    /// the sequential scan.
+    #[test]
+    fn pipeline_equals_sequential(
+        data in proptest::collection::vec(any::<u8>(), 0..262_144),
+        buffer_shift in 14usize..19, // 16 KiB .. 256 KiB
+        preset in 0u8..3,
+    ) {
+        let params = ChunkParams::paper();
+        let cfg = match preset {
+            0 => ShredderConfig::gpu_basic(),
+            1 => ShredderConfig::gpu_streams(),
+            _ => ShredderConfig::gpu_streams_memory(),
+        }
+        .with_buffer_size(1 << buffer_shift);
+        let out = Shredder::new(cfg).chunk_stream(&data);
+        prop_assert_eq!(out.chunks, chunk_all(&data, &params));
+    }
+
+    /// Min/max constraints survive the pipeline's buffer splitting.
+    #[test]
+    fn pipeline_respects_min_max(
+        data in proptest::collection::vec(any::<u8>(), 1..262_144),
+        min_shift in 8usize..11,
+    ) {
+        let params = ChunkParams {
+            min_size: 1 << min_shift,
+            max_size: 8 << min_shift,
+            ..ChunkParams::paper()
+        };
+        let cfg = ShredderConfig::gpu_streams_memory()
+            .with_params(params.clone())
+            .with_buffer_size(32 << 10);
+        let out = Shredder::new(cfg).chunk_stream(&data);
+        prop_assert_eq!(&out.chunks, &chunk_all(&data, &params));
+        for (i, c) in out.chunks.iter().enumerate() {
+            prop_assert!(c.len <= params.max_size);
+            if i + 1 != out.chunks.len() {
+                prop_assert!(c.len >= params.min_size);
+            }
+        }
+    }
+
+    /// Host and GPU services always agree, and both reports account for
+    /// every byte.
+    #[test]
+    fn services_agree_and_account_bytes(data in proptest::collection::vec(any::<u8>(), 0..131_072)) {
+        let gpu = Shredder::new(ShredderConfig::default().with_buffer_size(32 << 10))
+            .chunk_stream(&data);
+        let cpu = HostChunker::new(HostChunkerConfig::optimized()).chunk_stream(&data);
+        prop_assert_eq!(&gpu.chunks, &cpu.chunks);
+        prop_assert_eq!(gpu.report.bytes(), data.len() as u64);
+        prop_assert_eq!(cpu.report.bytes(), data.len() as u64);
+        let total: usize = gpu.chunks.iter().map(|c| c.len).sum();
+        prop_assert_eq!(total, data.len());
+    }
+
+    /// Simulated makespan is monotone in data volume for a fixed config.
+    #[test]
+    fn makespan_monotone_in_volume(len in 4096usize..65536) {
+        let cfg = ShredderConfig::default().with_buffer_size(16 << 10);
+        let small = Shredder::new(cfg.clone()).chunk_stream(&vec![7u8; len]);
+        let large = Shredder::new(cfg).chunk_stream(&vec![7u8; len * 3]);
+        prop_assert!(large.report.makespan() > small.report.makespan());
+    }
+}

@@ -1,0 +1,188 @@
+//! Bandwidth/latency channels.
+//!
+//! A [`BandwidthChannel`] is a FIFO pipe with a fixed per-transfer setup
+//! latency and a sustained bandwidth: a transfer of `n` bytes occupies
+//! the channel for `latency + n / bandwidth`. This models the SAN feeding
+//! the Reader thread (Table 1: 2 GB/s), the PCIe link (Table 1:
+//! ~5.4/5.1 GB/s with a DMA setup cost — the reason small buffers are
+//! slow in Figure 3), and the backup-site network of §7.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::Simulation;
+use crate::resources::FifoServer;
+use crate::time::{Dur, SimTime};
+
+/// A FIFO latency + bandwidth pipe.
+///
+/// Cloning shares the underlying channel.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_des::{BandwidthChannel, Simulation};
+/// use shredder_des::Dur;
+///
+/// let mut sim = Simulation::new();
+/// // 2 GB/s SAN with 10us setup per request (paper Table 1 Reader I/O).
+/// let san = BandwidthChannel::new("san", 2.0e9, Dur::from_micros(10));
+/// san.transfer(&mut sim, 64 << 20, |_| {});
+/// let end = sim.run();
+/// // 64 MiB / 2 GB/s = ~33.6ms plus 10us latency.
+/// assert!((end.as_millis_f64() - 33.56).abs() < 0.2);
+/// ```
+#[derive(Clone)]
+pub struct BandwidthChannel {
+    server: FifoServer,
+    inner: Rc<RefCell<ChannelInner>>,
+}
+
+struct ChannelInner {
+    name: String,
+    bytes_per_sec: f64,
+    latency: Dur,
+    bytes_moved: u64,
+}
+
+impl BandwidthChannel {
+    /// Creates a channel with the given sustained bandwidth (bytes/s) and
+    /// per-transfer setup latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not finite and positive.
+    pub fn new(name: impl Into<String>, bytes_per_sec: f64, latency: Dur) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "invalid bandwidth"
+        );
+        let name = name.into();
+        BandwidthChannel {
+            server: FifoServer::new(name.clone(), 1),
+            inner: Rc::new(RefCell::new(ChannelInner {
+                name,
+                bytes_per_sec,
+                latency,
+                bytes_moved: 0,
+            })),
+        }
+    }
+
+    /// The time a transfer of `bytes` occupies the channel, ignoring
+    /// queueing.
+    pub fn service_time(&self, bytes: u64) -> Dur {
+        let inner = self.inner.borrow();
+        inner.latency + Dur::from_bytes_at(bytes, inner.bytes_per_sec)
+    }
+
+    /// Enqueues a transfer; `done` fires when the last byte arrives.
+    pub fn transfer(
+        &self,
+        sim: &mut Simulation,
+        bytes: u64,
+        done: impl FnOnce(&mut Simulation) + 'static,
+    ) {
+        let service = self.service_time(bytes);
+        self.inner.borrow_mut().bytes_moved += bytes;
+        self.server.process(sim, service, done);
+    }
+
+    /// Total bytes accepted so far (including queued transfers).
+    pub fn bytes_moved(&self) -> u64 {
+        self.inner.borrow().bytes_moved
+    }
+
+    /// The configured bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.inner.borrow().bytes_per_sec
+    }
+
+    /// The configured per-transfer latency.
+    pub fn latency(&self) -> Dur {
+        self.inner.borrow().latency
+    }
+
+    /// Completion time of the most recent transfer.
+    pub fn last_completion(&self) -> SimTime {
+        self.server.last_completion()
+    }
+
+    /// Total time the channel has spent busy serving transfers.
+    pub fn busy_time(&self) -> Dur {
+        self.server.busy_time()
+    }
+
+    /// Effective achieved throughput over `horizon` in bytes/s.
+    pub fn achieved_throughput(&self, horizon: Dur) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        self.inner.borrow().bytes_moved as f64 / horizon.as_secs_f64()
+    }
+}
+
+impl std::fmt::Debug for BandwidthChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("BandwidthChannel")
+            .field("name", &inner.name)
+            .field("bytes_per_sec", &inner.bytes_per_sec)
+            .field("latency", &inner.latency)
+            .field("bytes_moved", &inner.bytes_moved)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn service_time_is_latency_plus_bytes_over_bandwidth() {
+        let ch = BandwidthChannel::new("c", 1e9, Dur::from_micros(10));
+        let t = ch.service_time(1_000_000);
+        // 10us + 1MB/1GBps = 10us + 1ms
+        assert_eq!(t.as_nanos(), 10_000 + 1_000_000);
+    }
+
+    #[test]
+    fn transfers_serialize_fifo() {
+        let mut sim = Simulation::new();
+        let ch = BandwidthChannel::new("c", 1e9, Dur::ZERO);
+        let ends: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for _ in 0..3 {
+            let ends = ends.clone();
+            ch.transfer(&mut sim, 1000, move |sim| {
+                ends.borrow_mut().push(sim.now().as_nanos())
+            });
+        }
+        sim.run();
+        assert_eq!(*ends.borrow(), vec![1_000, 2_000, 3_000]);
+        assert_eq!(ch.bytes_moved(), 3000);
+    }
+
+    #[test]
+    fn small_transfers_dominated_by_latency() {
+        // The Figure 3 effect: throughput collapses for small buffers.
+        let ch = BandwidthChannel::new("pcie", 5.406e9, Dur::from_micros(15));
+        let small = ch.service_time(4096);
+        let eff_small = 4096.0 / small.as_secs_f64();
+        let big = ch.service_time(64 << 20);
+        let eff_big = (64u64 << 20) as f64 / big.as_secs_f64();
+        assert!(eff_small < 0.3e9, "small transfer too fast: {eff_small}");
+        assert!(eff_big > 5.0e9, "big transfer too slow: {eff_big}");
+    }
+
+    #[test]
+    fn achieved_throughput() {
+        let mut sim = Simulation::new();
+        let ch = BandwidthChannel::new("c", 1e9, Dur::ZERO);
+        ch.transfer(&mut sim, 500_000, |_| {});
+        let end = sim.run();
+        let tput = ch.achieved_throughput(end - crate::SimTime::ZERO);
+        assert!((tput - 1e9).abs() < 1e6);
+    }
+}

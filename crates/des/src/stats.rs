@@ -1,0 +1,174 @@
+//! Measurement utilities: counters and time series.
+//!
+//! The experiment harness records per-stage timings and throughput
+//! series with these types; they are intentionally simple and
+//! serializable so bench targets can print paper-style rows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A monotonically increasing named counter.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_des::Counter;
+///
+/// let mut hits = Counter::new("memo-hits");
+/// hits.add(3);
+/// hits.add(1);
+/// assert_eq!(hits.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A (time, value) series sampled during a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_des::{SimTime, TimeSeries};
+///
+/// let mut ts = TimeSeries::new("queue-depth");
+/// ts.record(SimTime::from_nanos(10), 1.0);
+/// ts.record(SimTime::from_nanos(20), 3.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if samples go backwards in time.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().map_or(true, |&(t, _)| t <= at),
+            "time series must be recorded in order"
+        );
+        self.points.push((at, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Largest sample value.
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                Some(a) if a >= v => a,
+                _ => v,
+            })
+        })
+    }
+
+    /// Arithmetic mean of sample values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("c");
+        c.incr();
+        c.add(5);
+        assert_eq!(c.value(), 6);
+        assert_eq!(c.name(), "c");
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut ts = TimeSeries::new("s");
+        assert!(ts.is_empty());
+        assert_eq!(ts.max(), None);
+        assert_eq!(ts.mean(), None);
+        ts.record(SimTime::from_nanos(1), 2.0);
+        ts.record(SimTime::from_nanos(2), 6.0);
+        ts.record(SimTime::from_nanos(3), 4.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.max(), Some(6.0));
+        assert_eq!(ts.mean(), Some(4.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "recorded in order")]
+    fn out_of_order_record_panics_in_debug() {
+        let mut ts = TimeSeries::new("s");
+        ts.record(SimTime::from_nanos(5), 1.0);
+        ts.record(SimTime::from_nanos(4), 1.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Virtual time: instants ([`SimTime`]) and durations ([`Dur`]) with
+//! nanosecond resolution.
+//!
+//! Integer nanoseconds keep the event calendar totally ordered and
+//! reproducible across runs and platforms — floating-point accumulation
+//! error would make event ordering depend on summation order.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration in virtual time, stored as integer nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_des::Dur;
+///
+/// let d = Dur::from_micros(3) + Dur::from_nanos(500);
+/// assert_eq!(d.as_nanos(), 3_500);
+/// assert_eq!((d * 2).as_nanos(), 7_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dur(u64);
+
+impl Dur {
+    /// The zero duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Dur {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
+        Dur((secs * 1e9).round() as u64)
+    }
+
+    /// The time to move `bytes` through a link of `bytes_per_sec`
+    /// bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero, negative, or not finite.
+    pub fn from_bytes_at(bytes: u64, bytes_per_sec: f64) -> Dur {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "invalid bandwidth {bytes_per_sec}"
+        );
+        Dur::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// The time `cycles` take at `hz` clock frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero, negative, or not finite.
+    pub fn from_cycles_at(cycles: u64, hz: f64) -> Dur {
+        assert!(hz.is_finite() && hz > 0.0, "invalid frequency {hz}");
+        Dur::from_secs_f64(cycles as f64 / hz)
+    }
+
+    /// Nanoseconds as an integer.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// An instant in virtual time (nanoseconds since simulation start).
+///
+/// # Examples
+///
+/// ```
+/// use shredder_des::{Dur, SimTime};
+///
+/// let t = SimTime::ZERO + Dur::from_millis(2);
+/// assert_eq!(t - SimTime::ZERO, Dur::from_millis(2));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds since the epoch, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since the epoch, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(self.0.checked_add(rhs.as_nanos()).expect("time overflow"))
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Dur;
+    fn sub(self, rhs: SimTime) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("negative time difference"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", Dur(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units() {
+        assert_eq!(Dur::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Dur::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Dur::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Dur::from_secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn bandwidth_durations() {
+        // 1 GiB at 1 GiB/s = 1 s.
+        let d = Dur::from_bytes_at(1 << 30, (1u64 << 30) as f64);
+        assert_eq!(d.as_nanos(), 1_000_000_000);
+        // 4 KB at 5.406 GB/s ≈ 740 ns (paper Table 1 H2D bandwidth).
+        let d = Dur::from_bytes_at(4096, 5.406e9);
+        assert!((d.as_nanos() as f64 - 757.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn cycle_durations() {
+        // 400 cycles at 1.15 GHz ≈ 348 ns (paper device memory latency).
+        let d = Dur::from_cycles_at(400, 1.15e9);
+        assert!((d.as_nanos() as f64 - 348.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Dur::from_nanos(100);
+        let b = Dur::from_nanos(40);
+        assert_eq!((a + b).as_nanos(), 140);
+        assert_eq!((a - b).as_nanos(), 60);
+        assert_eq!((a * 3).as_nanos(), 300);
+        assert_eq!((a / 4).as_nanos(), 25);
+        assert_eq!(b.saturating_sub(a), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration underflow")]
+    fn sub_underflow_panics() {
+        let _ = Dur::from_nanos(1) - Dur::from_nanos(2);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + Dur::from_micros(10);
+        assert_eq!(t1 - t0, Dur::from_micros(10));
+        assert_eq!(t0.max(t1), t1);
+        assert_eq!(t0.saturating_since(t1), Dur::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = (1..=4).map(Dur::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Dur::from_nanos(5).to_string(), "5ns");
+        assert_eq!(Dur::from_micros(5).to_string(), "5.000us");
+        assert_eq!(Dur::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(Dur::from_secs(5).to_string(), "5.000s");
+    }
+}

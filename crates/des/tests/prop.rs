@@ -1,0 +1,126 @@
+//! Property-based tests of the simulation kernel's ordering and
+//! conservation invariants.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use shredder_des::{Dur, FifoServer, Semaphore, SimTime, Simulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events fire in nondecreasing time order regardless of the order
+    /// they were scheduled.
+    #[test]
+    fn events_fire_in_time_order(delays in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut sim = Simulation::new();
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &d in &delays {
+            let fired = fired.clone();
+            sim.schedule(Dur::from_nanos(d), move |sim| {
+                fired.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+        let mut sorted = delays.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&*fired, &sorted);
+    }
+
+    /// A FIFO server completes exactly the jobs submitted, in order, and
+    /// its busy time equals the sum of service times.
+    #[test]
+    fn fifo_server_conserves_work(services in proptest::collection::vec(1u64..100_000, 1..40), servers in 1usize..5) {
+        let mut sim = Simulation::new();
+        let server = FifoServer::new("s", servers);
+        let done: Rc<RefCell<Vec<usize>>> = Rc::default();
+        for (i, &s) in services.iter().enumerate() {
+            let done = done.clone();
+            server.process(&mut sim, Dur::from_nanos(s), move |_| done.borrow_mut().push(i));
+        }
+        let end = sim.run();
+        prop_assert_eq!(server.jobs_completed(), services.len() as u64);
+        let total: u64 = services.iter().sum();
+        prop_assert_eq!(server.busy_time().as_nanos(), total);
+        // Makespan bounds: max(longest job, total/servers) <= end <= total.
+        let longest = *services.iter().max().unwrap();
+        prop_assert!(end.as_nanos() <= total);
+        prop_assert!(end.as_nanos() >= longest);
+        prop_assert!(end.as_nanos() as f64 >= total as f64 / servers as f64 - 1.0);
+        // Single server completes strictly in order.
+        if servers == 1 {
+            prop_assert!(done.borrow().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Semaphore: grants never exceed capacity, and all waiters are
+    /// eventually served.
+    #[test]
+    fn semaphore_respects_capacity(capacity in 1usize..6, holds in proptest::collection::vec(1u64..10_000, 1..30)) {
+        let mut sim = Simulation::new();
+        let sem = Semaphore::new("s", capacity);
+        let in_flight = Rc::new(RefCell::new((0usize, 0usize))); // (current, max)
+        let served = Rc::new(RefCell::new(0usize));
+
+        for &h in &holds {
+            let sem2 = sem.clone();
+            let in_flight = in_flight.clone();
+            let served = served.clone();
+            sem.acquire(&mut sim, 1, move |sim| {
+                {
+                    let mut f = in_flight.borrow_mut();
+                    f.0 += 1;
+                    f.1 = f.1.max(f.0);
+                }
+                sim.schedule(Dur::from_nanos(h), move |sim| {
+                    in_flight.borrow_mut().0 -= 1;
+                    *served.borrow_mut() += 1;
+                    sem2.release(sim, 1);
+                });
+            });
+        }
+        sim.run();
+        prop_assert_eq!(*served.borrow(), holds.len());
+        prop_assert!(in_flight.borrow().1 <= capacity);
+        prop_assert_eq!(sem.available(), capacity);
+    }
+
+    /// run_until never runs past the horizon and never loses events.
+    #[test]
+    fn run_until_preserves_future_events(times in proptest::collection::vec(1u64..1000, 1..30), horizon in 1u64..1000) {
+        let mut sim = Simulation::new();
+        let fired = Rc::new(RefCell::new(0usize));
+        for &t in &times {
+            let fired = fired.clone();
+            sim.schedule(Dur::from_nanos(t), move |_| *fired.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_nanos(horizon));
+        let expected_now: usize = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(*fired.borrow(), expected_now);
+        sim.run();
+        prop_assert_eq!(*fired.borrow(), times.len());
+    }
+
+    /// Two identical simulations produce identical event traces
+    /// (determinism).
+    #[test]
+    fn simulation_is_deterministic(delays in proptest::collection::vec(0u64..1000, 1..40)) {
+        let trace = |delays: &[u64]| {
+            let mut sim = Simulation::new();
+            let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
+            for (i, &d) in delays.iter().enumerate() {
+                let log = log.clone();
+                sim.schedule(Dur::from_nanos(d), move |sim| {
+                    log.borrow_mut().push((sim.now().as_nanos(), i));
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        };
+        prop_assert_eq!(trace(&delays), trace(&delays));
+    }
+}

@@ -1,0 +1,157 @@
+//! The §4.3 half-warp memory-coalescing rules.
+//!
+//! Shredder's cooperative fetch lets "multiple threads of a half-warp
+//! read a contiguous memory interval simultaneously" under three
+//! conditions: (i) each thread accesses a 4-, 8- or 16-byte element;
+//! (ii) the Nth thread accesses the Nth element of a contiguous block;
+//! (iii) the first element is 16-byte aligned. This module classifies a
+//! half-warp's address vector against those rules; the kernels use it to
+//! decide how many transactions a load instruction issues, and tests use
+//! it to prove the coalesced kernel's staging loop really is coalesced.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of one half-warp load/store instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoalesceClass {
+    /// One transaction serves the whole half-warp.
+    Coalesced,
+    /// The access is serialized: one transaction per thread.
+    Serialized,
+}
+
+/// Checks the §4.3 conditions for a half-warp's element accesses.
+///
+/// `addresses[i]` is the byte address accessed by thread `i` of the
+/// half-warp; `elem_size` is the per-thread element size in bytes.
+///
+/// Returns [`CoalesceClass::Coalesced`] iff
+/// * `elem_size` ∈ {4, 8, 16} (condition i),
+/// * `addresses[i] == addresses[0] + i·elem_size` (condition ii), and
+/// * `addresses[0] % 16 == 0` (condition iii).
+///
+/// # Examples
+///
+/// ```
+/// use shredder_gpu::coalesce::{classify_half_warp, CoalesceClass};
+///
+/// let seq: Vec<u64> = (0..16).map(|i| 256 + i * 4).collect();
+/// assert_eq!(classify_half_warp(&seq, 4), CoalesceClass::Coalesced);
+///
+/// let scattered: Vec<u64> = (0..16).map(|i| i * 4096).collect();
+/// assert_eq!(classify_half_warp(&scattered, 4), CoalesceClass::Serialized);
+/// ```
+pub fn classify_half_warp(addresses: &[u64], elem_size: usize) -> CoalesceClass {
+    if !matches!(elem_size, 4 | 8 | 16) {
+        return CoalesceClass::Serialized;
+    }
+    let first = match addresses.first() {
+        Some(&a) => a,
+        None => return CoalesceClass::Coalesced, // vacuous
+    };
+    if first % 16 != 0 {
+        return CoalesceClass::Serialized;
+    }
+    for (i, &a) in addresses.iter().enumerate() {
+        if a != first + (i as u64) * elem_size as u64 {
+            return CoalesceClass::Serialized;
+        }
+    }
+    CoalesceClass::Coalesced
+}
+
+/// Number of memory transactions a half-warp access issues.
+pub fn transactions_for(class: CoalesceClass, lanes: usize) -> u64 {
+    match class {
+        CoalesceClass::Coalesced => 1,
+        CoalesceClass::Serialized => lanes as u64,
+    }
+}
+
+/// Generates the address vector of lane `base..base+lanes` for a
+/// cooperative tile fetch: thread `i` reads element `i` of the block at
+/// `block_base` (the §4.3 pattern, Figure 10).
+pub fn cooperative_addresses(block_base: u64, lanes: usize, elem_size: usize) -> Vec<u64> {
+    (0..lanes)
+        .map(|i| block_base + (i * elem_size) as u64)
+        .collect()
+}
+
+/// Generates the address vector of a *naive* per-thread sub-stream read:
+/// thread `i` reads its own sub-stream at `stride` distance (the §3.1
+/// basic-kernel pattern that provokes bank conflicts, §3.2).
+pub fn substream_addresses(base: u64, lanes: usize, stride: u64) -> Vec<u64> {
+    (0..lanes).map(|i| base + i as u64 * stride).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_aligned_coalesces() {
+        for elem in [4usize, 8, 16] {
+            let addrs = cooperative_addresses(4096, 16, elem);
+            assert_eq!(
+                classify_half_warp(&addrs, elem),
+                CoalesceClass::Coalesced,
+                "elem {elem}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_element_size_serializes() {
+        // Condition (i): 1- and 2-byte elements do not coalesce.
+        for elem in [1usize, 2, 3, 32] {
+            let addrs = cooperative_addresses(4096, 16, elem);
+            assert_eq!(
+                classify_half_warp(&addrs, elem),
+                CoalesceClass::Serialized,
+                "elem {elem}"
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_base_serializes() {
+        // Condition (iii): base must be 16-byte aligned.
+        let addrs = cooperative_addresses(4100, 16, 4);
+        assert_eq!(classify_half_warp(&addrs, 4), CoalesceClass::Serialized);
+    }
+
+    #[test]
+    fn permuted_threads_serialize() {
+        // Condition (ii): Nth thread must access Nth element.
+        let mut addrs = cooperative_addresses(4096, 16, 4);
+        addrs.swap(3, 7);
+        assert_eq!(classify_half_warp(&addrs, 4), CoalesceClass::Serialized);
+    }
+
+    #[test]
+    fn gapped_accesses_serialize() {
+        let addrs: Vec<u64> = (0..16).map(|i| 4096 + i * 8).collect(); // stride 8 with elem 4
+        assert_eq!(classify_half_warp(&addrs, 4), CoalesceClass::Serialized);
+    }
+
+    #[test]
+    fn substream_pattern_serializes() {
+        let addrs = substream_addresses(0, 16, 64 * 1024);
+        assert_eq!(classify_half_warp(&addrs, 4), CoalesceClass::Serialized);
+        assert_eq!(
+            transactions_for(CoalesceClass::Serialized, addrs.len()),
+            16
+        );
+    }
+
+    #[test]
+    fn transaction_counts() {
+        assert_eq!(transactions_for(CoalesceClass::Coalesced, 16), 1);
+        assert_eq!(transactions_for(CoalesceClass::Serialized, 16), 16);
+    }
+
+    #[test]
+    fn empty_half_warp_is_trivially_coalesced() {
+        assert_eq!(classify_half_warp(&[], 4), CoalesceClass::Coalesced);
+    }
+}

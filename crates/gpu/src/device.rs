@@ -1,0 +1,316 @@
+//! Device global memory: allocation and byte-accurate transfers.
+//!
+//! This is the *functional* half of the GPU model: kernels chunk real
+//! bytes held in device buffers, so chunk boundaries produced by the GPU
+//! path are checked bit-for-bit against the CPU chunkers. Capacity is
+//! enforced against the configured 2.6 GB of the C2050 (§5.3) — the
+//! reason Shredder processes streams in bounded twin buffers rather than
+//! whole files.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::config::DeviceConfig;
+
+/// Handle to an allocated device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(u64);
+
+/// Errors from device-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Allocation would exceed device global memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// Operation referenced a buffer id that is not allocated.
+    InvalidBuffer(BufferId),
+    /// Copy range exceeds the buffer size.
+    OutOfBounds {
+        /// Buffer length.
+        buffer_len: usize,
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+            GpuError::InvalidBuffer(id) => write!(f, "invalid device buffer {id:?}"),
+            GpuError::OutOfBounds {
+                buffer_len,
+                offset,
+                len,
+            } => write!(
+                f,
+                "device copy out of bounds: offset {offset} + len {len} > buffer {buffer_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// The simulated GPU device: configuration plus global memory.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_gpu::{Device, DeviceConfig};
+///
+/// let mut dev = Device::new(DeviceConfig::tesla_c2050());
+/// let buf = dev.alloc(1024)?;
+/// dev.memcpy_h2d(buf, &[7u8; 1024])?;
+/// let mut out = vec![0u8; 1024];
+/// dev.memcpy_d2h(buf, &mut out)?;
+/// assert_eq!(out, vec![7u8; 1024]);
+/// # Ok::<(), shredder_gpu::GpuError>(())
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    buffers: HashMap<BufferId, Vec<u8>>,
+    used: usize,
+    next_id: u64,
+}
+
+impl Device {
+    /// Creates a device with empty global memory.
+    pub fn new(config: DeviceConfig) -> Self {
+        Device {
+            config,
+            buffers: HashMap::new(),
+            used: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Bytes of global memory currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes of global memory still available.
+    pub fn available(&self) -> usize {
+        self.config.global_mem_bytes - self.used
+    }
+
+    /// Allocates a zero-initialized global-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::OutOfMemory`] if the device lacks capacity.
+    pub fn alloc(&mut self, len: usize) -> Result<BufferId, GpuError> {
+        if len > self.available() {
+            return Err(GpuError::OutOfMemory {
+                requested: len,
+                available: self.available(),
+            });
+        }
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.buffers.insert(id, vec![0u8; len]);
+        self.used += len;
+        Ok(id)
+    }
+
+    /// Frees a buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] if `id` is not allocated.
+    pub fn free(&mut self, id: BufferId) -> Result<(), GpuError> {
+        match self.buffers.remove(&id) {
+            Some(buf) => {
+                self.used -= buf.len();
+                Ok(())
+            }
+            None => Err(GpuError::InvalidBuffer(id)),
+        }
+    }
+
+    /// Length of a buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] if `id` is not allocated.
+    pub fn buffer_len(&self, id: BufferId) -> Result<usize, GpuError> {
+        self.buffers
+            .get(&id)
+            .map(Vec::len)
+            .ok_or(GpuError::InvalidBuffer(id))
+    }
+
+    /// Read-only view of a buffer's bytes (what a kernel sees).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] if `id` is not allocated.
+    pub fn buffer(&self, id: BufferId) -> Result<&[u8], GpuError> {
+        self.buffers
+            .get(&id)
+            .map(Vec::as_slice)
+            .ok_or(GpuError::InvalidBuffer(id))
+    }
+
+    /// Copies host bytes into the start of a device buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] or [`GpuError::OutOfBounds`].
+    pub fn memcpy_h2d(&mut self, id: BufferId, src: &[u8]) -> Result<(), GpuError> {
+        self.memcpy_h2d_at(id, 0, src)
+    }
+
+    /// Copies host bytes into a device buffer at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] or [`GpuError::OutOfBounds`].
+    pub fn memcpy_h2d_at(
+        &mut self,
+        id: BufferId,
+        offset: usize,
+        src: &[u8],
+    ) -> Result<(), GpuError> {
+        let buf = self
+            .buffers
+            .get_mut(&id)
+            .ok_or(GpuError::InvalidBuffer(id))?;
+        let end = offset.checked_add(src.len()).ok_or(GpuError::OutOfBounds {
+            buffer_len: buf.len(),
+            offset,
+            len: src.len(),
+        })?;
+        if end > buf.len() {
+            return Err(GpuError::OutOfBounds {
+                buffer_len: buf.len(),
+                offset,
+                len: src.len(),
+            });
+        }
+        buf[offset..end].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Copies a device buffer's prefix back to host memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] or [`GpuError::OutOfBounds`].
+    pub fn memcpy_d2h(&self, id: BufferId, dst: &mut [u8]) -> Result<(), GpuError> {
+        let buf = self.buffers.get(&id).ok_or(GpuError::InvalidBuffer(id))?;
+        if dst.len() > buf.len() {
+            return Err(GpuError::OutOfBounds {
+                buffer_len: buf.len(),
+                offset: 0,
+                len: dst.len(),
+            });
+        }
+        dst.copy_from_slice(&buf[..dst.len()]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::tesla_c2050())
+    }
+
+    #[test]
+    fn alloc_roundtrip() {
+        let mut dev = device();
+        let buf = dev.alloc(4096).unwrap();
+        assert_eq!(dev.buffer_len(buf).unwrap(), 4096);
+        assert_eq!(dev.used(), 4096);
+        dev.free(buf).unwrap();
+        assert_eq!(dev.used(), 0);
+    }
+
+    #[test]
+    fn memcpy_roundtrip() {
+        let mut dev = device();
+        let buf = dev.alloc(100).unwrap();
+        let data: Vec<u8> = (0..100).collect();
+        dev.memcpy_h2d(buf, &data).unwrap();
+        let mut out = vec![0u8; 100];
+        dev.memcpy_d2h(buf, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn memcpy_at_offset() {
+        let mut dev = device();
+        let buf = dev.alloc(10).unwrap();
+        dev.memcpy_h2d_at(buf, 4, &[1, 2, 3]).unwrap();
+        assert_eq!(dev.buffer(buf).unwrap(), &[0, 0, 0, 0, 1, 2, 3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut dev = device();
+        let cap = dev.config().global_mem_bytes;
+        let a = dev.alloc(cap / 2).unwrap();
+        assert!(matches!(
+            dev.alloc(cap / 2 + 1024),
+            Err(GpuError::OutOfMemory { .. })
+        ));
+        dev.free(a).unwrap();
+        assert!(dev.alloc(cap).is_ok());
+    }
+
+    #[test]
+    fn invalid_buffer_errors() {
+        let mut dev = device();
+        let buf = dev.alloc(10).unwrap();
+        dev.free(buf).unwrap();
+        assert_eq!(dev.free(buf), Err(GpuError::InvalidBuffer(buf)));
+        assert!(dev.buffer(buf).is_err());
+        assert!(dev.memcpy_h2d(buf, &[1]).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_copy_errors() {
+        let mut dev = device();
+        let buf = dev.alloc(8).unwrap();
+        assert!(matches!(
+            dev.memcpy_h2d_at(buf, 4, &[0u8; 8]),
+            Err(GpuError::OutOfBounds { .. })
+        ));
+        let mut big = vec![0u8; 16];
+        assert!(matches!(
+            dev.memcpy_d2h(buf, &mut big),
+            Err(GpuError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = GpuError::OutOfMemory {
+            requested: 10,
+            available: 5,
+        };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,404 @@
+//! The chunking kernels: functional execution plus access-pattern timing.
+//!
+//! Two variants, as in the paper:
+//!
+//! * [`KernelVariant::Basic`] (§3.1) — every thread strides through its
+//!   own sub-stream reading global memory directly. Half-warp loads are
+//!   scattered (one 32 B transaction per lane) and warp interleaving
+//!   destroys row locality, so the kernel is bound by DRAM bank conflicts
+//!   (§3.2).
+//! * [`KernelVariant::Coalesced`] (§4.3, Figure 10) — threads of a block
+//!   cooperatively stage 48 KB tiles into shared memory with coalesced
+//!   128 B transactions, then fingerprint out of shared memory at L1-like
+//!   latency. Figure 11 measures this at ≈8× the basic kernel.
+//!
+//! Both variants produce **identical raw cut offsets** — the functional
+//! scan reuses the same Rabin tables as the CPU chunkers — and tests
+//! enforce equality. Only the *timing descriptors* differ.
+
+use serde::{Deserialize, Serialize};
+use shredder_des::Dur;
+use shredder_rabin::parallel::raw_cuts_substreams;
+use shredder_rabin::ChunkParams;
+
+use crate::calibration;
+use crate::coalesce::{classify_half_warp, cooperative_addresses, substream_addresses, CoalesceClass};
+use crate::config::DeviceConfig;
+use crate::device::{BufferId, Device, GpuError};
+use crate::dram::{AccessModel, AccessPattern, Locality, MemCost};
+use crate::simt::{KernelWorkload, SimtEngine, SimtReport};
+
+/// Which chunking kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelVariant {
+    /// Direct per-thread sub-stream reads from global memory (§3.1).
+    Basic,
+    /// Cooperative shared-memory staging with memory coalescing (§4.3).
+    Coalesced,
+}
+
+impl KernelVariant {
+    /// All variants, for sweeps.
+    pub const ALL: [KernelVariant; 2] = [KernelVariant::Basic, KernelVariant::Coalesced];
+}
+
+impl std::fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelVariant::Basic => f.write_str("basic"),
+            KernelVariant::Coalesced => f.write_str("coalesced"),
+        }
+    }
+}
+
+/// Execution statistics of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Variant executed.
+    pub variant: KernelVariant,
+    /// Input bytes scanned.
+    pub bytes: u64,
+    /// Logical threads launched.
+    pub threads: u32,
+    /// Raw cut count found (drives the divergence penalty).
+    pub cuts_found: usize,
+    /// Global-memory cost.
+    pub mem: MemCost,
+    /// SIMT timing breakdown.
+    pub simt: SimtReport,
+    /// Total kernel duration (== `simt.duration`).
+    pub duration: Dur,
+}
+
+impl KernelStats {
+    /// Effective chunking bandwidth of the kernel alone, bytes/s.
+    pub fn effective_bandwidth(&self) -> f64 {
+        if self.duration.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 / self.duration.as_secs_f64()
+    }
+}
+
+/// Output of a kernel launch: real boundaries plus simulated timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelOutput {
+    /// Raw marker cut offsets (no min/max filtering — the Store thread
+    /// applies that on the host, §7.3).
+    pub raw_cuts: Vec<u64>,
+    /// Execution statistics.
+    pub stats: KernelStats,
+}
+
+/// A configured, launchable chunking kernel.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_gpu::kernel::{ChunkKernel, KernelVariant};
+/// use shredder_gpu::{Device, DeviceConfig};
+/// use shredder_rabin::{chunker::raw_cuts, ChunkParams};
+///
+/// let mut dev = Device::new(DeviceConfig::tesla_c2050());
+/// let data: Vec<u8> = (0..1u32 << 18).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect();
+/// let buf = dev.alloc(data.len())?;
+/// dev.memcpy_h2d(buf, &data)?;
+///
+/// let params = ChunkParams::paper();
+/// let out = ChunkKernel::new(params.clone(), KernelVariant::Basic).launch(&dev, buf)?;
+/// // GPU boundaries are bit-identical to the sequential CPU scan.
+/// assert_eq!(out.raw_cuts, raw_cuts(&data, &params));
+/// # Ok::<(), shredder_gpu::GpuError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkKernel {
+    params: ChunkParams,
+    variant: KernelVariant,
+    /// Thread blocks resident per SM for the launch-size computation.
+    blocks_per_sm: u32,
+}
+
+impl ChunkKernel {
+    /// Creates a kernel with paper-default launch geometry.
+    pub fn new(params: ChunkParams, variant: KernelVariant) -> Self {
+        ChunkKernel {
+            params,
+            variant,
+            blocks_per_sm: 8,
+        }
+    }
+
+    /// Overrides the blocks-per-SM launch factor.
+    pub fn with_blocks_per_sm(mut self, blocks_per_sm: u32) -> Self {
+        assert!(blocks_per_sm > 0, "blocks_per_sm must be non-zero");
+        self.blocks_per_sm = blocks_per_sm;
+        self
+    }
+
+    /// The kernel variant.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// The chunking parameters.
+    pub fn params(&self) -> &ChunkParams {
+        &self.params
+    }
+
+    /// Total logical threads for a buffer of `bytes` on `config`.
+    ///
+    /// The paper divides the buffer into "equal sized sub-streams, as
+    /// many as the number of threads" (§3.1); we launch the full
+    /// occupancy-limit grid unless the buffer is too small to give every
+    /// thread at least one window.
+    pub fn thread_count(&self, config: &DeviceConfig, bytes: usize) -> u32 {
+        let full = config.sms * config.threads_per_block * self.blocks_per_sm;
+        let max_useful = (bytes / self.params.window.max(1)) as u32;
+        full.min(max_useful).max(1)
+    }
+
+    /// Launches the kernel over a device buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] if the buffer is not allocated.
+    pub fn launch(&self, device: &Device, buf: BufferId) -> Result<KernelOutput, GpuError> {
+        let data = device.buffer(buf)?;
+        self.run(device.config(), data)
+    }
+
+    /// Runs the kernel over a byte slice directly (the device-buffer-less
+    /// path used by unit tests and calibration sweeps).
+    pub fn run(&self, config: &DeviceConfig, data: &[u8]) -> Result<KernelOutput, GpuError> {
+        let threads = self.thread_count(config, data.len());
+
+        // ----- Functional half: real chunk boundaries. -----
+        let raw_cuts = raw_cuts_substreams(data, &self.params, threads as usize);
+
+        // ----- Timing half: access-pattern descriptors. -----
+        let model = AccessModel::new(config);
+        let bytes = data.len() as u64;
+        let (mem, compute_cycles_per_byte) = match self.variant {
+            KernelVariant::Basic => {
+                // One byte-load per input byte; each half-warp
+                // instruction serializes into 16 scattered transactions,
+                // i.e. one 32 B transaction per byte scanned.
+                let pattern = AccessPattern {
+                    transactions: bytes,
+                    bytes_per_txn: config.txn_bytes_uncoalesced,
+                    locality: Locality::Scattered,
+                };
+                (model.cost(pattern), calibration::GPU_RABIN_CYCLES_PER_BYTE)
+            }
+            KernelVariant::Coalesced => {
+                // Tile staging: one coalesced 128 B transaction per
+                // segment; fingerprinting then runs from shared memory.
+                let pattern = AccessPattern {
+                    transactions: bytes.div_ceil(config.txn_bytes_coalesced as u64),
+                    bytes_per_txn: config.txn_bytes_coalesced,
+                    locality: Locality::Streaming,
+                };
+                (
+                    model.cost(pattern),
+                    calibration::GPU_RABIN_CYCLES_PER_BYTE
+                        + calibration::COALESCED_STAGING_CYCLES_PER_BYTE,
+                )
+            }
+        };
+
+        // Boundary hits cause warp divergence (§5.2.2).
+        let divergence_cycles =
+            raw_cuts.len() as f64 * calibration::DIVERGENCE_CYCLES_PER_HIT;
+
+        let workload = KernelWorkload {
+            bytes,
+            threads,
+            threads_per_block: config.threads_per_block,
+            compute_cycles_per_byte,
+            divergence_cycles,
+            mem,
+        };
+        let simt = SimtEngine::new(config).execute(&workload);
+
+        let stats = KernelStats {
+            variant: self.variant,
+            bytes,
+            threads,
+            cuts_found: raw_cuts.len(),
+            mem,
+            simt,
+            duration: simt.duration,
+        };
+        Ok(KernelOutput { raw_cuts, stats })
+    }
+
+    /// Classifies the load pattern this kernel's half-warps issue —
+    /// used by tests to prove the coalesced variant actually satisfies
+    /// the §4.3 conditions and the basic one does not.
+    pub fn half_warp_class(&self, config: &DeviceConfig, bytes: usize) -> CoalesceClass {
+        let lanes = config.half_warp() as usize;
+        match self.variant {
+            KernelVariant::Basic => {
+                let threads = self.thread_count(config, bytes);
+                let stride = (bytes as u64 / threads as u64).max(1);
+                // Byte loads at sub-stream stride: never coalescable.
+                let addrs = substream_addresses(0, lanes, stride);
+                classify_half_warp(&addrs, 1)
+            }
+            KernelVariant::Coalesced => {
+                let addrs = cooperative_addresses(0, lanes, 4);
+                classify_half_warp(&addrs, 4)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shredder_rabin::chunker::raw_cuts;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn config() -> DeviceConfig {
+        DeviceConfig::tesla_c2050()
+    }
+
+    #[test]
+    fn both_variants_match_sequential_cuts() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(2 << 20, 1);
+        let expected = raw_cuts(&data, &params);
+        for variant in KernelVariant::ALL {
+            let out = ChunkKernel::new(params.clone(), variant)
+                .run(&config(), &data)
+                .unwrap();
+            assert_eq!(out.raw_cuts, expected, "{variant}");
+        }
+    }
+
+    #[test]
+    fn variants_agree_with_each_other() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(1 << 20, 9);
+        let basic = ChunkKernel::new(params.clone(), KernelVariant::Basic)
+            .run(&config(), &data)
+            .unwrap();
+        let coal = ChunkKernel::new(params, KernelVariant::Coalesced)
+            .run(&config(), &data)
+            .unwrap();
+        assert_eq!(basic.raw_cuts, coal.raw_cuts);
+    }
+
+    #[test]
+    fn coalesced_is_several_times_faster() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(8 << 20, 2);
+        let basic = ChunkKernel::new(params.clone(), KernelVariant::Basic)
+            .run(&config(), &data)
+            .unwrap();
+        let coal = ChunkKernel::new(params, KernelVariant::Coalesced)
+            .run(&config(), &data)
+            .unwrap();
+        let speedup =
+            basic.stats.duration.as_secs_f64() / coal.stats.duration.as_secs_f64();
+        assert!(speedup > 5.0 && speedup < 12.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn basic_kernel_bandwidth_near_paper() {
+        // ≈1.1 GB/s (Figure 11: ~875 ms/GB).
+        let params = ChunkParams::paper();
+        let data = pseudo_random(16 << 20, 3);
+        let out = ChunkKernel::new(params, KernelVariant::Basic)
+            .run(&config(), &data)
+            .unwrap();
+        let gbps = out.stats.effective_bandwidth() / 1e9;
+        assert!(gbps > 0.8 && gbps < 1.6, "{gbps} GB/s");
+    }
+
+    #[test]
+    fn coalesced_kernel_bandwidth_near_paper() {
+        // ≈9–10 GB/s (Figure 11: ~100 ms/GB).
+        let params = ChunkParams::paper();
+        let data = pseudo_random(16 << 20, 4);
+        let out = ChunkKernel::new(params, KernelVariant::Coalesced)
+            .run(&config(), &data)
+            .unwrap();
+        let gbps = out.stats.effective_bandwidth() / 1e9;
+        assert!(gbps > 6.0 && gbps < 12.0, "{gbps} GB/s");
+    }
+
+    #[test]
+    fn half_warp_classification() {
+        let params = ChunkParams::paper();
+        let cfg = config();
+        assert_eq!(
+            ChunkKernel::new(params.clone(), KernelVariant::Basic).half_warp_class(&cfg, 1 << 20),
+            CoalesceClass::Serialized
+        );
+        assert_eq!(
+            ChunkKernel::new(params, KernelVariant::Coalesced).half_warp_class(&cfg, 1 << 20),
+            CoalesceClass::Coalesced
+        );
+    }
+
+    #[test]
+    fn launch_via_device_buffer() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(1 << 19, 5);
+        let mut dev = Device::new(config());
+        let buf = dev.alloc(data.len()).unwrap();
+        dev.memcpy_h2d(buf, &data).unwrap();
+        let out = ChunkKernel::new(params.clone(), KernelVariant::Coalesced)
+            .launch(&dev, buf)
+            .unwrap();
+        assert_eq!(out.raw_cuts, raw_cuts(&data, &params));
+    }
+
+    #[test]
+    fn empty_and_tiny_buffers() {
+        let params = ChunkParams::paper();
+        for len in [0usize, 1, 47, 48, 100] {
+            let data = pseudo_random(len, 6);
+            let out = ChunkKernel::new(params.clone(), KernelVariant::Basic)
+                .run(&config(), &data)
+                .unwrap();
+            assert_eq!(out.raw_cuts, raw_cuts(&data, &params), "len {len}");
+        }
+    }
+
+    #[test]
+    fn thread_count_respects_buffer_size() {
+        let params = ChunkParams::paper();
+        let cfg = config();
+        let k = ChunkKernel::new(params, KernelVariant::Basic);
+        let full = k.thread_count(&cfg, 64 << 20);
+        assert_eq!(full, cfg.sms * cfg.threads_per_block * 8);
+        assert_eq!(k.thread_count(&cfg, 0), 1);
+        assert!(k.thread_count(&cfg, 4800) <= 100);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(4 << 20, 7);
+        let out = ChunkKernel::new(params, KernelVariant::Coalesced)
+            .run(&config(), &data)
+            .unwrap();
+        assert_eq!(out.stats.cuts_found, out.raw_cuts.len());
+        assert_eq!(out.stats.bytes, data.len() as u64);
+        assert_eq!(out.stats.duration, out.stats.simt.duration);
+        assert!(out.stats.effective_bandwidth() > 0.0);
+    }
+}

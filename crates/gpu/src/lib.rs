@@ -1,0 +1,81 @@
+//! A functional + timing model of a Fermi-class GPU (NVidia Tesla C2050)
+//! for the Shredder reproduction.
+//!
+//! The paper offloads content-based chunking to a Tesla C2050 over PCIe
+//! (§2.2–§2.3) and derives its gains from three optimizations:
+//! concurrent copy/execution (§4.1.1), pinned ring buffers (§4.1.2), and
+//! memory coalescing in the chunking kernel (§4.3). This crate rebuilds
+//! the hardware those optimizations exercise:
+//!
+//! * [`config`]/[`calibration`] — the C2050's published characteristics
+//!   (paper Table 1) and every timing constant, each documented with the
+//!   paper measurement it is calibrated against.
+//! * [`device`] — device global memory: allocation, byte-accurate
+//!   `memcpy` H2D/D2H (the *functional* half: kernels chunk real bytes).
+//! * [`dram`] — the GDDR5 bank/row model of §2.3: sense amplifiers,
+//!   `ACT`/`PRE` penalties, bank conflicts; both a cycle-walking
+//!   [`BankArray`](dram::BankArray) for address traces and a closed-form
+//!   [`AccessModel`](dram::AccessModel) used at kernel scale (they are
+//!   cross-validated in tests).
+//! * [`coalesce`] — the half-warp coalescing rules of §4.3 (element size
+//!   4/8/16 B, Nth thread → Nth element, 16-byte segment alignment).
+//! * [`hostmem`] — pageable vs pinned host memory: allocation cost,
+//!   staging copies, and the pinned circular ring of §4.1.2.
+//! * [`dma`] — the PCIe DMA engine with the Figure 3 bandwidth behaviour
+//!   (per-transfer setup cost, pageable staging penalty).
+//! * [`simt`] — SIMT execution timing: warps, occupancy-based latency
+//!   hiding, warp-divergence penalties (§5.2.2).
+//! * [`kernel`] — the two chunking kernels (basic §3.1 and coalesced
+//!   §4.3). Both produce *bit-identical* raw chunk boundaries — verified
+//!   against the sequential CPU chunker — and differ only in their memory
+//!   access pattern, hence simulated duration.
+//! * [`executor`] — the device-side engines (H2D DMA, D2H DMA, compute)
+//!   as discrete-event resources, supporting synchronous or
+//!   stream-overlapped operation (double buffering).
+//!
+//! # Hardware substitution
+//!
+//! No physical GPU is present; see `DESIGN.md` §1. The kernels execute
+//! for real (producing exact boundaries), while *time* is simulated from
+//! the mechanisms above. All constants are calibrated to the paper's own
+//! microbenchmarks (Table 1, Figures 3/5/6, Table 2); end-to-end numbers
+//! (Figures 9/11/12) are emergent.
+//!
+//! # Examples
+//!
+//! ```
+//! use shredder_gpu::{Device, DeviceConfig};
+//! use shredder_gpu::kernel::{ChunkKernel, KernelVariant};
+//! use shredder_rabin::ChunkParams;
+//!
+//! let mut device = Device::new(DeviceConfig::tesla_c2050());
+//! let data = vec![0x5au8; 1 << 20];
+//! let buf = device.alloc(data.len()).unwrap();
+//! device.memcpy_h2d(buf, &data).unwrap();
+//!
+//! let kernel = ChunkKernel::new(ChunkParams::paper(), KernelVariant::Coalesced);
+//! let out = kernel.launch(&device, buf).unwrap();
+//! assert!(out.stats.duration.as_millis_f64() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod coalesce;
+pub mod config;
+pub mod device;
+pub mod dma;
+pub mod dram;
+pub mod executor;
+pub mod hostmem;
+pub mod kernel;
+pub mod simt;
+pub mod stream;
+
+pub use config::DeviceConfig;
+pub use device::{BufferId, Device, GpuError};
+pub use dma::DmaModel;
+pub use executor::GpuExecutor;
+pub use stream::{Event, Stream};
+pub use hostmem::{HostAllocModel, HostMemKind, PinnedRing};

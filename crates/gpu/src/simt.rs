@@ -1,0 +1,233 @@
+//! SIMT execution timing: warps, occupancy and latency hiding.
+//!
+//! An SM executes warps of 32 threads in lockstep (§2.2). Long-latency
+//! global-memory operations are hidden by switching among resident warps;
+//! when too few warps are resident (low occupancy) the 400–600-cycle
+//! memory latency (Table 1) is *exposed* and the kernel slows down. The
+//! engine here turns a statistically-described kernel workload into a
+//! duration:
+//!
+//! `duration = launch + exposure × max(compute_time, memory_time)`
+//!
+//! where `exposure ≥ 1` grows as occupancy drops below the warps needed
+//! to cover memory latency.
+
+use serde::{Deserialize, Serialize};
+use shredder_des::Dur;
+
+use crate::calibration;
+use crate::config::DeviceConfig;
+use crate::dram::MemCost;
+
+/// A kernel's aggregate execution profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelWorkload {
+    /// Input bytes processed.
+    pub bytes: u64,
+    /// Total logical threads launched.
+    pub threads: u32,
+    /// Thread-block size.
+    pub threads_per_block: u32,
+    /// Arithmetic cost per byte per thread, in cycles.
+    pub compute_cycles_per_byte: f64,
+    /// Extra serialized cycles from warp divergence (data-dependent
+    /// branches, §5.2.2).
+    pub divergence_cycles: f64,
+    /// Global-memory access cost.
+    pub mem: MemCost,
+}
+
+/// Timing breakdown of a kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimtReport {
+    /// Pure arithmetic time across all cores.
+    pub compute_time: Dur,
+    /// Memory-subsystem time.
+    pub memory_time: Dur,
+    /// Latency-exposure multiplier applied (1.0 = fully hidden).
+    pub exposure: f64,
+    /// Host-side launch overhead.
+    pub launch_overhead: Dur,
+    /// Total kernel duration.
+    pub duration: Dur,
+    /// Resident warps per SM used for the occupancy computation.
+    pub warps_per_sm: f64,
+}
+
+/// The SIMT timing engine for a device configuration.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_gpu::config::DeviceConfig;
+/// use shredder_gpu::dram::{AccessModel, AccessPattern, Locality};
+/// use shredder_gpu::simt::{KernelWorkload, SimtEngine};
+///
+/// let cfg = DeviceConfig::tesla_c2050();
+/// let engine = SimtEngine::new(&cfg);
+/// let mem = AccessModel::new(&cfg).cost(AccessPattern {
+///     transactions: 1 << 20,
+///     bytes_per_txn: 128,
+///     locality: Locality::Streaming,
+/// });
+/// let report = engine.execute(&KernelWorkload {
+///     bytes: 128 << 20,
+///     threads: 28_672,
+///     threads_per_block: 256,
+///     compute_cycles_per_byte: 54.0,
+///     divergence_cycles: 0.0,
+///     mem,
+/// });
+/// assert!(report.duration > report.launch_overhead);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimtEngine {
+    config: DeviceConfig,
+}
+
+impl SimtEngine {
+    /// Creates an engine for the device geometry.
+    pub fn new(config: &DeviceConfig) -> Self {
+        SimtEngine {
+            config: config.clone(),
+        }
+    }
+
+    /// Warps per SM needed to fully hide global-memory latency, assuming
+    /// one outstanding memory op per warp and ~25 issue cycles between
+    /// them (the classic latency/issue-interval rule).
+    pub fn warps_to_hide_latency(&self) -> f64 {
+        self.config.mem_latency_cycles as f64 / 25.0
+    }
+
+    /// Executes (times) a workload.
+    pub fn execute(&self, w: &KernelWorkload) -> SimtReport {
+        let total_cycles = w.bytes as f64 * w.compute_cycles_per_byte + w.divergence_cycles;
+        let compute_time = Dur::from_secs_f64(total_cycles / self.config.total_cycles_per_sec());
+
+        let memory_time = w.mem.time;
+
+        // Occupancy: warps resident per SM (blocks round-robin over SMs).
+        let warps = (w.threads as f64 / self.config.warp_size as f64).max(1.0);
+        let warps_per_sm = warps / self.config.sms as f64;
+        let needed = self.warps_to_hide_latency();
+        let exposure = if warps_per_sm >= needed {
+            1.0
+        } else {
+            // Linearly interpolate between fully-exposed (single warp
+            // waits out the whole latency) and fully-hidden.
+            1.0 + (needed - warps_per_sm) / needed
+        };
+
+        let launch_overhead = Dur::from_nanos(calibration::KERNEL_LAUNCH_NS);
+        let body = compute_time.as_secs_f64().max(memory_time.as_secs_f64()) * exposure;
+        let duration = launch_overhead + Dur::from_secs_f64(body);
+
+        SimtReport {
+            compute_time,
+            memory_time,
+            exposure,
+            launch_overhead,
+            duration,
+            warps_per_sm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::{AccessModel, AccessPattern, Locality};
+
+    fn engine() -> SimtEngine {
+        SimtEngine::new(&DeviceConfig::tesla_c2050())
+    }
+
+    fn mem(bytes: u64, coalesced: bool) -> MemCost {
+        let cfg = DeviceConfig::tesla_c2050();
+        let model = AccessModel::new(&cfg);
+        if coalesced {
+            model.cost(AccessPattern {
+                transactions: bytes / 128,
+                bytes_per_txn: 128,
+                locality: Locality::Streaming,
+            })
+        } else {
+            model.cost(AccessPattern {
+                transactions: bytes,
+                bytes_per_txn: 32,
+                locality: Locality::Scattered,
+            })
+        }
+    }
+
+    fn workload(bytes: u64, threads: u32, coalesced: bool) -> KernelWorkload {
+        KernelWorkload {
+            bytes,
+            threads,
+            threads_per_block: 256,
+            compute_cycles_per_byte: 54.0,
+            divergence_cycles: 0.0,
+            mem: mem(bytes, coalesced),
+        }
+    }
+
+    #[test]
+    fn coalesced_is_compute_bound() {
+        let r = engine().execute(&workload(1 << 30, 28_672, true));
+        assert!(r.compute_time > r.memory_time);
+        // ~105ms per GB (Figure 11 coalesced).
+        let ms = r.duration.as_millis_f64();
+        assert!(ms > 80.0 && ms < 140.0, "{ms}ms");
+    }
+
+    #[test]
+    fn uncoalesced_is_memory_bound() {
+        let r = engine().execute(&workload(1 << 30, 28_672, false));
+        assert!(r.memory_time > r.compute_time);
+        // ~875ms per GB (Figure 11 device-memory series).
+        let ms = r.duration.as_millis_f64();
+        assert!(ms > 600.0 && ms < 1200.0, "{ms}ms");
+    }
+
+    #[test]
+    fn coalescing_speedup_near_8x() {
+        let basic = engine().execute(&workload(1 << 30, 28_672, false));
+        let coal = engine().execute(&workload(1 << 30, 28_672, true));
+        let speedup = basic.duration.as_secs_f64() / coal.duration.as_secs_f64();
+        assert!(speedup > 5.0 && speedup < 12.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn low_occupancy_exposes_latency() {
+        let full = engine().execute(&workload(1 << 24, 28_672, true));
+        let sparse = engine().execute(&workload(1 << 24, 64, true));
+        assert!(sparse.exposure > full.exposure);
+        assert!(sparse.duration > full.duration);
+    }
+
+    #[test]
+    fn divergence_adds_time() {
+        let mut w = workload(1 << 24, 28_672, true);
+        let base = engine().execute(&w);
+        w.divergence_cycles = 1e9;
+        let diverged = engine().execute(&w);
+        assert!(diverged.duration > base.duration);
+    }
+
+    #[test]
+    fn launch_overhead_matches_table2() {
+        // Table 2: ~0.03 ms.
+        let r = engine().execute(&workload(1 << 20, 28_672, true));
+        let ms = r.launch_overhead.as_millis_f64();
+        assert!((ms - 0.03).abs() < 0.01, "{ms}ms");
+    }
+
+    #[test]
+    fn duration_scales_linearly_with_bytes() {
+        let small = engine().execute(&workload(32 << 20, 28_672, true));
+        let large = engine().execute(&workload(256 << 20, 28_672, true));
+        let ratio = large.duration.as_secs_f64() / small.duration.as_secs_f64();
+        assert!(ratio > 6.0 && ratio < 9.0, "ratio {ratio}");
+    }
+}

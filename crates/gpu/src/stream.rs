@@ -1,0 +1,383 @@
+//! CUDA-style streams and events on the discrete-event simulator.
+//!
+//! The double-buffering optimization of §4.1.1 is expressed in CUDA as
+//! two streams: operations *within* a stream execute in issue order,
+//! while operations in *different* streams may overlap whenever they use
+//! different engines (H2D DMA, compute, D2H DMA) and the host memory is
+//! pinned. A [`Stream`] here enforces the in-order property on top of
+//! the shared [`GpuExecutor`] engines; an [`Event`] lets one stream (or
+//! the host) wait for a point in another stream — the synchronization
+//! primitive behind the Figure 4 timeline.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use shredder_des::{Dur, Simulation};
+
+use crate::executor::GpuExecutor;
+use crate::hostmem::HostMemKind;
+
+type Thunk = Box<dyn FnOnce(&mut Simulation, Rc<StreamInner>)>;
+
+/// An in-order command queue sharing the device engines.
+///
+/// Cloning shares the underlying stream.
+///
+/// # Examples
+///
+/// Two streams double-buffering copies against kernels (Figure 4):
+///
+/// ```
+/// use shredder_des::{Dur, Simulation};
+/// use shredder_gpu::stream::Stream;
+/// use shredder_gpu::{DeviceConfig, GpuExecutor, HostMemKind};
+///
+/// let mut sim = Simulation::new();
+/// let gpu = GpuExecutor::new(&DeviceConfig::tesla_c2050());
+/// let s0 = Stream::new(&gpu);
+/// let s1 = Stream::new(&gpu);
+///
+/// for i in 0..4u32 {
+///     let s = if i % 2 == 0 { &s0 } else { &s1 };
+///     s.enqueue_h2d(&mut sim, 64 << 20, HostMemKind::Pinned);
+///     s.enqueue_kernel(&mut sim, Dur::from_millis(50));
+/// }
+/// let end = sim.run();
+/// // Copies hid behind kernels: ~ first copy + 4 kernels, not 4x(copy+kernel).
+/// assert!(end.as_millis_f64() < 230.0);
+/// ```
+#[derive(Clone)]
+pub struct Stream {
+    inner: Rc<StreamInner>,
+}
+
+struct StreamInner {
+    gpu: GpuExecutor,
+    state: RefCell<StreamState>,
+}
+
+struct StreamState {
+    /// True while an operation from this stream is in flight.
+    busy: bool,
+    /// Operations waiting for in-order issue.
+    queue: Vec<Thunk>,
+    issued: u64,
+    completed: u64,
+}
+
+impl Stream {
+    /// Creates a stream over the device engines.
+    pub fn new(gpu: &GpuExecutor) -> Self {
+        Stream {
+            inner: Rc::new(StreamInner {
+                gpu: gpu.clone(),
+                state: RefCell::new(StreamState {
+                    busy: false,
+                    queue: Vec::new(),
+                    issued: 0,
+                    completed: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Operations issued to this stream so far.
+    pub fn issued(&self) -> u64 {
+        self.inner.state.borrow().issued
+    }
+
+    /// Operations completed so far.
+    pub fn completed(&self) -> u64 {
+        self.inner.state.borrow().completed
+    }
+
+    /// Enqueues a host→device copy.
+    pub fn enqueue_h2d(&self, sim: &mut Simulation, bytes: u64, kind: HostMemKind) {
+        self.enqueue(sim, move |sim, inner: Rc<StreamInner>| {
+            let done = Rc::clone(&inner);
+            inner
+                .gpu
+                .clone()
+                .copy_h2d(sim, bytes, kind, move |sim| StreamInner::op_done(done, sim));
+        });
+    }
+
+    /// Enqueues a device→host copy.
+    pub fn enqueue_d2h(&self, sim: &mut Simulation, bytes: u64, kind: HostMemKind) {
+        self.enqueue(sim, move |sim, inner: Rc<StreamInner>| {
+            let done = Rc::clone(&inner);
+            inner
+                .gpu
+                .clone()
+                .copy_d2h(sim, bytes, kind, move |sim| StreamInner::op_done(done, sim));
+        });
+    }
+
+    /// Enqueues a kernel of pre-computed duration.
+    pub fn enqueue_kernel(&self, sim: &mut Simulation, duration: Dur) {
+        self.enqueue(sim, move |sim, inner: Rc<StreamInner>| {
+            let done = Rc::clone(&inner);
+            inner
+                .gpu
+                .clone()
+                .run_kernel(sim, duration, move |sim| StreamInner::op_done(done, sim));
+        });
+    }
+
+    /// Enqueues an event record: the returned [`Event`] fires when every
+    /// operation issued to this stream before it has completed.
+    pub fn record_event(&self, sim: &mut Simulation) -> Event {
+        let event = Event::new();
+        let ev = event.clone();
+        self.enqueue(sim, move |sim, inner: Rc<StreamInner>| {
+            ev.fire(sim);
+            StreamInner::op_done(inner, sim);
+        });
+        event
+    }
+
+    /// Enqueues a wait: subsequent operations in this stream do not
+    /// issue until `event` has fired.
+    pub fn wait_event(&self, sim: &mut Simulation, event: &Event) {
+        let ev = event.clone();
+        self.enqueue(sim, move |sim, inner: Rc<StreamInner>| {
+            let done = Rc::clone(&inner);
+            ev.on_fire(sim, move |sim| StreamInner::op_done(done, sim));
+        });
+    }
+
+    fn enqueue(
+        &self,
+        sim: &mut Simulation,
+        op: impl FnOnce(&mut Simulation, Rc<StreamInner>) + 'static,
+    ) {
+        {
+            let mut state = self.inner.state.borrow_mut();
+            state.issued += 1;
+            state.queue.push(Box::new(op));
+        }
+        StreamInner::pump(Rc::clone(&self.inner), sim);
+    }
+}
+
+impl StreamInner {
+    /// Issues the next queued op if the stream is idle.
+    fn pump(inner: Rc<StreamInner>, sim: &mut Simulation) {
+        let op = {
+            let mut state = inner.state.borrow_mut();
+            if state.busy || state.queue.is_empty() {
+                return;
+            }
+            state.busy = true;
+            state.queue.remove(0)
+        };
+        op(sim, Rc::clone(&inner));
+    }
+
+    fn op_done(inner: Rc<StreamInner>, sim: &mut Simulation) {
+        {
+            let mut state = inner.state.borrow_mut();
+            state.busy = false;
+            state.completed += 1;
+        }
+        StreamInner::pump(inner, sim);
+    }
+}
+
+impl std::fmt::Debug for Stream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.state.borrow();
+        f.debug_struct("Stream")
+            .field("issued", &state.issued)
+            .field("completed", &state.completed)
+            .field("queued", &state.queue.len())
+            .finish()
+    }
+}
+
+type Waiter = Box<dyn FnOnce(&mut Simulation)>;
+
+/// A one-shot synchronization point recorded in a stream.
+///
+/// Cloning shares the underlying event.
+#[derive(Clone)]
+pub struct Event {
+    inner: Rc<RefCell<EventState>>,
+}
+
+struct EventState {
+    fired: bool,
+    waiters: Vec<Waiter>,
+}
+
+impl Event {
+    fn new() -> Self {
+        Event {
+            inner: Rc::new(RefCell::new(EventState {
+                fired: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// True once the recorded point has been reached.
+    pub fn is_fired(&self) -> bool {
+        self.inner.borrow().fired
+    }
+
+    fn fire(&self, sim: &mut Simulation) {
+        let waiters = {
+            let mut state = self.inner.borrow_mut();
+            state.fired = true;
+            std::mem::take(&mut state.waiters)
+        };
+        for w in waiters {
+            sim.schedule_now(w);
+        }
+    }
+
+    /// Runs `f` when the event fires (immediately if it already has).
+    pub fn on_fire(&self, sim: &mut Simulation, f: impl FnOnce(&mut Simulation) + 'static) {
+        let mut state = self.inner.borrow_mut();
+        if state.fired {
+            drop(state);
+            sim.schedule_now(f);
+        } else {
+            state.waiters.push(Box::new(f));
+        }
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event")
+            .field("fired", &self.is_fired())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use std::cell::RefCell;
+
+    fn gpu() -> GpuExecutor {
+        GpuExecutor::new(&DeviceConfig::tesla_c2050())
+    }
+
+    #[test]
+    fn single_stream_is_in_order() {
+        // One stream: copy then kernel then copy-back serialize even
+        // though they use three different engines.
+        let mut sim = Simulation::new();
+        let g = gpu();
+        let s = Stream::new(&g);
+        s.enqueue_h2d(&mut sim, 64 << 20, HostMemKind::Pinned); // ~12.4ms
+        s.enqueue_kernel(&mut sim, Dur::from_millis(50));
+        s.enqueue_d2h(&mut sim, 64 << 20, HostMemKind::Pinned); // ~13.1ms
+        let end = sim.run();
+        let ms = end.as_millis_f64();
+        assert!(ms > 74.0 && ms < 78.0, "{ms}ms");
+        assert_eq!(s.completed(), 3);
+    }
+
+    #[test]
+    fn two_streams_overlap_engines() {
+        // Two independent streams copy+kernel: the second stream's copy
+        // overlaps the first stream's kernel.
+        let mut sim = Simulation::new();
+        let g = gpu();
+        let a = Stream::new(&g);
+        let b = Stream::new(&g);
+        for s in [&a, &b] {
+            s.enqueue_h2d(&mut sim, 64 << 20, HostMemKind::Pinned);
+            s.enqueue_kernel(&mut sim, Dur::from_millis(50));
+        }
+        let end = sim.run();
+        // Serial would be ~125ms; overlapped ~12.4 + 100 = 112ms.
+        let ms = end.as_millis_f64();
+        assert!(ms < 118.0, "{ms}ms");
+    }
+
+    #[test]
+    fn kernels_still_serialize_across_streams() {
+        // The compute engine is single: two streams' kernels cannot
+        // overlap each other.
+        let mut sim = Simulation::new();
+        let g = gpu();
+        let a = Stream::new(&g);
+        let b = Stream::new(&g);
+        a.enqueue_kernel(&mut sim, Dur::from_millis(30));
+        b.enqueue_kernel(&mut sim, Dur::from_millis(30));
+        let end = sim.run();
+        assert!((end.as_millis_f64() - 60.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn events_synchronize_streams() {
+        // Stream B waits on an event recorded mid-stream-A.
+        let mut sim = Simulation::new();
+        let g = gpu();
+        let a = Stream::new(&g);
+        let b = Stream::new(&g);
+
+        a.enqueue_kernel(&mut sim, Dur::from_millis(40));
+        let ev = a.record_event(&mut sim);
+        b.wait_event(&mut sim, &ev);
+        b.enqueue_d2h(&mut sim, 1 << 20, HostMemKind::Pinned);
+
+        let order: std::rc::Rc<RefCell<Vec<u64>>> = std::rc::Rc::default();
+        let o = order.clone();
+        let done = b.record_event(&mut sim);
+        done.on_fire(&mut sim, move |sim| {
+            o.borrow_mut().push(sim.now().as_nanos());
+        });
+
+        sim.run();
+        assert!(ev.is_fired());
+        // B's copy could have finished by ~0.2ms alone; with the wait it
+        // ends after A's 40ms kernel.
+        assert!(order.borrow()[0] > 40_000_000);
+    }
+
+    #[test]
+    fn event_fires_immediately_when_already_done() {
+        let mut sim = Simulation::new();
+        let g = gpu();
+        let a = Stream::new(&g);
+        let ev = a.record_event(&mut sim);
+        sim.run();
+        assert!(ev.is_fired());
+
+        let hit = std::rc::Rc::new(RefCell::new(false));
+        let h = hit.clone();
+        ev.on_fire(&mut sim, move |_| *h.borrow_mut() = true);
+        sim.run();
+        assert!(*hit.borrow());
+    }
+
+    #[test]
+    fn figure4_double_buffering_with_streams() {
+        // The exact Figure 4 schedule: twin buffers alternate between
+        // two streams; copy of buffer i+1 overlaps compute of buffer i.
+        let mut sim = Simulation::new();
+        let g = gpu();
+        let streams = [Stream::new(&g), Stream::new(&g)];
+        let n = 8;
+        let kernel = Dur::from_millis(50);
+        for i in 0..n {
+            let s = &streams[i % 2];
+            s.enqueue_h2d(&mut sim, 64 << 20, HostMemKind::Pinned);
+            s.enqueue_kernel(&mut sim, kernel);
+        }
+        let end = sim.run();
+        let ms = end.as_millis_f64();
+        let serial = (12.4 + 50.0) * n as f64;
+        let overlapped = 12.4 + 50.0 * n as f64;
+        assert!(
+            (ms - overlapped).abs() < 0.1 * overlapped,
+            "{ms}ms vs expected ~{overlapped}ms (serial {serial}ms)"
+        );
+    }
+}

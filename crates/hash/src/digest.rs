@@ -1,0 +1,141 @@
+//! The [`Digest`] newtype: a 256-bit collision-resistant chunk identity.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit digest identifying a chunk's contents.
+///
+/// Produced by [`crate::sha256`]. Two chunks with equal digests are treated
+/// as identical by every dedup index in the workspace, mirroring the
+/// paper's use of collision-resistant hashes for the *matching* step
+/// (§2.1, step 3).
+///
+/// # Examples
+///
+/// ```
+/// use shredder_hash::{sha256, Digest};
+///
+/// let a = sha256(b"hello");
+/// let b = sha256(b"hello");
+/// let c = sha256(b"world");
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, useful as a sentinel in tests.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Renders the digest as 64 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+
+    /// Parses a digest from 64 hex characters.
+    ///
+    /// Returns `None` if the string is not exactly 64 hex digits.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 64 || !s.is_ascii() {
+            return None;
+        }
+        let bytes = s.as_bytes();
+        let mut out = [0u8; 32];
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// A cheap 64-bit prefix of the digest, handy as a hash-table key.
+    pub fn short(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8-byte prefix"))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut raw = [0u8; 32];
+        for (i, b) in raw.iter_mut().enumerate() {
+            *b = (i * 7 + 3) as u8;
+        }
+        let d = Digest(raw);
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(Digest::from_hex(&hex), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex(""), None);
+        assert_eq!(Digest::from_hex("zz"), None);
+        let not_hex = "g".repeat(64);
+        assert_eq!(Digest::from_hex(&not_hex), None);
+        let short = "ab".repeat(31);
+        assert_eq!(Digest::from_hex(&short), None);
+    }
+
+    #[test]
+    fn short_prefix_is_big_endian() {
+        let mut raw = [0u8; 32];
+        raw[0] = 0x01;
+        raw[7] = 0xff;
+        let d = Digest(raw);
+        assert_eq!(d.short(), 0x0100_0000_0000_00ff);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_truncated() {
+        let s = format!("{:?}", Digest::ZERO);
+        assert!(s.starts_with("Digest("));
+        assert!(s.len() < 64);
+    }
+
+    #[test]
+    fn display_matches_to_hex() {
+        let d = Digest([0xab; 32]);
+        assert_eq!(format!("{d}"), d.to_hex());
+    }
+}

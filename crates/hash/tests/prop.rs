@@ -1,0 +1,56 @@
+//! Property-based tests for the hashing primitives.
+
+use proptest::prelude::*;
+use shredder_hash::{fnv1a_64, sha256, Digest, Fnv1a64, Sha256};
+
+proptest! {
+    /// Incremental hashing at any split point matches one-shot hashing.
+    #[test]
+    fn sha256_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048), splits in proptest::collection::vec(0usize..2048, 0..4)) {
+        let mut h = Sha256::new();
+        let mut cursor = 0usize;
+        let mut points: Vec<usize> = splits.iter().map(|s| s % (data.len() + 1)).collect();
+        points.sort_unstable();
+        for p in points {
+            if p >= cursor {
+                h.update(&data[cursor..p]);
+                cursor = p;
+            }
+        }
+        h.update(&data[cursor..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Different inputs essentially never produce equal digests.
+    #[test]
+    fn sha256_injective_in_practice(a in proptest::collection::vec(any::<u8>(), 0..256), b in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        } else {
+            prop_assert_eq!(sha256(&a), sha256(&b));
+        }
+    }
+
+    /// Digest hex round-trips.
+    #[test]
+    fn digest_hex_roundtrip(raw in any::<[u8; 32]>()) {
+        let d = Digest(raw);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    /// FNV incremental == one-shot for arbitrary splits.
+    #[test]
+    fn fnv_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split % (data.len() + 1);
+        let mut h = Fnv1a64::new();
+        h.write(&data[..split]);
+        h.write(&data[split..]);
+        prop_assert_eq!(h.finish(), fnv1a_64(&data));
+    }
+
+    /// SHA-256 is deterministic.
+    #[test]
+    fn sha256_deterministic(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        prop_assert_eq!(sha256(&data), sha256(&data));
+    }
+}

@@ -1,0 +1,174 @@
+//! The semantic chunking framework of §6.3.
+//!
+//! Content-based chunking "is oblivious to the semantics of the input
+//! data, [so] chunk boundaries [could] be placed anywhere, including …
+//! in the middle of a record that should not be broken". Inc-HDFS reuses
+//! the MapReduce job's `InputFormat` to snap every proposed cut to the
+//! next record boundary, so each split holds whole records and Map tasks
+//! can process splits independently.
+
+use shredder_rabin::chunker::cuts_to_chunks;
+use shredder_rabin::Chunk;
+
+/// Knows where records end; used to adjust chunk boundaries.
+pub trait InputFormat {
+    /// Returns the smallest offset `>= proposed` that is a legal split
+    /// point (the end of the record containing `proposed`), or
+    /// `data.len()` if no later record boundary exists.
+    fn next_record_boundary(&self, data: &[u8], proposed: u64) -> u64;
+
+    /// Format name for diagnostics.
+    fn format_name(&self) -> &'static str;
+}
+
+/// Newline-terminated records (the `TextInputFormat` of Hadoop).
+///
+/// # Examples
+///
+/// ```
+/// use shredder_hdfs::{InputFormat, TextInputFormat};
+///
+/// let data = b"aaa\nbbb\nccc\n";
+/// // A cut proposed mid-record snaps to just after the next newline.
+/// assert_eq!(TextInputFormat.next_record_boundary(data, 5), 8);
+/// // A cut already on a record boundary stays put.
+/// assert_eq!(TextInputFormat.next_record_boundary(data, 8), 8);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextInputFormat;
+
+impl InputFormat for TextInputFormat {
+    fn next_record_boundary(&self, data: &[u8], proposed: u64) -> u64 {
+        let p = proposed as usize;
+        if p >= data.len() {
+            return data.len() as u64;
+        }
+        // `p` is legal iff it is the stream start or the previous byte
+        // ends a record.
+        if p == 0 || data[p - 1] == b'\n' {
+            return proposed;
+        }
+        match data[p..].iter().position(|&b| b == b'\n') {
+            Some(i) => (p + i + 1) as u64,
+            None => data.len() as u64,
+        }
+    }
+
+    fn format_name(&self) -> &'static str {
+        "text"
+    }
+}
+
+/// Snaps a sorted cut list to record boundaries and retiles the stream.
+///
+/// Cuts that collapse onto each other (several content cuts inside one
+/// long record) are merged; the resulting chunks still tile `[0, len)`.
+pub fn apply_input_format(
+    data: &[u8],
+    cuts: &[u64],
+    format: &dyn InputFormat,
+) -> Vec<Chunk> {
+    let mut snapped: Vec<u64> = Vec::with_capacity(cuts.len());
+    let mut last = 0u64;
+    for &c in cuts {
+        let s = format.next_record_boundary(data, c);
+        if s > last && s < data.len() as u64 {
+            snapped.push(s);
+            last = s;
+        }
+    }
+    cuts_to_chunks(&snapped, data.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shredder_rabin::chunker::raw_cuts;
+    use shredder_rabin::ChunkParams;
+
+    #[test]
+    fn snap_moves_forward_to_record_end() {
+        let data = b"one\ntwo\nthree\n";
+        let f = TextInputFormat;
+        assert_eq!(f.next_record_boundary(data, 0), 0); // stream start is legal
+        assert_eq!(f.next_record_boundary(data, 1), 4);
+        assert_eq!(f.next_record_boundary(data, 4), 4);
+        assert_eq!(f.next_record_boundary(data, 5), 8);
+        assert_eq!(f.next_record_boundary(data, 13), 14);
+        assert_eq!(f.next_record_boundary(data, 14), 14);
+        assert_eq!(f.next_record_boundary(data, 99), 14);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let data = b"abc\ndef";
+        assert_eq!(TextInputFormat.next_record_boundary(data, 5), 7);
+    }
+
+    #[test]
+    fn chunks_respect_record_boundaries() {
+        let record = b"some record content here\n";
+        let data: Vec<u8> = record
+            .iter()
+            .copied()
+            .cycle()
+            .take(200_000)
+            .collect();
+        let cuts = raw_cuts(&data, &ChunkParams::paper().with_expected_size(4096));
+        let chunks = apply_input_format(&data, &cuts, &TextInputFormat);
+
+        assert_eq!(
+            chunks.iter().map(|c| c.len).sum::<usize>(),
+            data.len(),
+            "chunks must tile"
+        );
+        for c in &chunks[..chunks.len() - 1] {
+            let end = c.end() as usize;
+            assert_eq!(data[end - 1], b'\n', "chunk ends mid-record at {end}");
+        }
+        // Every chunk holds whole records: its content parses as lines.
+        for c in &chunks {
+            let s = c.slice(&data);
+            assert_eq!(s[s.len() - 1], b'\n');
+        }
+    }
+
+    #[test]
+    fn collapsing_cuts_are_merged() {
+        // One giant record: every content cut snaps to the same boundary.
+        let mut data = vec![b'x'; 50_000];
+        data.push(b'\n');
+        let cuts = vec![100u64, 5000, 20000];
+        let chunks = apply_input_format(&data, &cuts, &TextInputFormat);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].len, data.len());
+    }
+
+    #[test]
+    fn record_aligned_splits_preserve_word_multiset() {
+        // The §6.3 purpose: a mapper over record-aligned splits sees the
+        // same records as a whole-file pass.
+        let text: Vec<u8> = b"alpha beta\ngamma\ndelta epsilon zeta\n"
+            .iter()
+            .copied()
+            .cycle()
+            .take(100_000)
+            .collect();
+        let cuts = raw_cuts(&text, &ChunkParams::paper().with_expected_size(2048));
+        let chunks = apply_input_format(&text, &cuts, &TextInputFormat);
+
+        let whole: Vec<&[u8]> = text.split(|&b| b == b'\n').filter(|r| !r.is_empty()).collect();
+        let mut split_records: Vec<&[u8]> = Vec::new();
+        for c in &chunks {
+            split_records
+                .extend(c.slice(&text).split(|&b| b == b'\n').filter(|r| !r.is_empty()));
+        }
+        assert_eq!(whole, split_records);
+    }
+
+    #[test]
+    fn empty_data() {
+        let chunks = apply_input_format(&[], &[], &TextInputFormat);
+        assert!(chunks.is_empty());
+    }
+}

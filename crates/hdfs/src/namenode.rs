@@ -1,0 +1,169 @@
+//! The NameNode: file metadata and split placement.
+//!
+//! As in HDFS, the NameNode maps file paths to ordered split lists and
+//! remembers which DataNode holds each split's payload (Figure 14). To
+//! support incremental computation across input versions, every upload
+//! creates a new [`FileVersion`] rather than overwriting — Incoop
+//! compares consecutive versions' split digests to decide what to
+//! recompute.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use shredder_hash::Digest;
+
+/// Metadata of one split (chunk) of a file version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMeta {
+    /// Content digest (the dedup / memoization key).
+    pub digest: Digest,
+    /// Byte offset within the file version.
+    pub offset: u64,
+    /// Split length in bytes.
+    pub len: usize,
+    /// DataNode index holding the payload.
+    pub datanode: usize,
+}
+
+/// One immutable version of a file: an ordered list of splits.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FileVersion {
+    /// Splits in stream order.
+    pub splits: Vec<SplitMeta>,
+}
+
+impl FileVersion {
+    /// Total logical bytes of the version.
+    pub fn len(&self) -> u64 {
+        self.splits.iter().map(|s| s.len as u64).sum()
+    }
+
+    /// True if the version holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.splits.is_empty()
+    }
+}
+
+/// The metadata server.
+#[derive(Debug, Clone, Default)]
+pub struct NameNode {
+    files: HashMap<String, Vec<FileVersion>>,
+}
+
+impl NameNode {
+    /// Creates an empty namespace.
+    pub fn new() -> Self {
+        NameNode::default()
+    }
+
+    /// Appends a new version of `path`, returning its version index.
+    pub fn commit_version(&mut self, path: &str, version: FileVersion) -> usize {
+        let versions = self.files.entry(path.to_string()).or_default();
+        versions.push(version);
+        versions.len() - 1
+    }
+
+    /// Latest version of a file.
+    pub fn latest(&self, path: &str) -> Option<&FileVersion> {
+        self.files.get(path).and_then(|v| v.last())
+    }
+
+    /// A specific version of a file.
+    pub fn version(&self, path: &str, version: usize) -> Option<&FileVersion> {
+        self.files.get(path).and_then(|v| v.get(version))
+    }
+
+    /// Number of versions of a file (0 if absent).
+    pub fn version_count(&self, path: &str) -> usize {
+        self.files.get(path).map_or(0, Vec::len)
+    }
+
+    /// All file paths, sorted.
+    pub fn paths(&self) -> Vec<&str> {
+        let mut p: Vec<&str> = self.files.keys().map(String::as_str).collect();
+        p.sort_unstable();
+        p
+    }
+
+    /// Splits of the latest version whose digests differ from the
+    /// previous version — the change set Incoop propagates (§6.1).
+    pub fn changed_splits(&self, path: &str) -> Option<Vec<SplitMeta>> {
+        let versions = self.files.get(path)?;
+        let latest = versions.last()?;
+        let previous: std::collections::HashSet<Digest> = match versions.len() {
+            0 | 1 => Default::default(),
+            n => versions[n - 2].splits.iter().map(|s| s.digest).collect(),
+        };
+        Some(
+            latest
+                .splits
+                .iter()
+                .filter(|s| !previous.contains(&s.digest))
+                .copied()
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(tag: u8, offset: u64, len: usize) -> SplitMeta {
+        SplitMeta {
+            digest: Digest([tag; 32]),
+            offset,
+            len,
+            datanode: 0,
+        }
+    }
+
+    #[test]
+    fn versions_accumulate() {
+        let mut nn = NameNode::new();
+        assert_eq!(nn.version_count("/f"), 0);
+        let v0 = nn.commit_version("/f", FileVersion { splits: vec![split(1, 0, 10)] });
+        let v1 = nn.commit_version("/f", FileVersion { splits: vec![split(2, 0, 20)] });
+        assert_eq!((v0, v1), (0, 1));
+        assert_eq!(nn.version_count("/f"), 2);
+        assert_eq!(nn.latest("/f").unwrap().len(), 20);
+        assert_eq!(nn.version("/f", 0).unwrap().len(), 10);
+        assert!(nn.version("/f", 2).is_none());
+    }
+
+    #[test]
+    fn changed_splits_between_versions() {
+        let mut nn = NameNode::new();
+        nn.commit_version(
+            "/f",
+            FileVersion {
+                splits: vec![split(1, 0, 10), split(2, 10, 10), split(3, 20, 10)],
+            },
+        );
+        nn.commit_version(
+            "/f",
+            FileVersion {
+                splits: vec![split(1, 0, 10), split(9, 10, 12), split(3, 22, 10)],
+            },
+        );
+        let changed = nn.changed_splits("/f").unwrap();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].digest, Digest([9; 32]));
+    }
+
+    #[test]
+    fn first_version_is_all_changed() {
+        let mut nn = NameNode::new();
+        nn.commit_version("/f", FileVersion { splits: vec![split(1, 0, 5), split(2, 5, 5)] });
+        assert_eq!(nn.changed_splits("/f").unwrap().len(), 2);
+        assert!(nn.changed_splits("/missing").is_none());
+    }
+
+    #[test]
+    fn paths_sorted() {
+        let mut nn = NameNode::new();
+        nn.commit_version("/b", FileVersion::default());
+        nn.commit_version("/a", FileVersion::default());
+        assert_eq!(nn.paths(), vec!["/a", "/b"]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Content-addressed chunk storage (what each DataNode holds).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use shredder_hash::Digest;
+
+/// A content-addressed store: digest → chunk payload.
+///
+/// Storing the same content twice keeps one copy — the dedup behaviour
+/// every byte of Inc-HDFS and the backup site relies on.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_hash::sha256;
+/// use shredder_hdfs::ChunkStore;
+///
+/// let mut store = ChunkStore::new();
+/// let d = store.put(b"hello".as_slice().into());
+/// assert_eq!(d, sha256(b"hello"));
+/// store.put(b"hello".as_slice().into()); // dedup: no growth
+/// assert_eq!(store.physical_bytes(), 5);
+/// assert_eq!(store.logical_bytes(), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChunkStore {
+    chunks: HashMap<Digest, Bytes>,
+    physical_bytes: u64,
+    logical_bytes: u64,
+    dedup_hits: u64,
+}
+
+impl ChunkStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ChunkStore::default()
+    }
+
+    /// Stores a chunk, returning its digest. Duplicate content is
+    /// detected by digest and not stored again.
+    pub fn put(&mut self, data: Bytes) -> Digest {
+        let digest = shredder_hash::sha256(&data);
+        self.put_with_digest(digest, data);
+        digest
+    }
+
+    /// Stores a chunk under a pre-computed digest (the common path: the
+    /// Store thread already hashed the chunk).
+    ///
+    /// Returns `true` if the chunk was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `digest` does not match the data.
+    pub fn put_with_digest(&mut self, digest: Digest, data: Bytes) -> bool {
+        debug_assert_eq!(digest, shredder_hash::sha256(&data), "digest mismatch");
+        self.logical_bytes += data.len() as u64;
+        match self.chunks.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.dedup_hits += 1;
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.physical_bytes += data.len() as u64;
+                e.insert(data);
+                true
+            }
+        }
+    }
+
+    /// Fetches a chunk by digest.
+    pub fn get(&self, digest: &Digest) -> Option<Bytes> {
+        self.chunks.get(digest).cloned()
+    }
+
+    /// True if the digest is stored.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.chunks.contains_key(digest)
+    }
+
+    /// Number of distinct chunks stored.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes actually stored (after dedup).
+    pub fn physical_bytes(&self) -> u64 {
+        self.physical_bytes
+    }
+
+    /// Bytes offered to the store (before dedup).
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Number of puts that deduplicated.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Dedup ratio: logical / physical (1.0 = no savings).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            return 1.0;
+        }
+        self.logical_bytes as f64 / self.physical_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = ChunkStore::new();
+        let d = s.put(Bytes::from_static(b"abc"));
+        assert_eq!(s.get(&d).unwrap(), Bytes::from_static(b"abc"));
+        assert!(s.contains(&d));
+        assert_eq!(s.chunk_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_content_stored_once() {
+        let mut s = ChunkStore::new();
+        let d1 = s.put(Bytes::from_static(b"same"));
+        let d2 = s.put(Bytes::from_static(b"same"));
+        assert_eq!(d1, d2);
+        assert_eq!(s.chunk_count(), 1);
+        assert_eq!(s.physical_bytes(), 4);
+        assert_eq!(s.logical_bytes(), 8);
+        assert_eq!(s.dedup_hits(), 1);
+        assert!((s.dedup_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_digest_returns_none() {
+        let s = ChunkStore::new();
+        assert!(s.get(&Digest::ZERO).is_none());
+        assert!(!s.contains(&Digest::ZERO));
+        assert_eq!(s.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn distinct_content_accumulates() {
+        let mut s = ChunkStore::new();
+        for i in 0..10u8 {
+            s.put(Bytes::copy_from_slice(&[i; 16]));
+        }
+        assert_eq!(s.chunk_count(), 10);
+        assert_eq!(s.physical_bytes(), 160);
+    }
+}

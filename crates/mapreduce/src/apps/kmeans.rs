@@ -1,0 +1,284 @@
+//! K-means clustering as iterated MapReduce (the third Figure 15
+//! application).
+//!
+//! Each iteration is one MapReduce job (as on Hadoop): the map assigns
+//! its split's points to the nearest current centroid and emits partial
+//! sums per cluster; the reduce totals them; the driver recomputes
+//! centroids and launches the next iteration. Because the map output
+//! depends on the centroids, the job's memo [`aux_key`] hashes the
+//! *quantized* centroids — memo entries survive across runs exactly when
+//! the centroids agree to the quantum, which is what limits K-means's
+//! incremental speedup relative to the stateless jobs (visible in
+//! Figure 15).
+//!
+//! [`aux_key`]: crate::MapReduceJob::aux_key
+
+use shredder_des::Dur;
+use shredder_hash::fnv1a_64;
+use shredder_hdfs::SplitData;
+
+use crate::job::MapReduceJob;
+use crate::runner::{IncrementalRunner, RunStats};
+
+/// One K-means iteration as a MapReduce job.
+///
+/// Keys are cluster indices; values are `(Σx, Σy, n)` partial sums.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Vec<(f64, f64)>,
+    /// Centroid quantum for memo keys (absorbs float jitter).
+    quantum: f64,
+}
+
+impl KMeans {
+    /// Creates the job with `k` deterministic initial centroids spread
+    /// on a circle (stable across runs, so first-iteration memo entries
+    /// are reusable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be non-zero");
+        let centroids = (0..k)
+            .map(|i| {
+                let angle = i as f64 / k as f64 * std::f64::consts::TAU;
+                (50.0 * angle.cos(), 50.0 * angle.sin())
+            })
+            .collect();
+        KMeans {
+            centroids,
+            quantum: 1e-3,
+        }
+    }
+
+    /// Current centroids.
+    pub fn centroids(&self) -> &[(f64, f64)] {
+        &self.centroids
+    }
+
+    /// Replaces the centroids (the driver's between-iteration update).
+    pub fn set_centroids(&mut self, centroids: Vec<(f64, f64)>) {
+        assert!(!centroids.is_empty(), "centroids must be non-empty");
+        self.centroids = centroids;
+    }
+
+    fn nearest(&self, x: f64, y: f64) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &(cx, cy)) in self.centroids.iter().enumerate() {
+            let d = (x - cx).powi(2) + (y - cy).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl MapReduceJob for KMeans {
+    type Key = usize;
+    type Value = (f64, f64, u64);
+
+    fn map(&self, split: &[u8]) -> Vec<(usize, (f64, f64, u64))> {
+        let mut sums = vec![(0.0f64, 0.0f64, 0u64); self.centroids.len()];
+        for line in String::from_utf8_lossy(split).lines() {
+            if let Some((xs, ys)) = line.split_once(',') {
+                if let (Ok(x), Ok(y)) = (xs.trim().parse::<f64>(), ys.trim().parse::<f64>()) {
+                    let c = self.nearest(x, y);
+                    sums[c].0 += x;
+                    sums[c].1 += y;
+                    sums[c].2 += 1;
+                }
+            }
+        }
+        sums.into_iter()
+            .enumerate()
+            .filter(|(_, (_, _, n))| *n > 0)
+            .collect()
+    }
+
+    fn reduce(&self, _key: &usize, values: &[(f64, f64, u64)]) -> (f64, f64, u64) {
+        values.iter().fold((0.0, 0.0, 0), |acc, v| {
+            (acc.0 + v.0, acc.1 + v.1, acc.2 + v.2)
+        })
+    }
+
+    fn job_name(&self) -> String {
+        format!("k-means(k {})", self.centroids.len())
+    }
+
+    fn aux_key(&self) -> u64 {
+        let mut buf = Vec::with_capacity(self.centroids.len() * 16);
+        for &(x, y) in &self.centroids {
+            buf.extend_from_slice(&((x / self.quantum).round() as i64).to_le_bytes());
+            buf.extend_from_slice(&((y / self.quantum).round() as i64).to_le_bytes());
+        }
+        fnv1a_64(&buf)
+    }
+
+    fn map_cost_factor(&self) -> f64 {
+        // Distance computation per point across k centroids.
+        1.5
+    }
+}
+
+/// Drives K-means to convergence: one MapReduce job per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansDriver {
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f64,
+}
+
+impl Default for KMeansDriver {
+    fn default() -> Self {
+        KMeansDriver {
+            max_iterations: 5,
+            tolerance: 0.01,
+        }
+    }
+}
+
+/// Result of a K-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansOutcome {
+    /// Final centroids.
+    pub centroids: Vec<(f64, f64)>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total simulated cluster time across iteration jobs.
+    pub total_time: Dur,
+    /// Per-iteration stats.
+    pub runs: Vec<RunStats>,
+}
+
+impl KMeansDriver {
+    /// Runs iterations through the runner until convergence or the
+    /// iteration cap.
+    pub fn run(
+        &self,
+        runner: &mut IncrementalRunner<KMeans>,
+        splits: &[SplitData],
+    ) -> KMeansOutcome {
+        let mut total_time = Dur::ZERO;
+        let mut runs = Vec::new();
+        let mut iterations = 0usize;
+
+        for _ in 0..self.max_iterations {
+            let outcome = runner.run(splits);
+            iterations += 1;
+            total_time += outcome.stats.timing.total;
+
+            let old = runner.job().centroids().to_vec();
+            let mut next = old.clone();
+            for (&cluster, &(sx, sy, n)) in &outcome.output {
+                if n > 0 && cluster < next.len() {
+                    next[cluster] = (sx / n as f64, sy / n as f64);
+                }
+            }
+            let movement: f64 = old
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt())
+                .sum();
+            runner.job_mut().set_centroids(next.clone());
+            runs.push(outcome.stats);
+            if movement < self.tolerance {
+                break;
+            }
+        }
+
+        KMeansOutcome {
+            centroids: runner.job().centroids().to_vec(),
+            iterations,
+            total_time,
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::runner::splits_from_bytes;
+    use shredder_workloads::{kmeans_points, points_to_records};
+
+    fn splits(seed: u64) -> Vec<SplitData> {
+        let pts = kmeans_points(3000, 3, seed);
+        splits_from_bytes(&points_to_records(&pts), 2048)
+    }
+
+    #[test]
+    fn converges_to_true_centers() {
+        let mut runner = IncrementalRunner::new(KMeans::new(3), ClusterConfig::paper());
+        let driver = KMeansDriver {
+            max_iterations: 10,
+            tolerance: 0.01,
+        };
+        let out = driver.run(&mut runner, &splits(1));
+        assert!(out.iterations >= 2);
+        // True centers: radius-100 ring at angles 0, 120, 240.
+        let truth = [(100.0, 0.0), (-50.0, 86.60), (-50.0, -86.60)];
+        for t in truth {
+            let close = out
+                .centroids
+                .iter()
+                .any(|c| ((c.0 - t.0).powi(2) + (c.1 - t.1).powi(2)).sqrt() < 5.0);
+            assert!(close, "no centroid near {t:?}: {:?}", out.centroids);
+        }
+    }
+
+    #[test]
+    fn map_emits_partial_sums() {
+        let job = KMeans::new(2);
+        let pairs = job.map(b"50.0,0.0\n50.0,2.0\n-50.0,0.0\n");
+        let total: u64 = pairs.iter().map(|(_, (_, _, n))| n).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn aux_key_changes_with_centroids() {
+        let mut job = KMeans::new(2);
+        let a = job.aux_key();
+        job.set_centroids(vec![(1.0, 1.0), (2.0, 2.0)]);
+        assert_ne!(job.aux_key(), a);
+        // Sub-quantum jitter does not change the key.
+        let b = job.aux_key();
+        job.set_centroids(vec![(1.0 + 1e-6, 1.0), (2.0, 2.0)]);
+        assert_eq!(job.aux_key(), b);
+    }
+
+    #[test]
+    fn rerun_on_same_data_hits_memo_in_first_iteration() {
+        let s = splits(2);
+        let mut runner = IncrementalRunner::new(KMeans::new(3), ClusterConfig::paper());
+        let driver = KMeansDriver::default();
+        driver.run(&mut runner, &s);
+
+        // Fresh job state (same deterministic init), same runner memo.
+        runner.job_mut().set_centroids(KMeans::new(3).centroids().to_vec());
+        let second = driver.run(&mut runner, &s);
+        assert_eq!(
+            second.runs[0].memo_hits, s.len(),
+            "first iteration should be fully memoized"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let job = KMeans::new(2);
+        let pairs = job.map(b"not a point\n1.0,2.0\nbad,data\n");
+        let total: u64 = pairs.iter().map(|(_, (_, _, n))| n).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_k_panics() {
+        let _ = KMeans::new(0);
+    }
+}

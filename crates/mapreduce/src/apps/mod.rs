@@ -1,0 +1,13 @@
+//! The three Figure 15 applications.
+//!
+//! "all three MapReduce applications (K-means, Word-Count, Co-occurrence
+//! Matrix) show significant improvement in run-time for incremental
+//! runs" (§6.3).
+
+mod cooccurrence;
+mod kmeans;
+mod wordcount;
+
+pub use cooccurrence::Cooccurrence;
+pub use kmeans::{KMeans, KMeansDriver, KMeansOutcome};
+pub use wordcount::WordCount;

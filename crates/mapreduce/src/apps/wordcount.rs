@@ -1,0 +1,79 @@
+//! Word-Count: the canonical MapReduce job.
+
+use std::collections::HashMap;
+
+use crate::job::MapReduceJob;
+
+/// Counts word occurrences. The map combines within its split (one pair
+/// per distinct word), the classic combiner optimization.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_mapreduce::apps::WordCount;
+/// use shredder_mapreduce::MapReduceJob;
+///
+/// let mut pairs = WordCount.map(b"b a a\n");
+/// pairs.sort();
+/// assert_eq!(pairs, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordCount;
+
+impl MapReduceJob for WordCount {
+    type Key = String;
+    type Value = u64;
+
+    fn map(&self, split: &[u8]) -> Vec<(String, u64)> {
+        let text = String::from_utf8_lossy(split);
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for word in text.split_whitespace() {
+            *counts.entry(word).or_default() += 1;
+        }
+        let mut pairs: Vec<(String, u64)> = counts
+            .into_iter()
+            .map(|(w, c)| (w.to_string(), c))
+            .collect();
+        // Deterministic memoized output ordering.
+        pairs.sort_unstable();
+        pairs
+    }
+
+    fn reduce(&self, _key: &String, values: &[u64]) -> u64 {
+        values.iter().sum()
+    }
+
+    fn job_name(&self) -> String {
+        "word-count".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_combines_within_split() {
+        let pairs = WordCount.map(b"x y x x\nz y\n");
+        let m: std::collections::HashMap<_, _> = pairs.into_iter().collect();
+        assert_eq!(m["x"], 3);
+        assert_eq!(m["y"], 2);
+        assert_eq!(m["z"], 1);
+    }
+
+    #[test]
+    fn reduce_sums() {
+        assert_eq!(WordCount.reduce(&"w".to_string(), &[1, 2, 3]), 6);
+    }
+
+    #[test]
+    fn map_output_is_deterministic() {
+        assert_eq!(WordCount.map(b"c b a c\n"), WordCount.map(b"c b a c\n"));
+    }
+
+    #[test]
+    fn empty_split_maps_to_nothing() {
+        assert!(WordCount.map(b"").is_empty());
+        assert!(WordCount.map(b"   \n  \n").is_empty());
+    }
+}

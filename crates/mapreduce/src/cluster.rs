@@ -1,0 +1,216 @@
+//! The Hadoop-cluster timing model behind Figure 15.
+//!
+//! The paper's experiment runs on a 20-node cluster; job runtime is
+//! dominated by map waves over the task slots, plus fixed per-job and
+//! per-task overheads. We model exactly that with the DES: map tasks are
+//! FIFO jobs on a `nodes × slots` server; memoized tasks cost only a
+//! change-propagation lookup; reduces run after the shuffle barrier.
+//!
+//! Constants are scaled to the (scaled-down) experiment inputs — the
+//! *ratios* between computation and overhead are what shape the Figure 15
+//! speedup curves, and those are preserved (see `EXPERIMENTS.md`).
+
+use serde::{Deserialize, Serialize};
+use shredder_des::{Dur, FifoServer, Simulation};
+
+/// Cluster and overhead parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Worker nodes (paper: 20).
+    pub nodes: usize,
+    /// Map/reduce slots per node (Hadoop default: 2).
+    pub slots_per_node: usize,
+    /// Effective map processing rate per slot, bytes/s.
+    pub map_rate_bps: f64,
+    /// Scheduling/launch overhead per executed task.
+    pub task_overhead: Dur,
+    /// Fixed per-job overhead (setup + teardown).
+    pub job_overhead: Dur,
+    /// Cost of a memo lookup for a skipped task (change propagation).
+    pub memo_lookup: Dur,
+    /// Reduce processing rate, key/value pairs per second per reducer.
+    pub reduce_rate_pps: f64,
+    /// Number of reduce tasks.
+    pub reducers: usize,
+}
+
+impl ClusterConfig {
+    /// The Figure 15 cluster: 20 nodes × 2 slots.
+    pub fn paper() -> Self {
+        ClusterConfig {
+            nodes: 20,
+            slots_per_node: 2,
+            map_rate_bps: 0.5e6,
+            task_overhead: Dur::from_millis(20),
+            job_overhead: Dur::from_millis(50),
+            memo_lookup: Dur::from_millis(2),
+            reduce_rate_pps: 1.0e6,
+            reducers: 20,
+        }
+    }
+
+    /// Total task slots.
+    pub fn slots(&self) -> usize {
+        self.nodes * self.slots_per_node
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::paper()
+    }
+}
+
+/// One map task for the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapTaskSpec {
+    /// Split size in bytes.
+    pub bytes: usize,
+    /// True if the memo table satisfied this task.
+    pub memoized: bool,
+    /// The job's map-cost multiplier.
+    pub cost_factor: f64,
+}
+
+/// Timing breakdown of one simulated job execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobTiming {
+    /// Map-phase makespan (including memo lookups).
+    pub map_time: Dur,
+    /// Reduce-phase makespan.
+    pub reduce_time: Dur,
+    /// Fixed job overhead.
+    pub job_overhead: Dur,
+    /// Total job runtime.
+    pub total: Dur,
+    /// Map tasks actually executed.
+    pub tasks_run: usize,
+    /// Map tasks skipped via memoization.
+    pub tasks_skipped: usize,
+}
+
+/// Simulates one job: map tasks over the slot pool, shuffle barrier,
+/// then reduces.
+pub fn simulate_job(
+    config: &ClusterConfig,
+    tasks: &[MapTaskSpec],
+    reduce_pairs: usize,
+) -> JobTiming {
+    let mut sim = Simulation::new();
+    let slots = FifoServer::new("task-slots", config.slots());
+
+    let mut tasks_run = 0usize;
+    let mut tasks_skipped = 0usize;
+    for t in tasks {
+        let service = if t.memoized {
+            tasks_skipped += 1;
+            config.memo_lookup
+        } else {
+            tasks_run += 1;
+            config.task_overhead
+                + Dur::from_bytes_at(
+                    (t.bytes as f64 * t.cost_factor) as u64,
+                    config.map_rate_bps,
+                )
+        };
+        slots.process(&mut sim, service, |_| {});
+    }
+    let map_end = sim.run();
+    let map_time = map_end.saturating_since(shredder_des::SimTime::ZERO);
+
+    // Shuffle barrier, then reduce waves.
+    let mut sim = Simulation::new();
+    let reduce_slots = FifoServer::new("reduce-slots", config.slots());
+    let per_reducer = reduce_pairs.div_ceil(config.reducers.max(1));
+    for _ in 0..config.reducers.min(reduce_pairs.max(1)) {
+        let service = config.task_overhead
+            + Dur::from_secs_f64(per_reducer as f64 / config.reduce_rate_pps);
+        reduce_slots.process(&mut sim, service, |_| {});
+    }
+    let reduce_end = sim.run();
+    let reduce_time = reduce_end.saturating_since(shredder_des::SimTime::ZERO);
+
+    JobTiming {
+        map_time,
+        reduce_time,
+        job_overhead: config.job_overhead,
+        total: config.job_overhead + map_time + reduce_time,
+        tasks_run,
+        tasks_skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(bytes: usize, memoized: bool) -> MapTaskSpec {
+        MapTaskSpec {
+            bytes,
+            memoized,
+            cost_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn map_waves_over_slots() {
+        let cfg = ClusterConfig::paper();
+        // 80 identical tasks over 40 slots = 2 waves.
+        let tasks: Vec<MapTaskSpec> = (0..80).map(|_| task(1 << 20, false)).collect();
+        let t = simulate_job(&cfg, &tasks, 0);
+        let per_task =
+            (1 << 20) as f64 / cfg.map_rate_bps + cfg.task_overhead.as_secs_f64();
+        let expected = 2.0 * per_task;
+        assert!(
+            (t.map_time.as_secs_f64() - expected).abs() < 0.05,
+            "map {}s vs {expected}s",
+            t.map_time.as_secs_f64()
+        );
+        assert_eq!(t.tasks_run, 80);
+    }
+
+    #[test]
+    fn memoized_tasks_are_nearly_free() {
+        let cfg = ClusterConfig::paper();
+        let full: Vec<MapTaskSpec> = (0..100).map(|_| task(1 << 20, false)).collect();
+        let memo: Vec<MapTaskSpec> = (0..100).map(|_| task(1 << 20, true)).collect();
+        let t_full = simulate_job(&cfg, &full, 1000);
+        let t_memo = simulate_job(&cfg, &memo, 1000);
+        assert!(t_memo.total.as_secs_f64() * 5.0 < t_full.total.as_secs_f64());
+        assert_eq!(t_memo.tasks_skipped, 100);
+    }
+
+    #[test]
+    fn speedup_degrades_with_change_fraction() {
+        // The Figure 15 monotonicity, straight from the timing model.
+        let cfg = ClusterConfig::paper();
+        let n = 512;
+        let job = |changed: usize| {
+            let tasks: Vec<MapTaskSpec> = (0..n)
+                .map(|i| task(128 << 10, i >= changed))
+                .collect();
+            simulate_job(&cfg, &tasks, 10_000).total
+        };
+        let full = job(n);
+        let s5 = full.as_secs_f64() / job(n * 5 / 100).as_secs_f64();
+        let s25 = full.as_secs_f64() / job(n * 25 / 100).as_secs_f64();
+        assert!(s5 > s25, "5% {s5} !> 25% {s25}");
+        assert!(s5 > 3.0, "5% speedup only {s5}");
+        assert!(s25 > 1.5 && s25 < 6.0, "25% speedup {s25}");
+    }
+
+    #[test]
+    fn reduce_scales_with_pairs() {
+        let cfg = ClusterConfig::paper();
+        let a = simulate_job(&cfg, &[], 1_000);
+        let b = simulate_job(&cfg, &[], 4_000_000);
+        assert!(b.reduce_time > a.reduce_time);
+    }
+
+    #[test]
+    fn job_overhead_always_charged() {
+        let cfg = ClusterConfig::paper();
+        let t = simulate_job(&cfg, &[], 0);
+        assert!(t.total >= cfg.job_overhead);
+    }
+}

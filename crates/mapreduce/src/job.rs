@@ -1,0 +1,75 @@
+//! The MapReduce job abstraction.
+
+/// A MapReduce job: map over splits, reduce grouped values.
+///
+/// The map output for a split may be memoized; [`aux_key`] must capture
+/// any job state the map function reads besides the split bytes (e.g.
+/// the current K-means centroids), so a state change invalidates memo
+/// entries naturally.
+///
+/// Map functions are expected to act as their own combiners (pre-
+/// aggregating within the split), as Hadoop jobs do in practice — this
+/// is also what makes memoized map outputs compact enough to store.
+///
+/// [`aux_key`]: MapReduceJob::aux_key
+pub trait MapReduceJob {
+    /// Intermediate/output key type.
+    type Key: Ord + Clone + std::hash::Hash + Eq + std::fmt::Debug;
+    /// Intermediate/output value type.
+    type Value: Clone + PartialEq + std::fmt::Debug;
+
+    /// Maps one split to (already combined) key/value pairs.
+    fn map(&self, split: &[u8]) -> Vec<(Self::Key, Self::Value)>;
+
+    /// Reduces all values of one key to the final value.
+    fn reduce(&self, key: &Self::Key, values: &[Self::Value]) -> Self::Value;
+
+    /// Job name for reports.
+    fn job_name(&self) -> String;
+
+    /// Hash of the job state the map output depends on (0 for stateless
+    /// jobs). Part of the memoization key.
+    fn aux_key(&self) -> u64 {
+        0
+    }
+
+    /// Relative per-byte map cost against a plain scan (drives the
+    /// cluster timing model; e.g. pair-emitting co-occurrence maps cost
+    /// more than word counting).
+    fn map_cost_factor(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ByteSum;
+
+    impl MapReduceJob for ByteSum {
+        type Key = &'static str;
+        type Value = u64;
+
+        fn map(&self, split: &[u8]) -> Vec<(&'static str, u64)> {
+            vec![("sum", split.iter().map(|&b| b as u64).sum())]
+        }
+
+        fn reduce(&self, _key: &&'static str, values: &[u64]) -> u64 {
+            values.iter().sum()
+        }
+
+        fn job_name(&self) -> String {
+            "byte-sum".into()
+        }
+    }
+
+    #[test]
+    fn defaults() {
+        let j = ByteSum;
+        assert_eq!(j.aux_key(), 0);
+        assert_eq!(j.map_cost_factor(), 1.0);
+        assert_eq!(j.map(&[1, 2, 3]), vec![("sum", 6)]);
+        assert_eq!(j.reduce(&"sum", &[6, 4]), 10);
+    }
+}

@@ -1,0 +1,277 @@
+//! The incremental job runner: real computation, memoized map tasks,
+//! simulated cluster timing.
+
+use std::collections::BTreeMap;
+
+use shredder_hash::sha256;
+use shredder_hdfs::SplitData;
+
+use crate::cluster::{simulate_job, ClusterConfig, JobTiming, MapTaskSpec};
+use crate::job::MapReduceJob;
+use crate::memo::MemoTable;
+
+/// Statistics of one job run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Job name.
+    pub job: String,
+    /// Splits presented to the job.
+    pub splits: usize,
+    /// Map tasks satisfied from the memo table.
+    pub memo_hits: usize,
+    /// Total input bytes.
+    pub bytes_total: u64,
+    /// Bytes actually mapped (not memoized).
+    pub bytes_mapped: u64,
+    /// Intermediate pairs entering the shuffle.
+    pub reduce_pairs: usize,
+    /// Simulated cluster timing.
+    pub timing: JobTiming,
+}
+
+/// Result of one job run: real output plus stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome<K, V> {
+    /// Final reduced output, ordered by key.
+    pub output: BTreeMap<K, V>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+/// Executes a job repeatedly over evolving inputs, reusing memoized map
+/// outputs across runs (Incoop §6.1).
+///
+/// # Examples
+///
+/// ```
+/// use shredder_mapreduce::apps::WordCount;
+/// use shredder_mapreduce::runner::splits_from_bytes;
+/// use shredder_mapreduce::{ClusterConfig, IncrementalRunner};
+///
+/// let splits = splits_from_bytes(b"x y\nx z\n", 4);
+/// let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+/// let out = runner.run(&splits);
+/// assert_eq!(out.output["x"], 2);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalRunner<J: MapReduceJob> {
+    job: J,
+    memo: MemoTable<J::Key, J::Value>,
+    cluster: ClusterConfig,
+}
+
+impl<J: MapReduceJob> IncrementalRunner<J> {
+    /// Creates a runner with an empty memo table.
+    pub fn new(job: J, cluster: ClusterConfig) -> Self {
+        IncrementalRunner {
+            job,
+            memo: MemoTable::new(),
+            cluster,
+        }
+    }
+
+    /// The job (e.g. to read evolved state).
+    pub fn job(&self) -> &J {
+        &self.job
+    }
+
+    /// Mutable access to the job (the K-means driver updates centroids
+    /// between iterations; the aux key changes with it).
+    pub fn job_mut(&mut self) -> &mut J {
+        &mut self.job
+    }
+
+    /// The memo table.
+    pub fn memo(&self) -> &MemoTable<J::Key, J::Value> {
+        &self.memo
+    }
+
+    /// Clears memoized state (turns the next run into a from-scratch
+    /// "plain Hadoop" execution).
+    pub fn clear_memo(&mut self) {
+        self.memo = MemoTable::new();
+    }
+
+    /// Runs the job over the splits: map (with memoization), shuffle,
+    /// reduce — computing the real output and simulating cluster time.
+    pub fn run(&mut self, splits: &[SplitData]) -> RunOutcome<J::Key, J::Value> {
+        let aux = self.job.aux_key();
+        let mut tasks = Vec::with_capacity(splits.len());
+        let mut all_pairs: Vec<(J::Key, J::Value)> = Vec::new();
+        let mut memo_hits = 0usize;
+        let mut bytes_mapped = 0u64;
+
+        for split in splits {
+            let key = (split.meta.digest, aux);
+            let memoized = if let Some(cached) = self.memo.lookup(&key) {
+                memo_hits += 1;
+                self.memo.credit_saved(split.bytes.len());
+                all_pairs.extend(cached.iter().cloned());
+                true
+            } else {
+                let output = self.job.map(&split.bytes);
+                bytes_mapped += split.bytes.len() as u64;
+                all_pairs.extend(output.iter().cloned());
+                self.memo.insert(key, output, split.bytes.len());
+                false
+            };
+            tasks.push(MapTaskSpec {
+                bytes: split.bytes.len(),
+                memoized,
+                cost_factor: self.job.map_cost_factor(),
+            });
+        }
+
+        // Shuffle: group by key.
+        let reduce_pairs = all_pairs.len();
+        let mut grouped: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
+        for (k, v) in all_pairs {
+            grouped.entry(k).or_default().push(v);
+        }
+
+        // Reduce.
+        let output: BTreeMap<J::Key, J::Value> = grouped
+            .iter()
+            .map(|(k, vs)| (k.clone(), self.job.reduce(k, vs)))
+            .collect();
+
+        let timing = simulate_job(&self.cluster, &tasks, reduce_pairs);
+        RunOutcome {
+            output,
+            stats: RunStats {
+                job: self.job.job_name(),
+                splits: splits.len(),
+                memo_hits,
+                bytes_total: splits.iter().map(|s| s.bytes.len() as u64).sum(),
+                bytes_mapped,
+                reduce_pairs,
+                timing,
+            },
+        }
+    }
+}
+
+/// Builds record-aligned splits directly from a byte buffer (for tests
+/// and examples that don't want a full Inc-HDFS instance): fixed-size
+/// cut points snapped forward to newline boundaries.
+pub fn splits_from_bytes(data: &[u8], target_split: usize) -> Vec<SplitData> {
+    use shredder_hdfs::namenode::SplitMeta;
+    assert!(target_split > 0, "split size must be non-zero");
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < data.len() {
+        let mut end = (start + target_split).min(data.len());
+        // Snap forward to a record boundary.
+        while end < data.len() && data[end - 1] != b'\n' {
+            end += 1;
+        }
+        let bytes = bytes::Bytes::copy_from_slice(&data[start..end]);
+        out.push(SplitData {
+            meta: SplitMeta {
+                digest: sha256(&bytes),
+                offset: start as u64,
+                len: bytes.len(),
+                datanode: 0,
+            },
+            bytes,
+        });
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::WordCount;
+
+    fn corpus() -> Vec<u8> {
+        shredder_workloads::words_corpus(100_000, 100, 8)
+    }
+
+    fn count_reference(data: &[u8]) -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        for w in std::str::from_utf8(data).unwrap().split_whitespace() {
+            *m.entry(w.to_string()).or_default() += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn output_matches_single_pass_reference() {
+        let data = corpus();
+        let splits = splits_from_bytes(&data, 4096);
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        let out = runner.run(&splits);
+        assert_eq!(out.output, count_reference(&data));
+        assert_eq!(out.stats.memo_hits, 0);
+    }
+
+    #[test]
+    fn identical_rerun_hits_memo_everywhere_same_output() {
+        let data = corpus();
+        let splits = splits_from_bytes(&data, 4096);
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        let first = runner.run(&splits);
+        let second = runner.run(&splits);
+        assert_eq!(second.stats.memo_hits, splits.len());
+        assert_eq!(first.output, second.output);
+        assert!(second.stats.timing.total < first.stats.timing.total);
+    }
+
+    #[test]
+    fn incremental_equals_fresh_on_changed_input() {
+        let data = corpus();
+        let splits = splits_from_bytes(&data, 4096);
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        runner.run(&splits);
+
+        // Change some records (keep UTF-8 by rewriting words).
+        let mut changed = data.clone();
+        for i in (0..changed.len()).step_by(9973) {
+            if changed[i].is_ascii_lowercase() {
+                changed[i] = b'q';
+            }
+        }
+        let changed_splits = splits_from_bytes(&changed, 4096);
+        let incremental = runner.run(&changed_splits);
+
+        let mut fresh = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        let full = fresh.run(&changed_splits);
+        assert_eq!(incremental.output, full.output);
+    }
+
+    #[test]
+    fn clear_memo_forces_full_run() {
+        let data = corpus();
+        let splits = splits_from_bytes(&data, 4096);
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        runner.run(&splits);
+        runner.clear_memo();
+        let rerun = runner.run(&splits);
+        assert_eq!(rerun.stats.memo_hits, 0);
+    }
+
+    #[test]
+    fn splits_are_record_aligned_and_tile() {
+        let data = corpus();
+        let splits = splits_from_bytes(&data, 1000);
+        let total: usize = splits.iter().map(|s| s.bytes.len()).sum();
+        assert_eq!(total, data.len());
+        for s in &splits[..splits.len() - 1] {
+            assert_eq!(*s.bytes.last().unwrap(), b'\n');
+        }
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let data = corpus();
+        let splits = splits_from_bytes(&data, 4096);
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        let out = runner.run(&splits);
+        assert_eq!(out.stats.bytes_total, data.len() as u64);
+        assert_eq!(out.stats.bytes_mapped, data.len() as u64);
+        let again = runner.run(&splits);
+        assert_eq!(again.stats.bytes_mapped, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests: incremental MapReduce always equals
+//! from-scratch execution, for arbitrary inputs and mutations.
+
+use proptest::prelude::*;
+use shredder_mapreduce::apps::WordCount;
+use shredder_mapreduce::runner::{splits_from_bytes, IncrementalRunner};
+use shredder_mapreduce::ClusterConfig;
+
+/// Random newline-record text out of a small alphabet.
+fn text_strategy(max_records: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')], 1..20),
+        0..max_records,
+    )
+    .prop_map(|records| {
+        let mut out = Vec::new();
+        for r in records {
+            out.extend_from_slice(&r);
+            out.push(b'\n');
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Incremental run over mutated input == fresh run, always.
+    #[test]
+    fn incremental_equals_fresh(
+        v1 in text_strategy(300),
+        v2 in text_strategy(300),
+        split in 64usize..1024,
+    ) {
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        runner.run(&splits_from_bytes(&v1, split));
+
+        let splits2 = splits_from_bytes(&v2, split);
+        let incremental = runner.run(&splits2);
+        let fresh = IncrementalRunner::new(WordCount, ClusterConfig::paper()).run(&splits2);
+        prop_assert_eq!(incremental.output, fresh.output);
+    }
+
+    /// Split size never changes the job output.
+    #[test]
+    fn split_size_invariance(data in text_strategy(300), a in 32usize..512, b in 32usize..512) {
+        let ra = IncrementalRunner::new(WordCount, ClusterConfig::paper())
+            .run(&splits_from_bytes(&data, a));
+        let rb = IncrementalRunner::new(WordCount, ClusterConfig::paper())
+            .run(&splits_from_bytes(&data, b));
+        prop_assert_eq!(ra.output, rb.output);
+    }
+
+    /// Memo stats are conserved: hits + mapped splits == total splits.
+    #[test]
+    fn memo_accounting(data in text_strategy(200), reruns in 1usize..4) {
+        let splits = splits_from_bytes(&data, 128);
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        for i in 0..=reruns {
+            let out = runner.run(&splits);
+            prop_assert_eq!(out.stats.splits, splits.len());
+            let mapped = out.stats.splits - out.stats.memo_hits;
+            if i == 0 {
+                // Duplicate split contents can memoize within run 0 too.
+                prop_assert!(mapped <= splits.len());
+            } else {
+                prop_assert_eq!(out.stats.memo_hits, splits.len());
+                prop_assert_eq!(out.stats.bytes_mapped, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Fixed-size chunking: the baseline that content-defined chunking
+//! replaces.
+//!
+//! Plain HDFS splits files at fixed offsets (paper §6.2), which means a
+//! single inserted byte shifts every subsequent block and defeats
+//! dedup/memoization. This module exists as the comparison baseline for
+//! the Inc-HDFS case study and for tests demonstrating the CDC advantage.
+
+use crate::chunker::Chunk;
+
+/// Splits `data` into consecutive chunks of exactly `size` bytes (the
+/// last chunk may be shorter).
+///
+/// # Panics
+///
+/// Panics if `size` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_rabin::chunk_fixed;
+///
+/// let chunks = chunk_fixed(&[0u8; 10], 4);
+/// assert_eq!(chunks.len(), 3);
+/// assert_eq!(chunks[2].len, 2);
+/// ```
+pub fn chunk_fixed(data: &[u8], size: usize) -> Vec<Chunk> {
+    assert!(size > 0, "chunk size must be non-zero");
+    let mut chunks = Vec::with_capacity(data.len() / size + 1);
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let len = size.min(data.len() - offset);
+        chunks.push(Chunk {
+            offset: offset as u64,
+            len,
+        });
+        offset += len;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let chunks = chunk_fixed(&[1u8; 12], 4);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len == 4));
+    }
+
+    #[test]
+    fn remainder_chunk() {
+        let chunks = chunk_fixed(&[1u8; 13], 4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[3].len, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(chunk_fixed(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn chunks_tile_input() {
+        let data = vec![9u8; 1001];
+        let chunks = chunk_fixed(&data, 64);
+        let mut off = 0u64;
+        for c in &chunks {
+            assert_eq!(c.offset, off);
+            off = c.end();
+        }
+        assert_eq!(off, 1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_panics() {
+        let _ = chunk_fixed(&[1u8; 4], 0);
+    }
+
+    #[test]
+    fn insertion_shifts_all_subsequent_chunks() {
+        // The failure mode CDC fixes: one inserted byte changes every
+        // chunk after the insertion point.
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let before = chunk_fixed(&data, 256);
+
+        let mut edited = data.clone();
+        edited.insert(100, 0xee);
+        let after = chunk_fixed(&edited, 256);
+
+        let before_contents: std::collections::HashSet<&[u8]> =
+            before.iter().map(|c| c.slice(&data)).collect();
+        let reused = after
+            .iter()
+            .filter(|c| before_contents.contains(c.slice(&edited)))
+            .count();
+        assert_eq!(reused, 0, "fixed-size chunking reused {reused} chunks");
+    }
+}

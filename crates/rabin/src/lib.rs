@@ -1,0 +1,54 @@
+//! Rabin fingerprinting and content-defined chunking.
+//!
+//! This crate implements step 1 of duplicate identification as described
+//! in the Shredder paper (§2.1): *chunking*, the process of dividing a
+//! data stream into variable-size chunks whose boundaries are dictated by
+//! content rather than by offset, so that localized edits perturb only a
+//! bounded number of chunks.
+//!
+//! The fingerprinting scheme is Rabin's: a window of `w` contiguous bytes
+//! is interpreted as a polynomial over GF(2) and reduced modulo a fixed
+//! irreducible polynomial; a chunk boundary is declared wherever the
+//! low-order `mask_bits` bits of the fingerprint equal a marker value
+//! (paper §2.1 and §3.1: 48-byte window, 13 low-order bits).
+//!
+//! Modules:
+//!
+//! * [`poly`] — polynomial arithmetic over GF(2), irreducibility testing,
+//!   and generation of random irreducible polynomials.
+//! * [`tables`] — precomputed push/pop tables that make the sliding-window
+//!   fingerprint update O(1) per byte.
+//! * [`chunker`] — the streaming content-defined chunker with `min`/`max`
+//!   chunk-size support.
+//! * [`fixed`] — the fixed-size chunking baseline (what plain HDFS does).
+//! * [`parallel`] — SPMD parallel chunking with region overlap and
+//!   boundary merging (paper §5.1), the "pthreads" baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use shredder_rabin::{ChunkParams, chunk_all};
+//!
+//! let data = vec![0xabu8; 1 << 16];
+//! let params = ChunkParams::paper();
+//! let chunks = chunk_all(&data, &params);
+//! // Chunks tile the input exactly.
+//! assert_eq!(chunks.iter().map(|c| c.len).sum::<usize>(), data.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunker;
+pub mod fixed;
+pub mod parallel;
+pub mod poly;
+pub mod skip;
+pub mod tables;
+
+pub use chunker::{chunk_all, Chunk, ChunkParams, Chunker};
+pub use fixed::chunk_fixed;
+pub use parallel::{chunk_parallel, merge_boundaries, raw_cuts_substreams, ParallelChunker};
+pub use poly::Polynomial;
+pub use skip::{chunk_all_skipping, SkipScan};
+pub use tables::RabinTables;

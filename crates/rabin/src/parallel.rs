@@ -1,0 +1,307 @@
+//! Parallel SPMD content-defined chunking (the paper's host-only
+//! baseline, §5.1).
+//!
+//! The input is divided into `N` fixed-size regions, one per thread. Each
+//! thread runs the Rabin chunking scan over its region *plus* the trailing
+//! `w−1` bytes of the previous region (so windows straddling the region
+//! boundary are evaluated by exactly one owner), and the per-thread raw
+//! cut lists are concatenated in region order. Because the fingerprint is
+//! a pure function of the window, the merged raw cuts are bit-identical to
+//! a sequential scan (property-tested); min/max constraints are then
+//! applied by the same [`CutFilter`](crate::chunker::CutFilter) post-pass
+//! used everywhere else — the synchronization step the paper describes as
+//! "synchronize neighboring threads in the end to merge the resulting
+//! chunk boundaries".
+
+use crate::chunker::{apply_min_max, cuts_to_chunks, Chunk, ChunkParams};
+use crate::tables::RabinTables;
+
+/// A reusable parallel chunker holding shared tables.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_rabin::{chunk_all, ChunkParams, ParallelChunker};
+///
+/// let params = ChunkParams::paper();
+/// let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31) as u8).collect();
+/// let par = ParallelChunker::new(&params, 4);
+/// assert_eq!(par.chunk(&data), chunk_all(&data, &params));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelChunker {
+    params: ChunkParams,
+    tables: RabinTables,
+    threads: usize,
+}
+
+impl ParallelChunker {
+    /// Creates a parallel chunker using `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(params: &ChunkParams, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be non-zero");
+        ParallelChunker {
+            params: params.clone(),
+            tables: params.tables(),
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Chunks `data`, returning the same chunks a sequential
+    /// [`chunk_all`](crate::chunk_all) would produce.
+    pub fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
+        let raw = self.raw_cuts(data);
+        let filtered = apply_min_max(&raw, data.len() as u64, &self.params);
+        cuts_to_chunks(&filtered, data.len() as u64)
+    }
+
+    /// Computes the raw (unfiltered) marker cuts of `data` in parallel.
+    pub fn raw_cuts(&self, data: &[u8]) -> Vec<u64> {
+        let w = self.tables.window();
+        if data.len() <= w || self.threads == 1 {
+            return scan_region(&self.tables, &self.params, data, 0, 0);
+        }
+
+        let n = self.threads.min(data.len() / w).max(1);
+        let region = data.len().div_ceil(n);
+
+        let mut results: Vec<Vec<u64>> = Vec::with_capacity(n);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for t in 0..n {
+                let start = t * region;
+                let end = ((t + 1) * region).min(data.len());
+                if start >= end {
+                    break;
+                }
+                let tables = &self.tables;
+                let params = &self.params;
+                handles.push(scope.spawn(move |_| {
+                    // Overlap: windows ending inside [start, end) begin up
+                    // to w-1 bytes earlier.
+                    let scan_start = start.saturating_sub(w - 1);
+                    scan_region(tables, params, &data[scan_start..end], scan_start, start)
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("chunking worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut merged = Vec::with_capacity(results.iter().map(Vec::len).sum());
+        for r in results {
+            merged.extend_from_slice(&r);
+        }
+        debug_assert!(merged.windows(2).all(|p| p[0] < p[1]));
+        merged
+    }
+}
+
+/// Scans `region` (whose first byte sits at absolute offset `base`) and
+/// returns raw cuts at absolute offsets ≥ `own_from + 1` — i.e. only cuts
+/// this worker owns. `own_from` is the absolute offset of the first byte
+/// of the owned region.
+fn scan_region(
+    tables: &RabinTables,
+    params: &ChunkParams,
+    region: &[u8],
+    base: usize,
+    own_from: usize,
+) -> Vec<u64> {
+    let w = tables.window();
+    let mask = params.mask();
+    let marker = params.marker & mask;
+    let mut cuts = Vec::new();
+
+    if region.len() < w {
+        return cuts;
+    }
+
+    let mut fp = 0u64;
+    for &b in &region[..w] {
+        fp = tables.push(fp, b);
+    }
+    // Window ends at local index w-1 -> absolute cut offset base + w.
+    if (fp & mask) == marker && base + w > own_from {
+        cuts.push((base + w) as u64);
+    }
+    for i in w..region.len() {
+        fp = tables.slide(fp, region[i - w], region[i]);
+        let cut = base + i + 1;
+        if (fp & mask) == marker && cut > own_from {
+            cuts.push(cut as u64);
+        }
+    }
+    cuts
+}
+
+/// Convenience wrapper: parallel chunking with a one-shot chunker.
+pub fn chunk_parallel(data: &[u8], params: &ChunkParams, threads: usize) -> Vec<Chunk> {
+    ParallelChunker::new(params, threads).chunk(data)
+}
+
+/// Computes the raw marker cuts of `data` by scanning `substreams`
+/// equal-size regions *sequentially*, each with the `w−1`-byte overlap —
+/// the exact work distribution of the paper's GPU chunking kernel (§3.1:
+/// "the data in the GPU memory is divided into equal sized sub-streams,
+/// as many as the number of threads"). Used by the simulated GPU kernels,
+/// whose thousands of logical threads obviously cannot be OS threads.
+///
+/// Produces the same cuts as a single sequential scan (property-tested).
+///
+/// # Panics
+///
+/// Panics if `substreams` is zero.
+pub fn raw_cuts_substreams(data: &[u8], params: &ChunkParams, substreams: usize) -> Vec<u64> {
+    assert!(substreams > 0, "substream count must be non-zero");
+    let tables = params.tables();
+    let w = tables.window();
+    if data.len() <= w || substreams == 1 {
+        return scan_region(&tables, params, data, 0, 0);
+    }
+    let n = substreams.min(data.len() / w).max(1);
+    let region = data.len().div_ceil(n);
+    let mut cuts = Vec::new();
+    for t in 0..n {
+        let start = t * region;
+        let end = ((t + 1) * region).min(data.len());
+        if start >= end {
+            break;
+        }
+        let scan_start = start.saturating_sub(w - 1);
+        cuts.extend(scan_region(
+            &tables,
+            params,
+            &data[scan_start..end],
+            scan_start,
+            start,
+        ));
+    }
+    debug_assert!(cuts.windows(2).all(|p| p[0] < p[1]));
+    cuts
+}
+
+/// Merges per-region cut lists produced by independent workers into one
+/// sorted cut list.
+///
+/// The lists must be internally sorted and pairwise disjoint in range
+/// (region order); this is checked in debug builds.
+pub fn merge_boundaries(lists: Vec<Vec<u64>>) -> Vec<u64> {
+    let mut merged = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+    for l in lists {
+        debug_assert!(merged.last().copied().unwrap_or(0) <= l.first().copied().unwrap_or(u64::MAX));
+        merged.extend_from_slice(&l);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::{chunk_all, raw_cuts};
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_equals_sequential_no_min_max() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(1 << 20, 17);
+        let seq = raw_cuts(&data, &params);
+        for threads in [1, 2, 3, 4, 7, 12] {
+            let par = ParallelChunker::new(&params, threads).raw_cuts(&data);
+            assert_eq!(par, seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_with_min_max() {
+        let params = ChunkParams::backup();
+        let data = pseudo_random(1 << 20, 23);
+        let seq = chunk_all(&data, &params);
+        for threads in [2, 5, 12] {
+            let par = chunk_parallel(&data, &params, threads);
+            assert_eq!(par, seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let params = ChunkParams::paper();
+        for len in [0usize, 1, 47, 48, 49, 100] {
+            let data = pseudo_random(len, len as u64 + 1);
+            assert_eq!(
+                chunk_parallel(&data, &params, 4),
+                chunk_all(&data, &params),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_sensible() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(10_000, 31);
+        assert_eq!(
+            chunk_parallel(&data, &params, 64),
+            chunk_all(&data, &params)
+        );
+    }
+
+    #[test]
+    fn region_boundary_markers_found_exactly_once() {
+        // Cut offsets must be strictly increasing (no duplicates at
+        // region seams).
+        let params = ChunkParams::paper();
+        let data = pseudo_random(300_000, 41);
+        let cuts = ParallelChunker::new(&params, 8).raw_cuts(&data);
+        assert!(cuts.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn merge_boundaries_concatenates() {
+        let merged = merge_boundaries(vec![vec![1, 5], vec![9, 12], vec![20]]);
+        assert_eq!(merged, vec![1, 5, 9, 12, 20]);
+    }
+
+    #[test]
+    fn substream_scan_equals_sequential() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(400_000, 77);
+        let seq = raw_cuts(&data, &params);
+        for n in [1usize, 2, 16, 100, 1000, 5000] {
+            assert_eq!(raw_cuts_substreams(&data, &params, n), seq, "{n} substreams");
+        }
+    }
+
+    #[test]
+    fn substream_scan_tiny_input() {
+        let params = ChunkParams::paper();
+        for len in [0usize, 1, 48, 100] {
+            let data = pseudo_random(len, 3);
+            assert_eq!(
+                raw_cuts_substreams(&data, &params, 64),
+                raw_cuts(&data, &params),
+                "len {len}"
+            );
+        }
+    }
+}

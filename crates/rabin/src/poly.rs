@@ -1,0 +1,455 @@
+//! Polynomial arithmetic over GF(2).
+//!
+//! Rabin fingerprinting (paper §2.1, equation 1) treats a bit string as a
+//! polynomial `f(x) = m0 + m1·x + … + m_{w-1}·x^{w-1}` over the finite
+//! field GF(2) and defines the fingerprint as `f(x) mod div(x)` for a
+//! fixed irreducible polynomial `div(x)` of degree `k`. This module
+//! provides the polynomial arithmetic needed to build the fingerprint
+//! tables and to generate/validate irreducible polynomials.
+//!
+//! A polynomial of degree ≤ 63 is stored as a `u64` whose bit `i` is the
+//! coefficient of `x^i`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A polynomial over GF(2) of degree at most 63.
+///
+/// Bit `i` of the backing `u64` is the coefficient of `x^i`.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_rabin::Polynomial;
+///
+/// // x^3 + x + 1, irreducible over GF(2).
+/// let p = Polynomial::new(0b1011);
+/// assert_eq!(p.degree(), Some(3));
+/// assert!(p.is_irreducible());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Polynomial(u64);
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub const ZERO: Polynomial = Polynomial(0);
+    /// The constant polynomial 1.
+    pub const ONE: Polynomial = Polynomial(1);
+
+    /// The default irreducible polynomial used by the workspace:
+    /// the degree-53 polynomial used by LBFS
+    /// (x^53 + x^47 + x^44 + x^41 + x^39 + x^38 + x^37 + x^34 + x^32 +
+    ///  x^30 + x^28 + x^27 + x^25 + x^24 + x^22 + x^19 + x^18 + x^16 +
+    ///  x^15 + x^13 + x^12 + x^10 + x^9 + x^8 + x^6 + x^4 + x^2 + x + 1).
+    ///
+    /// The paper's chunker likewise fixes one irreducible polynomial for
+    /// the lifetime of the system.
+    pub const LBFS: Polynomial = Polynomial(0x3DA3358B4DC173);
+
+    /// Creates a polynomial from its coefficient bits.
+    pub const fn new(bits: u64) -> Polynomial {
+        Polynomial(bits)
+    }
+
+    /// Returns the coefficient bits.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The degree of the polynomial, or `None` for the zero polynomial.
+    pub fn degree(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros())
+        }
+    }
+
+    /// Polynomial addition over GF(2) (carry-less: XOR).
+    pub fn add(self, other: Polynomial) -> Polynomial {
+        Polynomial(self.0 ^ other.0)
+    }
+
+    /// Carry-less multiplication of two polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the product would exceed degree 63;
+    /// callers multiplying within a modulus should use [`mul_mod`].
+    ///
+    /// [`mul_mod`]: Polynomial::mul_mod
+    pub fn mul(self, other: Polynomial) -> Polynomial {
+        debug_assert!(
+            match (self.degree(), other.degree()) {
+                (Some(a), Some(b)) => a + b <= 63,
+                _ => true,
+            },
+            "polynomial product overflows u64"
+        );
+        let mut acc = 0u64;
+        let mut a = self.0;
+        let mut shift = 0u32;
+        while a != 0 {
+            if a & 1 == 1 {
+                acc ^= other.0 << shift;
+            }
+            a >>= 1;
+            shift += 1;
+        }
+        Polynomial(acc)
+    }
+
+    /// Computes `self mod modulus` by long division over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem(self, modulus: Polynomial) -> Polynomial {
+        let md = modulus.degree().expect("modulus must be non-zero");
+        let mut r = self.0;
+        while let Some(rd) = Polynomial(r).degree() {
+            if rd < md {
+                break;
+            }
+            r ^= modulus.0 << (rd - md);
+        }
+        Polynomial(r)
+    }
+
+    /// Multiplies two polynomials of degree < deg(modulus), reducing
+    /// modulo `modulus`. Uses shift-and-reduce so intermediates never
+    /// overflow for moduli of degree ≤ 63.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn mul_mod(self, other: Polynomial, modulus: Polynomial) -> Polynomial {
+        let md = modulus.degree().expect("modulus must be non-zero");
+        debug_assert!(md <= 63);
+        let mut result = 0u64;
+        let mut a = self.rem(modulus).0;
+        let mut b = other.rem(modulus).0;
+        while b != 0 {
+            if b & 1 == 1 {
+                result ^= a;
+            }
+            b >>= 1;
+            // a = a * x mod modulus
+            a <<= 1;
+            if (a >> md) & 1 == 1 {
+                a ^= modulus.0;
+            }
+        }
+        Polynomial(result)
+    }
+
+    /// Computes `x^(2^i)` iterated squaring step: `self^2 mod modulus`.
+    pub fn square_mod(self, modulus: Polynomial) -> Polynomial {
+        self.mul_mod(self, modulus)
+    }
+
+    /// Computes the greatest common divisor of two polynomials.
+    pub fn gcd(self, other: Polynomial) -> Polynomial {
+        let (mut a, mut b) = (self, other);
+        while b != Polynomial::ZERO {
+            let r = a.rem(b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Tests irreducibility over GF(2) with Rabin's irreducibility test.
+    ///
+    /// `f` of degree `n` is irreducible iff `x^(2^n) ≡ x (mod f)` and for
+    /// every prime divisor `p` of `n`, `gcd(x^(2^(n/p)) − x, f) = 1`.
+    ///
+    /// Returns `false` for polynomials of degree < 1.
+    pub fn is_irreducible(self) -> bool {
+        let n = match self.degree() {
+            Some(d) if d >= 1 => d,
+            _ => return false,
+        };
+        if n == 1 {
+            // x and x+1 are both irreducible.
+            return true;
+        }
+        // Constant term must be 1, otherwise x divides f.
+        if self.0 & 1 == 0 {
+            return false;
+        }
+
+        let x = Polynomial(2); // the polynomial "x"
+
+        // x^(2^n) mod f must equal x.
+        let mut t = x;
+        for _ in 0..n {
+            t = t.square_mod(self);
+        }
+        if t != x.rem(self) {
+            return false;
+        }
+
+        // For each prime p | n: gcd(x^(2^(n/p)) - x, f) == 1.
+        for p in prime_divisors(n) {
+            let e = n / p;
+            let mut t = x;
+            for _ in 0..e {
+                t = t.square_mod(self);
+            }
+            let diff = t.add(x.rem(self));
+            if self.gcd(diff).degree() != Some(0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Generates a random irreducible polynomial of the given degree,
+    /// using the supplied source of random coefficient words.
+    ///
+    /// Rabin's original scheme (1981) picks the modulus at random; the
+    /// expected number of candidates tried is about `degree` (a fraction
+    /// ~1/n of degree-n polynomials are irreducible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is 0 or > 63.
+    pub fn random_irreducible(degree: u32, mut next_word: impl FnMut() -> u64) -> Polynomial {
+        assert!((1..=63).contains(&degree), "degree must be in 1..=63");
+        loop {
+            let mask = if degree == 63 {
+                u64::MAX
+            } else {
+                (1u64 << (degree + 1)) - 1
+            };
+            // Force the leading bit (exact degree) and the constant term
+            // (otherwise x divides the candidate).
+            let candidate = Polynomial((next_word() & mask) | (1 << degree) | 1);
+            if candidate.is_irreducible() {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polynomial({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for i in (0..=63).rev() {
+            if (self.0 >> i) & 1 == 1 {
+                if !first {
+                    f.write_str(" + ")?;
+                }
+                match i {
+                    0 => f.write_str("1")?,
+                    1 => f.write_str("x")?,
+                    _ => write!(f, "x^{i}")?,
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Polynomial {
+    fn from(bits: u64) -> Self {
+        Polynomial(bits)
+    }
+}
+
+/// Returns the distinct prime divisors of `n`.
+fn prime_divisors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        if n % p == 0 {
+            out.push(p);
+            while n % p == 0 {
+                n /= p;
+            }
+        }
+        p += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_basics() {
+        assert_eq!(Polynomial::ZERO.degree(), None);
+        assert_eq!(Polynomial::ONE.degree(), Some(0));
+        assert_eq!(Polynomial::new(0b10).degree(), Some(1));
+        assert_eq!(Polynomial::new(1 << 63).degree(), Some(63));
+    }
+
+    #[test]
+    fn add_is_xor() {
+        let a = Polynomial::new(0b1010);
+        let b = Polynomial::new(0b0110);
+        assert_eq!(a.add(b), Polynomial::new(0b1100));
+        assert_eq!(a.add(a), Polynomial::ZERO);
+    }
+
+    #[test]
+    fn mul_small_cases() {
+        // (x + 1)(x + 1) = x^2 + 1 over GF(2).
+        let xp1 = Polynomial::new(0b11);
+        assert_eq!(xp1.mul(xp1), Polynomial::new(0b101));
+        // x * x^2 = x^3
+        assert_eq!(
+            Polynomial::new(0b10).mul(Polynomial::new(0b100)),
+            Polynomial::new(0b1000)
+        );
+        assert_eq!(Polynomial::ONE.mul(xp1), xp1);
+        assert_eq!(Polynomial::ZERO.mul(xp1), Polynomial::ZERO);
+    }
+
+    #[test]
+    fn rem_small_cases() {
+        // x^3 mod (x^2 + 1) = x  (since x^3 = x·(x^2+1) + x).
+        let r = Polynomial::new(0b1000).rem(Polynomial::new(0b101));
+        assert_eq!(r, Polynomial::new(0b10));
+        // Anything mod itself is zero.
+        let f = Polynomial::new(0b1011);
+        assert_eq!(f.rem(f), Polynomial::ZERO);
+    }
+
+    #[test]
+    fn mul_mod_agrees_with_mul_then_rem() {
+        let m = Polynomial::new(0b1_0001_1011); // degree 8
+        for a in 0u64..64 {
+            for b in 0u64..64 {
+                let pa = Polynomial::new(a);
+                let pb = Polynomial::new(b);
+                assert_eq!(
+                    pa.mul_mod(pb, m),
+                    pa.mul(pb).rem(m),
+                    "a={a:#b} b={b:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // Classic small irreducible polynomials over GF(2).
+        for bits in [0b10u64, 0b11, 0b111, 0b1011, 0b1101, 0b10011, 0b11001] {
+            assert!(
+                Polynomial::new(bits).is_irreducible(),
+                "{:#b} should be irreducible",
+                bits
+            );
+        }
+    }
+
+    #[test]
+    fn known_reducibles() {
+        // x^2 + 1 = (x+1)^2; x^2 + x = x(x+1); x^4+x^2+1 = (x^2+x+1)^2.
+        for bits in [0b101u64, 0b110, 0b10101, 0b100, 0b1111] {
+            assert!(
+                !Polynomial::new(bits).is_irreducible(),
+                "{:#b} should be reducible",
+                bits
+            );
+        }
+        assert!(!Polynomial::ZERO.is_irreducible());
+        assert!(!Polynomial::ONE.is_irreducible());
+    }
+
+    #[test]
+    fn lbfs_polynomial_is_irreducible_degree_53() {
+        assert_eq!(Polynomial::LBFS.degree(), Some(53));
+        assert!(Polynomial::LBFS.is_irreducible());
+    }
+
+    #[test]
+    fn irreducible_count_degree_4() {
+        // There are exactly 3 irreducible polynomials of degree 4 over
+        // GF(2): x^4+x+1, x^4+x^3+1, x^4+x^3+x^2+x+1.
+        let count = (16u64..32)
+            .filter(|&bits| Polynomial::new(bits).is_irreducible())
+            .count();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn irreducible_count_degree_5() {
+        // 6 irreducible polynomials of degree 5 over GF(2).
+        let count = (32u64..64)
+            .filter(|&bits| Polynomial::new(bits).is_irreducible())
+            .count();
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn random_irreducible_has_requested_degree() {
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for degree in [8u32, 16, 31, 53] {
+            let p = Polynomial::random_irreducible(degree, &mut next);
+            assert_eq!(p.degree(), Some(degree));
+            assert!(p.is_irreducible());
+        }
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_one() {
+        // x^3+x+1 and x^2+x+1 are distinct irreducibles -> gcd 1.
+        let g = Polynomial::new(0b1011).gcd(Polynomial::new(0b111));
+        assert_eq!(g.degree(), Some(0));
+    }
+
+    #[test]
+    fn gcd_detects_common_factor() {
+        // (x+1)(x^2+x+1) and (x+1)(x^3+x+1) share (x+1).
+        let a = Polynomial::new(0b11).mul(Polynomial::new(0b111));
+        let b = Polynomial::new(0b11).mul(Polynomial::new(0b1011));
+        let g = a.gcd(b);
+        // gcd should be divisible by (x+1): evaluate at 1 == 0 means has
+        // root 1 means divisible by (x+1). Over GF(2), eval at 1 = parity.
+        assert_eq!(g.rem(Polynomial::new(0b11)), Polynomial::ZERO);
+    }
+
+    #[test]
+    fn display_renders_terms() {
+        assert_eq!(Polynomial::new(0b1011).to_string(), "x^3 + x + 1");
+        assert_eq!(Polynomial::ZERO.to_string(), "0");
+        assert_eq!(Polynomial::ONE.to_string(), "1");
+    }
+}

@@ -1,0 +1,225 @@
+//! Min/max-aware chunking that skips fingerprinting inside minimum-size
+//! zones — the optimization the paper leaves as future work.
+//!
+//! §2.1: "practical schemes define a minimum `min` and maximum `max`
+//! chunk size, which implies that after finding a marker the fingerprint
+//! computation can skip `min` bytes". §7.3 admits the GPU implementation
+//! does *not* do this ("the data that is skipped after a chunk boundary
+//! is still scanned") and defers to the techniques of Lillibridge et
+//! al. \[31, 33\]. This module implements the skipping scan:
+//!
+//! * after an accepted cut at `c`, the scan jumps to `c + min − (w−1)`
+//!   so the first window evaluated is the first one that could legally
+//!   end a chunk;
+//! * markers inside the skipped zone are never computed — by
+//!   construction the [`CutFilter`](crate::chunker::CutFilter) would
+//!   have discarded them, so the output is **identical** to the
+//!   scan-everything implementation (property-tested);
+//! * the fraction of bytes scanned drops by roughly
+//!   `min / expected_chunk_size`, which is the speedup a skipping GPU
+//!   kernel inherits.
+
+use crate::chunker::{cuts_to_chunks, Chunk, ChunkParams};
+
+/// Result of a skipping scan: the chunks plus scan-effort accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkipScan {
+    /// The chunks (identical to [`chunk_all`](crate::chunk_all)).
+    pub chunks: Vec<Chunk>,
+    /// Bytes whose fingerprint was actually computed.
+    pub bytes_scanned: u64,
+    /// Bytes skipped inside min-size zones.
+    pub bytes_skipped: u64,
+}
+
+impl SkipScan {
+    /// Fraction of the input that was never fingerprinted.
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.bytes_scanned + self.bytes_skipped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.bytes_skipped as f64 / total as f64
+    }
+}
+
+/// Chunks `data` with min/max enforcement, skipping fingerprint work
+/// inside minimum-size zones.
+///
+/// Produces exactly the chunks of [`chunk_all`](crate::chunk_all) with
+/// the same parameters.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_rabin::{chunk_all, skip::chunk_all_skipping, ChunkParams};
+///
+/// let params = ChunkParams::backup(); // min 2 KiB / max 16 KiB
+/// let data: Vec<u8> = (0..1u32 << 18).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect();
+/// let scan = chunk_all_skipping(&data, &params);
+/// assert_eq!(scan.chunks, chunk_all(&data, &params));
+/// assert!(scan.skip_fraction() > 0.15); // ~min/expected bytes never scanned
+/// ```
+pub fn chunk_all_skipping(data: &[u8], params: &ChunkParams) -> SkipScan {
+    let tables = params.tables();
+    let w = tables.window();
+    let mask = params.mask();
+    let marker = params.marker & mask;
+    let min = params.min_size;
+    let max = params.max_size;
+    let len = data.len() as u64;
+
+    let mut cuts: Vec<u64> = Vec::new();
+    let mut bytes_scanned = 0u64;
+    let mut last_cut = 0u64; // offset of the last accepted cut
+    // `pos` is the index of the next byte to feed the window.
+    let mut pos = skip_target(0, min, w, data.len());
+    let mut fp = 0u64;
+    let mut filled = 0usize;
+
+    while pos < data.len() {
+        // (Re)prime or slide the window.
+        if filled == w {
+            fp = tables.slide(fp, data[pos - w], data[pos]);
+        } else {
+            fp = tables.push(fp, data[pos]);
+            filled += 1;
+        }
+        bytes_scanned += 1;
+        let cut = (pos + 1) as u64;
+        pos += 1;
+
+        if filled < w {
+            continue;
+        }
+
+        let gap = cut - last_cut;
+        let is_marker = (fp & mask) == marker;
+        if (is_marker && gap as usize >= min.max(1)) || gap as usize == max {
+            if cut < len {
+                cuts.push(cut);
+            }
+            last_cut = cut;
+            // Jump past the min-zone; the window must be re-primed from
+            // w-1 bytes before the first evaluable cut position.
+            let next = skip_target(last_cut as usize, min, w, data.len());
+            if next > pos {
+                pos = next;
+                filled = 0;
+                fp = 0;
+            }
+        }
+    }
+
+    // A trailing max-size cut can be due if the scan ended mid-zone
+    // (cannot happen: max cuts are emitted in-line), but the final
+    // partial chunk is implicit.
+    let chunks = cuts_to_chunks(&cuts, len);
+    let bytes_skipped = len - bytes_scanned;
+    SkipScan {
+        chunks,
+        bytes_scanned,
+        bytes_skipped,
+    }
+}
+
+/// First byte index the scan must feed so that the first *evaluable* cut
+/// is `cut_base + max(min, 1)`: the window (w bytes) ending at that cut
+/// starts `w` bytes earlier.
+fn skip_target(cut_base: usize, min: usize, w: usize, len: usize) -> usize {
+    let first_cut = cut_base + min.max(1);
+    first_cut.saturating_sub(w).min(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::chunk_all;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_scan_everything_backup_params() {
+        let params = ChunkParams::backup();
+        for seed in 1..6u64 {
+            let data = pseudo_random(1 << 20, seed);
+            let scan = chunk_all_skipping(&data, &params);
+            assert_eq!(scan.chunks, chunk_all(&data, &params), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_scan_everything_various_params() {
+        let data = pseudo_random(512 << 10, 9);
+        for (min, max) in [(0usize, usize::MAX), (1024, 8192), (4096, 16384), (0, 4096)] {
+            let params = ChunkParams {
+                min_size: min,
+                max_size: max,
+                ..ChunkParams::paper()
+            };
+            let scan = chunk_all_skipping(&data, &params);
+            assert_eq!(
+                scan.chunks,
+                chunk_all(&data, &params),
+                "min {min} max {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn skips_about_min_over_expected() {
+        let params = ChunkParams::backup(); // min 2K, expected 8K
+        let data = pseudo_random(4 << 20, 3);
+        let scan = chunk_all_skipping(&data, &params);
+        let skip = scan.skip_fraction();
+        // Mean chunk with min/max is between min and max; the skipped
+        // share should be meaningfully positive and below 50%.
+        assert!(skip > 0.1 && skip < 0.5, "skip fraction {skip}");
+        assert_eq!(
+            scan.bytes_scanned + scan.bytes_skipped,
+            data.len() as u64
+        );
+    }
+
+    #[test]
+    fn no_min_means_no_skipping() {
+        let params = ChunkParams::paper(); // min 0
+        let data = pseudo_random(256 << 10, 4);
+        let scan = chunk_all_skipping(&data, &params);
+        assert_eq!(scan.chunks, chunk_all(&data, &params));
+        // Only the initial w-1-byte offset is "skipped".
+        assert!(scan.bytes_skipped < params.window as u64);
+    }
+
+    #[test]
+    fn constant_data_forced_cuts() {
+        let params = ChunkParams {
+            min_size: 1024,
+            max_size: 4096,
+            ..ChunkParams::paper()
+        };
+        let data = vec![0u8; 20_000];
+        let scan = chunk_all_skipping(&data, &params);
+        assert_eq!(scan.chunks, chunk_all(&data, &params));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let params = ChunkParams::backup();
+        for len in [0usize, 1, 47, 48, 100, 2047, 2048, 2049] {
+            let data = pseudo_random(len, len as u64 + 7);
+            let scan = chunk_all_skipping(&data, &params);
+            assert_eq!(scan.chunks, chunk_all(&data, &params), "len {len}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Seeded workload generators for the Shredder experiments.
+//!
+//! The paper's evaluation needs three kinds of input we cannot obtain
+//! (production SAN streams, Hadoop datasets, VM image repositories), so
+//! this crate synthesizes deterministic equivalents:
+//!
+//! * [`text`] — record-oriented text corpora with a Zipf-ish word
+//!   distribution, the input for Word-Count and Co-occurrence Matrix
+//!   (Figure 15), plus numeric point datasets for K-means.
+//! * [`mutate`] — incremental-change operators: given a dataset and a
+//!   change percentage, produce the "next run" input by replacing,
+//!   inserting and deleting localized spans (Figure 15's x-axis).
+//! * [`vmimage`] — the §7.3 emulation environment: a master VM image,
+//!   an image similarity table of per-segment change probabilities, and
+//!   derived snapshot images (Figure 18's x-axis).
+//! * [`bytes`] — low-level seeded byte streams (uniform random and
+//!   compressible) used by the microbenchmarks.
+//!
+//! Everything is a pure function of its seed: experiments are
+//! reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod mutate;
+pub mod text;
+pub mod vmimage;
+
+pub use bytes::{compressible_bytes, random_bytes};
+pub use mutate::{mutate, MutationKind, MutationSpec};
+pub use text::{kmeans_points, points_to_records, words_corpus, TextCorpus};
+pub use vmimage::{MasterImage, SimilarityTable};

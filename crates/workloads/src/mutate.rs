@@ -1,0 +1,207 @@
+//! Incremental-change operators: derive the "next run" of a dataset.
+//!
+//! Figure 15 varies the *percentage of incremental changes* in the input
+//! of consecutive MapReduce runs. [`mutate`] applies that: it splits the
+//! requested change budget across localized span replacements, insertions
+//! and deletions scattered uniformly through the file — the access
+//! pattern of log appends, record updates and web-crawl deltas the Incoop
+//! motivation describes (§6.1).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The kinds of localized edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MutationKind {
+    /// Overwrite a span with fresh bytes (same length).
+    Replace,
+    /// Insert fresh bytes at a position.
+    Insert,
+    /// Remove a span.
+    Delete,
+}
+
+/// A mutation plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MutationSpec {
+    /// Fraction of the input bytes to change, 0.0–1.0.
+    pub change_fraction: f64,
+    /// Mean size of each edited span, bytes.
+    pub span_bytes: usize,
+    /// Which edit kinds to use (cycled through).
+    pub kinds: Vec<MutationKind>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MutationSpec {
+    /// A replace-only plan — the §7.3 segment-replacement style, also the
+    /// default for Figure 15 (record updates keep file size stable).
+    pub fn replace(change_fraction: f64, seed: u64) -> Self {
+        MutationSpec {
+            change_fraction,
+            span_bytes: 4096,
+            kinds: vec![MutationKind::Replace],
+            seed,
+        }
+    }
+
+    /// A mixed plan exercising all three edit kinds.
+    pub fn mixed(change_fraction: f64, seed: u64) -> Self {
+        MutationSpec {
+            change_fraction,
+            span_bytes: 4096,
+            kinds: vec![
+                MutationKind::Replace,
+                MutationKind::Insert,
+                MutationKind::Delete,
+            ],
+            seed,
+        }
+    }
+}
+
+/// Applies a mutation plan, returning the changed dataset.
+///
+/// The number of edits is `ceil(len × change_fraction / span_bytes)`;
+/// each edit picks an independent uniformly random position. A
+/// `change_fraction` of 0 returns the input unchanged.
+///
+/// # Panics
+///
+/// Panics if `change_fraction` is not within `0.0..=1.0` or
+/// `span_bytes` is zero.
+pub fn mutate(data: &[u8], spec: &MutationSpec) -> Vec<u8> {
+    assert!(
+        (0.0..=1.0).contains(&spec.change_fraction),
+        "change fraction out of range"
+    );
+    assert!(spec.span_bytes > 0, "span size must be non-zero");
+    let mut out = data.to_vec();
+    if spec.change_fraction == 0.0 || data.is_empty() {
+        return out;
+    }
+
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x4d75_7461_7465_2121);
+    let budget = (data.len() as f64 * spec.change_fraction).ceil() as usize;
+    let edits = budget.div_ceil(spec.span_bytes);
+
+    for e in 0..edits {
+        let kind = spec.kinds[e % spec.kinds.len()];
+        let span = spec.span_bytes.min(out.len().max(1));
+        let pos = rng.random_range(0..out.len().max(1));
+        match kind {
+            MutationKind::Replace => {
+                let end = (pos + span).min(out.len());
+                for b in &mut out[pos..end] {
+                    *b = rng.random();
+                }
+            }
+            MutationKind::Insert => {
+                let fresh: Vec<u8> = (0..span).map(|_| rng.random()).collect();
+                let pos = pos.min(out.len());
+                out.splice(pos..pos, fresh);
+            }
+            MutationKind::Delete => {
+                let end = (pos + span).min(out.len());
+                out.drain(pos..end);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<u8> {
+        crate::bytes::random_bytes(512 * 1024, 99)
+    }
+
+    #[test]
+    fn zero_change_is_identity() {
+        let data = base();
+        assert_eq!(mutate(&data, &MutationSpec::replace(0.0, 1)), data);
+    }
+
+    #[test]
+    fn replace_changes_about_the_requested_fraction() {
+        let data = base();
+        for pct in [0.05f64, 0.10, 0.25] {
+            let out = mutate(&data, &MutationSpec::replace(pct, 7));
+            assert_eq!(out.len(), data.len());
+            let diff = out.iter().zip(&data).filter(|(a, b)| a != b).count();
+            let frac = diff as f64 / data.len() as f64;
+            // Random spans can overlap (less change) and the edit count
+            // rounds up (more change); allow slack both ways.
+            assert!(
+                frac > pct * 0.5 && frac <= pct * 1.2 + 0.01,
+                "requested {pct}, changed {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let data = base();
+        let spec = MutationSpec::mixed(0.1, 5);
+        assert_eq!(mutate(&data, &spec), mutate(&data, &spec));
+        let other = MutationSpec::mixed(0.1, 6);
+        assert_ne!(mutate(&data, &spec), mutate(&data, &other));
+    }
+
+    #[test]
+    fn inserts_grow_and_deletes_shrink() {
+        let data = base();
+        let grow = mutate(
+            &data,
+            &MutationSpec {
+                kinds: vec![MutationKind::Insert],
+                ..MutationSpec::replace(0.05, 3)
+            },
+        );
+        assert!(grow.len() > data.len());
+        let shrink = mutate(
+            &data,
+            &MutationSpec {
+                kinds: vec![MutationKind::Delete],
+                ..MutationSpec::replace(0.05, 3)
+            },
+        );
+        assert!(shrink.len() < data.len());
+    }
+
+    #[test]
+    fn most_content_survives_small_mutations() {
+        // The property Figure 15 relies on: small change fractions leave
+        // most chunks identical.
+        use shredder_rabin::{chunk_all, ChunkParams};
+        let data = base();
+        let out = mutate(&data, &MutationSpec::mixed(0.02, 11));
+        let params = ChunkParams::paper();
+        let before: std::collections::HashSet<Vec<u8>> = chunk_all(&data, &params)
+            .iter()
+            .map(|c| c.slice(&data).to_vec())
+            .collect();
+        let after = chunk_all(&out, &params);
+        let reused = after
+            .iter()
+            .filter(|c| before.contains(c.slice(&out)))
+            .count();
+        let rate = reused as f64 / after.len() as f64;
+        assert!(rate > 0.7, "only {rate} of chunks reused at 2% change");
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        assert!(mutate(&[], &MutationSpec::mixed(0.5, 1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn over_unity_fraction_panics() {
+        let _ = mutate(&[1, 2, 3], &MutationSpec::replace(1.5, 1));
+    }
+}

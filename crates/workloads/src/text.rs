@@ -1,0 +1,180 @@
+//! Record-oriented text corpora and numeric datasets for the MapReduce
+//! applications of Figure 15.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic text corpus of newline-separated records.
+///
+/// Words follow an approximately Zipfian rank-frequency curve so
+/// Word-Count and Co-occurrence outputs are realistically skewed.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_workloads::TextCorpus;
+///
+/// let corpus = TextCorpus::new(500, 42);
+/// let text = corpus.generate(10_000);
+/// assert!(text.len() >= 10_000);
+/// assert!(text.ends_with(b"\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextCorpus {
+    vocabulary: Vec<String>,
+    seed: u64,
+}
+
+impl TextCorpus {
+    /// Creates a corpus generator with `vocab_size` distinct words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size` is zero.
+    pub fn new(vocab_size: usize, seed: u64) -> Self {
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        let vocabulary = (0..vocab_size).map(|i| format!("w{i:04x}")).collect();
+        TextCorpus { vocabulary, seed }
+    }
+
+    /// Generates at least `min_bytes` of text, ending at a record
+    /// (newline) boundary. Records are 6–14 words long.
+    pub fn generate(&self, min_bytes: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5465_7874_4765_6e21);
+        let mut out = Vec::with_capacity(min_bytes + 128);
+        while out.len() < min_bytes {
+            let words = rng.random_range(6..=14);
+            for i in 0..words {
+                if i > 0 {
+                    out.push(b' ');
+                }
+                out.extend_from_slice(self.pick_word(&mut rng).as_bytes());
+            }
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Zipf-ish pick: rank r chosen with probability ∝ 1/(r+1).
+    fn pick_word<'v>(&'v self, rng: &mut StdRng) -> &'v str {
+        let n = self.vocabulary.len();
+        // Inverse-CDF sampling of 1/(r+1) via the harmonic approximation:
+        // r ≈ exp(u · ln(n+1)) − 1.
+        let u: f64 = rng.random();
+        let r = ((u * ((n as f64 + 1.0).ln())).exp() - 1.0) as usize;
+        &self.vocabulary[r.min(n - 1)]
+    }
+}
+
+/// Generates a words-only corpus in one call.
+pub fn words_corpus(min_bytes: usize, vocab: usize, seed: u64) -> Vec<u8> {
+    TextCorpus::new(vocab, seed).generate(min_bytes)
+}
+
+/// Generates `n` 2-D points clustered around `k` well-separated centers —
+/// the K-means input of Figure 15.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn kmeans_points(n: usize, k: usize, seed: u64) -> Vec<(f64, f64)> {
+    assert!(k > 0, "k must be non-zero");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4b4d_6561_6e73_2121);
+    let centers: Vec<(f64, f64)> = (0..k)
+        .map(|i| {
+            let angle = i as f64 / k as f64 * std::f64::consts::TAU;
+            (100.0 * angle.cos(), 100.0 * angle.sin())
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.random_range(0..k)];
+            (
+                c.0 + rng.random_range(-8.0..8.0),
+                c.1 + rng.random_range(-8.0..8.0),
+            )
+        })
+        .collect()
+}
+
+/// Serializes points to newline-separated `x,y` records (the on-disk
+/// format the K-means mapper parses).
+pub fn points_to_records(points: &[(f64, f64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(points.len() * 20);
+    for (x, y) in points {
+        out.extend_from_slice(format!("{x:.3},{y:.3}\n").as_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = words_corpus(5000, 100, 1);
+        let b = words_corpus(5000, 100, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, words_corpus(5000, 100, 2));
+    }
+
+    #[test]
+    fn corpus_is_records() {
+        let text = words_corpus(2000, 50, 3);
+        assert_eq!(*text.last().unwrap(), b'\n');
+        let s = String::from_utf8(text).unwrap();
+        for line in s.lines() {
+            let words: Vec<&str> = line.split(' ').collect();
+            assert!((6..=14).contains(&words.len()), "{line}");
+        }
+    }
+
+    #[test]
+    fn word_distribution_is_skewed() {
+        let text = words_corpus(200_000, 200, 4);
+        let s = String::from_utf8(text).unwrap();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for w in s.split_whitespace() {
+            *counts.entry(w).or_default() += 1;
+        }
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        // Top word should be much more frequent than the median word.
+        let median = freq[freq.len() / 2];
+        assert!(freq[0] > 4 * median, "top {} median {median}", freq[0]);
+    }
+
+    #[test]
+    fn kmeans_points_cluster() {
+        let pts = kmeans_points(3000, 3, 5);
+        assert_eq!(pts.len(), 3000);
+        // Every point is within 20 of one of the 3 ideal centers.
+        let centers = [(100.0, 0.0), (-50.0, 86.6), (-50.0, -86.6)];
+        for (x, y) in &pts {
+            let close = centers
+                .iter()
+                .any(|(cx, cy)| ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() < 20.0);
+            assert!(close, "outlier ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn points_roundtrip_via_records() {
+        let pts = kmeans_points(100, 2, 6);
+        let rec = points_to_records(&pts);
+        let s = String::from_utf8(rec).unwrap();
+        let parsed: Vec<(f64, f64)> = s
+            .lines()
+            .map(|l| {
+                let (x, y) = l.split_once(',').unwrap();
+                (x.parse().unwrap(), y.parse().unwrap())
+            })
+            .collect();
+        assert_eq!(parsed.len(), pts.len());
+        for (a, b) in parsed.iter().zip(&pts) {
+            assert!((a.0 - b.0).abs() < 0.001 && (a.1 - b.1).abs() < 0.001);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The §7.3 cloud-backup emulation environment.
+//!
+//! "On our backup agent, we keep a master image in memory … The backup
+//! agent creates new file system images from the master image by
+//! replacing part of the content from the master image using a
+//! predefined similarity table. The master image is divided into
+//! segments. The image similarity table contains a probability of each
+//! segment being replaced by a different content."
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The in-memory master VM image (the paper keeps it in memcached; we
+/// keep it in a `Vec` — both are RAM).
+#[derive(Debug, Clone)]
+pub struct MasterImage {
+    data: Vec<u8>,
+    segment_bytes: usize,
+}
+
+impl MasterImage {
+    /// Synthesizes a master image of `bytes` divided into segments of
+    /// `segment_bytes`.
+    ///
+    /// The content mixes OS-like redundancy (repeated blocks) with
+    /// unique regions, so intra-image dedup exists but is not total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_bytes` is zero.
+    pub fn synthesize(bytes: usize, segment_bytes: usize, seed: u64) -> Self {
+        assert!(segment_bytes > 0, "segment size must be non-zero");
+        let mut data = crate::bytes::compressible_bytes(bytes / 2, 512, seed);
+        data.extend(crate::bytes::random_bytes(bytes - data.len(), seed ^ 1));
+        MasterImage {
+            data,
+            segment_bytes,
+        }
+    }
+
+    /// The image bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Image size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Segment size in bytes.
+    pub fn segment_bytes(&self) -> usize {
+        self.segment_bytes
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.data.len().div_ceil(self.segment_bytes)
+    }
+
+    /// Derives a snapshot image: each segment is replaced with fresh
+    /// content with the probability the similarity table assigns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built for a different segment count.
+    pub fn derive(&self, table: &SimilarityTable, seed: u64) -> Vec<u8> {
+        assert_eq!(
+            table.probabilities.len(),
+            self.segments(),
+            "similarity table segment count mismatch"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x564d_496d_6167_6521);
+        let mut out = self.data.clone();
+        for (i, &p) in table.probabilities.iter().enumerate() {
+            if rng.random::<f64>() < p {
+                let start = i * self.segment_bytes;
+                let end = (start + self.segment_bytes).min(out.len());
+                rng.fill_bytes(&mut out[start..end]);
+            }
+        }
+        out
+    }
+}
+
+/// Per-segment replacement probabilities (§7.3's "image similarity
+/// table").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityTable {
+    /// Probability that segment `i` is replaced in a derived image.
+    pub probabilities: Vec<f64>,
+}
+
+impl SimilarityTable {
+    /// A uniform table: every segment changes with probability `p` — the
+    /// x-axis of Figure 18 ("Probability of Segment Changes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn uniform(segments: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        SimilarityTable {
+            probabilities: vec![p; segments],
+        }
+    }
+
+    /// A skewed table: a `hot_fraction` of segments change with
+    /// `hot_p`, the rest with `cold_p` (OS partitions barely change;
+    /// data partitions churn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability or `hot_fraction` is out of `0.0..=1.0`.
+    pub fn skewed(segments: usize, hot_fraction: f64, hot_p: f64, cold_p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&hot_fraction), "fraction out of range");
+        assert!((0.0..=1.0).contains(&hot_p), "hot probability out of range");
+        assert!((0.0..=1.0).contains(&cold_p), "cold probability out of range");
+        let hot = (segments as f64 * hot_fraction) as usize;
+        let mut probabilities = vec![cold_p; segments];
+        for p in probabilities.iter_mut().take(hot) {
+            *p = hot_p;
+        }
+        SimilarityTable { probabilities }
+    }
+
+    /// Expected fraction of the image replaced per derived snapshot.
+    pub fn expected_change(&self) -> f64 {
+        if self.probabilities.is_empty() {
+            return 0.0;
+        }
+        self.probabilities.iter().sum::<f64>() / self.probabilities.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn master() -> MasterImage {
+        MasterImage::synthesize(1 << 20, 16 << 10, 42)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        assert_eq!(master().data(), master().data());
+        assert_eq!(master().len(), 1 << 20);
+        assert_eq!(master().segments(), 64);
+    }
+
+    #[test]
+    fn derive_changes_about_p_of_segments() {
+        let m = master();
+        let table = SimilarityTable::uniform(m.segments(), 0.25);
+        let snap = m.derive(&table, 7);
+        assert_eq!(snap.len(), m.len());
+
+        let seg = m.segment_bytes();
+        let changed = (0..m.segments())
+            .filter(|&i| {
+                let s = i * seg;
+                let e = (s + seg).min(m.len());
+                snap[s..e] != m.data()[s..e]
+            })
+            .count();
+        let frac = changed as f64 / m.segments() as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.15,
+            "changed {frac} of segments for p=0.25"
+        );
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let m = master();
+        let table = SimilarityTable::uniform(m.segments(), 0.0);
+        assert_eq!(m.derive(&table, 3), m.data());
+    }
+
+    #[test]
+    fn snapshots_differ_by_seed() {
+        let m = master();
+        let table = SimilarityTable::uniform(m.segments(), 0.5);
+        assert_ne!(m.derive(&table, 1), m.derive(&table, 2));
+        assert_eq!(m.derive(&table, 1), m.derive(&table, 1));
+    }
+
+    #[test]
+    fn skewed_table_expected_change() {
+        let t = SimilarityTable::skewed(100, 0.2, 0.9, 0.05);
+        let expected = 0.2 * 0.9 + 0.8 * 0.05;
+        assert!((t.expected_change() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment count mismatch")]
+    fn mismatched_table_panics() {
+        let m = master();
+        let table = SimilarityTable::uniform(m.segments() + 1, 0.1);
+        let _ = m.derive(&table, 1);
+    }
+}

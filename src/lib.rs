@@ -1,0 +1,60 @@
+//! # Shredder: GPU-accelerated incremental storage and computation
+//!
+//! A from-scratch Rust reproduction of *Shredder: GPU-Accelerated
+//! Incremental Storage and Computation* (Bhatotia, Rodrigues & Verma,
+//! FAST 2012) — a high-performance content-based chunking framework for
+//! incremental storage and computation systems.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`rabin`] — Rabin fingerprinting over GF(2) and content-defined
+//!   chunking (sequential, fixed-size and parallel SPMD).
+//! * [`hash`] — SHA-256 chunk digests and fast index hashing.
+//! * [`des`] — the deterministic discrete-event simulation kernel that
+//!   underpins every timing result.
+//! * [`gpu`] — the functional + timing model of the paper's Tesla C2050
+//!   (DRAM banks, coalescing, DMA, SIMT, the two chunking kernels).
+//! * [`core`] — the Shredder framework itself: the
+//!   Reader→Transfer→Kernel→Store pipeline with double buffering, pinned
+//!   ring buffers and the multi-stage streaming pipeline, plus the
+//!   host-only pthreads-style baseline.
+//! * [`workloads`] — seeded data/trace generators (mutations, VM images,
+//!   record datasets).
+//! * [`hdfs`] — Inc-HDFS: content-defined chunking for HDFS-style
+//!   storage (case study I substrate).
+//! * [`mapreduce`] — Incoop-style incremental MapReduce with memoization
+//!   (case study I).
+//! * [`backup`] — the consolidated cloud-backup system (case study II).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shredder::core::{ChunkingService, Shredder, ShredderConfig};
+//!
+//! // Chunk a stream with the fully-optimized GPU pipeline and collect
+//! // the chunk boundaries Shredder "upcalls" to the application.
+//! let data: Vec<u8> = (0..1u32 << 20).map(|i| (i.wrapping_mul(2654435761) >> 9) as u8).collect();
+//! let shredder = Shredder::new(ShredderConfig::default());
+//! let outcome = shredder.chunk_stream(&data);
+//! assert_eq!(
+//!     outcome.chunks.iter().map(|c| c.len).sum::<usize>(),
+//!     data.len()
+//! );
+//! println!("simulated chunking bandwidth: {:.2} GB/s", outcome.report.throughput_gbps());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use shredder_backup as backup;
+pub use shredder_core as core;
+pub use shredder_des as des;
+pub use shredder_gpu as gpu;
+pub use shredder_hash as hash;
+pub use shredder_hdfs as hdfs;
+pub use shredder_mapreduce as mapreduce;
+pub use shredder_rabin as rabin;
+pub use shredder_workloads as workloads;

@@ -1,0 +1,61 @@
+//! Integration: CUDA-style streams reproduce the Figure 4 timeline on
+//! top of the shared device engines.
+
+use shredder::des::{Dur, Simulation};
+use shredder::gpu::stream::Stream;
+use shredder::gpu::{DeviceConfig, GpuExecutor, HostMemKind};
+
+#[test]
+fn one_stream_serializes_two_streams_overlap() {
+    let run = |streams: usize, buffers: usize| {
+        let mut sim = Simulation::new();
+        let gpu = GpuExecutor::new(&DeviceConfig::tesla_c2050());
+        let pool: Vec<Stream> = (0..streams).map(|_| Stream::new(&gpu)).collect();
+        for i in 0..buffers {
+            let s = &pool[i % streams];
+            s.enqueue_h2d(&mut sim, 64 << 20, HostMemKind::Pinned);
+            s.enqueue_kernel(&mut sim, Dur::from_millis(40));
+        }
+        sim.run().as_millis_f64()
+    };
+
+    let serialized = run(1, 6);
+    let double_buffered = run(2, 6);
+    // Single stream: 6 × (12.4 + 40); two streams: ~12.4 + 6 × 40.
+    assert!(serialized > 300.0, "{serialized}");
+    assert!(double_buffered < serialized * 0.85, "{double_buffered}");
+    assert!((double_buffered - (12.4 + 240.0)).abs() < 15.0);
+}
+
+#[test]
+fn events_order_work_across_streams() {
+    let mut sim = Simulation::new();
+    let gpu = GpuExecutor::new(&DeviceConfig::tesla_c2050());
+    let producer = Stream::new(&gpu);
+    let consumer = Stream::new(&gpu);
+
+    // Producer copies data in; consumer must not start its kernel before
+    // the copy has landed.
+    producer.enqueue_h2d(&mut sim, 128 << 20, HostMemKind::Pinned); // ~24.8ms
+    let ready = producer.record_event(&mut sim);
+    consumer.wait_event(&mut sim, &ready);
+    consumer.enqueue_kernel(&mut sim, Dur::from_millis(10));
+
+    let end = sim.run().as_millis_f64();
+    assert!(ready.is_fired());
+    assert!(end > 34.0 && end < 37.0, "{end}ms");
+    assert_eq!(consumer.completed(), 2); // wait + kernel
+}
+
+#[test]
+fn stream_counters_track_operations() {
+    let mut sim = Simulation::new();
+    let gpu = GpuExecutor::new(&DeviceConfig::tesla_c2050());
+    let s = Stream::new(&gpu);
+    for _ in 0..5 {
+        s.enqueue_kernel(&mut sim, Dur::from_micros(10));
+    }
+    assert_eq!(s.issued(), 5);
+    sim.run();
+    assert_eq!(s.completed(), 5);
+}
