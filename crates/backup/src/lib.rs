@@ -37,7 +37,7 @@
 //! });
 //!
 //! let image = shredder_workloads::compressible_bytes(1 << 20, 256, 1);
-//! let report = server.backup_image(&image, &service);
+//! let report = server.backup_image(&image, &service).unwrap();
 //! assert_eq!(server.site().restore(report.image_id).unwrap(), image);
 //! ```
 

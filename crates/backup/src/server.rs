@@ -7,12 +7,12 @@
 //! a pipeline stage on the discrete-event simulator; the measured backup
 //! bandwidth (Figure 18) is `image bytes / makespan`.
 
-
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use shredder_core::ChunkingService;
+use shredder_core::{ChunkError, ChunkingService, EngineReport, Shredder, SliceSource};
 use shredder_des::{BandwidthChannel, Dur, FifoServer, Semaphore, SimTime, Simulation};
 use shredder_hash::sha256;
+use shredder_rabin::Chunk;
 
 use crate::config::BackupConfig;
 use crate::index::DedupIndex;
@@ -57,6 +57,36 @@ impl BackupReport {
     }
 }
 
+/// Outcome of backing up several site streams in one engine batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchBackupReport {
+    /// Per-image reports, in submission order.
+    pub reports: Vec<BackupReport>,
+    /// The shared chunking engine's aggregate report (per-site makespan,
+    /// queueing, aggregate GB/s).
+    pub engine: EngineReport,
+}
+
+impl BatchBackupReport {
+    /// Total image bytes across the batch.
+    pub fn total_bytes(&self) -> u64 {
+        self.reports.iter().map(|r| r.image_bytes).sum()
+    }
+
+    /// Aggregate backup bandwidth of the batch in Gbps: total bytes over
+    /// the summed per-image server makespans. Only the *chunking* stage
+    /// is shared across sites (see [`EngineReport::aggregate_gbps`] for
+    /// that overlap); the server's hash/index/ship pipeline drains one
+    /// image at a time, so the batch as a whole is bounded by the sum.
+    pub fn aggregate_bandwidth_gbps(&self) -> f64 {
+        let total_time: Dur = self.reports.iter().map(|r| r.makespan).sum();
+        if total_time.is_zero() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 * 8.0 / total_time.as_secs_f64() / 1e9
+    }
+}
+
 /// The backup server: index + connection to the backup site.
 ///
 /// # Examples
@@ -73,8 +103,8 @@ impl BackupReport {
 /// });
 /// let image = shredder_workloads::compressible_bytes(512 << 10, 128, 3);
 ///
-/// let first = server.backup_image(&image, &service);
-/// let second = server.backup_image(&image, &service);
+/// let first = server.backup_image(&image, &service).unwrap();
+/// let second = server.backup_image(&image, &service).unwrap();
 /// // An identical snapshot deduplicates (almost) entirely.
 /// assert!(second.dedup_fraction() > 0.99);
 /// assert!(second.new_bytes < first.new_bytes);
@@ -112,14 +142,55 @@ impl BackupServer {
     }
 
     /// Backs up one image snapshot through the given chunking engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkError`] if the chunking service fails; nothing is stored
+    /// in that case.
     pub fn backup_image(
         &mut self,
         image: &[u8],
         service: &dyn ChunkingService,
-    ) -> BackupReport {
-        // ----- Functional pass: chunk, hash, dedup, ship. -----
-        let outcome = service.chunk_stream(image);
-        let chunking_time = outcome.report.makespan();
+    ) -> Result<BackupReport, ChunkError> {
+        let outcome = service.chunk_stream(image)?;
+        Ok(self.ingest(image, &outcome.chunks, outcome.report.makespan()))
+    }
+
+    /// Backs up several site streams in **one batch**: every image is a
+    /// session on one shared multi-stream engine (§7.2's server handling
+    /// many remote sites), so their chunking contends for and overlaps
+    /// on the same device pipeline instead of running back to back.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkError`] if the engine fails; no image is stored in that
+    /// case.
+    pub fn backup_batch(
+        &mut self,
+        images: &[&[u8]],
+        shredder: &Shredder,
+    ) -> Result<BatchBackupReport, ChunkError> {
+        let mut engine = shredder.engine();
+        for (i, image) in images.iter().enumerate() {
+            engine.open_named_session(format!("site-{i}"), 1, SliceSource::new(image));
+        }
+        let outcome = engine.run()?;
+
+        let mut reports = Vec::with_capacity(images.len());
+        for (session, image) in outcome.sessions.iter().zip(images) {
+            let chunking_time = outcome.report.sessions[session.id.index()].makespan;
+            reports.push(self.ingest(image, &session.chunks, chunking_time));
+        }
+        Ok(BatchBackupReport {
+            reports,
+            engine: outcome.report,
+        })
+    }
+
+    /// The functional + timing backup pass over already-computed chunks:
+    /// hash, dedup against the index, ship new payloads to the site, and
+    /// simulate the five-stage server pipeline.
+    fn ingest(&mut self, image: &[u8], chunks: &[Chunk], chunking_time: Dur) -> BackupReport {
         let chunking_bw = if chunking_time.is_zero() {
             f64::INFINITY
         } else {
@@ -141,7 +212,7 @@ impl BackupServer {
             })
             .collect();
 
-        for chunk in &outcome.chunks {
+        for chunk in chunks {
             let payload = chunk.slice(image);
             let digest = sha256(payload);
             let b = (chunk.offset as usize / self.config.buffer_size).min(buffers - 1);
@@ -167,7 +238,7 @@ impl BackupServer {
         BackupReport {
             image_id,
             image_bytes: image.len() as u64,
-            chunks: outcome.chunks.len(),
+            chunks: chunks.len(),
             new_chunks,
             new_bytes,
             dedup_bytes,
@@ -247,7 +318,7 @@ fn buffer_len(total: usize, buffer: usize, index: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shredder_core::{HostChunker, HostChunkerConfig};
+    use shredder_core::{HostChunker, HostChunkerConfig, ShredderConfig};
     use shredder_rabin::ChunkParams;
     use shredder_workloads::{MasterImage, SimilarityTable};
 
@@ -256,6 +327,14 @@ mod tests {
             params: ChunkParams::backup(),
             ..HostChunkerConfig::optimized()
         })
+    }
+
+    fn gpu_service() -> Shredder {
+        Shredder::new(
+            ShredderConfig::gpu_streams_memory()
+                .with_params(ChunkParams::backup())
+                .with_buffer_size(256 << 10),
+        )
     }
 
     fn small_config() -> BackupConfig {
@@ -269,7 +348,7 @@ mod tests {
     fn roundtrip_restores_image() {
         let mut server = BackupServer::new(small_config());
         let image = shredder_workloads::random_bytes(1 << 20, 5);
-        let report = server.backup_image(&image, &cpu_service());
+        let report = server.backup_image(&image, &cpu_service()).unwrap();
         assert_eq!(server.site().restore(report.image_id).unwrap(), image);
         assert_eq!(report.image_bytes, 1 << 20);
         assert!(report.chunks > 10);
@@ -279,8 +358,8 @@ mod tests {
     fn identical_snapshot_dedups_fully() {
         let mut server = BackupServer::new(small_config());
         let image = shredder_workloads::random_bytes(1 << 20, 6);
-        let first = server.backup_image(&image, &cpu_service());
-        let second = server.backup_image(&image, &cpu_service());
+        let first = server.backup_image(&image, &cpu_service()).unwrap();
+        let second = server.backup_image(&image, &cpu_service()).unwrap();
         assert_eq!(first.new_chunks, first.chunks);
         assert_eq!(second.new_chunks, 0);
         assert!((second.dedup_fraction() - 1.0).abs() < 1e-9);
@@ -294,11 +373,11 @@ mod tests {
         let mut server = BackupServer::new(small_config());
         let master = MasterImage::synthesize(2 << 20, 16 << 10, 7);
         let svc = cpu_service();
-        server.backup_image(master.data(), &svc);
+        server.backup_image(master.data(), &svc).unwrap();
 
         let table = SimilarityTable::uniform(master.segments(), 0.10);
         let snap = master.derive(&table, 3);
-        let report = server.backup_image(&snap, &svc);
+        let report = server.backup_image(&snap, &svc).unwrap();
         assert_eq!(server.site().restore(report.image_id).unwrap(), snap);
         assert!(
             report.dedup_fraction() > 0.75,
@@ -315,10 +394,10 @@ mod tests {
         let mut bw = Vec::new();
         for p in [0.05, 0.25] {
             let mut server = BackupServer::new(small_config());
-            server.backup_image(master.data(), &svc);
+            server.backup_image(master.data(), &svc).unwrap();
             let table = SimilarityTable::uniform(master.segments(), p);
             let snap = master.derive(&table, 11);
-            let report = server.backup_image(&snap, &svc);
+            let report = server.backup_image(&snap, &svc).unwrap();
             bw.push(report.bandwidth_gbps());
         }
         assert!(bw[0] >= bw[1], "bandwidth rose with dissimilarity: {bw:?}");
@@ -327,10 +406,54 @@ mod tests {
     #[test]
     fn empty_image() {
         let mut server = BackupServer::new(small_config());
-        let report = server.backup_image(&[], &cpu_service());
+        let report = server.backup_image(&[], &cpu_service()).unwrap();
         assert_eq!(report.chunks, 0);
         assert_eq!(report.bandwidth_gbps(), 0.0);
-        assert_eq!(server.site().restore(report.image_id).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            server.site().restore(report.image_id).unwrap(),
+            Vec::<u8>::new()
+        );
+    }
+
+    #[test]
+    fn batch_backup_restores_and_matches_sequential_dedup() {
+        let master = MasterImage::synthesize(2 << 20, 64 << 10, 21);
+        let table = SimilarityTable::uniform(master.segments(), 0.2);
+        let snaps: Vec<Vec<u8>> = (1..=3).map(|n| master.derive(&table, n)).collect();
+        let images: Vec<&[u8]> = snaps.iter().map(|s| s.as_slice()).collect();
+        let gpu = gpu_service();
+
+        // One batch: all three site streams through one shared engine.
+        let mut batch_server = BackupServer::new(small_config());
+        let batch = batch_server.backup_batch(&images, &gpu).unwrap();
+        assert_eq!(batch.reports.len(), 3);
+        assert_eq!(batch.engine.sessions.len(), 3);
+        for (report, snap) in batch.reports.iter().zip(&snaps) {
+            assert_eq!(batch_server.site().restore(report.image_id).unwrap(), *snap);
+        }
+
+        // Same images sequentially: identical chunking -> identical
+        // dedup decisions.
+        let mut seq_server = BackupServer::new(small_config());
+        for (report, snap) in batch.reports.iter().zip(&snaps) {
+            let seq = seq_server.backup_image(snap, &gpu).unwrap();
+            assert_eq!(report.chunks, seq.chunks);
+            assert_eq!(report.new_chunks, seq.new_chunks);
+            assert_eq!(report.new_bytes, seq.new_bytes);
+        }
+        assert_eq!(
+            batch.total_bytes(),
+            snaps.iter().map(|s| s.len() as u64).sum()
+        );
+        assert!(batch.aggregate_bandwidth_gbps() > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut server = BackupServer::new(small_config());
+        let batch = server.backup_batch(&[], &gpu_service()).unwrap();
+        assert!(batch.reports.is_empty());
+        assert_eq!(batch.aggregate_bandwidth_gbps(), 0.0);
     }
 
     #[test]
@@ -340,7 +463,7 @@ mod tests {
         // actually pipelines.
         let mut server = BackupServer::new(small_config());
         let image = shredder_workloads::random_bytes(8 << 20, 9);
-        let report = server.backup_image(&image, &cpu_service());
+        let report = server.backup_image(&image, &cpu_service()).unwrap();
         let gbps = report.bandwidth_gbps();
         assert!(gbps > 2.0 && gbps < 4.0, "{gbps} Gbps");
     }

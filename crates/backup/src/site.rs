@@ -109,11 +109,7 @@ impl BackupSite {
 
     /// Logical bytes across all manifests.
     pub fn logical_bytes(&self) -> u64 {
-        self.images
-            .iter()
-            .flatten()
-            .map(|r| r.len as u64)
-            .sum()
+        self.images.iter().flatten().map(|r| r.len as u64).sum()
     }
 
     /// Dedup ratio achieved at the site (logical / physical).

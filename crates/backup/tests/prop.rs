@@ -34,7 +34,7 @@ proptest! {
         let svc = service();
         let mut server = BackupServer::new(config());
         for image in &images {
-            let report = server.backup_image(image, &svc);
+            let report = server.backup_image(image, &svc).unwrap();
             prop_assert_eq!(report.new_bytes + report.dedup_bytes, report.image_bytes);
             let restored = server.site().restore(report.image_id);
             prop_assert_eq!(restored.as_deref(), Some(image.as_slice()));
@@ -48,8 +48,8 @@ proptest! {
     fn idempotent_second_backup(image in proptest::collection::vec(any::<u8>(), 0..65536)) {
         let svc = service();
         let mut server = BackupServer::new(config());
-        let first = server.backup_image(&image, &svc);
-        let second = server.backup_image(&image, &svc);
+        let first = server.backup_image(&image, &svc).unwrap();
+        let second = server.backup_image(&image, &svc).unwrap();
         prop_assert_eq!(second.new_chunks, 0);
         prop_assert_eq!(second.new_bytes, 0);
         prop_assert_eq!(first.chunks, second.chunks);
@@ -63,10 +63,10 @@ proptest! {
     fn prefix_sharing_dedups(base in proptest::collection::vec(any::<u8>(), 8192..65536), extra in proptest::collection::vec(any::<u8>(), 0..8192)) {
         let svc = service();
         let mut server = BackupServer::new(config());
-        server.backup_image(&base, &svc);
+        server.backup_image(&base, &svc).unwrap();
         let mut extended = base.clone();
         extended.extend_from_slice(&extra);
-        let report = server.backup_image(&extended, &svc);
+        let report = server.backup_image(&extended, &svc).unwrap();
         // All but the tail chunks (perturbed near the old end) dedup.
         prop_assert!(
             report.dedup_bytes as usize + extra.len() + 2 * 4096 >= base.len(),

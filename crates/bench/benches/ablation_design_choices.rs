@@ -13,7 +13,9 @@ use shredder_rabin::{chunk_all, chunk_all_skipping, ChunkParams};
 use shredder_workloads::{mutate, MutationSpec};
 
 fn throughput(cfg: ShredderConfig, data: &[u8]) -> f64 {
-    let out = Shredder::new(cfg).chunk_stream(data);
+    let out = Shredder::new(cfg)
+        .chunk_stream(data)
+        .expect("chunking failed");
     out.report.bytes() as f64 / out.report.makespan().as_secs_f64()
 }
 
@@ -35,9 +37,15 @@ fn main() {
         };
         let tp = throughput(cfg, &data);
         twin_tp.push(tp);
-        result_line(&format!("{twins} device buffer(s)"), shredder_bench::gbps(tp));
+        result_line(
+            &format!("{twins} device buffer(s)"),
+            shredder_bench::gbps(tp),
+        );
     }
-    check("double buffering beats a single buffer", twin_tp[1] > twin_tp[0]);
+    check(
+        "double buffering beats a single buffer",
+        twin_tp[1] > twin_tp[0],
+    );
     check(
         "a third buffer adds little (<5%): two suffice, as the paper chose",
         twin_tp[2] / twin_tp[1] < 1.05,
@@ -76,9 +84,15 @@ fn main() {
         ShredderConfig::gpu_streams_memory().with_buffer_size(buffer),
         &data,
     );
-    result_line("pageable, allocated per buffer", shredder_bench::gbps(pageable));
+    result_line(
+        "pageable, allocated per buffer",
+        shredder_bench::gbps(pageable),
+    );
     result_line("pinned ring, reused", shredder_bench::gbps(pinned));
-    check("the pinned ring outperforms per-iteration pageable buffers", pinned > pageable);
+    check(
+        "the pinned ring outperforms per-iteration pageable buffers",
+        pinned > pageable,
+    );
 
     // --- Kernel occupancy (blocks per SM) --------------------------------
     println!("\n-- kernel launch occupancy (blocks per SM) --");
@@ -118,11 +132,10 @@ fn main() {
             mask_bits: bits,
             ..ChunkParams::paper()
         };
-        let before: std::collections::HashSet<shredder_hash::Digest> =
-            chunk_all(&base, &params)
-                .iter()
-                .map(|c| shredder_hash::sha256(c.slice(&base)))
-                .collect();
+        let before: std::collections::HashSet<shredder_hash::Digest> = chunk_all(&base, &params)
+            .iter()
+            .map(|c| shredder_hash::sha256(c.slice(&base)))
+            .collect();
         let after = chunk_all(&edited, &params);
         let reused_bytes: usize = after
             .iter()

@@ -37,8 +37,14 @@ fn main() {
         // Kernel time for the full 1 GB processed in `buffer`-sized
         // launches.
         let launches = (1u64 << 30).div_ceil(slice.len() as u64);
-        let basic_gb = per_gb(basic.stats.duration * launches, (slice.len() as u64 * launches) as usize);
-        let coal_gb = per_gb(coal.stats.duration * launches, (slice.len() as u64 * launches) as usize);
+        let basic_gb = per_gb(
+            basic.stats.duration * launches,
+            (slice.len() as u64 * launches) as usize,
+        );
+        let coal_gb = per_gb(
+            coal.stats.duration * launches,
+            (slice.len() as u64 * launches) as usize,
+        );
 
         let speedup = basic_gb.as_secs_f64() / coal_gb.as_secs_f64();
         speedups.push(speedup);

@@ -14,9 +14,7 @@
 //! identical boundaries or the harness fails.
 
 use shredder_bench::{check, gbps, header, result_line};
-use shredder_core::{
-    ChunkingService, HostChunker, HostChunkerConfig, Shredder, ShredderConfig,
-};
+use shredder_core::{ChunkingService, HostChunker, HostChunkerConfig, Shredder, ShredderConfig};
 
 fn main() {
     header(
@@ -59,7 +57,7 @@ fn main() {
     let mut throughputs = Vec::new();
     let mut boundaries: Option<Vec<shredder_rabin::Chunk>> = None;
     for (name, engine) in &engines {
-        let outcome = engine.chunk_stream(&data);
+        let outcome = engine.chunk_stream(&data).expect("chunking failed");
         let bps = outcome.report.bytes() as f64 / outcome.report.makespan().as_secs_f64();
         result_line(name, gbps(bps));
         throughputs.push(bps);

@@ -54,12 +54,14 @@ where
     let changed = mutate(data, &change_spec(pct, 1500 + pct as u64));
 
     let mut fs = IncHdfs::new(20);
-    fs.copy_from_local_gpu("/input", data, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/input", data, &svc, &TextInputFormat)
+        .unwrap();
 
     let mut runner = IncrementalRunner::new(make_job(), ClusterConfig::paper());
     runner.run(&fs.splits("/input").expect("splits"));
 
-    fs.copy_from_local_gpu("/input", &changed, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/input", &changed, &svc, &TextInputFormat)
+        .unwrap();
     let splits = fs.splits("/input").expect("splits v2");
 
     let incremental = runner.run(&splits);
@@ -83,11 +85,13 @@ fn kmeans_speedup(data: &[u8], pct: usize) -> f64 {
     };
 
     let mut fs = IncHdfs::new(20);
-    fs.copy_from_local_gpu("/points", data, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/points", data, &svc, &TextInputFormat)
+        .unwrap();
     let mut runner = IncrementalRunner::new(KMeans::new(4), ClusterConfig::paper());
     driver.run(&mut runner, &fs.splits("/points").expect("splits"));
 
-    fs.copy_from_local_gpu("/points", &changed, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/points", &changed, &svc, &TextInputFormat)
+        .unwrap();
     let splits = fs.splits("/points").expect("splits v2");
 
     // Incremental: same memo, fresh deterministic initial centroids.

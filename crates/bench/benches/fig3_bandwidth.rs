@@ -27,9 +27,17 @@ fn main() {
     ];
 
     let series = [
-        ("H2D-Pageable", Direction::HostToDevice, HostMemKind::Pageable),
+        (
+            "H2D-Pageable",
+            Direction::HostToDevice,
+            HostMemKind::Pageable,
+        ),
         ("H2D-Pinned", Direction::HostToDevice, HostMemKind::Pinned),
-        ("D2H-Pageable", Direction::DeviceToHost, HostMemKind::Pageable),
+        (
+            "D2H-Pageable",
+            Direction::DeviceToHost,
+            HostMemKind::Pageable,
+        ),
         ("D2H-Pinned", Direction::DeviceToHost, HostMemKind::Pinned),
     ];
 
@@ -39,16 +47,16 @@ fn main() {
             let values = series
                 .iter()
                 .map(|&(_, dir, kind)| {
-                    format!("{:.0} MB/s", dma.effective_bandwidth(dir, kind, bytes) / 1e6)
+                    format!(
+                        "{:.0} MB/s",
+                        dma.effective_bandwidth(dir, kind, bytes) / 1e6
+                    )
                 })
                 .collect();
             (label.to_string(), values)
         })
         .collect();
-    table(
-        &series.iter().map(|s| s.0).collect::<Vec<_>>(),
-        &rows,
-    );
+    table(&series.iter().map(|s| s.0).collect::<Vec<_>>(), &rows);
 
     println!();
     let bw = |dir, kind, bytes| dma.effective_bandwidth(dir, kind, bytes);

@@ -50,13 +50,7 @@ fn main() {
         // Serialized: each buffer's copy waits for the previous kernel.
         let mut sim = Simulation::new();
         let gpu = GpuExecutor::new(&cfg);
-        fn chain(
-            sim: &mut Simulation,
-            gpu: GpuExecutor,
-            left: u32,
-            bytes: u64,
-            kernel: Dur,
-        ) {
+        fn chain(sim: &mut Simulation, gpu: GpuExecutor, left: u32, bytes: u64, kernel: Dur) {
             if left == 0 {
                 return;
             }
@@ -87,8 +81,7 @@ fn main() {
         reductions.push(reduction);
         // "the total time is now dictated solely by the compute time":
         let compute_only = kernel * n as u64;
-        concurrent_vs_compute
-            .push(concurrent.as_secs_f64() / compute_only.as_secs_f64());
+        concurrent_vs_compute.push(concurrent.as_secs_f64() / compute_only.as_secs_f64());
 
         rows.push((
             format!("{}M", buffer >> 20),

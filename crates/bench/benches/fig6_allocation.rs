@@ -30,10 +30,7 @@ fn main() {
             )
         })
         .collect();
-    table(
-        &["Pinned Alloc", "Pageable Alloc", "Memcpy P->P"],
-        &rows,
-    );
+    table(&["Pinned Alloc", "Pageable Alloc", "Memcpy P->P"], &rows);
 
     println!();
     for &bytes in &paper_buffer_sizes() {

@@ -52,9 +52,18 @@ fn main() {
     );
 
     println!();
-    check("processing capacity within 5% of 1030 GFlops", (gflops - 1030.4).abs() < 52.0);
-    check("H2D saturated bandwidth within 2% of 5.406 GBps", (h2d / 1e9 - 5.406).abs() < 0.11);
-    check("D2H saturated bandwidth within 2% of 5.129 GBps", (d2h / 1e9 - 5.129).abs() < 0.11);
+    check(
+        "processing capacity within 5% of 1030 GFlops",
+        (gflops - 1030.4).abs() < 52.0,
+    );
+    check(
+        "H2D saturated bandwidth within 2% of 5.406 GBps",
+        (h2d / 1e9 - 5.406).abs() < 0.11,
+    );
+    check(
+        "D2H saturated bandwidth within 2% of 5.129 GBps",
+        (d2h / 1e9 - 5.129).abs() < 0.11,
+    );
     check(
         "memory latency in published 400-600 cycle band",
         (400..=600).contains(&cfg.mem_latency_cycles),

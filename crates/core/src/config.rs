@@ -245,10 +245,10 @@ mod tests {
     #[test]
     fn host_configs() {
         assert_eq!(HostChunkerConfig::optimized().threads, 12);
-        assert_eq!(HostChunkerConfig::unoptimized().allocator, Allocator::Malloc);
         assert_eq!(
-            HostChunkerConfig::default().allocator,
-            Allocator::Hoard
+            HostChunkerConfig::unoptimized().allocator,
+            Allocator::Malloc
         );
+        assert_eq!(HostChunkerConfig::default().allocator, Allocator::Hoard);
     }
 }

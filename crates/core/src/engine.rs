@@ -1,0 +1,873 @@
+//! The multi-stream chunking engine: N tenant sessions, one shared
+//! device pipeline, one discrete-event simulation.
+//!
+//! The paper's pipeline (§4.2) exists to keep the GPU saturated. A
+//! single stream can only do that while it has buffers in flight; a
+//! backup server handling many remote sites (§7.2) or an Inc-HDFS
+//! ingesting several files wants to keep the device busy *across*
+//! streams. [`ShredderEngine`] does exactly that:
+//!
+//! * every open [`ChunkSession`] is planned into pipeline buffers (the
+//!   functional pass — real kernels over real bytes, with the
+//!   `window − 1` carry so boundaries are bit-identical per stream to a
+//!   sequential scan of that stream alone);
+//! * all sessions' buffers are then scheduled through **one shared**
+//!   simulation — one SAN reader channel, one twin-buffer pool, one
+//!   H2D/kernel/D2H engine set, one Store thread — so tenants genuinely
+//!   contend for and overlap on the same hardware;
+//! * a central admission scheduler (replacing the old per-call
+//!   semaphore) hands the global `pipeline_depth` slots to sessions
+//!   fairly: round-robin, weighted, or strict session order.
+//!
+//! The legacy one-shot [`Shredder::chunk_stream`] API is now a thin
+//! single-session convenience over this engine (see
+//! [`crate::pipeline`]).
+//!
+//! # Examples
+//!
+//! Four tenants through one pipeline; each gets exactly the chunks a
+//! sequential scan of its own stream produces:
+//!
+//! ```
+//! use shredder_core::{ShredderConfig, ShredderEngine, SliceSource};
+//! use shredder_rabin::{chunk_all, ChunkParams};
+//!
+//! let streams: Vec<Vec<u8>> = (0..4u64)
+//!     .map(|s| {
+//!         (0..256u32 << 10)
+//!             .map(|i| ((i as u64 * 2654435761 + s * 97) >> 9) as u8)
+//!             .collect()
+//!     })
+//!     .collect();
+//!
+//! let mut engine =
+//!     ShredderEngine::new(ShredderConfig::gpu_streams_memory().with_buffer_size(64 << 10));
+//! for s in &streams {
+//!     engine.open_session(SliceSource::new(s));
+//! }
+//! let outcome = engine.run().unwrap();
+//!
+//! for (session, data) in outcome.sessions.iter().zip(&streams) {
+//!     assert_eq!(session.chunks, chunk_all(data, &ChunkParams::paper()));
+//! }
+//! assert!(outcome.report.aggregate_gbps() > 0.0);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+use shredder_des::{BandwidthChannel, Dur, FifoServer, Semaphore, SimTime, Simulation};
+use shredder_gpu::hostmem::{HostAllocModel, HostMemKind};
+use shredder_gpu::kernel::ChunkKernel;
+use shredder_gpu::{calibration, GpuExecutor, PinnedRing};
+use shredder_rabin::chunker::{apply_min_max, cuts_to_chunks};
+
+use crate::config::ShredderConfig;
+use crate::error::ChunkError;
+use crate::report::{BufferTimeline, EngineReport, SessionReport, StageBusy};
+use crate::session::{ChunkSession, SessionId, SessionOutcome};
+use crate::source::StreamSource;
+
+/// How the shared admission slots are handed to sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// One buffer per session per turn, skipping exhausted sessions.
+    /// The fair default for equal tenants.
+    RoundRobin,
+    /// Deficit round-robin: a session with weight `w` may admit up to
+    /// `w` buffers per turn. Weight 0 is treated as 1.
+    Weighted,
+    /// Drain sessions in open order — the legacy one-stream-at-a-time
+    /// behaviour, kept for comparisons.
+    SessionOrder,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionPolicy::RoundRobin => f.write_str("round-robin"),
+            AdmissionPolicy::Weighted => f.write_str("weighted"),
+            AdmissionPolicy::SessionOrder => f.write_str("session-order"),
+        }
+    }
+}
+
+/// The result of an engine run: per-session chunks plus the aggregate
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// Per-session chunk outcomes, in open order.
+    pub sessions: Vec<SessionOutcome>,
+    /// The aggregate engine report (per-session reports inside).
+    pub report: EngineReport,
+}
+
+/// One pipeline buffer's pre-computed (functional) work.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlannedBuffer {
+    /// Bytes owned by this buffer.
+    pub(crate) bytes: u64,
+    /// Raw cuts owned by this buffer (drives the D2H + Store cost).
+    pub(crate) cut_count: u64,
+    /// Simulated kernel duration.
+    pub(crate) kernel_dur: Dur,
+}
+
+/// A fully planned session, ready for the shared timing pass.
+pub(crate) struct SessionPlan {
+    pub(crate) name: String,
+    pub(crate) weight: u32,
+    pub(crate) bytes: u64,
+    /// Raw cuts at stream-absolute offsets, in stream order.
+    pub(crate) cuts: Vec<u64>,
+    pub(crate) buffers: Vec<PlannedBuffer>,
+}
+
+/// The session-based multi-stream chunking engine.
+pub struct ShredderEngine<'a> {
+    config: ShredderConfig,
+    kernel: ChunkKernel,
+    policy: AdmissionPolicy,
+    sessions: Vec<ChunkSession<'a>>,
+}
+
+impl<'a> ShredderEngine<'a> {
+    /// Creates an engine from a pipeline configuration. Sessions are
+    /// opened with [`open_session`](Self::open_session) and run together
+    /// with [`run`](Self::run).
+    pub fn new(config: ShredderConfig) -> Self {
+        let kernel = ChunkKernel::new(config.params.clone(), config.kernel);
+        ShredderEngine {
+            config,
+            kernel,
+            policy: AdmissionPolicy::RoundRobin,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Sets the admission policy (default: round-robin).
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ShredderConfig {
+        &self.config
+    }
+
+    /// The admission policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Number of sessions currently open.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Opens a session for `source` with weight 1 and a generated name.
+    pub fn open_session(&mut self, source: impl StreamSource + 'a) -> SessionId {
+        let n = self.sessions.len();
+        self.open_named_session(format!("session-{n}"), 1, source)
+    }
+
+    /// Opens a named, weighted session. The weight only matters under
+    /// [`AdmissionPolicy::Weighted`].
+    pub fn open_named_session(
+        &mut self,
+        name: impl Into<String>,
+        weight: u32,
+        source: impl StreamSource + 'a,
+    ) -> SessionId {
+        let id = SessionId(self.sessions.len());
+        self.sessions.push(ChunkSession {
+            id,
+            name: name.into(),
+            weight,
+            source: Box::new(source),
+        });
+        id
+    }
+
+    /// Chunks every open session through one shared simulation and
+    /// returns per-session chunks plus the aggregate report. Consumes
+    /// the open sessions (the engine can then be reused).
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkError::InvalidConfig`] for unusable chunking parameters,
+    /// [`ChunkError::Gpu`] if a kernel launch fails. Errors from any
+    /// session abort the whole run (no partial simulation is reported).
+    pub fn run(&mut self) -> Result<EngineOutcome, ChunkError> {
+        if self.config.params.window == 0 {
+            return Err(ChunkError::InvalidConfig(
+                "chunking window must be non-zero".into(),
+            ));
+        }
+        let sessions = std::mem::take(&mut self.sessions);
+
+        // Functional pass: real chunk boundaries per session.
+        let mut plans = Vec::with_capacity(sessions.len());
+        for session in sessions {
+            plans.push(self.plan_session(session)?);
+        }
+
+        // Timing pass: one shared simulation for every session.
+        let sim = simulate_plans(&self.config, &plans, self.policy);
+
+        // Store-thread pass: per-session min/max adjustment + upcall
+        // order, exactly as the single-stream pipeline does (§7.3).
+        let mut outcomes = Vec::with_capacity(plans.len());
+        let mut reports = Vec::with_capacity(plans.len());
+        let mut total_bytes = 0u64;
+        let mut total_buffers = 0usize;
+        for (idx, plan) in plans.iter().enumerate() {
+            let cuts = apply_min_max(&plan.cuts, plan.bytes, &self.config.params);
+            let chunks = cuts_to_chunks(&cuts, plan.bytes);
+            total_bytes += plan.bytes;
+            total_buffers += plan.buffers.len();
+
+            let per = &sim.sessions[idx];
+            reports.push(SessionReport {
+                id: idx,
+                name: plan.name.clone(),
+                weight: plan.weight,
+                bytes: plan.bytes,
+                buffers: plan.buffers.len(),
+                chunks: chunks.len(),
+                raw_cuts: plan.cuts.len(),
+                first_admit: per.first_admit,
+                completion: per.completion,
+                makespan: per.completion - per.first_admit,
+                queue_wait: per.queue_wait,
+                kernel_time: plan.buffers.iter().map(|b| b.kernel_dur).sum(),
+                timeline: per.timeline.clone(),
+            });
+            outcomes.push(SessionOutcome {
+                id: SessionId(idx),
+                name: plan.name.clone(),
+                chunks,
+            });
+        }
+
+        let ring_setup = if self.config.pinned_ring {
+            PinnedRing::new(self.config.ring_slots(), self.config.buffer_size).setup_time()
+        } else {
+            Dur::ZERO
+        };
+
+        let report = EngineReport {
+            queue_wait: reports.iter().map(|r| r.queue_wait).sum(),
+            sessions: reports,
+            bytes: total_bytes,
+            buffers: total_buffers,
+            pipeline_depth: self.config.pipeline_depth,
+            makespan: sim.end.saturating_since(SimTime::ZERO),
+            stage_busy: sim.stage_busy,
+            ring_setup,
+        };
+
+        Ok(EngineOutcome {
+            sessions: outcomes,
+            report,
+        })
+    }
+
+    /// Functional pass over one session: pull the stream one pipeline
+    /// buffer at a time, keep a `window − 1` byte carry so windows
+    /// spanning buffer boundaries are found exactly once, and run the
+    /// chunking kernel on each buffer. Kernel errors propagate.
+    fn plan_session(&self, mut session: ChunkSession<'a>) -> Result<SessionPlan, ChunkError> {
+        let window = self.config.params.window;
+        // Guarded by `run`, but keep planning safe standalone too.
+        let overlap = window.saturating_sub(1);
+        let size = self.config.buffer_size;
+
+        let mut cuts: Vec<u64> = Vec::new();
+        let mut buffers: Vec<PlannedBuffer> = Vec::new();
+        let mut start: u64 = 0;
+        // One reused scan buffer: `[carry][current buffer]`. The carry —
+        // the last `window − 1` bytes already scanned — is shifted to the
+        // front and the source reads into the tail, so no per-buffer
+        // allocation or second copy happens.
+        let mut scan = vec![0u8; overlap + size];
+        let mut carry_len = 0usize;
+
+        loop {
+            let mut filled = 0usize;
+            while filled < size {
+                let n = session
+                    .source
+                    .read(&mut scan[carry_len + filled..carry_len + size]);
+                if n == 0 {
+                    break;
+                }
+                filled += n;
+            }
+            if filled == 0 {
+                break;
+            }
+
+            // Scan carry + buffer so boundary-spanning windows are seen.
+            let out = self
+                .kernel
+                .run(&self.config.device, &scan[..carry_len + filled])?;
+
+            let scan_base = start - carry_len as u64;
+            let before = cuts.len();
+            cuts.extend(
+                out.raw_cuts
+                    .iter()
+                    .map(|c| c + scan_base)
+                    .filter(|&c| c > start),
+            );
+            buffers.push(PlannedBuffer {
+                bytes: filled as u64,
+                cut_count: (cuts.len() - before) as u64,
+                kernel_dur: out.stats.duration,
+            });
+
+            // Keep the last `window − 1` scanned bytes for the next buffer.
+            start += filled as u64;
+            let total = carry_len + filled;
+            let keep = overlap.min(total);
+            scan.copy_within(total - keep..total, 0);
+            carry_len = keep;
+        }
+
+        Ok(SessionPlan {
+            name: session.name,
+            weight: session.weight,
+            bytes: start,
+            cuts,
+            buffers,
+        })
+    }
+
+    /// Timing-only run over pre-planned sessions — the experiment
+    /// harness path (buffer sweeps reuse measured kernel durations
+    /// instead of re-running the functional scan).
+    pub(crate) fn simulate_planned(&self, plans: &[SessionPlan]) -> SimResult {
+        simulate_plans(&self.config, plans, self.policy)
+    }
+}
+
+impl std::fmt::Debug for ShredderEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShredderEngine")
+            .field("config", &self.config)
+            .field("policy", &self.policy)
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+/// Per-session timing produced by the shared simulation.
+pub(crate) struct SessionSim {
+    pub(crate) first_admit: SimTime,
+    pub(crate) completion: SimTime,
+    pub(crate) queue_wait: Dur,
+    pub(crate) timeline: Vec<BufferTimeline>,
+}
+
+/// The shared simulation's output.
+pub(crate) struct SimResult {
+    pub(crate) sessions: Vec<SessionSim>,
+    pub(crate) stage_busy: StageBusy,
+    pub(crate) end: SimTime,
+}
+
+/// Central admission state shared by the event closures.
+struct Sched {
+    /// Per-session queue of buffer indices not yet admitted.
+    queues: Vec<VecDeque<usize>>,
+    weights: Vec<u32>,
+    credits: Vec<u32>,
+    cursor: usize,
+    policy: AdmissionPolicy,
+    in_flight: usize,
+    depth: usize,
+    /// When each session's current head-of-line buffer became head.
+    head_since: Vec<SimTime>,
+    first_admit: Vec<Option<SimTime>>,
+    completion: Vec<SimTime>,
+    queue_wait: Vec<Dur>,
+    timelines: Vec<Vec<BufferTimeline>>,
+}
+
+impl Sched {
+    /// Picks the next (session, buffer) to admit, or `None` when all
+    /// slots are busy or no work remains. Updates fairness state and
+    /// queue-wait accounting.
+    fn pick_next(&mut self, now: SimTime) -> Option<(usize, usize)> {
+        if self.in_flight >= self.depth {
+            return None;
+        }
+        let n = self.queues.len();
+        let chosen = match self.policy {
+            AdmissionPolicy::SessionOrder => (0..n).find(|&s| !self.queues[s].is_empty()),
+            AdmissionPolicy::RoundRobin => {
+                let found = (0..n)
+                    .map(|k| (self.cursor + k) % n)
+                    .find(|&s| !self.queues[s].is_empty());
+                if let Some(s) = found {
+                    self.cursor = (s + 1) % n;
+                }
+                found
+            }
+            AdmissionPolicy::Weighted => {
+                let mut found = None;
+                for pass in 0..2 {
+                    found = (0..n)
+                        .map(|k| (self.cursor + k) % n)
+                        .find(|&s| !self.queues[s].is_empty() && self.credits[s] > 0);
+                    if found.is_some() || pass == 1 {
+                        break;
+                    }
+                    // Quantum exhausted everywhere: refill pending
+                    // sessions for the next round.
+                    for s in 0..n {
+                        if !self.queues[s].is_empty() {
+                            self.credits[s] = self.weights[s].max(1);
+                        }
+                    }
+                }
+                if let Some(s) = found {
+                    self.credits[s] -= 1;
+                    if self.credits[s] == 0 {
+                        self.cursor = (s + 1) % n;
+                    }
+                }
+                found
+            }
+        }?;
+
+        let bidx = self.queues[chosen].pop_front().expect("queue non-empty");
+        self.in_flight += 1;
+        self.queue_wait[chosen] += now.saturating_since(self.head_since[chosen]);
+        self.head_since[chosen] = now;
+        if self.first_admit[chosen].is_none() {
+            self.first_admit[chosen] = Some(now);
+        }
+        self.timelines[chosen][bidx].read_start = now;
+        Some((chosen, bidx))
+    }
+}
+
+/// Everything an in-flight buffer's event chain needs.
+#[derive(Clone)]
+struct PipeCtx {
+    sched: Rc<RefCell<Sched>>,
+    buffers: Rc<Vec<Vec<PlannedBuffer>>>,
+    reader: BandwidthChannel,
+    prep: FifoServer,
+    twins: Semaphore,
+    store: FifoServer,
+    gpu: GpuExecutor,
+    host_kind: HostMemKind,
+    prep_time: Dur,
+}
+
+/// Admits buffers until the shared slots are full, launching each one's
+/// stage chain. Called at start and again whenever a buffer completes.
+fn pump(ctx: &PipeCtx, sim: &mut Simulation) {
+    loop {
+        let pick = ctx.sched.borrow_mut().pick_next(sim.now());
+        match pick {
+            Some((sid, bidx)) => launch(ctx.clone(), sim, sid, bidx),
+            None => break,
+        }
+    }
+}
+
+/// One buffer's trip: prep → read → twin buffer → H2D → kernel → D2H →
+/// store, then release the admission slot and pump again.
+fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
+    let pb = ctx.buffers[sid][bidx];
+    let c = ctx.clone();
+    ctx.prep.process(sim, ctx.prep_time, move |sim| {
+        let c2 = c.clone();
+        c.reader.transfer(sim, pb.bytes, move |sim| {
+            {
+                let mut s = c2.sched.borrow_mut();
+                s.timelines[sid][bidx].read_end = sim.now();
+            }
+            let c3 = c2.clone();
+            c2.twins.clone().acquire(sim, 1, move |sim| {
+                let c4 = c3.clone();
+                c3.gpu.copy_h2d(sim, pb.bytes, c3.host_kind, move |sim| {
+                    {
+                        let mut s = c4.sched.borrow_mut();
+                        s.timelines[sid][bidx].transfer_end = sim.now();
+                    }
+                    let c5 = c4.clone();
+                    c4.gpu.run_kernel(sim, pb.kernel_dur, move |sim| {
+                        {
+                            let mut s = c5.sched.borrow_mut();
+                            s.timelines[sid][bidx].kernel_end = sim.now();
+                        }
+                        c5.twins.release(sim, 1);
+                        // Boundary array back over PCIe, then host-side
+                        // adjustment + upcall.
+                        let cut_bytes = (pb.cut_count * 8).max(8);
+                        let c6 = c5.clone();
+                        c5.gpu.copy_d2h(sim, cut_bytes, c5.host_kind, move |sim| {
+                            let host_time = Dur::from_nanos(
+                                calibration::HOST_STAGE_OVERHEAD_NS
+                                    + pb.cut_count * calibration::STORE_PER_CUT_NS,
+                            );
+                            let c7 = c6.clone();
+                            c6.store.process(sim, host_time, move |sim| {
+                                {
+                                    let mut s = c7.sched.borrow_mut();
+                                    s.timelines[sid][bidx].store_end = sim.now();
+                                    s.completion[sid] = sim.now();
+                                    s.in_flight -= 1;
+                                }
+                                pump(&c7, sim);
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    });
+}
+
+/// Runs all planned sessions through one shared simulation.
+fn simulate_plans(
+    config: &ShredderConfig,
+    plans: &[SessionPlan],
+    policy: AdmissionPolicy,
+) -> SimResult {
+    let mut sim = Simulation::new();
+
+    let reader = BandwidthChannel::new(
+        "san-reader",
+        config.reader_bandwidth,
+        Dur::from_nanos(calibration::READER_IO_LATENCY_NS),
+    );
+    let prep = FifoServer::new("host-prep", 1);
+    let store = FifoServer::new("store-thread", 1);
+    let twins = Semaphore::new("device-twin-buffers", config.twin_buffers);
+    let gpu = GpuExecutor::new(&config.device);
+    let alloc_model = HostAllocModel::new();
+
+    let host_kind = if config.pinned_ring {
+        HostMemKind::Pinned
+    } else {
+        HostMemKind::Pageable
+    };
+    // Without the ring, the host allocates a fresh pageable buffer every
+    // iteration (§4.1.2's counterfactual).
+    let prep_time = if config.pinned_ring {
+        Dur::ZERO
+    } else {
+        alloc_model.alloc_time(HostMemKind::Pageable, config.buffer_size)
+    };
+
+    let n = plans.len();
+    let sched = Sched {
+        queues: plans
+            .iter()
+            .map(|p| (0..p.buffers.len()).collect())
+            .collect(),
+        weights: plans.iter().map(|p| p.weight).collect(),
+        credits: plans.iter().map(|p| p.weight.max(1)).collect(),
+        cursor: 0,
+        policy,
+        in_flight: 0,
+        depth: config.pipeline_depth,
+        head_since: vec![SimTime::ZERO; n],
+        first_admit: vec![None; n],
+        completion: vec![SimTime::ZERO; n],
+        queue_wait: vec![Dur::ZERO; n],
+        timelines: plans
+            .iter()
+            .map(|p| {
+                p.buffers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| BufferTimeline {
+                        index: i,
+                        bytes: b.bytes as usize,
+                        read_start: SimTime::ZERO,
+                        read_end: SimTime::ZERO,
+                        transfer_end: SimTime::ZERO,
+                        kernel_end: SimTime::ZERO,
+                        store_end: SimTime::ZERO,
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+
+    let ctx = PipeCtx {
+        sched: Rc::new(RefCell::new(sched)),
+        buffers: Rc::new(plans.iter().map(|p| p.buffers.clone()).collect()),
+        reader: reader.clone(),
+        prep: prep.clone(),
+        twins,
+        store: store.clone(),
+        gpu: gpu.clone(),
+        host_kind,
+        prep_time,
+    };
+
+    pump(&ctx, &mut sim);
+    let end = sim.run();
+
+    let stage_busy = StageBusy {
+        read: reader.busy_time() + prep.busy_time(),
+        transfer: gpu.h2d_busy(),
+        kernel: gpu.compute_busy(),
+        store: gpu.d2h_busy() + store.busy_time(),
+    };
+
+    let sched = ctx.sched.borrow();
+    let sessions = (0..n)
+        .map(|s| SessionSim {
+            first_admit: sched.first_admit[s].unwrap_or(SimTime::ZERO),
+            completion: sched.completion[s],
+            queue_wait: sched.queue_wait[s],
+            timeline: sched.timelines[s].clone(),
+        })
+        .collect();
+
+    SimResult {
+        sessions,
+        stage_busy,
+        end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SliceSource;
+    use shredder_rabin::{chunk_all, ChunkParams};
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn small_config() -> ShredderConfig {
+        ShredderConfig::gpu_streams_memory().with_buffer_size(128 << 10)
+    }
+
+    #[test]
+    fn multi_session_chunks_equal_sequential_per_stream() {
+        let streams: Vec<Vec<u8>> = (0..5)
+            .map(|s| pseudo_random(300_000 + s * 77_000, s as u64 + 1))
+            .collect();
+        let mut engine = ShredderEngine::new(small_config());
+        for s in &streams {
+            engine.open_session(SliceSource::new(s));
+        }
+        let out = engine.run().unwrap();
+        assert_eq!(out.sessions.len(), 5);
+        for (session, data) in out.sessions.iter().zip(&streams) {
+            assert_eq!(session.chunks, chunk_all(data, &ChunkParams::paper()));
+        }
+        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        assert_eq!(out.report.bytes, total);
+    }
+
+    #[test]
+    fn round_robin_interleaves_admissions() {
+        let a = pseudo_random(512 << 10, 7);
+        let b = pseudo_random(512 << 10, 8);
+        let mut engine = ShredderEngine::new(small_config());
+        engine.open_session(SliceSource::new(&a));
+        engine.open_session(SliceSource::new(&b));
+        let out = engine.run().unwrap();
+
+        // Under round-robin, both sessions start immediately and their
+        // admissions interleave: session 1 is not delayed until session
+        // 0 drains.
+        let r = &out.report.sessions;
+        assert_eq!(r[0].first_admit, SimTime::ZERO);
+        assert!(
+            r[1].first_admit < r[0].timeline.last().unwrap().read_start,
+            "session 1 first admit {:?} waited for session 0 to finish",
+            r[1].first_admit
+        );
+    }
+
+    #[test]
+    fn session_order_drains_sequentially() {
+        let a = pseudo_random(512 << 10, 9);
+        let b = pseudo_random(512 << 10, 10);
+        let mut engine =
+            ShredderEngine::new(small_config()).with_policy(AdmissionPolicy::SessionOrder);
+        engine.open_session(SliceSource::new(&a));
+        engine.open_session(SliceSource::new(&b));
+        let out = engine.run().unwrap();
+        let r = &out.report.sessions;
+        // All of session 0's buffers are admitted before any of session 1's.
+        let last_a_admit = r[0].timeline.last().unwrap().read_start;
+        assert!(r[1].first_admit >= last_a_admit);
+    }
+
+    #[test]
+    fn weighted_policy_favors_heavy_session() {
+        let a = pseudo_random(1 << 20, 11);
+        let b = pseudo_random(1 << 20, 12);
+        let run = |wa: u32, wb: u32| {
+            let mut engine = ShredderEngine::new(
+                ShredderConfig::gpu_streams_memory().with_buffer_size(64 << 10),
+            )
+            .with_policy(AdmissionPolicy::Weighted);
+            engine.open_named_session("a", wa, SliceSource::new(&a));
+            engine.open_named_session("b", wb, SliceSource::new(&b));
+            let out = engine.run().unwrap();
+            out.report.sessions[0].completion
+        };
+        let even = run(1, 1);
+        let favored = run(4, 1);
+        assert!(
+            favored < even,
+            "weight-4 session should finish earlier: {favored:?} !< {even:?}"
+        );
+    }
+
+    #[test]
+    fn shared_pipeline_beats_sequential_runs() {
+        // N concurrent tenants through one engine finish sooner than the
+        // same N streams run back to back (pipeline fill/drain overlaps
+        // across tenants) — the Figure 12 story under multi-tenancy.
+        let streams: Vec<Vec<u8>> = (0..4).map(|s| pseudo_random(1 << 20, 20 + s)).collect();
+        let cfg = ShredderConfig::gpu_streams_memory().with_buffer_size(256 << 10);
+
+        let mut engine = ShredderEngine::new(cfg.clone());
+        for s in &streams {
+            engine.open_session(SliceSource::new(s));
+        }
+        let shared = engine.run().unwrap().report.makespan;
+
+        let sequential: Dur = streams
+            .iter()
+            .map(|s| {
+                let mut e = ShredderEngine::new(cfg.clone());
+                e.open_session(SliceSource::new(s));
+                e.run().unwrap().report.makespan
+            })
+            .sum();
+
+        assert!(
+            shared < sequential,
+            "shared {shared:?} !< sequential {sequential:?}"
+        );
+    }
+
+    #[test]
+    fn window_zero_is_rejected_not_panicking() {
+        let mut params = ChunkParams::paper();
+        params.window = 0;
+        let cfg = ShredderConfig::gpu_streams_memory().with_params(params);
+        let data = pseudo_random(10_000, 13);
+        let mut engine = ShredderEngine::new(cfg);
+        engine.open_session(SliceSource::new(&data));
+        match engine.run() {
+            Err(ChunkError::InvalidConfig(msg)) => assert!(msg.contains("window")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_engine_and_empty_sessions() {
+        let mut engine = ShredderEngine::new(small_config());
+        let out = engine.run().unwrap();
+        assert!(out.sessions.is_empty());
+        assert_eq!(out.report.bytes, 0);
+        assert_eq!(out.report.makespan, Dur::ZERO);
+
+        let mut engine = ShredderEngine::new(small_config());
+        engine.open_session(SliceSource::new(&[]));
+        let out = engine.run().unwrap();
+        assert!(out.sessions[0].chunks.is_empty());
+        assert_eq!(out.report.sessions[0].buffers, 0);
+    }
+
+    #[test]
+    fn engine_run_is_deterministic() {
+        let streams: Vec<Vec<u8>> = (0..4).map(|s| pseudo_random(400_000, 40 + s)).collect();
+        let run = || {
+            let mut engine = ShredderEngine::new(small_config());
+            for (i, s) in streams.iter().enumerate() {
+                engine.open_named_session(format!("t{i}"), 1 + i as u32, SliceSource::new(s));
+            }
+            engine.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.sessions, b.sessions);
+    }
+
+    #[test]
+    fn timelines_causally_ordered_per_session() {
+        let streams: Vec<Vec<u8>> = (0..3).map(|s| pseudo_random(600_000, 60 + s)).collect();
+        let mut engine = ShredderEngine::new(small_config());
+        for s in &streams {
+            engine.open_session(SliceSource::new(s));
+        }
+        let out = engine.run().unwrap();
+        for r in &out.report.sessions {
+            assert_eq!(r.timeline.len(), r.buffers);
+            for t in &r.timeline {
+                assert!(t.read_start <= t.read_end);
+                assert!(t.read_end <= t.transfer_end);
+                assert!(t.transfer_end <= t.kernel_end);
+                assert!(t.kernel_end <= t.store_end);
+            }
+            for pair in r.timeline.windows(2) {
+                assert!(pair[0].store_end <= pair[1].store_end);
+            }
+        }
+    }
+
+    #[test]
+    fn session_ids_and_names_round_trip() {
+        let data = pseudo_random(64 << 10, 70);
+        let mut engine = ShredderEngine::new(small_config());
+        let id0 = engine.open_named_session("alpha", 2, SliceSource::new(&data));
+        let id1 = engine.open_session(SliceSource::new(&data));
+        assert_eq!(id0.index(), 0);
+        assert_eq!(id1.index(), 1);
+        assert_eq!(engine.session_count(), 2);
+        let out = engine.run().unwrap();
+        assert_eq!(out.sessions[0].name, "alpha");
+        assert_eq!(out.report.sessions[0].weight, 2);
+        assert_eq!(out.sessions[1].name, "session-1");
+        assert_eq!(engine.session_count(), 0, "run consumes sessions");
+    }
+
+    #[test]
+    fn aggregate_accounting_is_conserved() {
+        let streams: Vec<Vec<u8>> = (0..3).map(|s| pseudo_random(256 << 10, 80 + s)).collect();
+        let mut engine = ShredderEngine::new(small_config());
+        for s in &streams {
+            engine.open_session(SliceSource::new(s));
+        }
+        let out = engine.run().unwrap();
+        let by_session: u64 = out.report.sessions.iter().map(|r| r.bytes).sum();
+        assert_eq!(out.report.bytes, by_session);
+        let buffers: usize = out.report.sessions.iter().map(|r| r.buffers).sum();
+        assert_eq!(out.report.buffers, buffers);
+        let wait: Dur = out.report.sessions.iter().map(|r| r.queue_wait).sum();
+        assert_eq!(out.report.queue_wait, wait);
+        assert!(out.report.aggregate_gbps() > 0.0);
+    }
+}

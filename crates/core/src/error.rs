@@ -1,0 +1,55 @@
+//! Errors surfaced by the chunking engines.
+
+use std::fmt;
+
+use shredder_gpu::GpuError;
+
+/// An error from the session-based chunking engine.
+///
+/// Kernel launches and device transfers can fail (invalid buffers,
+/// out-of-memory) and misconfigured chunking parameters are rejected up
+/// front; both propagate through the session API instead of panicking
+/// inside the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// The GPU model rejected an operation.
+    Gpu(GpuError),
+    /// The engine configuration is unusable (e.g. a zero-byte Rabin
+    /// window, which would make the buffer-overlap math meaningless).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::Gpu(e) => write!(f, "gpu error: {e:?}"),
+            ChunkError::InvalidConfig(msg) => write!(f, "invalid engine config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+impl From<GpuError> for ChunkError {
+    fn from(e: GpuError) -> Self {
+        ChunkError::Gpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: ChunkError = GpuError::OutOfMemory {
+            requested: 1,
+            available: 0,
+        }
+        .into();
+        assert!(matches!(e, ChunkError::Gpu(_)));
+        assert!(e.to_string().contains("gpu error"));
+        let c = ChunkError::InvalidConfig("window must be non-zero".into());
+        assert!(c.to_string().contains("window"));
+    }
+}

@@ -12,8 +12,10 @@ use shredder_gpu::calibration;
 use shredder_rabin::{Chunk, ParallelChunker};
 
 use crate::config::HostChunkerConfig;
+use crate::error::ChunkError;
 use crate::report::{HostReport, Report};
 use crate::service::ChunkingService;
+use crate::source::StreamSource;
 
 /// The host-only (CPU) chunking engine.
 ///
@@ -26,8 +28,8 @@ use crate::service::ChunkingService;
 /// let with_hoard = HostChunker::new(HostChunkerConfig::optimized());
 /// let without = HostChunker::new(HostChunkerConfig::unoptimized());
 ///
-/// let a = with_hoard.chunk_stream(&data);
-/// let b = without.chunk_stream(&data);
+/// let a = with_hoard.chunk_stream(&data).unwrap();
+/// let b = without.chunk_stream(&data).unwrap();
 /// assert_eq!(a.chunks, b.chunks); // same boundaries
 /// // Hoard removes allocator serialization (§5.1).
 /// assert!(a.report.throughput_gbps() > b.report.throughput_gbps());
@@ -59,9 +61,7 @@ impl HostChunker {
     /// bytes/s: `threads × clock / cycles_per_byte × (1 − alloc_loss)`.
     pub fn effective_bandwidth(&self) -> f64 {
         let per_thread = self.config.clock_hz / calibration::CPU_RABIN_CYCLES_PER_BYTE;
-        per_thread
-            * self.config.threads as f64
-            * (1.0 - self.config.allocator.contention_loss())
+        per_thread * self.config.threads as f64 * (1.0 - self.config.allocator.contention_loss())
     }
 
     /// Simulated time to chunk `bytes` bytes.
@@ -77,16 +77,42 @@ impl HostChunker {
 }
 
 impl ChunkingService for HostChunker {
-    fn chunk_stream_with(&self, data: &[u8], upcall: &mut dyn FnMut(Chunk)) -> Report {
+    fn chunk_source_with(
+        &self,
+        source: &mut dyn StreamSource,
+        upcall: &mut dyn FnMut(Chunk),
+    ) -> Result<Report, ChunkError> {
+        // The pthreads baseline materializes the stream before its SPMD
+        // region split (§5.1 operates on a resident buffer).
+        let mut data = match source.size_hint() {
+            Some(n) => Vec::with_capacity(n as usize),
+            None => Vec::new(),
+        };
+        let mut buf = vec![0u8; 1 << 20];
+        loop {
+            let n = source.read(&mut buf);
+            if n == 0 {
+                break;
+            }
+            data.extend_from_slice(&buf[..n]);
+        }
+        self.chunk_stream_with(&data, upcall)
+    }
+
+    fn chunk_stream_with(
+        &self,
+        data: &[u8],
+        upcall: &mut dyn FnMut(Chunk),
+    ) -> Result<Report, ChunkError> {
         for chunk in self.chunker.chunk(data) {
             upcall(chunk);
         }
-        Report::Host(HostReport {
+        Ok(Report::Host(HostReport {
             bytes: data.len() as u64,
             threads: self.config.threads,
             allocator: self.config.allocator.to_string(),
             makespan: self.chunk_time(data.len() as u64),
-        })
+        }))
     }
 
     fn service_name(&self) -> String {
@@ -117,7 +143,7 @@ mod tests {
     #[test]
     fn boundaries_match_sequential() {
         let data = pseudo_random(1 << 20, 5);
-        let out = HostChunker::with_defaults().chunk_stream(&data);
+        let out = HostChunker::with_defaults().chunk_stream(&data).unwrap();
         assert_eq!(out.chunks, chunk_all(&data, &ChunkParams::paper()));
     }
 
@@ -136,8 +162,8 @@ mod tests {
         // Both still compute identical chunks.
         let data = pseudo_random(1 << 19, 6);
         assert_eq!(
-            hoard.chunk_stream(&data).chunks,
-            malloc.chunk_stream(&data).chunks
+            hoard.chunk_stream(&data).unwrap().chunks,
+            malloc.chunk_stream(&data).unwrap().chunks
         );
     }
 
@@ -154,7 +180,7 @@ mod tests {
     #[test]
     fn report_contents() {
         let data = pseudo_random(1 << 18, 7);
-        let out = HostChunker::with_defaults().chunk_stream(&data);
+        let out = HostChunker::with_defaults().chunk_stream(&data).unwrap();
         match &out.report {
             Report::Host(h) => {
                 assert_eq!(h.threads, 12);

@@ -1,28 +1,60 @@
 //! The Shredder framework: GPU-accelerated content-based chunking.
 //!
 //! This crate assembles the substrates (Rabin chunking, the GPU model,
-//! the DES kernel) into the system of the paper's §3–§5:
+//! the DES kernel) into the system of the paper's §3–§5, extended from a
+//! one-shot slice API into a **session-based multi-stream engine**:
 //!
 //! * [`config`] — [`ShredderConfig`] with presets matching the Figure 12
 //!   systems: `gpu_basic()` (§3.1), `gpu_streams()` (double buffering +
 //!   pinned ring + 4-stage pipeline, §4.1–§4.2) and
 //!   `gpu_streams_memory()` (adds the coalesced kernel, §4.3).
-//! * [`pipeline`] — the Reader→Transfer→Kernel→Store workflow as a
-//!   discrete-event pipeline with admission control (the Figure 9
-//!   "number of stages"), device twin buffers (Figure 4) and the pinned
-//!   circular ring (Figure 7).
-//! * [`host_chunker`] — the host-only pthreads baseline of §5.1: real
-//!   multi-threaded SPMD chunking plus the calibrated timing model with
-//!   `malloc`-vs-Hoard allocator contention.
-//! * [`service`] — the [`ChunkingService`] trait that the case studies
-//!   (Inc-HDFS, cloud backup) program against, with the upcall-style
-//!   boundary delivery of §3.1.
+//! * [`engine`] — the [`ShredderEngine`]: N concurrent [`ChunkSession`]s
+//!   scheduled through **one shared** discrete-event pipeline (one SAN
+//!   reader, one twin-buffer pool, one kernel FIFO, one Store thread)
+//!   under round-robin / weighted / session-order admission.
+//! * [`source`] — [`StreamSource`] ingestion ([`SliceSource`],
+//!   [`MemorySource`]): streams feed the engine one pipeline buffer at a
+//!   time instead of as a fully-materialized slice.
+//! * [`session`] / [`report`] — per-stream [`SessionReport`]s (makespan,
+//!   queueing/contention time, per-buffer timeline) inside an aggregate
+//!   [`EngineReport`] (aggregate GB/s over the shared makespan).
+//! * [`pipeline`] — the legacy single-stream [`Shredder`] service, now a
+//!   thin one-session convenience over the engine.
+//! * [`host_chunker`] — the host-only pthreads baseline of §5.1.
+//! * [`service`] — the fallible [`ChunkingService`] trait the case
+//!   studies (Inc-HDFS, cloud backup) program against, with the
+//!   upcall-style boundary delivery of §3.1.
 //!
 //! Everywhere, chunk boundaries are **real** (computed by the shared
-//! Rabin tables over the actual bytes, identical across every engine) and
-//! *time* is simulated (see `DESIGN.md` §1).
+//! Rabin tables over the actual bytes, identical across every engine and
+//! per stream under any admission interleaving) and *time* is simulated
+//! (see `DESIGN.md`).
 //!
 //! # Examples
+//!
+//! Multi-tenant chunking through one engine:
+//!
+//! ```
+//! use shredder_core::{ShredderConfig, ShredderEngine, SliceSource};
+//!
+//! let site_a: Vec<u8> = (0..1u32 << 19).map(|i| (i.wrapping_mul(0x9e3779b9) >> 11) as u8).collect();
+//! let site_b: Vec<u8> = (0..1u32 << 19).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect();
+//!
+//! let mut engine =
+//!     ShredderEngine::new(ShredderConfig::gpu_streams_memory().with_buffer_size(128 << 10));
+//! engine.open_named_session("site-a", 1, SliceSource::new(&site_a));
+//! engine.open_named_session("site-b", 1, SliceSource::new(&site_b));
+//!
+//! let outcome = engine.run().unwrap();
+//! assert_eq!(outcome.sessions.len(), 2);
+//! // Both tenants' chunks tile their own stream.
+//! for (session, data) in outcome.sessions.iter().zip([&site_a, &site_b]) {
+//!     assert_eq!(session.chunks.iter().map(|c| c.len).sum::<usize>(), data.len());
+//! }
+//! println!("aggregate: {:.2} GB/s", outcome.report.aggregate_gbps());
+//! ```
+//!
+//! The single-stream convenience (identical boundaries, one session):
 //!
 //! ```
 //! use shredder_core::{ChunkingService, HostChunker, Shredder, ShredderConfig};
@@ -32,8 +64,8 @@
 //! let gpu = Shredder::new(ShredderConfig::gpu_streams_memory());
 //! let cpu = HostChunker::with_defaults();
 //!
-//! let g = gpu.chunk_stream(&data);
-//! let c = cpu.chunk_stream(&data);
+//! let g = gpu.chunk_stream(&data).unwrap();
+//! let c = cpu.chunk_stream(&data).unwrap();
 //! // Same boundaries, different (simulated) speed.
 //! assert_eq!(g.chunks, c.chunks);
 //! assert!(g.report.throughput_gbps() > c.report.throughput_gbps());
@@ -43,13 +75,23 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod host_chunker;
 pub mod pipeline;
 pub mod report;
 pub mod service;
+pub mod session;
+pub mod source;
 
 pub use config::{Allocator, HostChunkerConfig, ShredderConfig};
+pub use engine::{AdmissionPolicy, EngineOutcome, ShredderEngine};
+pub use error::ChunkError;
 pub use host_chunker::HostChunker;
 pub use pipeline::Shredder;
-pub use report::{BufferTimeline, HostReport, PipelineReport, Report, StageBusy};
+pub use report::{
+    BufferTimeline, EngineReport, HostReport, PipelineReport, Report, SessionReport, StageBusy,
+};
 pub use service::{ChunkOutcome, ChunkingService};
+pub use session::{ChunkSession, SessionId, SessionOutcome};
+pub use source::{MemorySource, SliceSource, StreamSource};

@@ -1,41 +1,36 @@
-//! The Shredder pipeline: Reader → Transfer → Kernel → Store.
+//! The single-stream Shredder pipeline: Reader → Transfer → Kernel →
+//! Store, as a thin convenience over the session engine.
 //!
-//! The stream is processed in fixed-size buffers. Each buffer flows
-//! through the four stages of §3.1; the configuration decides how much
-//! of the flow overlaps:
+//! Historically this module owned the whole discrete-event pipeline;
+//! that machinery now lives in [`crate::engine`], where any number of
+//! tenant streams share it. [`Shredder`] keeps the original surface —
+//! construct from a [`ShredderConfig`], call
+//! [`chunk_stream`](crate::ChunkingService::chunk_stream) — by opening
+//! exactly one [`ChunkSession`](crate::ChunkSession) on a private
+//! [`ShredderEngine`] per call. The configuration semantics are
+//! unchanged:
 //!
-//! * **admission** (a semaphore of `pipeline_depth` units) caps how many
-//!   buffers are in flight — the §4.2 streaming pipeline, varied 1–4 in
-//!   Figure 9 "by restricting the number of buffers that are admitted";
-//! * **twin buffers** (a semaphore of `twin_buffers` units) caps how many
-//!   device buffers exist — 1 reproduces the serialized copy→compute of
-//!   the basic design, 2 the double buffering of §4.1.1 (Figure 4);
-//! * **pinned ring** decides the host-buffer kind: pre-pinned ring slots
-//!   (fast DMA, no per-buffer allocation, §4.1.2) vs pageable buffers
-//!   allocated every iteration.
-//!
-//! The chunking work itself is done *functionally* before the clock runs:
-//! each buffer's kernel launch computes real cut offsets (bit-identical
-//! to a sequential CPU scan) and a simulated duration; the discrete-event
-//! pass then schedules those durations against the shared engines, and
-//! the Store thread applies the min/max adjustment (§7.3) and upcalls the
-//! chunks in stream order.
+//! * **pipeline depth** caps how many buffers are in flight — the §4.2
+//!   streaming pipeline, varied 1–4 in Figure 9 (now a *global* cap the
+//!   engine shares across sessions);
+//! * **twin buffers** cap device buffers — 1 reproduces the serialized
+//!   copy→compute of the basic design, 2 the double buffering of §4.1.1
+//!   (Figure 4);
+//! * **pinned ring** picks the host-buffer kind: pre-pinned ring slots
+//!   (fast DMA, §4.1.2) vs pageable buffers allocated every iteration.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use shredder_des::{BandwidthChannel, Dur, FifoServer, Semaphore, SimTime, Simulation};
-use shredder_gpu::hostmem::{HostAllocModel, HostMemKind};
-use shredder_gpu::kernel::ChunkKernel;
-use shredder_gpu::{calibration, GpuExecutor, PinnedRing};
-use shredder_rabin::chunker::{apply_min_max, cuts_to_chunks};
+use shredder_des::Dur;
+use shredder_gpu::PinnedRing;
 use shredder_rabin::Chunk;
 
 use crate::config::ShredderConfig;
-use crate::report::{BufferTimeline, PipelineReport, Report, StageBusy};
+use crate::engine::{PlannedBuffer, SessionPlan, ShredderEngine};
+use crate::error::ChunkError;
+use crate::report::{PipelineReport, Report, StageBusy};
 use crate::service::ChunkingService;
+use crate::source::StreamSource;
 
-/// The GPU-accelerated Shredder chunking engine.
+/// The GPU-accelerated Shredder chunking engine (single-stream view).
 ///
 /// # Examples
 ///
@@ -45,37 +40,19 @@ use crate::service::ChunkingService;
 ///
 /// let data: Vec<u8> = (0..1u32 << 20).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
 /// let shredder = Shredder::new(ShredderConfig::gpu_streams_memory());
-/// let out = shredder.chunk_stream(&data);
+/// let out = shredder.chunk_stream(&data).unwrap();
 /// // GPU pipeline boundaries equal the sequential CPU scan.
 /// assert_eq!(out.chunks, chunk_all(&data, &ChunkParams::paper()));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Shredder {
     config: ShredderConfig,
-    kernel: ChunkKernel,
-}
-
-/// One buffer's pre-computed (functional) work.
-struct BufferPlan {
-    index: usize,
-    /// Bytes in the owned range.
-    bytes: usize,
-    /// Raw cuts owned by this buffer (absolute offsets).
-    cuts: Vec<u64>,
-    /// Simulated kernel duration.
-    kernel_dur: Dur,
-}
-
-/// Mutable state shared by the event closures.
-struct PipeState {
-    timeline: Vec<BufferTimeline>,
 }
 
 impl Shredder {
     /// Creates an engine from a configuration.
     pub fn new(config: ShredderConfig) -> Self {
-        let kernel = ChunkKernel::new(config.params.clone(), config.kernel);
-        Shredder { config, kernel }
+        Shredder { config }
     }
 
     /// The configuration.
@@ -83,153 +60,12 @@ impl Shredder {
         &self.config
     }
 
-    /// Functional pass: split the stream into buffers and run the
-    /// chunking kernel on each (with the `w−1`-byte overlap so windows
-    /// spanning buffer boundaries are found exactly once).
-    fn plan(&self, data: &[u8]) -> Vec<BufferPlan> {
-        let window = self.config.params.window;
-        let size = self.config.buffer_size;
-        let mut plans = Vec::new();
-        let mut start = 0usize;
-        let mut index = 0usize;
-        while start < data.len() {
-            let end = (start + size).min(data.len());
-            let scan_start = start.saturating_sub(window - 1);
-            let out = self
-                .kernel
-                .run(&self.config.device, &data[scan_start..end])
-                .expect("kernel run on slice cannot fail");
-            let cuts: Vec<u64> = out
-                .raw_cuts
-                .iter()
-                .map(|c| c + scan_start as u64)
-                .filter(|&c| c > start as u64)
-                .collect();
-            plans.push(BufferPlan {
-                index,
-                bytes: end - start,
-                cuts,
-                kernel_dur: out.stats.duration,
-            });
-            start = end;
-            index += 1;
-        }
-        plans
+    /// Opens a fresh multi-stream engine with this configuration — the
+    /// session API this service is a convenience over.
+    pub fn engine<'a>(&self) -> ShredderEngine<'a> {
+        ShredderEngine::new(self.config.clone())
     }
 
-    /// Timing pass: run the pipeline on the discrete-event simulator.
-    fn simulate(&self, plans: &[BufferPlan]) -> (Vec<BufferTimeline>, StageBusy, Dur) {
-        let mut sim = Simulation::new();
-
-        let admission = Semaphore::new("pipeline-admission", self.config.pipeline_depth);
-        let twins = Semaphore::new("device-twin-buffers", self.config.twin_buffers);
-        let reader = BandwidthChannel::new(
-            "san-reader",
-            self.config.reader_bandwidth,
-            Dur::from_nanos(calibration::READER_IO_LATENCY_NS),
-        );
-        let prep = FifoServer::new("host-prep", 1);
-        let store = FifoServer::new("store-thread", 1);
-        let gpu = GpuExecutor::new(&self.config.device);
-        let alloc_model = HostAllocModel::new();
-
-        let host_kind = if self.config.pinned_ring {
-            HostMemKind::Pinned
-        } else {
-            HostMemKind::Pageable
-        };
-        // Without the ring, the host allocates a fresh pageable buffer
-        // every iteration (§4.1.2's counterfactual).
-        let prep_time = if self.config.pinned_ring {
-            Dur::ZERO
-        } else {
-            alloc_model.alloc_time(HostMemKind::Pageable, self.config.buffer_size)
-        };
-
-        let state = Rc::new(RefCell::new(PipeState {
-            timeline: plans
-                .iter()
-                .map(|p| BufferTimeline {
-                    index: p.index,
-                    bytes: p.bytes,
-                    read_start: SimTime::ZERO,
-                    read_end: SimTime::ZERO,
-                    transfer_end: SimTime::ZERO,
-                    kernel_end: SimTime::ZERO,
-                    store_end: SimTime::ZERO,
-                })
-                .collect(),
-        }));
-
-        for plan in plans {
-            let i = plan.index;
-            let bytes = plan.bytes as u64;
-            let cuts = plan.cuts.len() as u64;
-            let kernel_dur = plan.kernel_dur;
-
-            let admission = admission.clone();
-            let twins = twins.clone();
-            let reader = reader.clone();
-            let prep = prep.clone();
-            let store = store.clone();
-            let gpu = gpu.clone();
-            let state = state.clone();
-
-            admission.clone().acquire(&mut sim, 1, move |sim| {
-                state.borrow_mut().timeline[i].read_start = sim.now();
-                let st = state.clone();
-                prep.process(sim, prep_time, move |sim| {
-                    let state = st;
-                    reader.transfer(sim, bytes, move |sim| {
-                        state.borrow_mut().timeline[i].read_end = sim.now();
-                        let st = state.clone();
-                        twins.clone().acquire(sim, 1, move |sim| {
-                            let state = st;
-                            let gpu2 = gpu.clone();
-                            gpu.copy_h2d(sim, bytes, host_kind, move |sim| {
-                                state.borrow_mut().timeline[i].transfer_end = sim.now();
-                                let st = state.clone();
-                                let gpu3 = gpu2.clone();
-                                gpu2.run_kernel(sim, kernel_dur, move |sim| {
-                                    let state = st;
-                                    state.borrow_mut().timeline[i].kernel_end = sim.now();
-                                    twins.release(sim, 1);
-                                    // Store: boundary array back over PCIe,
-                                    // then host-side adjustment + upcall.
-                                    let cut_bytes = (cuts * 8).max(8);
-                                    let st2 = state.clone();
-                                    gpu3.copy_d2h(sim, cut_bytes, host_kind, move |sim| {
-                                        let state = st2;
-                                        let host_time = Dur::from_nanos(
-                                            calibration::HOST_STAGE_OVERHEAD_NS
-                                                + cuts * calibration::STORE_PER_CUT_NS,
-                                        );
-                                        store.process(sim, host_time, move |sim| {
-                                            state.borrow_mut().timeline[i].store_end = sim.now();
-                                            admission.release(sim, 1);
-                                        });
-                                    });
-                                });
-                            });
-                        });
-                    });
-                });
-            });
-        }
-
-        let end = sim.run();
-        let timeline = state.borrow().timeline.clone();
-        let stage_busy = StageBusy {
-            read: reader.busy_time() + prep.busy_time(),
-            transfer: gpu.h2d_busy(),
-            kernel: gpu.compute_busy(),
-            store: gpu.d2h_busy() + store.busy_time(),
-        };
-        (timeline, stage_busy, end - SimTime::ZERO)
-    }
-}
-
-impl Shredder {
     /// Timing-only pipeline execution over `buffers` synthetic buffers of
     /// `bytes` each, with a given per-buffer kernel duration and raw-cut
     /// count.
@@ -246,20 +82,31 @@ impl Shredder {
         kernel_dur: Dur,
         cuts_per_buffer: usize,
     ) -> PipelineReport {
-        let plans: Vec<BufferPlan> = (0..buffers)
-            .map(|i| BufferPlan {
-                index: i,
-                bytes,
-                cuts: (0..cuts_per_buffer)
-                    .map(|c| (i * bytes) as u64 + 1 + c as u64)
-                    .collect(),
-                kernel_dur,
-            })
-            .collect();
-        let (timeline, stage_busy, makespan) = if plans.is_empty() {
+        let plan = SessionPlan {
+            name: "synthetic".into(),
+            weight: 1,
+            bytes: (buffers * bytes) as u64,
+            // The timing pass never reads individual cut offsets — only
+            // the per-buffer counts below drive the D2H/Store costs.
+            cuts: Vec::new(),
+            buffers: vec![
+                PlannedBuffer {
+                    bytes: bytes as u64,
+                    cut_count: cuts_per_buffer as u64,
+                    kernel_dur,
+                };
+                buffers
+            ],
+        };
+        let (timeline, stage_busy, makespan) = if buffers == 0 {
             (Vec::new(), StageBusy::default(), Dur::ZERO)
         } else {
-            self.simulate(&plans)
+            let sim = self.engine().simulate_planned(std::slice::from_ref(&plan));
+            (
+                sim.sessions[0].timeline.clone(),
+                sim.stage_busy,
+                sim.end.saturating_since(shredder_des::SimTime::ZERO),
+            )
         };
         let ring_setup = if self.config.pinned_ring {
             PinnedRing::new(self.config.ring_slots(), self.config.buffer_size).setup_time()
@@ -280,40 +127,33 @@ impl Shredder {
 }
 
 impl ChunkingService for Shredder {
-    fn chunk_stream_with(&self, data: &[u8], upcall: &mut dyn FnMut(Chunk)) -> Report {
-        let plans = self.plan(data);
-
-        let (timeline, stage_busy, makespan) = if plans.is_empty() {
-            (Vec::new(), StageBusy::default(), Dur::ZERO)
-        } else {
-            self.simulate(&plans)
-        };
-
-        // Store-thread adjustment (§7.3): merge per-buffer raw cuts in
-        // stream order and apply the min/max filter.
-        let raw: Vec<u64> = plans.iter().flat_map(|p| p.cuts.iter().copied()).collect();
-        let len = data.len() as u64;
-        let cuts = apply_min_max(&raw, len, &self.config.params);
-        for chunk in cuts_to_chunks(&cuts, len) {
+    fn chunk_source_with(
+        &self,
+        source: &mut dyn StreamSource,
+        upcall: &mut dyn FnMut(Chunk),
+    ) -> Result<Report, ChunkError> {
+        let mut engine = self.engine();
+        engine.open_named_session("chunk-stream", 1, source);
+        let outcome = engine.run()?;
+        let session = outcome
+            .sessions
+            .into_iter()
+            .next()
+            .expect("engine ran exactly one session");
+        for chunk in session.chunks {
             upcall(chunk);
         }
-
-        let ring_setup = if self.config.pinned_ring {
-            PinnedRing::new(self.config.ring_slots(), self.config.buffer_size).setup_time()
-        } else {
-            Dur::ZERO
-        };
-
-        Report::Pipeline(PipelineReport {
-            bytes: len,
-            buffers: plans.len(),
-            makespan,
-            stage_busy,
-            kernel_time: plans.iter().map(|p| p.kernel_dur).sum(),
-            timeline,
-            ring_setup,
-            raw_cuts: raw.len(),
-        })
+        let per = &outcome.report.sessions[0];
+        Ok(Report::Pipeline(PipelineReport {
+            bytes: per.bytes,
+            buffers: per.buffers,
+            makespan: outcome.report.makespan,
+            stage_busy: outcome.report.stage_busy,
+            kernel_time: per.kernel_time,
+            timeline: per.timeline.clone(),
+            ring_setup: outcome.report.ring_setup,
+            raw_cuts: per.raw_cuts,
+        }))
     }
 
     fn service_name(&self) -> String {
@@ -363,7 +203,7 @@ mod tests {
             ShredderConfig::gpu_streams_memory(),
         ] {
             let name = format!("{cfg:?}");
-            let out = Shredder::new(small(cfg)).chunk_stream(&data);
+            let out = Shredder::new(small(cfg)).chunk_stream(&data).unwrap();
             assert_eq!(out.chunks, expected, "{name}");
         }
     }
@@ -374,7 +214,7 @@ mod tests {
         let data = pseudo_random(2 << 20, 13);
         let expected = chunk_all(&data, &params);
         let cfg = small(ShredderConfig::gpu_streams_memory()).with_params(params);
-        let out = Shredder::new(cfg).chunk_stream(&data);
+        let out = Shredder::new(cfg).chunk_stream(&data).unwrap();
         assert_eq!(out.chunks, expected);
     }
 
@@ -384,6 +224,7 @@ mod tests {
         let t = |cfg: ShredderConfig| {
             Shredder::new(cfg.with_buffer_size(1 << 20))
                 .chunk_stream(&data)
+                .unwrap()
                 .report
                 .throughput_gbps()
         };
@@ -400,7 +241,8 @@ mod tests {
         // 2 GB/s SAN reader (Table 1), the paper's "over 5X" context.
         let data = pseudo_random(32 << 20, 19);
         let out = Shredder::new(ShredderConfig::gpu_streams_memory().with_buffer_size(4 << 20))
-            .chunk_stream(&data);
+            .chunk_stream(&data)
+            .unwrap();
         let gbps = out.report.throughput_gbps();
         assert!(gbps > 1.5 && gbps < 2.1, "{gbps} GB/s");
     }
@@ -408,7 +250,9 @@ mod tests {
     #[test]
     fn timeline_is_causally_ordered() {
         let data = pseudo_random(4 << 20, 23);
-        let out = Shredder::new(small(ShredderConfig::gpu_streams_memory())).chunk_stream(&data);
+        let out = Shredder::new(small(ShredderConfig::gpu_streams_memory()))
+            .chunk_stream(&data)
+            .unwrap();
         let report = out.report.as_pipeline().unwrap().clone();
         assert_eq!(report.buffers, report.timeline.len());
         for t in &report.timeline {
@@ -433,6 +277,7 @@ mod tests {
                     .with_pipeline_depth(depth),
             )
             .chunk_stream(&data)
+            .unwrap()
             .report
             .makespan()
         };
@@ -444,7 +289,9 @@ mod tests {
 
     #[test]
     fn empty_stream() {
-        let out = Shredder::new(ShredderConfig::default()).chunk_stream(&[]);
+        let out = Shredder::new(ShredderConfig::default())
+            .chunk_stream(&[])
+            .unwrap();
         assert!(out.chunks.is_empty());
         assert_eq!(out.report.bytes(), 0);
         assert_eq!(out.report.makespan(), Dur::ZERO);
@@ -453,7 +300,9 @@ mod tests {
     #[test]
     fn stream_smaller_than_one_buffer() {
         let data = pseudo_random(10_000, 31);
-        let out = Shredder::new(ShredderConfig::default()).chunk_stream(&data);
+        let out = Shredder::new(ShredderConfig::default())
+            .chunk_stream(&data)
+            .unwrap();
         assert_eq!(out.chunks, chunk_all(&data, &ChunkParams::paper()));
         assert_eq!(out.report.as_pipeline().unwrap().buffers, 1);
     }
@@ -461,10 +310,12 @@ mod tests {
     #[test]
     fn ring_setup_reported_only_with_ring() {
         let data = pseudo_random(1 << 20, 37);
-        let with_ring =
-            Shredder::new(small(ShredderConfig::gpu_streams())).chunk_stream(&data);
-        let without =
-            Shredder::new(small(ShredderConfig::gpu_basic())).chunk_stream(&data);
+        let with_ring = Shredder::new(small(ShredderConfig::gpu_streams()))
+            .chunk_stream(&data)
+            .unwrap();
+        let without = Shredder::new(small(ShredderConfig::gpu_basic()))
+            .chunk_stream(&data)
+            .unwrap();
         assert!(with_ring.report.as_pipeline().unwrap().ring_setup > Dur::ZERO);
         assert_eq!(without.report.as_pipeline().unwrap().ring_setup, Dur::ZERO);
     }
@@ -472,12 +323,23 @@ mod tests {
     #[test]
     fn stage_busy_accounts_all_stages() {
         let data = pseudo_random(4 << 20, 41);
-        let out = Shredder::new(small(ShredderConfig::gpu_streams_memory())).chunk_stream(&data);
+        let out = Shredder::new(small(ShredderConfig::gpu_streams_memory()))
+            .chunk_stream(&data)
+            .unwrap();
         let busy = out.report.as_pipeline().unwrap().stage_busy;
         assert!(busy.read > Dur::ZERO);
         assert!(busy.transfer > Dur::ZERO);
         assert!(busy.kernel > Dur::ZERO);
         assert!(busy.store > Dur::ZERO);
+    }
+
+    #[test]
+    fn window_zero_propagates_as_error() {
+        let mut params = ChunkParams::paper();
+        params.window = 0;
+        let shredder = Shredder::new(ShredderConfig::default().with_params(params));
+        let result = shredder.chunk_stream(&[1, 2, 3]);
+        assert!(matches!(result, Err(ChunkError::InvalidConfig(_))));
     }
 
     #[test]

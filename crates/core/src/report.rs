@@ -57,6 +57,91 @@ pub struct PipelineReport {
     pub raw_cuts: usize,
 }
 
+/// Per-stream report of one session's trip through a shared
+/// [`ShredderEngine`](crate::ShredderEngine) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Session index in engine open order.
+    pub id: usize,
+    /// Session name.
+    pub name: String,
+    /// Admission weight used by the scheduler.
+    pub weight: u32,
+    /// Stream bytes chunked.
+    pub bytes: u64,
+    /// Pipeline buffers the stream was split into.
+    pub buffers: usize,
+    /// Chunks delivered (after min/max adjustment).
+    pub chunks: usize,
+    /// Raw cuts found before min/max adjustment.
+    pub raw_cuts: usize,
+    /// When the stream's first buffer was admitted to the pipeline.
+    pub first_admit: SimTime,
+    /// When the stream's last buffer left the Store stage.
+    pub completion: SimTime,
+    /// `first_admit → completion`: the stream's own makespan.
+    pub makespan: Dur,
+    /// Total time this stream's head-of-line buffer spent waiting for an
+    /// admission slot — the contention cost of sharing the pipeline.
+    pub queue_wait: Dur,
+    /// Total kernel-only time spent on this stream's buffers.
+    pub kernel_time: Dur,
+    /// Per-buffer timestamps (indices are per-session).
+    pub timeline: Vec<BufferTimeline>,
+}
+
+impl SessionReport {
+    /// This stream's own throughput in GB/s over its makespan.
+    pub fn throughput_gbps(&self) -> f64 {
+        let s = self.makespan.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / s / 1e9
+    }
+}
+
+/// Aggregate report of a multi-stream engine run: one shared simulation
+/// covering every session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Sessions run, in open order.
+    pub sessions: Vec<SessionReport>,
+    /// Total bytes across all sessions.
+    pub bytes: u64,
+    /// Total pipeline buffers across all sessions.
+    pub buffers: usize,
+    /// Global admission slots (the shared pipeline depth).
+    pub pipeline_depth: usize,
+    /// End-to-end simulated time: engine start → last store completion.
+    pub makespan: Dur,
+    /// Busy time of the shared pipeline stages, summed over all
+    /// sessions' buffers.
+    pub stage_busy: StageBusy,
+    /// Total admission queueing across sessions (contention time).
+    pub queue_wait: Dur,
+    /// One-time pinned-ring setup cost (shared by all sessions).
+    pub ring_setup: Dur,
+}
+
+impl EngineReport {
+    /// Aggregate throughput across all tenant streams, in GB/s (total
+    /// bytes over the shared makespan — the Figure 12 axis, extended to
+    /// multi-tenancy).
+    pub fn aggregate_gbps(&self) -> f64 {
+        let s = self.makespan.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / s / 1e9
+    }
+
+    /// The report of one session by engine open order.
+    pub fn session(&self, index: usize) -> Option<&SessionReport> {
+        self.sessions.get(index)
+    }
+}
+
 /// Report of a host-only chunking run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HostReport {

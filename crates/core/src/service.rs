@@ -3,14 +3,23 @@
 //! The Shredder library notifies applications of chunk boundaries via an
 //! upcall (§3.1: "the Store thread uses an upcall to notify the chunk
 //! boundaries to the application that is using the Shredder library").
-//! [`ChunkingService::chunk_stream_with`] is that interface; the
-//! convenience [`chunk_stream`](ChunkingService::chunk_stream) collects
-//! the upcalls into a [`ChunkOutcome`].
+//! [`ChunkingService::chunk_source_with`] is that interface, now fed by
+//! a [`StreamSource`] instead of a bare slice and fallible so kernel
+//! errors propagate instead of panicking; the conveniences
+//! [`chunk_stream`](ChunkingService::chunk_stream) and
+//! [`chunk_source`](ChunkingService::chunk_source) collect the upcalls
+//! into a [`ChunkOutcome`].
+//!
+//! For chunking *many* streams through one shared pipeline, use the
+//! session API ([`ShredderEngine`](crate::ShredderEngine)) directly —
+//! these per-call entry points each run a private single-session engine.
 
 use shredder_hash::{sha256, Digest};
 use shredder_rabin::Chunk;
 
+use crate::error::ChunkError;
 use crate::report::Report;
+use crate::source::{SliceSource, StreamSource};
 
 /// Result of chunking a stream: the chunks plus the engine's timing
 /// report.
@@ -49,19 +58,59 @@ impl ChunkOutcome {
 /// let data = vec![3u8; 100_000];
 /// let service = HostChunker::with_defaults();
 /// let mut sizes: Vec<usize> = Vec::new();
-/// service.chunk_stream_with(&data, &mut |chunk| sizes.push(chunk.len));
+/// service
+///     .chunk_stream_with(&data, &mut |chunk| sizes.push(chunk.len))
+///     .unwrap();
 /// assert_eq!(sizes.iter().sum::<usize>(), data.len());
 /// ```
 pub trait ChunkingService {
-    /// Chunks `data`, delivering each chunk through the `upcall` in
-    /// stream order, and returns the timing report.
-    fn chunk_stream_with(&self, data: &[u8], upcall: &mut dyn FnMut(Chunk)) -> Report;
+    /// Chunks the stream delivered by `source`, calling `upcall` with
+    /// each chunk in stream order, and returns the timing report.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkError`] when the underlying engine rejects the
+    /// configuration or a kernel launch fails.
+    fn chunk_source_with(
+        &self,
+        source: &mut dyn StreamSource,
+        upcall: &mut dyn FnMut(Chunk),
+    ) -> Result<Report, ChunkError>;
 
-    /// Chunks `data` and collects the upcalls.
-    fn chunk_stream(&self, data: &[u8]) -> ChunkOutcome {
+    /// Chunks an in-memory stream, delivering each chunk through the
+    /// `upcall` in stream order.
+    ///
+    /// # Errors
+    ///
+    /// See [`chunk_source_with`](Self::chunk_source_with).
+    fn chunk_stream_with(
+        &self,
+        data: &[u8],
+        upcall: &mut dyn FnMut(Chunk),
+    ) -> Result<Report, ChunkError> {
+        self.chunk_source_with(&mut SliceSource::new(data), upcall)
+    }
+
+    /// Chunks a source and collects the upcalls.
+    ///
+    /// # Errors
+    ///
+    /// See [`chunk_source_with`](Self::chunk_source_with).
+    fn chunk_source(&self, source: &mut dyn StreamSource) -> Result<ChunkOutcome, ChunkError> {
         let mut chunks = Vec::new();
-        let report = self.chunk_stream_with(data, &mut |c| chunks.push(c));
-        ChunkOutcome { chunks, report }
+        let report = self.chunk_source_with(source, &mut |c| chunks.push(c))?;
+        Ok(ChunkOutcome { chunks, report })
+    }
+
+    /// Chunks an in-memory stream and collects the upcalls.
+    ///
+    /// # Errors
+    ///
+    /// See [`chunk_source_with`](Self::chunk_source_with).
+    fn chunk_stream(&self, data: &[u8]) -> Result<ChunkOutcome, ChunkError> {
+        let mut chunks = Vec::new();
+        let report = self.chunk_stream_with(data, &mut |c| chunks.push(c))?;
+        Ok(ChunkOutcome { chunks, report })
     }
 
     /// Human-readable engine name (used in experiment output).
@@ -77,17 +126,30 @@ mod tests {
     struct FakeService;
 
     impl ChunkingService for FakeService {
-        fn chunk_stream_with(&self, data: &[u8], upcall: &mut dyn FnMut(Chunk)) -> Report {
+        fn chunk_source_with(
+            &self,
+            source: &mut dyn StreamSource,
+            upcall: &mut dyn FnMut(Chunk),
+        ) -> Result<Report, ChunkError> {
+            let mut total = 0usize;
+            let mut buf = [0u8; 256];
+            loop {
+                let n = source.read(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
             upcall(Chunk {
                 offset: 0,
-                len: data.len(),
+                len: total,
             });
-            Report::Host(HostReport {
-                bytes: data.len() as u64,
+            Ok(Report::Host(HostReport {
+                bytes: total as u64,
                 threads: 1,
                 allocator: "none".into(),
                 makespan: Dur::from_micros(1),
-            })
+            }))
         }
 
         fn service_name(&self) -> String {
@@ -98,12 +160,22 @@ mod tests {
     #[test]
     fn collect_outcome() {
         let data = vec![1u8; 64];
-        let out = FakeService.chunk_stream(&data);
+        let out = FakeService.chunk_stream(&data).unwrap();
         assert_eq!(out.chunks.len(), 1);
         assert_eq!(out.mean_chunk_size(), 64.0);
         let digests = out.digests(&data);
         assert_eq!(digests.len(), 1);
         assert_eq!(digests[0], shredder_hash::sha256(&data));
+    }
+
+    #[test]
+    fn source_and_slice_paths_agree() {
+        let data = vec![7u8; 1000];
+        let via_slice = FakeService.chunk_stream(&data).unwrap();
+        let via_source = FakeService
+            .chunk_source(&mut SliceSource::new(&data))
+            .unwrap();
+        assert_eq!(via_slice, via_source);
     }
 
     #[test]

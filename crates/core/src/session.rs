@@ -1,0 +1,81 @@
+//! Chunking sessions: one per tenant stream.
+//!
+//! A [`ChunkSession`] ties a [`StreamSource`](crate::StreamSource) to a
+//! scheduling identity (name + admission weight). Sessions are opened on
+//! a [`ShredderEngine`](crate::ShredderEngine), which chunks all of them
+//! through **one** shared device pipeline; per-session results come back
+//! as a [`SessionOutcome`] plus a
+//! [`SessionReport`](crate::report::SessionReport) inside the aggregate
+//! [`EngineReport`](crate::report::EngineReport).
+
+use shredder_rabin::Chunk;
+
+use crate::source::StreamSource;
+
+/// Identifies a session within one engine (the open order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub(crate) usize);
+
+impl SessionId {
+    /// The session's index in engine open order (also its index into
+    /// [`EngineOutcome::sessions`](crate::EngineOutcome) and
+    /// [`EngineReport::sessions`](crate::report::EngineReport)).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// An open (not yet run) chunking session: a tenant stream plus its
+/// scheduling identity.
+pub struct ChunkSession<'a> {
+    pub(crate) id: SessionId,
+    pub(crate) name: String,
+    pub(crate) weight: u32,
+    pub(crate) source: Box<dyn StreamSource + 'a>,
+}
+
+impl ChunkSession<'_> {
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The session name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The admission weight under
+    /// [`AdmissionPolicy::Weighted`](crate::AdmissionPolicy).
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+}
+
+impl std::fmt::Debug for ChunkSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkSession")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("weight", &self.weight)
+            .finish()
+    }
+}
+
+/// The per-session result of an engine run: the session's chunks, in
+/// stream order, bit-identical to a sequential scan of that stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// Which session this is.
+    pub id: SessionId,
+    /// The session's name.
+    pub name: String,
+    /// The chunks, tiling the session's stream in order.
+    pub chunks: Vec<Chunk>,
+}

@@ -1,8 +1,13 @@
 //! Property-based tests: the Shredder pipeline is a drop-in equivalent
-//! of sequential chunking for arbitrary data and configurations.
+//! of sequential chunking for arbitrary data and configurations — and
+//! the multi-stream engine preserves that equivalence per tenant under
+//! arbitrary contention.
 
 use proptest::prelude::*;
-use shredder_core::{ChunkingService, HostChunker, HostChunkerConfig, Shredder, ShredderConfig};
+use shredder_core::{
+    AdmissionPolicy, ChunkingService, HostChunker, HostChunkerConfig, Shredder, ShredderConfig,
+    ShredderEngine, SliceSource,
+};
 use shredder_rabin::{chunk_all, ChunkParams};
 
 proptest! {
@@ -23,7 +28,7 @@ proptest! {
             _ => ShredderConfig::gpu_streams_memory(),
         }
         .with_buffer_size(1 << buffer_shift);
-        let out = Shredder::new(cfg).chunk_stream(&data);
+        let out = Shredder::new(cfg).chunk_stream(&data).unwrap();
         prop_assert_eq!(out.chunks, chunk_all(&data, &params));
     }
 
@@ -41,7 +46,7 @@ proptest! {
         let cfg = ShredderConfig::gpu_streams_memory()
             .with_params(params.clone())
             .with_buffer_size(32 << 10);
-        let out = Shredder::new(cfg).chunk_stream(&data);
+        let out = Shredder::new(cfg).chunk_stream(&data).unwrap();
         prop_assert_eq!(&out.chunks, &chunk_all(&data, &params));
         for (i, c) in out.chunks.iter().enumerate() {
             prop_assert!(c.len <= params.max_size);
@@ -56,8 +61,11 @@ proptest! {
     #[test]
     fn services_agree_and_account_bytes(data in proptest::collection::vec(any::<u8>(), 0..131_072)) {
         let gpu = Shredder::new(ShredderConfig::default().with_buffer_size(32 << 10))
-            .chunk_stream(&data);
-        let cpu = HostChunker::new(HostChunkerConfig::optimized()).chunk_stream(&data);
+            .chunk_stream(&data)
+            .unwrap();
+        let cpu = HostChunker::new(HostChunkerConfig::optimized())
+            .chunk_stream(&data)
+            .unwrap();
         prop_assert_eq!(&gpu.chunks, &cpu.chunks);
         prop_assert_eq!(gpu.report.bytes(), data.len() as u64);
         prop_assert_eq!(cpu.report.bytes(), data.len() as u64);
@@ -69,8 +77,77 @@ proptest! {
     #[test]
     fn makespan_monotone_in_volume(len in 4096usize..65536) {
         let cfg = ShredderConfig::default().with_buffer_size(16 << 10);
-        let small = Shredder::new(cfg.clone()).chunk_stream(&vec![7u8; len]);
-        let large = Shredder::new(cfg).chunk_stream(&vec![7u8; len * 3]);
+        let small = Shredder::new(cfg.clone()).chunk_stream(&vec![7u8; len]).unwrap();
+        let large = Shredder::new(cfg).chunk_stream(&vec![7u8; len * 3]).unwrap();
         prop_assert!(large.report.makespan() > small.report.makespan());
+    }
+
+    /// Cross-engine equivalence under contention: N interleaved sessions
+    /// through one shared engine produce bit-identical chunks to N
+    /// sequential `chunk_all` scans — for any stream contents, any
+    /// buffer size, any admission policy.
+    #[test]
+    fn interleaved_sessions_equal_sequential_scans(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..65536),
+            1..6,
+        ),
+        buffer_shift in 13usize..16, // 8 KiB .. 32 KiB buffers
+        policy_pick in 0u8..3,
+        weight_seed in any::<u64>(),
+    ) {
+        let policy = match policy_pick {
+            0 => AdmissionPolicy::RoundRobin,
+            1 => AdmissionPolicy::Weighted,
+            _ => AdmissionPolicy::SessionOrder,
+        };
+        let cfg = ShredderConfig::gpu_streams_memory().with_buffer_size(1 << buffer_shift);
+        let mut engine = ShredderEngine::new(cfg).with_policy(policy);
+        for (i, s) in streams.iter().enumerate() {
+            let weight = 1 + ((weight_seed >> (i * 3)) & 0x3) as u32;
+            engine.open_named_session(format!("tenant-{i}"), weight, SliceSource::new(s));
+        }
+        let out = engine.run().unwrap();
+        prop_assert_eq!(out.sessions.len(), streams.len());
+        for (session, data) in out.sessions.iter().zip(&streams) {
+            prop_assert_eq!(
+                &session.chunks,
+                &chunk_all(data, &ChunkParams::paper()),
+                "policy {:?}",
+                policy
+            );
+        }
+    }
+
+    /// Determinism: the same session set through the same engine twice
+    /// yields identical `EngineReport`s (timings, timelines, queueing —
+    /// everything).
+    #[test]
+    fn engine_report_is_deterministic(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..32768),
+            2..5,
+        ),
+        policy_pick in 0u8..3,
+    ) {
+        let policy = match policy_pick {
+            0 => AdmissionPolicy::RoundRobin,
+            1 => AdmissionPolicy::Weighted,
+            _ => AdmissionPolicy::SessionOrder,
+        };
+        let run = || {
+            let mut engine = ShredderEngine::new(
+                ShredderConfig::gpu_streams_memory().with_buffer_size(8 << 10),
+            )
+            .with_policy(policy);
+            for (i, s) in streams.iter().enumerate() {
+                engine.open_named_session(format!("t{i}"), (i as u32 % 3) + 1, SliceSource::new(s));
+            }
+            engine.run().unwrap()
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(first.report, second.report);
+        prop_assert_eq!(first.sessions, second.sessions);
     }
 }

@@ -91,7 +91,7 @@ impl TimeSeries {
     /// Panics in debug builds if samples go backwards in time.
     pub fn record(&mut self, at: SimTime, value: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(t, _)| t <= at),
+            self.points.last().is_none_or(|&(t, _)| t <= at),
             "time series must be recorded in order"
         );
         self.points.push((at, value));

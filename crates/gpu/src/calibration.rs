@@ -161,9 +161,12 @@ mod tests {
     fn kernel_throughput_targets() {
         // Coalesced kernel ≈ compute bound at ~9.5 GB/s (Fig. 11 ~100ms/GB).
         let total_cycles_per_sec = 448.0 * GPU_CLOCK_HZ; // 14 SMs × 32 SPs
-        let coalesced = total_cycles_per_sec
-            / (GPU_RABIN_CYCLES_PER_BYTE + COALESCED_STAGING_CYCLES_PER_BYTE);
-        assert!(coalesced > 8.0e9 && coalesced < 11.0e9, "coalesced {coalesced}");
+        let coalesced =
+            total_cycles_per_sec / (GPU_RABIN_CYCLES_PER_BYTE + COALESCED_STAGING_CYCLES_PER_BYTE);
+        assert!(
+            coalesced > 8.0e9 && coalesced < 11.0e9,
+            "coalesced {coalesced}"
+        );
     }
 
     #[test]
@@ -189,8 +192,7 @@ mod tests {
         // Fig. 6: pinned allocation ≈ 10× pageable at 64 MB.
         let bytes = 64usize << 20;
         let pageable = PAGEABLE_ALLOC_BASE_NS as f64 + bytes as f64 / PAGEABLE_ALLOC_BW * 1e9;
-        let pinned =
-            PINNED_ALLOC_BASE_NS as f64 + (bytes / PAGE_SIZE) as f64 * PIN_PAGE_NS as f64;
+        let pinned = PINNED_ALLOC_BASE_NS as f64 + (bytes / PAGE_SIZE) as f64 * PIN_PAGE_NS as f64;
         let ratio = pinned / pageable;
         assert!(ratio > 5.0 && ratio < 15.0, "ratio {ratio}");
     }

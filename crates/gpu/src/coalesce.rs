@@ -138,10 +138,7 @@ mod tests {
     fn substream_pattern_serializes() {
         let addrs = substream_addresses(0, 16, 64 * 1024);
         assert_eq!(classify_half_warp(&addrs, 4), CoalesceClass::Serialized);
-        assert_eq!(
-            transactions_for(CoalesceClass::Serialized, addrs.len()),
-            16
-        );
+        assert_eq!(transactions_for(CoalesceClass::Serialized, addrs.len()), 16);
     }
 
     #[test]

@@ -64,8 +64,7 @@ impl DmaModel {
             HostMemKind::Pageable => {
                 // Staging memcpy through driver bounce buffers serializes
                 // with the wire transfer.
-                let staging =
-                    Dur::from_bytes_at(bytes.max(1), calibration::PAGEABLE_STAGING_BW);
+                let staging = Dur::from_bytes_at(bytes.max(1), calibration::PAGEABLE_STAGING_BW);
                 Dur::from_nanos(calibration::DMA_SETUP_PAGEABLE_NS) + link + staging
             }
         }
@@ -119,7 +118,10 @@ mod tests {
             dma.effective_bandwidth(Direction::HostToDevice, HostMemKind::Pinned, 1 << 30);
         let pinned_256k =
             dma.effective_bandwidth(Direction::HostToDevice, HostMemKind::Pinned, 256 << 10);
-        assert!(pinned_256k > 0.8 * asym_pinned, "pinned at 256KB not saturated");
+        assert!(
+            pinned_256k > 0.8 * asym_pinned,
+            "pinned at 256KB not saturated"
+        );
 
         let asym_pageable =
             dma.effective_bandwidth(Direction::HostToDevice, HostMemKind::Pageable, 1 << 30);

@@ -199,9 +199,7 @@ impl AccessModel {
     pub fn cost(&self, pattern: AccessPattern) -> MemCost {
         let bytes_moved = pattern.transactions * pattern.bytes_per_txn as u64;
         let p_miss = match pattern.locality {
-            Locality::Streaming => {
-                pattern.bytes_per_txn as f64 / self.config.dram_row_bytes as f64
-            }
+            Locality::Streaming => pattern.bytes_per_txn as f64 / self.config.dram_row_bytes as f64,
             Locality::Scattered => calibration::SCATTERED_ROW_MISS_P,
         };
         let row_switches = pattern.transactions as f64 * p_miss;

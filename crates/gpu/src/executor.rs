@@ -81,9 +81,7 @@ impl GpuExecutor {
         kind: HostMemKind,
         done: impl FnOnce(&mut Simulation) + 'static,
     ) {
-        let t = self
-            .dma
-            .transfer_time(Direction::HostToDevice, kind, bytes);
+        let t = self.dma.transfer_time(Direction::HostToDevice, kind, bytes);
         self.h2d.process(sim, t, done);
     }
 
@@ -95,9 +93,7 @@ impl GpuExecutor {
         kind: HostMemKind,
         done: impl FnOnce(&mut Simulation) + 'static,
     ) {
-        let t = self
-            .dma
-            .transfer_time(Direction::DeviceToHost, kind, bytes);
+        let t = self.dma.transfer_time(Direction::DeviceToHost, kind, bytes);
         self.d2h.process(sim, t, done);
     }
 

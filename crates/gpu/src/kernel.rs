@@ -22,7 +22,9 @@ use shredder_rabin::parallel::raw_cuts_substreams;
 use shredder_rabin::ChunkParams;
 
 use crate::calibration;
-use crate::coalesce::{classify_half_warp, cooperative_addresses, substream_addresses, CoalesceClass};
+use crate::coalesce::{
+    classify_half_warp, cooperative_addresses, substream_addresses, CoalesceClass,
+};
 use crate::config::DeviceConfig;
 use crate::device::{BufferId, Device, GpuError};
 use crate::dram::{AccessModel, AccessPattern, Locality, MemCost};
@@ -207,8 +209,7 @@ impl ChunkKernel {
         };
 
         // Boundary hits cause warp divergence (§5.2.2).
-        let divergence_cycles =
-            raw_cuts.len() as f64 * calibration::DIVERGENCE_CYCLES_PER_HIT;
+        let divergence_cycles = raw_cuts.len() as f64 * calibration::DIVERGENCE_CYCLES_PER_HIT;
 
         let workload = KernelWorkload {
             bytes,
@@ -310,8 +311,7 @@ mod tests {
         let coal = ChunkKernel::new(params, KernelVariant::Coalesced)
             .run(&config(), &data)
             .unwrap();
-        let speedup =
-            basic.stats.duration.as_secs_f64() / coal.stats.duration.as_secs_f64();
+        let speedup = basic.stats.duration.as_secs_f64() / coal.stats.duration.as_secs_f64();
         assert!(speedup > 5.0 && speedup < 12.0, "speedup {speedup}");
     }
 

@@ -77,5 +77,5 @@ pub use config::DeviceConfig;
 pub use device::{BufferId, Device, GpuError};
 pub use dma::DmaModel;
 pub use executor::GpuExecutor;
-pub use stream::{Event, Stream};
 pub use hostmem::{HostAllocModel, HostMemKind, PinnedRing};
+pub use stream::{Event, Stream};

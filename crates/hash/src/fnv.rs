@@ -62,7 +62,9 @@ pub struct Fnv1a64 {
 impl Fnv1a64 {
     /// Creates a hasher at the FNV-1a offset basis.
     pub fn new() -> Self {
-        Fnv1a64 { state: FNV64_OFFSET }
+        Fnv1a64 {
+            state: FNV64_OFFSET,
+        }
     }
 
     /// Absorbs bytes.

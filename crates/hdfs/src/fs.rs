@@ -10,7 +10,7 @@
 use std::fmt;
 
 use bytes::Bytes;
-use shredder_core::ChunkingService;
+use shredder_core::{ChunkError, ChunkingService, Shredder, SliceSource};
 use shredder_des::Dur;
 use shredder_hash::{sha256, Digest};
 use shredder_rabin::{chunk_fixed, Chunk};
@@ -33,6 +33,8 @@ pub enum HdfsError {
     },
     /// A split's payload is missing from its DataNode (corruption).
     MissingChunk(Digest),
+    /// The chunking engine failed while ingesting the file.
+    Chunking(ChunkError),
 }
 
 impl fmt::Display for HdfsError {
@@ -43,11 +45,18 @@ impl fmt::Display for HdfsError {
                 write!(f, "version {version} of {path} not found")
             }
             HdfsError::MissingChunk(d) => write!(f, "missing chunk payload {d:?}"),
+            HdfsError::Chunking(e) => write!(f, "chunking failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for HdfsError {}
+
+impl From<ChunkError> for HdfsError {
+    fn from(e: ChunkError) -> Self {
+        HdfsError::Chunking(e)
+    }
+}
 
 /// Outcome of an upload.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,18 +209,57 @@ impl IncHdfs {
 
     /// Content-based upload through a Shredder chunking service with
     /// semantic record alignment (`copyFromLocalGPU`, §6.3).
+    ///
+    /// # Errors
+    ///
+    /// [`HdfsError::Chunking`] if the chunking engine fails.
     pub fn copy_from_local_gpu(
         &mut self,
         path: &str,
         data: &[u8],
         service: &dyn ChunkingService,
         format: &dyn InputFormat,
-    ) -> UploadReport {
-        let outcome = service.chunk_stream(data);
+    ) -> Result<UploadReport, HdfsError> {
+        let outcome = service.chunk_stream(data)?;
         // Semantic chunking: snap content cuts to record boundaries.
         let cuts: Vec<u64> = outcome.chunks.iter().skip(1).map(|c| c.offset).collect();
         let chunks = apply_input_format(data, &cuts, format);
-        self.commit(path, data, &chunks, outcome.report.makespan())
+        Ok(self.commit(path, data, &chunks, outcome.report.makespan()))
+    }
+
+    /// Batch ingestion: uploads several files in one multi-stream engine
+    /// run, so their chunking contends for and overlaps on **one**
+    /// shared device pipeline (the §4.2 pipeline kept saturated across
+    /// files instead of drained between them).
+    ///
+    /// Returns one report per `(path, data)` pair, in order. Each file's
+    /// `chunking_time` is its own session makespan inside the shared
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// [`HdfsError::Chunking`] if the engine rejects the configuration
+    /// or a kernel launch fails; no file is committed in that case.
+    pub fn copy_many_gpu(
+        &mut self,
+        files: &[(&str, &[u8])],
+        shredder: &Shredder,
+        format: &dyn InputFormat,
+    ) -> Result<Vec<UploadReport>, HdfsError> {
+        let mut engine = shredder.engine();
+        for (path, data) in files {
+            engine.open_named_session(path.to_string(), 1, SliceSource::new(data));
+        }
+        let outcome = engine.run()?;
+
+        let mut reports = Vec::with_capacity(files.len());
+        for (session, (path, data)) in outcome.sessions.iter().zip(files) {
+            let cuts: Vec<u64> = session.chunks.iter().skip(1).map(|c| c.offset).collect();
+            let chunks = apply_input_format(data, &cuts, format);
+            let chunking_time = outcome.report.sessions[session.id.index()].makespan;
+            reports.push(self.commit(path, data, &chunks, chunking_time));
+        }
+        Ok(reports)
     }
 
     fn commit(
@@ -251,8 +299,7 @@ impl IncHdfs {
                         if self.dead.contains(&n) || placed.contains(&n) {
                             continue;
                         }
-                        self.datanodes[n]
-                            .put_with_digest(digest, Bytes::copy_from_slice(payload));
+                        self.datanodes[n].put_with_digest(digest, Bytes::copy_from_slice(payload));
                         placed.push(n);
                     }
                     // Fewer live nodes than the replication factor: store
@@ -373,7 +420,9 @@ mod tests {
     fn gpu_upload_roundtrip_and_splits() {
         let mut fs = IncHdfs::new(4);
         let data = corpus(2);
-        let report = fs.copy_from_local_gpu("/f", &data, &service(), &TextInputFormat);
+        let report = fs
+            .copy_from_local_gpu("/f", &data, &service(), &TextInputFormat)
+            .unwrap();
         assert_eq!(fs.read("/f").unwrap(), data);
         assert!(report.splits > 10);
         let splits = fs.splits("/f").unwrap();
@@ -389,14 +438,15 @@ mod tests {
         let mut fs = IncHdfs::new(4);
         let data = corpus(3);
         let svc = service();
-        fs.copy_from_local_gpu("/f", &data, &svc, &TextInputFormat);
+        fs.copy_from_local_gpu("/f", &data, &svc, &TextInputFormat)
+            .unwrap();
 
         // 2% localized change.
-        let changed = shredder_workloads::mutate(
-            &data,
-            &shredder_workloads::MutationSpec::replace(0.02, 9),
-        );
-        let report = fs.copy_from_local_gpu("/f", &changed, &svc, &TextInputFormat);
+        let changed =
+            shredder_workloads::mutate(&data, &shredder_workloads::MutationSpec::replace(0.02, 9));
+        let report = fs
+            .copy_from_local_gpu("/f", &changed, &svc, &TextInputFormat)
+            .unwrap();
         assert!(
             report.dedup_fraction() > 0.7,
             "dedup fraction {}",
@@ -416,14 +466,18 @@ mod tests {
         let svc = service();
 
         fs_fixed.copy_from_local("/f", &data, 32 << 10);
-        fs_cdc.copy_from_local_gpu("/f", &data, &svc, &TextInputFormat);
+        fs_cdc
+            .copy_from_local_gpu("/f", &data, &svc, &TextInputFormat)
+            .unwrap();
 
         // Insert a record near the front: everything shifts.
         let mut shifted = b"NEW RECORD AT FRONT\n".to_vec();
         shifted.extend_from_slice(&data);
 
         let fixed_report = fs_fixed.copy_from_local("/f", &shifted, 32 << 10);
-        let cdc_report = fs_cdc.copy_from_local_gpu("/f", &shifted, &svc, &TextInputFormat);
+        let cdc_report = fs_cdc
+            .copy_from_local_gpu("/f", &shifted, &svc, &TextInputFormat)
+            .unwrap();
 
         assert!(
             fixed_report.dedup_fraction() < 0.05,
@@ -435,6 +489,46 @@ mod tests {
             "cdc dedup {}",
             cdc_report.dedup_fraction()
         );
+    }
+
+    #[test]
+    fn copy_many_uploads_through_one_engine() {
+        let mut fs = IncHdfs::new(4);
+        let a = corpus(11);
+        let b = corpus(12);
+        let c = corpus(13);
+        let shredder = Shredder::new(
+            shredder_core::ShredderConfig::gpu_streams_memory()
+                .with_params(ChunkParams::paper().with_expected_size(4096))
+                .with_buffer_size(64 << 10),
+        );
+        let reports = fs
+            .copy_many_gpu(
+                &[
+                    ("/a", a.as_slice()),
+                    ("/b", b.as_slice()),
+                    ("/c", c.as_slice()),
+                ],
+                &shredder,
+                &TextInputFormat,
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(fs.read("/a").unwrap(), a);
+        assert_eq!(fs.read("/b").unwrap(), b);
+        assert_eq!(fs.read("/c").unwrap(), c);
+        // Each file's batched split set matches a solo upload: the
+        // shared pipeline never changes boundaries.
+        let mut solo = IncHdfs::new(4);
+        let solo_report = solo
+            .copy_from_local_gpu("/a", &a, &shredder, &TextInputFormat)
+            .unwrap();
+        assert_eq!(reports[0].splits, solo_report.splits);
+        assert_eq!(reports[0].total_bytes, solo_report.total_bytes);
+        // Per-file chunking time comes from its session in the shared run.
+        for r in &reports {
+            assert!(r.chunking_time > Dur::ZERO);
+        }
     }
 
     #[test]
@@ -466,7 +560,8 @@ mod tests {
     fn reads_survive_node_failures_up_to_replication() {
         let mut fs = IncHdfs::with_replication(5, 3);
         let data = corpus(8);
-        fs.copy_from_local_gpu("/f", &data, &service(), &TextInputFormat);
+        fs.copy_from_local_gpu("/f", &data, &service(), &TextInputFormat)
+            .unwrap();
 
         fs.fail_datanode(0);
         fs.fail_datanode(2);
@@ -503,9 +598,11 @@ mod tests {
         let mut fs = IncHdfs::new(4);
         let data = corpus(5);
         let svc = service();
-        fs.copy_from_local_gpu("/f", &data, &svc, &TextInputFormat);
+        fs.copy_from_local_gpu("/f", &data, &svc, &TextInputFormat)
+            .unwrap();
         let after_first = fs.physical_bytes();
-        fs.copy_from_local_gpu("/g", &data, &svc, &TextInputFormat);
+        fs.copy_from_local_gpu("/g", &data, &svc, &TextInputFormat)
+            .unwrap();
         let after_second = fs.physical_bytes();
         assert_eq!(after_first, after_second, "identical file re-stored");
     }

@@ -63,11 +63,7 @@ impl InputFormat for TextInputFormat {
 ///
 /// Cuts that collapse onto each other (several content cuts inside one
 /// long record) are merged; the resulting chunks still tile `[0, len)`.
-pub fn apply_input_format(
-    data: &[u8],
-    cuts: &[u64],
-    format: &dyn InputFormat,
-) -> Vec<Chunk> {
+pub fn apply_input_format(data: &[u8], cuts: &[u64], format: &dyn InputFormat) -> Vec<Chunk> {
     let mut snapped: Vec<u64> = Vec::with_capacity(cuts.len());
     let mut last = 0u64;
     for &c in cuts {
@@ -108,12 +104,7 @@ mod tests {
     #[test]
     fn chunks_respect_record_boundaries() {
         let record = b"some record content here\n";
-        let data: Vec<u8> = record
-            .iter()
-            .copied()
-            .cycle()
-            .take(200_000)
-            .collect();
+        let data: Vec<u8> = record.iter().copied().cycle().take(200_000).collect();
         let cuts = raw_cuts(&data, &ChunkParams::paper().with_expected_size(4096));
         let chunks = apply_input_format(&data, &cuts, &TextInputFormat);
 
@@ -157,11 +148,17 @@ mod tests {
         let cuts = raw_cuts(&text, &ChunkParams::paper().with_expected_size(2048));
         let chunks = apply_input_format(&text, &cuts, &TextInputFormat);
 
-        let whole: Vec<&[u8]> = text.split(|&b| b == b'\n').filter(|r| !r.is_empty()).collect();
+        let whole: Vec<&[u8]> = text
+            .split(|&b| b == b'\n')
+            .filter(|r| !r.is_empty())
+            .collect();
         let mut split_records: Vec<&[u8]> = Vec::new();
         for c in &chunks {
-            split_records
-                .extend(c.slice(&text).split(|&b| b == b'\n').filter(|r| !r.is_empty()));
+            split_records.extend(
+                c.slice(&text)
+                    .split(|&b| b == b'\n')
+                    .filter(|r| !r.is_empty()),
+            );
         }
         assert_eq!(whole, split_records);
     }

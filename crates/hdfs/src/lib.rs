@@ -27,7 +27,9 @@
 //! let service = HostChunker::with_defaults();
 //! let data = b"record one\nrecord two\nrecord three\n".repeat(2000);
 //!
-//! let report = fs.copy_from_local_gpu("/logs/day1", &data, &service, &TextInputFormat);
+//! let report = fs
+//!     .copy_from_local_gpu("/logs/day1", &data, &service, &TextInputFormat)
+//!     .unwrap();
 //! assert_eq!(report.total_bytes, data.len() as u64);
 //! assert_eq!(fs.read("/logs/day1").unwrap(), data);
 //! ```

@@ -122,8 +122,18 @@ mod tests {
     fn versions_accumulate() {
         let mut nn = NameNode::new();
         assert_eq!(nn.version_count("/f"), 0);
-        let v0 = nn.commit_version("/f", FileVersion { splits: vec![split(1, 0, 10)] });
-        let v1 = nn.commit_version("/f", FileVersion { splits: vec![split(2, 0, 20)] });
+        let v0 = nn.commit_version(
+            "/f",
+            FileVersion {
+                splits: vec![split(1, 0, 10)],
+            },
+        );
+        let v1 = nn.commit_version(
+            "/f",
+            FileVersion {
+                splits: vec![split(2, 0, 20)],
+            },
+        );
         assert_eq!((v0, v1), (0, 1));
         assert_eq!(nn.version_count("/f"), 2);
         assert_eq!(nn.latest("/f").unwrap().len(), 20);
@@ -154,7 +164,12 @@ mod tests {
     #[test]
     fn first_version_is_all_changed() {
         let mut nn = NameNode::new();
-        nn.commit_version("/f", FileVersion { splits: vec![split(1, 0, 5), split(2, 5, 5)] });
+        nn.commit_version(
+            "/f",
+            FileVersion {
+                splits: vec![split(1, 0, 5), split(2, 5, 5)],
+            },
+        );
         assert_eq!(nn.changed_splits("/f").unwrap().len(), 2);
         assert!(nn.changed_splits("/missing").is_none());
     }

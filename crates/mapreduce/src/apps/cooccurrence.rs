@@ -96,8 +96,10 @@ mod tests {
 
     #[test]
     fn pairs_do_not_cross_records() {
-        let m: std::collections::HashMap<_, _> =
-            Cooccurrence::new(2).map(b"a b\nc d\n").into_iter().collect();
+        let m: std::collections::HashMap<_, _> = Cooccurrence::new(2)
+            .map(b"a b\nc d\n")
+            .into_iter()
+            .collect();
         assert!(m.contains_key("a b"));
         assert!(m.contains_key("c d"));
         assert!(!m.contains_key("b c"), "pair crossed a record boundary");
@@ -105,8 +107,10 @@ mod tests {
 
     #[test]
     fn repeated_pairs_combine() {
-        let m: std::collections::HashMap<_, _> =
-            Cooccurrence::new(1).map(b"x y\nx y\n").into_iter().collect();
+        let m: std::collections::HashMap<_, _> = Cooccurrence::new(1)
+            .map(b"x y\nx y\n")
+            .into_iter()
+            .collect();
         assert_eq!(m["x y"], 2);
     }
 

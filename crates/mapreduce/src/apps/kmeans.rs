@@ -260,10 +260,13 @@ mod tests {
         driver.run(&mut runner, &s);
 
         // Fresh job state (same deterministic init), same runner memo.
-        runner.job_mut().set_centroids(KMeans::new(3).centroids().to_vec());
+        runner
+            .job_mut()
+            .set_centroids(KMeans::new(3).centroids().to_vec());
         let second = driver.run(&mut runner, &s);
         assert_eq!(
-            second.runs[0].memo_hits, s.len(),
+            second.runs[0].memo_hits,
+            s.len(),
             "first iteration should be fully memoized"
         );
     }

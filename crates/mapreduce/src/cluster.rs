@@ -108,10 +108,7 @@ pub fn simulate_job(
         } else {
             tasks_run += 1;
             config.task_overhead
-                + Dur::from_bytes_at(
-                    (t.bytes as f64 * t.cost_factor) as u64,
-                    config.map_rate_bps,
-                )
+                + Dur::from_bytes_at((t.bytes as f64 * t.cost_factor) as u64, config.map_rate_bps)
         };
         slots.process(&mut sim, service, |_| {});
     }
@@ -123,8 +120,8 @@ pub fn simulate_job(
     let reduce_slots = FifoServer::new("reduce-slots", config.slots());
     let per_reducer = reduce_pairs.div_ceil(config.reducers.max(1));
     for _ in 0..config.reducers.min(reduce_pairs.max(1)) {
-        let service = config.task_overhead
-            + Dur::from_secs_f64(per_reducer as f64 / config.reduce_rate_pps);
+        let service =
+            config.task_overhead + Dur::from_secs_f64(per_reducer as f64 / config.reduce_rate_pps);
         reduce_slots.process(&mut sim, service, |_| {});
     }
     let reduce_end = sim.run();
@@ -158,8 +155,7 @@ mod tests {
         // 80 identical tasks over 40 slots = 2 waves.
         let tasks: Vec<MapTaskSpec> = (0..80).map(|_| task(1 << 20, false)).collect();
         let t = simulate_job(&cfg, &tasks, 0);
-        let per_task =
-            (1 << 20) as f64 / cfg.map_rate_bps + cfg.task_overhead.as_secs_f64();
+        let per_task = (1 << 20) as f64 / cfg.map_rate_bps + cfg.task_overhead.as_secs_f64();
         let expected = 2.0 * per_task;
         assert!(
             (t.map_time.as_secs_f64() - expected).abs() < 0.05,
@@ -186,9 +182,7 @@ mod tests {
         let cfg = ClusterConfig::paper();
         let n = 512;
         let job = |changed: usize| {
-            let tasks: Vec<MapTaskSpec> = (0..n)
-                .map(|i| task(128 << 10, i >= changed))
-                .collect();
+            let tasks: Vec<MapTaskSpec> = (0..n).map(|i| task(128 << 10, i >= changed)).collect();
             simulate_job(&cfg, &tasks, 10_000).total
         };
         let full = job(n);

@@ -9,7 +9,10 @@ use shredder_mapreduce::ClusterConfig;
 /// Random newline-record text out of a small alphabet.
 fn text_strategy(max_records: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(
-        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')], 1..20),
+        proptest::collection::vec(
+            prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')],
+            1..20,
+        ),
         0..max_records,
     )
     .prop_map(|records| {

@@ -83,7 +83,10 @@ impl ChunkParams {
     ///
     /// Panics if `size` is not a power of two or is zero.
     pub fn with_expected_size(mut self, size: usize) -> Self {
-        assert!(size.is_power_of_two(), "expected size must be a power of two");
+        assert!(
+            size.is_power_of_two(),
+            "expected size must be a power of two"
+        );
         self.mask_bits = size.trailing_zeros();
         self
     }
@@ -534,10 +537,8 @@ mod tests {
         edited.extend_from_slice(&data[1000..]);
         let after = chunk_all(&edited, &params);
 
-        let before_contents: std::collections::HashSet<Vec<u8>> = before
-            .iter()
-            .map(|c| c.slice(&data).to_vec())
-            .collect();
+        let before_contents: std::collections::HashSet<Vec<u8>> =
+            before.iter().map(|c| c.slice(&data).to_vec()).collect();
         let reused = after
             .iter()
             .filter(|c| before_contents.contains(c.slice(&edited)))
@@ -573,10 +574,7 @@ mod tests {
     #[test]
     fn cuts_to_chunks_handles_edges() {
         assert!(cuts_to_chunks(&[], 0).is_empty());
-        assert_eq!(
-            cuts_to_chunks(&[], 10),
-            vec![Chunk { offset: 0, len: 10 }]
-        );
+        assert_eq!(cuts_to_chunks(&[], 10), vec![Chunk { offset: 0, len: 10 }]);
         assert_eq!(
             cuts_to_chunks(&[4], 10),
             vec![Chunk { offset: 0, len: 4 }, Chunk { offset: 4, len: 6 }]

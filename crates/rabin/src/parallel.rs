@@ -74,7 +74,7 @@ impl ParallelChunker {
         let region = data.len().div_ceil(n);
 
         let mut results: Vec<Vec<u64>> = Vec::with_capacity(n);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for t in 0..n {
                 let start = t * region;
@@ -84,7 +84,7 @@ impl ParallelChunker {
                 }
                 let tables = &self.tables;
                 let params = &self.params;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     // Overlap: windows ending inside [start, end) begin up
                     // to w-1 bytes earlier.
                     let scan_start = start.saturating_sub(w - 1);
@@ -94,8 +94,7 @@ impl ParallelChunker {
             for h in handles {
                 results.push(h.join().expect("chunking worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut merged = Vec::with_capacity(results.iter().map(Vec::len).sum());
         for r in results {
@@ -198,7 +197,9 @@ pub fn raw_cuts_substreams(data: &[u8], params: &ChunkParams, substreams: usize)
 pub fn merge_boundaries(lists: Vec<Vec<u64>>) -> Vec<u64> {
     let mut merged = Vec::with_capacity(lists.iter().map(Vec::len).sum());
     for l in lists {
-        debug_assert!(merged.last().copied().unwrap_or(0) <= l.first().copied().unwrap_or(u64::MAX));
+        debug_assert!(
+            merged.last().copied().unwrap_or(0) <= l.first().copied().unwrap_or(u64::MAX)
+        );
         merged.extend_from_slice(&l);
     }
     merged
@@ -288,7 +289,11 @@ mod tests {
         let data = pseudo_random(400_000, 77);
         let seq = raw_cuts(&data, &params);
         for n in [1usize, 2, 16, 100, 1000, 5000] {
-            assert_eq!(raw_cuts_substreams(&data, &params, n), seq, "{n} substreams");
+            assert_eq!(
+                raw_cuts_substreams(&data, &params, n),
+                seq,
+                "{n} substreams"
+            );
         }
     }
 

@@ -67,11 +67,15 @@ impl Polynomial {
     }
 
     /// Polynomial addition over GF(2) (carry-less: XOR).
+    #[allow(clippy::should_implement_trait)] // GF(2) arithmetic, not std::ops semantics
     pub fn add(self, other: Polynomial) -> Polynomial {
         Polynomial(self.0 ^ other.0)
     }
 
     /// Carry-less multiplication of two polynomials.
+    ///
+    /// (Not `std::ops::Mul`: GF(2) carry-less product, kept as a named
+    /// method on purpose.)
     ///
     /// # Panics
     ///
@@ -79,6 +83,7 @@ impl Polynomial {
     /// callers multiplying within a modulus should use [`mul_mod`].
     ///
     /// [`mul_mod`]: Polynomial::mul_mod
+    #[allow(clippy::should_implement_trait)] // GF(2) arithmetic, not std::ops semantics
     pub fn mul(self, other: Polynomial) -> Polynomial {
         debug_assert!(
             match (self.degree(), other.degree()) {
@@ -105,6 +110,7 @@ impl Polynomial {
     /// # Panics
     ///
     /// Panics if `modulus` is zero.
+    #[allow(clippy::should_implement_trait)] // GF(2) arithmetic, not std::ops semantics
     pub fn rem(self, modulus: Polynomial) -> Polynomial {
         let md = modulus.degree().expect("modulus must be non-zero");
         let mut r = self.0;
@@ -286,9 +292,9 @@ fn prime_divisors(mut n: u32) -> Vec<u32> {
     let mut out = Vec::new();
     let mut p = 2;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             out.push(p);
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
             }
         }
@@ -351,11 +357,7 @@ mod tests {
             for b in 0u64..64 {
                 let pa = Polynomial::new(a);
                 let pb = Polynomial::new(b);
-                assert_eq!(
-                    pa.mul_mod(pb, m),
-                    pa.mul(pb).rem(m),
-                    "a={a:#b} b={b:#b}"
-                );
+                assert_eq!(pa.mul_mod(pb, m), pa.mul(pb).rem(m), "a={a:#b} b={b:#b}");
             }
         }
     }

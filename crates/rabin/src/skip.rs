@@ -72,7 +72,7 @@ pub fn chunk_all_skipping(data: &[u8], params: &ChunkParams) -> SkipScan {
     let mut cuts: Vec<u64> = Vec::new();
     let mut bytes_scanned = 0u64;
     let mut last_cut = 0u64; // offset of the last accepted cut
-    // `pos` is the index of the next byte to feed the window.
+                             // `pos` is the index of the next byte to feed the window.
     let mut pos = skip_target(0, min, w, data.len());
     let mut fp = 0u64;
     let mut filled = 0usize;
@@ -185,10 +185,7 @@ mod tests {
         // Mean chunk with min/max is between min and max; the skipped
         // share should be meaningfully positive and below 50%.
         assert!(skip > 0.1 && skip < 0.5, "skip fraction {skip}");
-        assert_eq!(
-            scan.bytes_scanned + scan.bytes_skipped,
-            data.len() as u64
-        );
+        assert_eq!(scan.bytes_scanned + scan.bytes_skipped, data.len() as u64);
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl RabinTables {
     pub fn new(poly: Polynomial, window: usize) -> Self {
         let degree = poly.degree().expect("modulus must be non-zero");
         assert!(degree >= 9, "modulus degree must be >= 9, got {degree}");
-        assert!(degree <= 56, "modulus degree must be <= 56 so fp<<8 fits in u64");
+        assert!(
+            degree <= 56,
+            "modulus degree must be <= 56 so fp<<8 fits in u64"
+        );
         assert!(window > 0, "window must be non-zero");
 
         let fp_mask = (1u64 << degree) - 1;
@@ -176,7 +179,9 @@ mod tests {
         let x8 = x_pow_mod(8, poly);
         let mut fp = Polynomial::ZERO;
         for &b in window {
-            fp = fp.mul_mod(x8, poly).add(Polynomial::new(b as u64).rem(poly));
+            fp = fp
+                .mul_mod(x8, poly)
+                .add(Polynomial::new(b as u64).rem(poly));
         }
         fp.bits()
     }
@@ -184,7 +189,9 @@ mod tests {
     #[test]
     fn push_matches_reference() {
         let t = tables();
-        let window: Vec<u8> = (0..48u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let window: Vec<u8> = (0..48u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
         assert_eq!(
             t.fingerprint(&window),
             reference_fingerprint(&window, t.polynomial())
@@ -194,7 +201,9 @@ mod tests {
     #[test]
     fn sliding_matches_from_scratch() {
         let t = tables();
-        let data: Vec<u8> = (0..256u32).map(|i| (i.wrapping_mul(101) >> 3) as u8).collect();
+        let data: Vec<u8> = (0..256u32)
+            .map(|i| (i.wrapping_mul(101) >> 3) as u8)
+            .collect();
         let w = t.window();
 
         // Prime the window.

@@ -121,7 +121,10 @@ impl SimilarityTable {
     pub fn skewed(segments: usize, hot_fraction: f64, hot_p: f64, cold_p: f64) -> Self {
         assert!((0.0..=1.0).contains(&hot_fraction), "fraction out of range");
         assert!((0.0..=1.0).contains(&hot_p), "hot probability out of range");
-        assert!((0.0..=1.0).contains(&cold_p), "cold probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&cold_p),
+            "cold probability out of range"
+        );
         let hot = (segments as f64 * hot_fraction) as usize;
         let mut probabilities = vec![cold_p; segments];
         for p in probabilities.iter_mut().take(hot) {

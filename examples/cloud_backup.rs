@@ -30,7 +30,7 @@ fn main() {
     let mut server = BackupServer::new(BackupConfig::paper());
 
     // Night 0: full backup of the master image.
-    let full = server.backup_image(master.data(), &service);
+    let full = server.backup_image(master.data(), &service).unwrap();
     println!(
         "night 0 : {:>6} chunks, {:>5} MiB shipped, {:>5.2} Gbps",
         full.chunks,
@@ -41,7 +41,7 @@ fn main() {
     // Nights 1-5: incremental snapshots.
     for night in 1..=5u64 {
         let snapshot = master.derive(&table, night);
-        let report = server.backup_image(&snapshot, &service);
+        let report = server.backup_image(&snapshot, &service).unwrap();
         let restored = server
             .site()
             .restore(report.image_id)

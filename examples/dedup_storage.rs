@@ -37,10 +37,15 @@ fn main() {
     let mut fixed = IncHdfs::new(8);
     let mut cdc = IncHdfs::new(8);
 
-    println!("{:<10}{:>22}{:>22}", "", "fixed-size splits", "content-based splits");
+    println!(
+        "{:<10}{:>22}{:>22}",
+        "", "fixed-size splits", "content-based splits"
+    );
     for (name, version) in [("v1", &v1), ("v2", &v2), ("v3", &v3)] {
         let fr = fixed.copy_from_local("/file", version, 64 << 10);
-        let cr = cdc.copy_from_local_gpu("/file", version, &service, &TextInputFormat);
+        let cr = cdc
+            .copy_from_local_gpu("/file", version, &service, &TextInputFormat)
+            .unwrap();
         println!(
             "{name:<10}{:>14} MiB new{:>14} MiB new",
             fr.new_bytes >> 20,

@@ -40,9 +40,18 @@ fn main() {
         println!("  memory transactions: {}", s.mem.transactions);
         println!("  bytes moved on bus : {} MiB", s.mem.bytes_moved >> 20);
         println!("  expected row misses: {:.0}", s.mem.row_switches);
-        println!("  memory time        : {:.2} ms", s.simt.memory_time.as_millis_f64());
-        println!("  compute time       : {:.2} ms", s.simt.compute_time.as_millis_f64());
-        println!("  total duration     : {:.2} ms", s.duration.as_millis_f64());
+        println!(
+            "  memory time        : {:.2} ms",
+            s.simt.memory_time.as_millis_f64()
+        );
+        println!(
+            "  compute time       : {:.2} ms",
+            s.simt.compute_time.as_millis_f64()
+        );
+        println!(
+            "  total duration     : {:.2} ms",
+            s.duration.as_millis_f64()
+        );
         println!(
             "  effective bandwidth: {:.2} GB/s",
             s.effective_bandwidth() / 1e9

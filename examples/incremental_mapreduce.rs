@@ -30,7 +30,9 @@ fn main() {
 
     // Upload version 1 and prime the computation.
     let mut fs = IncHdfs::new(20);
-    let up1 = fs.copy_from_local_gpu("/corpus", &v1, &service, &TextInputFormat);
+    let up1 = fs
+        .copy_from_local_gpu("/corpus", &v1, &service, &TextInputFormat)
+        .unwrap();
     println!(
         "upload v1 : {} splits, {} MiB new",
         up1.splits,
@@ -46,7 +48,9 @@ fn main() {
     );
 
     // Upload version 2: unchanged chunks deduplicate.
-    let up2 = fs.copy_from_local_gpu("/corpus", &v2, &service, &TextInputFormat);
+    let up2 = fs
+        .copy_from_local_gpu("/corpus", &v2, &service, &TextInputFormat)
+        .unwrap();
     println!(
         "upload v2 : {} splits, {:.0}% deduplicated",
         up2.splits,

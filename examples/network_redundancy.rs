@@ -37,18 +37,19 @@ impl Middlebox {
 
     /// Sender side: encode a stream as literals + tokens.
     fn encode(&mut self, data: &[u8], chunker: &dyn ChunkingService) -> Vec<WireItem> {
-        let outcome = chunker.chunk_stream(data);
+        let outcome = chunker.chunk_stream(data).expect("chunking failed");
         outcome
             .chunks
             .iter()
             .map(|c| {
                 let payload = c.slice(data);
                 let digest = sha256(payload);
-                if self.cache.contains_key(&digest) {
-                    WireItem::Token(digest)
-                } else {
-                    self.cache.insert(digest, payload.to_vec());
-                    WireItem::Literal(payload.to_vec())
+                match self.cache.entry(digest) {
+                    std::collections::hash_map::Entry::Occupied(_) => WireItem::Token(digest),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(payload.to_vec());
+                        WireItem::Literal(payload.to_vec())
+                    }
                 }
             })
             .collect()
@@ -97,10 +98,7 @@ fn main() {
     // Day one: a software update pushed to one branch office.
     let update_v1 = workloads::compressible_bytes(8 << 20, 2048, 77);
     // Day two: a patched build — 90% identical content — to another.
-    let update_v2 = workloads::mutate(
-        &update_v1,
-        &workloads::MutationSpec::mixed(0.10, 78),
-    );
+    let update_v2 = workloads::mutate(&update_v1, &workloads::MutationSpec::mixed(0.10, 78));
 
     let mut total_in = 0usize;
     let mut total_out = 0usize;

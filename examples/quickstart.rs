@@ -16,7 +16,7 @@ fn main() {
     // The fully optimized Shredder pipeline of the paper's §4: double
     // buffering, pinned ring buffers, 4-stage pipeline, coalesced kernel.
     let gpu = Shredder::new(ShredderConfig::gpu_streams_memory().with_buffer_size(16 << 20));
-    let outcome = gpu.chunk_stream(&data);
+    let outcome = gpu.chunk_stream(&data).expect("chunking failed");
 
     println!("engine           : {}", gpu.service_name());
     println!("input            : {} MiB", data.len() >> 20);
@@ -29,15 +29,27 @@ fn main() {
 
     if let Some(pipeline) = outcome.report.as_pipeline() {
         println!("\nper-stage busy time over {} buffers:", pipeline.buffers);
-        println!("  reader   : {:.1} ms", pipeline.stage_busy.read.as_millis_f64());
-        println!("  transfer : {:.1} ms", pipeline.stage_busy.transfer.as_millis_f64());
-        println!("  kernel   : {:.1} ms", pipeline.stage_busy.kernel.as_millis_f64());
-        println!("  store    : {:.1} ms", pipeline.stage_busy.store.as_millis_f64());
+        println!(
+            "  reader   : {:.1} ms",
+            pipeline.stage_busy.read.as_millis_f64()
+        );
+        println!(
+            "  transfer : {:.1} ms",
+            pipeline.stage_busy.transfer.as_millis_f64()
+        );
+        println!(
+            "  kernel   : {:.1} ms",
+            pipeline.stage_busy.kernel.as_millis_f64()
+        );
+        println!(
+            "  store    : {:.1} ms",
+            pipeline.stage_busy.store.as_millis_f64()
+        );
     }
 
     // The host-only pthreads baseline produces identical boundaries.
     let cpu = HostChunker::with_defaults();
-    let cpu_outcome = cpu.chunk_stream(&data);
+    let cpu_outcome = cpu.chunk_stream(&data).expect("chunking failed");
     assert_eq!(cpu_outcome.chunks, outcome.chunks);
     println!(
         "\nhost baseline    : {:.2} GB/s ({})",
@@ -51,12 +63,7 @@ fn main() {
 
     // Chunk digests (the dedup identity) for the first few chunks.
     println!("\nfirst chunks:");
-    for (chunk, digest) in outcome
-        .chunks
-        .iter()
-        .zip(outcome.digests(&data))
-        .take(5)
-    {
+    for (chunk, digest) in outcome.chunks.iter().zip(outcome.digests(&data)).take(5) {
         println!(
             "  [{:>9} +{:>6}] {}",
             chunk.offset,

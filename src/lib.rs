@@ -3,7 +3,10 @@
 //! A from-scratch Rust reproduction of *Shredder: GPU-Accelerated
 //! Incremental Storage and Computation* (Bhatotia, Rodrigues & Verma,
 //! FAST 2012) — a high-performance content-based chunking framework for
-//! incremental storage and computation systems.
+//! incremental storage and computation systems, grown into a
+//! **session-based multi-tenant engine**: many client streams share one
+//! device pipeline, as the paper's backup server (§7.2) and Inc-HDFS
+//! deployments demand.
 //!
 //! This facade crate re-exports the whole workspace:
 //!
@@ -14,31 +17,76 @@
 //!   underpins every timing result.
 //! * [`gpu`] — the functional + timing model of the paper's Tesla C2050
 //!   (DRAM banks, coalescing, DMA, SIMT, the two chunking kernels).
-//! * [`core`] — the Shredder framework itself: the
-//!   Reader→Transfer→Kernel→Store pipeline with double buffering, pinned
-//!   ring buffers and the multi-stage streaming pipeline, plus the
-//!   host-only pthreads-style baseline.
+//! * [`core`] — the Shredder framework: the session-based
+//!   [`ShredderEngine`](core::ShredderEngine) scheduling N concurrent
+//!   [`ChunkSession`](core::ChunkSession)s through one shared
+//!   Reader→Transfer→Kernel→Store pipeline (double buffering, pinned
+//!   ring, fair admission), the single-stream
+//!   [`Shredder`](core::Shredder) convenience, and the host-only
+//!   pthreads baseline.
 //! * [`workloads`] — seeded data/trace generators (mutations, VM images,
 //!   record datasets).
 //! * [`hdfs`] — Inc-HDFS: content-defined chunking for HDFS-style
-//!   storage (case study I substrate).
+//!   storage, with batch ingestion over the session engine.
 //! * [`mapreduce`] — Incoop-style incremental MapReduce with memoization
 //!   (case study I).
-//! * [`backup`] — the consolidated cloud-backup system (case study II).
+//! * [`backup`] — the consolidated cloud-backup system (case study II),
+//!   with multi-site batched backups over the session engine.
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every table and figure.
+//! See `DESIGN.md` for the system inventory, the session API, and the
+//! migration notes from the old one-shot `chunk_stream` API.
 //!
-//! # Quickstart
+//! # Quickstart: multi-tenant chunking
+//!
+//! Open one session per client stream on a shared engine; every tenant
+//! gets chunks bit-identical to a sequential scan of its own stream,
+//! while the pipeline stays saturated across tenants:
+//!
+//! ```
+//! use shredder::core::{AdmissionPolicy, ShredderConfig, ShredderEngine, SliceSource};
+//!
+//! // Three tenant streams (any `StreamSource` works; slices are easiest).
+//! let tenants: Vec<Vec<u8>> = (0..3u64)
+//!     .map(|t| {
+//!         (0..512u32 << 10)
+//!             .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(t * 977) >> 9) as u8)
+//!             .collect()
+//!     })
+//!     .collect();
+//!
+//! let mut engine =
+//!     ShredderEngine::new(ShredderConfig::gpu_streams_memory().with_buffer_size(128 << 10))
+//!         .with_policy(AdmissionPolicy::RoundRobin);
+//! for (t, data) in tenants.iter().enumerate() {
+//!     engine.open_named_session(format!("tenant-{t}"), 1, SliceSource::new(data));
+//! }
+//!
+//! let outcome = engine.run().expect("chunking failed");
+//! for (session, data) in outcome.sessions.iter().zip(&tenants) {
+//!     assert_eq!(
+//!         session.chunks.iter().map(|c| c.len).sum::<usize>(),
+//!         data.len(),
+//!     );
+//! }
+//! println!(
+//!     "{} tenants, aggregate {:.2} GB/s, contention {:.2} ms",
+//!     outcome.sessions.len(),
+//!     outcome.report.aggregate_gbps(),
+//!     outcome.report.queue_wait.as_millis_f64(),
+//! );
+//! ```
+//!
+//! # Quickstart: one stream
+//!
+//! The classic one-shot API is a thin single-session convenience over
+//! the same engine:
 //!
 //! ```
 //! use shredder::core::{ChunkingService, Shredder, ShredderConfig};
 //!
-//! // Chunk a stream with the fully-optimized GPU pipeline and collect
-//! // the chunk boundaries Shredder "upcalls" to the application.
 //! let data: Vec<u8> = (0..1u32 << 20).map(|i| (i.wrapping_mul(2654435761) >> 9) as u8).collect();
 //! let shredder = Shredder::new(ShredderConfig::default());
-//! let outcome = shredder.chunk_stream(&data);
+//! let outcome = shredder.chunk_stream(&data).expect("chunking failed");
 //! assert_eq!(
 //!     outcome.chunks.iter().map(|c| c.len).sum::<usize>(),
 //!     data.len()

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design_choices-b4abb2138bfc6592.d: crates/bench/benches/ablation_design_choices.rs
+
+/root/repo/target/debug/deps/ablation_design_choices-b4abb2138bfc6592: crates/bench/benches/ablation_design_choices.rs
+
+crates/bench/benches/ablation_design_choices.rs:

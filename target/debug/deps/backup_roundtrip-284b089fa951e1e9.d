@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backup_roundtrip-284b089fa951e1e9.d: tests/backup_roundtrip.rs
+
+/root/repo/target/debug/deps/backup_roundtrip-284b089fa951e1e9: tests/backup_roundtrip.rs
+
+tests/backup_roundtrip.rs:

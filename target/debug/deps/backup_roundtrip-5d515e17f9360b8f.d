@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backup_roundtrip-5d515e17f9360b8f.d: tests/backup_roundtrip.rs
+
+/root/repo/target/debug/deps/backup_roundtrip-5d515e17f9360b8f: tests/backup_roundtrip.rs
+
+tests/backup_roundtrip.rs:

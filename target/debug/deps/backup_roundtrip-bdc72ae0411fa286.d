@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backup_roundtrip-bdc72ae0411fa286.d: tests/backup_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackup_roundtrip-bdc72ae0411fa286.rmeta: tests/backup_roundtrip.rs Cargo.toml
+
+tests/backup_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion_primitives-66f59361a8afe9e7.d: crates/bench/benches/criterion_primitives.rs
+
+/root/repo/target/debug/deps/criterion_primitives-66f59361a8afe9e7: crates/bench/benches/criterion_primitives.rs
+
+crates/bench/benches/criterion_primitives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-26a1018db82ba9dc.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-26a1018db82ba9dc: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_equivalence-660a93a7e395c2d2.d: tests/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_equivalence-660a93a7e395c2d2.rmeta: tests/engine_equivalence.rs Cargo.toml
+
+tests/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-e83a9ecf373a189f.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-e83a9ecf373a189f: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-1cafef571d467920.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-1cafef571d467920: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiment_shapes-40af4ade15a3f649.d: tests/experiment_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiment_shapes-40af4ade15a3f649.rmeta: tests/experiment_shapes.rs Cargo.toml
+
+tests/experiment_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

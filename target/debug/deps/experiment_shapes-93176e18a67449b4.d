@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-93176e18a67449b4.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-93176e18a67449b4: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_coalescing-60e925e8e59c02d4.d: crates/bench/benches/fig11_coalescing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_coalescing-60e925e8e59c02d4.rmeta: crates/bench/benches/fig11_coalescing.rs Cargo.toml
+
+crates/bench/benches/fig11_coalescing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_coalescing-d6c97baf76eec7ce.d: crates/bench/benches/fig11_coalescing.rs
+
+/root/repo/target/debug/deps/fig11_coalescing-d6c97baf76eec7ce: crates/bench/benches/fig11_coalescing.rs
+
+crates/bench/benches/fig11_coalescing.rs:

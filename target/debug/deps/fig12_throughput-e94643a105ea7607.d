@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_throughput-e94643a105ea7607.d: crates/bench/benches/fig12_throughput.rs
+
+/root/repo/target/debug/deps/fig12_throughput-e94643a105ea7607: crates/bench/benches/fig12_throughput.rs
+
+crates/bench/benches/fig12_throughput.rs:

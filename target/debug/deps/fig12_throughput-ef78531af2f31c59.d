@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_throughput-ef78531af2f31c59.d: crates/bench/benches/fig12_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_throughput-ef78531af2f31c59.rmeta: crates/bench/benches/fig12_throughput.rs Cargo.toml
+
+crates/bench/benches/fig12_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

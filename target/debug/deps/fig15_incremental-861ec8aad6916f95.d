@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_incremental-861ec8aad6916f95.d: crates/bench/benches/fig15_incremental.rs
+
+/root/repo/target/debug/deps/fig15_incremental-861ec8aad6916f95: crates/bench/benches/fig15_incremental.rs
+
+crates/bench/benches/fig15_incremental.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_backup-c7612e42086200f8.d: crates/bench/benches/fig18_backup.rs
+
+/root/repo/target/debug/deps/fig18_backup-c7612e42086200f8: crates/bench/benches/fig18_backup.rs
+
+crates/bench/benches/fig18_backup.rs:

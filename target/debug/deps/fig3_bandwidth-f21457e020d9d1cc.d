@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_bandwidth-f21457e020d9d1cc.d: crates/bench/benches/fig3_bandwidth.rs
+
+/root/repo/target/debug/deps/fig3_bandwidth-f21457e020d9d1cc: crates/bench/benches/fig3_bandwidth.rs
+
+crates/bench/benches/fig3_bandwidth.rs:

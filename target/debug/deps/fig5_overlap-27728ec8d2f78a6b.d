@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_overlap-27728ec8d2f78a6b.d: crates/bench/benches/fig5_overlap.rs
+
+/root/repo/target/debug/deps/fig5_overlap-27728ec8d2f78a6b: crates/bench/benches/fig5_overlap.rs
+
+crates/bench/benches/fig5_overlap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_overlap-a99321cda84cd52d.d: crates/bench/benches/fig5_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_overlap-a99321cda84cd52d.rmeta: crates/bench/benches/fig5_overlap.rs Cargo.toml
+
+crates/bench/benches/fig5_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_allocation-5da393e49aff1a58.d: crates/bench/benches/fig6_allocation.rs
+
+/root/repo/target/debug/deps/fig6_allocation-5da393e49aff1a58: crates/bench/benches/fig6_allocation.rs
+
+crates/bench/benches/fig6_allocation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_pipeline-144335b8b10971a0.d: crates/bench/benches/fig9_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_pipeline-144335b8b10971a0.rmeta: crates/bench/benches/fig9_pipeline.rs Cargo.toml
+
+crates/bench/benches/fig9_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

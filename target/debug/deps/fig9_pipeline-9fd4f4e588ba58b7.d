@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_pipeline-9fd4f4e588ba58b7.d: crates/bench/benches/fig9_pipeline.rs
+
+/root/repo/target/debug/deps/fig9_pipeline-9fd4f4e588ba58b7: crates/bench/benches/fig9_pipeline.rs
+
+crates/bench/benches/fig9_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_streams-1120c0619d3aab68.d: tests/gpu_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_streams-1120c0619d3aab68.rmeta: tests/gpu_streams.rs Cargo.toml
+
+tests/gpu_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

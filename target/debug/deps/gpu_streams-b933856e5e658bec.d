@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_streams-b933856e5e658bec.d: tests/gpu_streams.rs
+
+/root/repo/target/debug/deps/gpu_streams-b933856e5e658bec: tests/gpu_streams.rs
+
+tests/gpu_streams.rs:

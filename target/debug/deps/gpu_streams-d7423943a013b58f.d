@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_streams-d7423943a013b58f.d: tests/gpu_streams.rs
+
+/root/repo/target/debug/deps/gpu_streams-d7423943a013b58f: tests/gpu_streams.rs
+
+tests/gpu_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_computation-041bd621472bc140.d: tests/incremental_computation.rs
+
+/root/repo/target/debug/deps/incremental_computation-041bd621472bc140: tests/incremental_computation.rs
+
+tests/incremental_computation.rs:

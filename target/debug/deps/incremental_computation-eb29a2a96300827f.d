@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_computation-eb29a2a96300827f.d: tests/incremental_computation.rs
+
+/root/repo/target/debug/deps/incremental_computation-eb29a2a96300827f: tests/incremental_computation.rs
+
+tests/incremental_computation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_stream-0f2dcb28de68ed63.d: tests/multi_stream.rs
+
+/root/repo/target/debug/deps/multi_stream-0f2dcb28de68ed63: tests/multi_stream.rs
+
+tests/multi_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_stream-d5e41ea36ae17968.d: tests/multi_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_stream-d5e41ea36ae17968.rmeta: tests/multi_stream.rs Cargo.toml
+
+tests/multi_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

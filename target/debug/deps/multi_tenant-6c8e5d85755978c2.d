@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_tenant-6c8e5d85755978c2.d: crates/bench/benches/multi_tenant.rs
+
+/root/repo/target/debug/deps/multi_tenant-6c8e5d85755978c2: crates/bench/benches/multi_tenant.rs
+
+crates/bench/benches/multi_tenant.rs:

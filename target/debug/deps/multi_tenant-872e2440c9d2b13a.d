@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_tenant-872e2440c9d2b13a.d: crates/bench/benches/multi_tenant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_tenant-872e2440c9d2b13a.rmeta: crates/bench/benches/multi_tenant.rs Cargo.toml
+
+crates/bench/benches/multi_tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

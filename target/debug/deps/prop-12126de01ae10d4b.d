@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-12126de01ae10d4b.d: crates/des/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-12126de01ae10d4b.rmeta: crates/des/tests/prop.rs Cargo.toml
+
+crates/des/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-18fdbb9c8e49fa30.d: crates/gpu/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-18fdbb9c8e49fa30: crates/gpu/tests/prop.rs
+
+crates/gpu/tests/prop.rs:

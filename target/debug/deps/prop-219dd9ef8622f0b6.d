@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-219dd9ef8622f0b6.d: crates/hash/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-219dd9ef8622f0b6.rmeta: crates/hash/tests/prop.rs Cargo.toml
+
+crates/hash/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-2779cfefe7425b2b.d: crates/backup/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-2779cfefe7425b2b.rmeta: crates/backup/tests/prop.rs Cargo.toml
+
+crates/backup/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

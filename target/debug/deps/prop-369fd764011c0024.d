@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-369fd764011c0024.d: crates/rabin/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-369fd764011c0024.rmeta: crates/rabin/tests/prop.rs Cargo.toml
+
+crates/rabin/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-395cb566f79269e9.d: crates/des/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-395cb566f79269e9: crates/des/tests/prop.rs
+
+crates/des/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-4db6246be40feab8.d: crates/mapreduce/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-4db6246be40feab8: crates/mapreduce/tests/prop.rs
+
+crates/mapreduce/tests/prop.rs:

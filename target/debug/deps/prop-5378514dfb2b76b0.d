@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-5378514dfb2b76b0.d: crates/core/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-5378514dfb2b76b0.rmeta: crates/core/tests/prop.rs Cargo.toml
+
+crates/core/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

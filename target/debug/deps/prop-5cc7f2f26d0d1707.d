@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-5cc7f2f26d0d1707.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-5cc7f2f26d0d1707: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

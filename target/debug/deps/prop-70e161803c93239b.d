@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-70e161803c93239b.d: crates/hash/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-70e161803c93239b: crates/hash/tests/prop.rs
+
+crates/hash/tests/prop.rs:

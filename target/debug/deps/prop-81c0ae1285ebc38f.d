@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-81c0ae1285ebc38f.d: crates/hash/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-81c0ae1285ebc38f: crates/hash/tests/prop.rs
+
+crates/hash/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-831e8f87b552e596.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-831e8f87b552e596: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

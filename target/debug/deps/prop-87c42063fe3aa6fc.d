@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-87c42063fe3aa6fc.d: crates/gpu/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-87c42063fe3aa6fc.rmeta: crates/gpu/tests/prop.rs Cargo.toml
+
+crates/gpu/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

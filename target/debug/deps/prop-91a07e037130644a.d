@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-91a07e037130644a.d: crates/rabin/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-91a07e037130644a: crates/rabin/tests/prop.rs
+
+crates/rabin/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-992689665d1df341.d: crates/mapreduce/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-992689665d1df341.rmeta: crates/mapreduce/tests/prop.rs Cargo.toml
+
+crates/mapreduce/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-ac0a952f404bd06c.d: crates/gpu/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-ac0a952f404bd06c: crates/gpu/tests/prop.rs
+
+crates/gpu/tests/prop.rs:

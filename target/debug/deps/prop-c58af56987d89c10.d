@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c58af56987d89c10.d: crates/des/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-c58af56987d89c10: crates/des/tests/prop.rs
+
+crates/des/tests/prop.rs:

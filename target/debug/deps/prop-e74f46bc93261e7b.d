@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-e74f46bc93261e7b.d: crates/backup/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-e74f46bc93261e7b: crates/backup/tests/prop.rs
+
+crates/backup/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-ef6c1d890acba502.d: crates/mapreduce/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-ef6c1d890acba502: crates/mapreduce/tests/prop.rs
+
+crates/mapreduce/tests/prop.rs:

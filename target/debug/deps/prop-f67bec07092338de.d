@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-f67bec07092338de.d: crates/rabin/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-f67bec07092338de: crates/rabin/tests/prop.rs
+
+crates/rabin/tests/prop.rs:

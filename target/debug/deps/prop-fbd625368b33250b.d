@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-fbd625368b33250b.d: crates/backup/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-fbd625368b33250b: crates/backup/tests/prop.rs
+
+crates/backup/tests/prop.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-444b8a5188b28851.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-444b8a5188b28851.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-444b8a5188b28851.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-57486ed7d664938b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-57486ed7d664938b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder-28dae1e29d29ca4f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder-28dae1e29d29ca4f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shredder-56f1beac5ab41d92.d: src/lib.rs
+
+/root/repo/target/debug/deps/shredder-56f1beac5ab41d92: src/lib.rs
+
+src/lib.rs:

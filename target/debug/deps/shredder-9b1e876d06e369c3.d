@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shredder-9b1e876d06e369c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/shredder-9b1e876d06e369c3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shredder-a414a1ef89a45f77.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshredder-a414a1ef89a45f77.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshredder-a414a1ef89a45f77.rmeta: src/lib.rs
+
+src/lib.rs:

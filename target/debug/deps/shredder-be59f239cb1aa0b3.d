@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shredder-be59f239cb1aa0b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshredder-be59f239cb1aa0b3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshredder-be59f239cb1aa0b3.rmeta: src/lib.rs
+
+src/lib.rs:

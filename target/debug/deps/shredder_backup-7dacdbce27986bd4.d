@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shredder_backup-7dacdbce27986bd4.d: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder_backup-7dacdbce27986bd4.rmeta: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs Cargo.toml
+
+crates/backup/src/lib.rs:
+crates/backup/src/config.rs:
+crates/backup/src/index.rs:
+crates/backup/src/server.rs:
+crates/backup/src/site.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shredder_backup-ab855433fce7b8c9.d: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+/root/repo/target/debug/deps/libshredder_backup-ab855433fce7b8c9.rlib: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+/root/repo/target/debug/deps/libshredder_backup-ab855433fce7b8c9.rmeta: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+crates/backup/src/lib.rs:
+crates/backup/src/config.rs:
+crates/backup/src/index.rs:
+crates/backup/src/server.rs:
+crates/backup/src/site.rs:

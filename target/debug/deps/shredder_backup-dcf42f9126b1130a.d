@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder_backup-dcf42f9126b1130a.d: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+/root/repo/target/debug/deps/shredder_backup-dcf42f9126b1130a: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+crates/backup/src/lib.rs:
+crates/backup/src/config.rs:
+crates/backup/src/index.rs:
+crates/backup/src/server.rs:
+crates/backup/src/site.rs:

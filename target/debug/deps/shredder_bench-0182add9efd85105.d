@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shredder_bench-0182add9efd85105.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshredder_bench-0182add9efd85105.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshredder_bench-0182add9efd85105.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder_bench-25c77678bff49d73.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder_bench-25c77678bff49d73.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shredder_bench-6b34e8e1ef822d6b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shredder_bench-6b34e8e1ef822d6b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shredder_bench-91f5e19fbe443e9a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshredder_bench-91f5e19fbe443e9a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshredder_bench-91f5e19fbe443e9a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

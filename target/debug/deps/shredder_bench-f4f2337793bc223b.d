@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shredder_bench-f4f2337793bc223b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shredder_bench-f4f2337793bc223b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shredder_core-23565f941fc9ac04.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs
+
+/root/repo/target/debug/deps/shredder_core-23565f941fc9ac04: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/host_chunker.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/service.rs:
+crates/core/src/session.rs:
+crates/core/src/source.rs:

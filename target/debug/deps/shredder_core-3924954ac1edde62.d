@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shredder_core-3924954ac1edde62.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs
+
+/root/repo/target/debug/deps/libshredder_core-3924954ac1edde62.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs
+
+/root/repo/target/debug/deps/libshredder_core-3924954ac1edde62.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/host_chunker.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/service.rs:
+crates/core/src/session.rs:
+crates/core/src/source.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shredder_des-64d3e8d1687133c7.d: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/shredder_des-64d3e8d1687133c7: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/channel.rs:
+crates/des/src/engine.rs:
+crates/des/src/resources.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shredder_des-f8d4c310a229d5cd.d: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder_des-f8d4c310a229d5cd.rmeta: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/channel.rs:
+crates/des/src/engine.rs:
+crates/des/src/resources.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/shredder_gpu-851ade070f9a97f1.d: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder_gpu-851ade070f9a97f1.rmeta: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/calibration.rs:
+crates/gpu/src/coalesce.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/dma.rs:
+crates/gpu/src/dram.rs:
+crates/gpu/src/executor.rs:
+crates/gpu/src/hostmem.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/simt.rs:
+crates/gpu/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/shredder_hash-34078b7ba854dff5.d: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+/root/repo/target/debug/deps/shredder_hash-34078b7ba854dff5: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/digest.rs:
+crates/hash/src/fnv.rs:
+crates/hash/src/sha256.rs:

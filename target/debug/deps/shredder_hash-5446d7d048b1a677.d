@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shredder_hash-5446d7d048b1a677.d: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+/root/repo/target/debug/deps/libshredder_hash-5446d7d048b1a677.rlib: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+/root/repo/target/debug/deps/libshredder_hash-5446d7d048b1a677.rmeta: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/digest.rs:
+crates/hash/src/fnv.rs:
+crates/hash/src/sha256.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shredder_hash-a29fd6c6a66d1bc9.d: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+/root/repo/target/debug/deps/libshredder_hash-a29fd6c6a66d1bc9.rlib: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+/root/repo/target/debug/deps/libshredder_hash-a29fd6c6a66d1bc9.rmeta: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/digest.rs:
+crates/hash/src/fnv.rs:
+crates/hash/src/sha256.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shredder_hash-aba3c4cab7f22f5a.d: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder_hash-aba3c4cab7f22f5a.rmeta: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+crates/hash/src/digest.rs:
+crates/hash/src/fnv.rs:
+crates/hash/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shredder_hdfs-0e02511fa3d43442.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+
+/root/repo/target/debug/deps/libshredder_hdfs-0e02511fa3d43442.rlib: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+
+/root/repo/target/debug/deps/libshredder_hdfs-0e02511fa3d43442.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+
+crates/hdfs/src/lib.rs:
+crates/hdfs/src/fs.rs:
+crates/hdfs/src/input_format.rs:
+crates/hdfs/src/namenode.rs:
+crates/hdfs/src/store.rs:

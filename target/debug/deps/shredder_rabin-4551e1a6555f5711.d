@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shredder_rabin-4551e1a6555f5711.d: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder_rabin-4551e1a6555f5711.rmeta: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs Cargo.toml
+
+crates/rabin/src/lib.rs:
+crates/rabin/src/chunker.rs:
+crates/rabin/src/fixed.rs:
+crates/rabin/src/parallel.rs:
+crates/rabin/src/poly.rs:
+crates/rabin/src/skip.rs:
+crates/rabin/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shredder_rabin-7ae016c76897d015.d: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+/root/repo/target/debug/deps/libshredder_rabin-7ae016c76897d015.rlib: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+/root/repo/target/debug/deps/libshredder_rabin-7ae016c76897d015.rmeta: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+crates/rabin/src/lib.rs:
+crates/rabin/src/chunker.rs:
+crates/rabin/src/fixed.rs:
+crates/rabin/src/parallel.rs:
+crates/rabin/src/poly.rs:
+crates/rabin/src/skip.rs:
+crates/rabin/src/tables.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shredder_rabin-ade68fbd50bf5587.d: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+/root/repo/target/debug/deps/libshredder_rabin-ade68fbd50bf5587.rlib: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+/root/repo/target/debug/deps/libshredder_rabin-ade68fbd50bf5587.rmeta: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+crates/rabin/src/lib.rs:
+crates/rabin/src/chunker.rs:
+crates/rabin/src/fixed.rs:
+crates/rabin/src/parallel.rs:
+crates/rabin/src/poly.rs:
+crates/rabin/src/skip.rs:
+crates/rabin/src/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder_workloads-71b5020dc179e41f.d: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+/root/repo/target/debug/deps/shredder_workloads-71b5020dc179e41f: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bytes.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/vmimage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder_workloads-7f8fba25875f8f2f.d: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+/root/repo/target/debug/deps/shredder_workloads-7f8fba25875f8f2f: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bytes.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/vmimage.rs:

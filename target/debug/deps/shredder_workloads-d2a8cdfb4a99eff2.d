@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shredder_workloads-d2a8cdfb4a99eff2.d: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+/root/repo/target/debug/deps/libshredder_workloads-d2a8cdfb4a99eff2.rlib: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+/root/repo/target/debug/deps/libshredder_workloads-d2a8cdfb4a99eff2.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bytes.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/vmimage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_characteristics-18b92573dfaa393d.d: crates/bench/benches/table1_characteristics.rs
+
+/root/repo/target/debug/deps/table1_characteristics-18b92573dfaa393d: crates/bench/benches/table1_characteristics.rs
+
+crates/bench/benches/table1_characteristics.rs:

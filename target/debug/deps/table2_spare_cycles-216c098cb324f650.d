@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_spare_cycles-216c098cb324f650.d: crates/bench/benches/table2_spare_cycles.rs
+
+/root/repo/target/debug/deps/table2_spare_cycles-216c098cb324f650: crates/bench/benches/table2_spare_cycles.rs
+
+crates/bench/benches/table2_spare_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_backup-0a6075fb5b0759d5.d: examples/cloud_backup.rs
+
+/root/repo/target/debug/examples/cloud_backup-0a6075fb5b0759d5: examples/cloud_backup.rs
+
+examples/cloud_backup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cloud_backup-a1a7fef579bcfad8.d: examples/cloud_backup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcloud_backup-a1a7fef579bcfad8.rmeta: examples/cloud_backup.rs Cargo.toml
+
+examples/cloud_backup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_backup-ed300689c778b9b9.d: examples/cloud_backup.rs
+
+/root/repo/target/debug/examples/cloud_backup-ed300689c778b9b9: examples/cloud_backup.rs
+
+examples/cloud_backup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dedup_storage-276c7b7275c87bc5.d: examples/dedup_storage.rs
+
+/root/repo/target/debug/examples/dedup_storage-276c7b7275c87bc5: examples/dedup_storage.rs
+
+examples/dedup_storage.rs:

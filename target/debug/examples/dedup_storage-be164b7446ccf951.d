@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dedup_storage-be164b7446ccf951.d: examples/dedup_storage.rs
+
+/root/repo/target/debug/examples/dedup_storage-be164b7446ccf951: examples/dedup_storage.rs
+
+examples/dedup_storage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_kernel_anatomy-13350801667ae75f.d: examples/gpu_kernel_anatomy.rs
+
+/root/repo/target/debug/examples/gpu_kernel_anatomy-13350801667ae75f: examples/gpu_kernel_anatomy.rs
+
+examples/gpu_kernel_anatomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_kernel_anatomy-f83248e90d3e73a5.d: examples/gpu_kernel_anatomy.rs
+
+/root/repo/target/debug/examples/gpu_kernel_anatomy-f83248e90d3e73a5: examples/gpu_kernel_anatomy.rs
+
+examples/gpu_kernel_anatomy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_mapreduce-2d3b426712f942d9.d: examples/incremental_mapreduce.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_mapreduce-2d3b426712f942d9.rmeta: examples/incremental_mapreduce.rs Cargo.toml
+
+examples/incremental_mapreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

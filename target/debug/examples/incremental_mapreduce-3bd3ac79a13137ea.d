@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_mapreduce-3bd3ac79a13137ea.d: examples/incremental_mapreduce.rs
+
+/root/repo/target/debug/examples/incremental_mapreduce-3bd3ac79a13137ea: examples/incremental_mapreduce.rs
+
+examples/incremental_mapreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_mapreduce-52ae6535fc80bb30.d: examples/incremental_mapreduce.rs
+
+/root/repo/target/debug/examples/incremental_mapreduce-52ae6535fc80bb30: examples/incremental_mapreduce.rs
+
+examples/incremental_mapreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_stream-2ab676d49711d5a7.d: examples/multi_stream.rs
+
+/root/repo/target/debug/examples/multi_stream-2ab676d49711d5a7: examples/multi_stream.rs
+
+examples/multi_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_redundancy-21e8e389347a96cd.d: examples/network_redundancy.rs
+
+/root/repo/target/debug/examples/network_redundancy-21e8e389347a96cd: examples/network_redundancy.rs
+
+examples/network_redundancy.rs:

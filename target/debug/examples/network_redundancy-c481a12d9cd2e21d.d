@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_redundancy-c481a12d9cd2e21d.d: examples/network_redundancy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_redundancy-c481a12d9cd2e21d.rmeta: examples/network_redundancy.rs Cargo.toml
+
+examples/network_redundancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

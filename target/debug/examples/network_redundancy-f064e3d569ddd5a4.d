@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_redundancy-f064e3d569ddd5a4.d: examples/network_redundancy.rs
+
+/root/repo/target/debug/examples/network_redundancy-f064e3d569ddd5a4: examples/network_redundancy.rs
+
+examples/network_redundancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1c98186f47aefd80.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1c98186f47aefd80: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a6a18205b52e18f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a6a18205b52e18f5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_throughput-99f98f1dd38dd922.d: crates/bench/benches/fig12_throughput.rs
+
+/root/repo/target/release/deps/fig12_throughput-99f98f1dd38dd922: crates/bench/benches/fig12_throughput.rs
+
+crates/bench/benches/fig12_throughput.rs:

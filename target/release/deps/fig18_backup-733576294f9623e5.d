@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_backup-733576294f9623e5.d: crates/bench/benches/fig18_backup.rs
+
+/root/repo/target/release/deps/fig18_backup-733576294f9623e5: crates/bench/benches/fig18_backup.rs
+
+crates/bench/benches/fig18_backup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_pipeline-7a3b463d188ae479.d: crates/bench/benches/fig9_pipeline.rs
+
+/root/repo/target/release/deps/fig9_pipeline-7a3b463d188ae479: crates/bench/benches/fig9_pipeline.rs
+
+crates/bench/benches/fig9_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_tenant-f7fdf862c0553819.d: crates/bench/benches/multi_tenant.rs
+
+/root/repo/target/release/deps/multi_tenant-f7fdf862c0553819: crates/bench/benches/multi_tenant.rs
+
+crates/bench/benches/multi_tenant.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-843231b6dbf6da96.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-843231b6dbf6da96.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-843231b6dbf6da96.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

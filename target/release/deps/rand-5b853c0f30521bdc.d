@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-5b853c0f30521bdc.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5b853c0f30521bdc.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5b853c0f30521bdc.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shredder-bad58367f1a4625f.d: src/lib.rs
+
+/root/repo/target/release/deps/libshredder-bad58367f1a4625f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libshredder-bad58367f1a4625f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shredder_backup-167f1ffe052a4932.d: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+/root/repo/target/release/deps/libshredder_backup-167f1ffe052a4932.rlib: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+/root/repo/target/release/deps/libshredder_backup-167f1ffe052a4932.rmeta: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+crates/backup/src/lib.rs:
+crates/backup/src/config.rs:
+crates/backup/src/index.rs:
+crates/backup/src/server.rs:
+crates/backup/src/site.rs:

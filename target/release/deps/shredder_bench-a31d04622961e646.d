@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shredder_bench-a31d04622961e646.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshredder_bench-a31d04622961e646.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshredder_bench-a31d04622961e646.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/shredder_des-448834266cc6c215.d: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libshredder_des-448834266cc6c215.rlib: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libshredder_des-448834266cc6c215.rmeta: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/channel.rs:
+crates/des/src/engine.rs:
+crates/des/src/resources.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

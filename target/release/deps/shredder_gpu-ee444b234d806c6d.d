@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/shredder_gpu-ee444b234d806c6d.d: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs
+
+/root/repo/target/release/deps/libshredder_gpu-ee444b234d806c6d.rlib: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs
+
+/root/repo/target/release/deps/libshredder_gpu-ee444b234d806c6d.rmeta: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/calibration.rs:
+crates/gpu/src/coalesce.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/dma.rs:
+crates/gpu/src/dram.rs:
+crates/gpu/src/executor.rs:
+crates/gpu/src/hostmem.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/simt.rs:
+crates/gpu/src/stream.rs:

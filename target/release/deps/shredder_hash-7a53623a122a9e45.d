@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shredder_hash-7a53623a122a9e45.d: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+/root/repo/target/release/deps/libshredder_hash-7a53623a122a9e45.rlib: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+/root/repo/target/release/deps/libshredder_hash-7a53623a122a9e45.rmeta: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/digest.rs:
+crates/hash/src/fnv.rs:
+crates/hash/src/sha256.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shredder_rabin-0223018bd2791ec8.d: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+/root/repo/target/release/deps/libshredder_rabin-0223018bd2791ec8.rlib: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+/root/repo/target/release/deps/libshredder_rabin-0223018bd2791ec8.rmeta: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+crates/rabin/src/lib.rs:
+crates/rabin/src/chunker.rs:
+crates/rabin/src/fixed.rs:
+crates/rabin/src/parallel.rs:
+crates/rabin/src/poly.rs:
+crates/rabin/src/skip.rs:
+crates/rabin/src/tables.rs:

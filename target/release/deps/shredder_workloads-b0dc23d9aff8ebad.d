@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shredder_workloads-b0dc23d9aff8ebad.d: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+/root/repo/target/release/deps/libshredder_workloads-b0dc23d9aff8ebad.rlib: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+/root/repo/target/release/deps/libshredder_workloads-b0dc23d9aff8ebad.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bytes.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/vmimage.rs:

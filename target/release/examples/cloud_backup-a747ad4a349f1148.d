@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cloud_backup-a747ad4a349f1148.d: examples/cloud_backup.rs
+
+/root/repo/target/release/examples/cloud_backup-a747ad4a349f1148: examples/cloud_backup.rs
+
+examples/cloud_backup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dedup_storage-e11fb0ff1a22e1d8.d: examples/dedup_storage.rs
+
+/root/repo/target/release/examples/dedup_storage-e11fb0ff1a22e1d8: examples/dedup_storage.rs
+
+examples/dedup_storage.rs:

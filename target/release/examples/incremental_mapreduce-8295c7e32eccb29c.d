@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incremental_mapreduce-8295c7e32eccb29c.d: examples/incremental_mapreduce.rs
+
+/root/repo/target/release/examples/incremental_mapreduce-8295c7e32eccb29c: examples/incremental_mapreduce.rs
+
+examples/incremental_mapreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_stream-8a0c9f090e41d93d.d: examples/multi_stream.rs
+
+/root/repo/target/release/examples/multi_stream-8a0c9f090e41d93d: examples/multi_stream.rs
+
+examples/multi_stream.rs:

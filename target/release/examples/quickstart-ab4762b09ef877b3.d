@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ab4762b09ef877b3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ab4762b09ef877b3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -44,7 +44,7 @@ fn week_of_snapshots_restores_bit_exact() {
     }
     let mut reports = Vec::new();
     for snap in &snapshots {
-        reports.push(server.backup_image(snap, &svc));
+        reports.push(server.backup_image(snap, &svc).unwrap());
     }
     for (i, snap) in snapshots.iter().enumerate() {
         assert_eq!(
@@ -73,8 +73,8 @@ fn gpu_and_cpu_agree_on_what_is_new() {
 
     let run = |svc: &dyn ChunkingService| {
         let mut server = BackupServer::new(test_config());
-        server.backup_image(master.data(), svc);
-        server.backup_image(&snap, svc)
+        server.backup_image(master.data(), svc).unwrap();
+        server.backup_image(&snap, svc).unwrap()
     };
     let cpu = run(&cpu_service());
     let gpu = run(&gpu_service());
@@ -96,7 +96,7 @@ fn gpu_and_cpu_agree_on_what_is_new() {
 fn min_max_chunk_sizes_enforced_in_backup() {
     let master = MasterImage::synthesize(2 << 20, 64 << 10, 3);
     let mut server = BackupServer::new(test_config());
-    let report = server.backup_image(master.data(), &cpu_service());
+    let report = server.backup_image(master.data(), &cpu_service()).unwrap();
     assert!(report.chunks > 0);
 
     let params = ChunkParams::backup();
@@ -119,8 +119,8 @@ fn skewed_similarity_tables_dedup_accordingly() {
     let snap = master.derive(&skewed, 5);
 
     let mut server = BackupServer::new(test_config());
-    server.backup_image(master.data(), &cpu_service());
-    let report = server.backup_image(&snap, &cpu_service());
+    server.backup_image(master.data(), &cpu_service()).unwrap();
+    let report = server.backup_image(&snap, &cpu_service()).unwrap();
 
     let expected_change = skewed.expected_change();
     let new_fraction = report.new_bytes as f64 / report.image_bytes as f64;
@@ -135,11 +135,11 @@ fn skewed_similarity_tables_dedup_accordingly() {
 fn index_statistics_track_dedup() {
     let image = shredder::workloads::compressible_bytes(1 << 20, 64, 6);
     let mut server = BackupServer::new(test_config());
-    let first = server.backup_image(&image, &cpu_service());
+    let first = server.backup_image(&image, &cpu_service()).unwrap();
     let lookups_after_first = server.index().lookups();
     assert_eq!(lookups_after_first, first.chunks as u64);
 
-    let second = server.backup_image(&image, &cpu_service());
+    let second = server.backup_image(&image, &cpu_service()).unwrap();
     assert_eq!(second.new_chunks, 0);
     assert_eq!(
         server.index().hits(),

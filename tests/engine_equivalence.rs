@@ -16,7 +16,10 @@ use shredder::workloads;
 fn workloads_under_test() -> Vec<(&'static str, Vec<u8>)> {
     vec![
         ("random", workloads::random_bytes(2 << 20, 1)),
-        ("compressible", workloads::compressible_bytes(2 << 20, 64, 2)),
+        (
+            "compressible",
+            workloads::compressible_bytes(2 << 20, 64, 2),
+        ),
         ("text", workloads::words_corpus(2 << 20, 500, 3)),
         ("zeros", vec![0u8; 1 << 20]),
         ("tiny", workloads::random_bytes(100, 4)),
@@ -39,11 +42,13 @@ fn all_engines_agree_on_boundaries() {
             ShredderConfig::gpu_streams_memory(),
         ] {
             let label = format!("{name}: {:?}", preset.kernel);
-            let out = Shredder::new(preset.with_buffer_size(256 << 10)).chunk_stream(&data);
+            let out = Shredder::new(preset.with_buffer_size(256 << 10))
+                .chunk_stream(&data)
+                .unwrap();
             assert_eq!(out.chunks, reference, "{label}");
         }
 
-        let host = HostChunker::with_defaults().chunk_stream(&data);
+        let host = HostChunker::with_defaults().chunk_stream(&data).unwrap();
         assert_eq!(host.chunks, reference, "{name}: host service");
     }
 }
@@ -58,7 +63,8 @@ fn engines_agree_with_min_max_constraints() {
             params: params.clone(),
             ..HostChunkerConfig::optimized()
         })
-        .chunk_stream(&data);
+        .chunk_stream(&data)
+        .unwrap();
         assert_eq!(host.chunks, reference, "{name}: host");
 
         let gpu = Shredder::new(
@@ -66,7 +72,8 @@ fn engines_agree_with_min_max_constraints() {
                 .with_params(params.clone())
                 .with_buffer_size(256 << 10),
         )
-        .chunk_stream(&data);
+        .chunk_stream(&data)
+        .unwrap();
         assert_eq!(gpu.chunks, reference, "{name}: gpu");
     }
 }
@@ -92,10 +99,9 @@ fn buffer_size_does_not_change_boundaries() {
     let params = ChunkParams::paper();
     let reference = chunk_all(&data, &params);
     for buffer in [64 << 10, 256 << 10, 1 << 20, 4 << 20] {
-        let out = Shredder::new(
-            ShredderConfig::gpu_streams_memory().with_buffer_size(buffer),
-        )
-        .chunk_stream(&data);
+        let out = Shredder::new(ShredderConfig::gpu_streams_memory().with_buffer_size(buffer))
+            .chunk_stream(&data)
+            .unwrap();
         assert_eq!(out.chunks, reference, "buffer {buffer}");
     }
 }
@@ -104,7 +110,8 @@ fn buffer_size_does_not_change_boundaries() {
 fn chunk_digests_are_engine_independent() {
     let data = workloads::compressible_bytes(1 << 20, 32, 10);
     let gpu = Shredder::new(ShredderConfig::default().with_buffer_size(256 << 10))
-        .chunk_stream(&data);
-    let cpu = HostChunker::with_defaults().chunk_stream(&data);
+        .chunk_stream(&data)
+        .unwrap();
+    let cpu = HostChunker::with_defaults().chunk_stream(&data).unwrap();
     assert_eq!(gpu.digests(&data), cpu.digests(&data));
 }

@@ -40,7 +40,10 @@ fn fig11_shape_coalescing_speedup() {
         .run(&cfg, &data)
         .unwrap();
     let speedup = basic.stats.duration.as_secs_f64() / coal.stats.duration.as_secs_f64();
-    assert!((4.0..13.0).contains(&speedup), "coalescing speedup {speedup}");
+    assert!(
+        (4.0..13.0).contains(&speedup),
+        "coalescing speedup {speedup}"
+    );
 }
 
 #[test]
@@ -48,7 +51,7 @@ fn fig12_shape_engine_ordering() {
     let data = workloads::random_bytes(16 << 20, 2);
     let buffer = 2 << 20;
     let throughput = |svc: &dyn ChunkingService| {
-        let out = svc.chunk_stream(&data);
+        let out = svc.chunk_stream(&data).unwrap();
         out.report.bytes() as f64 / out.report.makespan().as_secs_f64()
     };
 

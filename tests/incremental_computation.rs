@@ -36,12 +36,15 @@ fn wordcount_incremental_pipeline() {
     let svc = service();
 
     let mut fs = IncHdfs::new(20);
-    fs.copy_from_local_gpu("/in", &v1, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/in", &v1, &svc, &TextInputFormat)
+        .unwrap();
 
     let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
     runner.run(&fs.splits("/in").unwrap());
 
-    let up2 = fs.copy_from_local_gpu("/in", &v2, &svc, &TextInputFormat);
+    let up2 = fs
+        .copy_from_local_gpu("/in", &v2, &svc, &TextInputFormat)
+        .unwrap();
     assert!(
         up2.dedup_fraction() > 0.6,
         "storage dedup too low: {}",
@@ -78,15 +81,16 @@ fn cooccurrence_outputs_stable_across_versions() {
     let svc = service();
 
     let mut fs = IncHdfs::new(20);
-    fs.copy_from_local_gpu("/in", &v1, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/in", &v1, &svc, &TextInputFormat)
+        .unwrap();
     let mut runner = IncrementalRunner::new(Cooccurrence::default(), ClusterConfig::paper());
     runner.run(&fs.splits("/in").unwrap());
 
-    fs.copy_from_local_gpu("/in", &v2, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/in", &v2, &svc, &TextInputFormat)
+        .unwrap();
     let splits = fs.splits("/in").unwrap();
     let incremental = runner.run(&splits);
-    let full =
-        IncrementalRunner::new(Cooccurrence::default(), ClusterConfig::paper()).run(&splits);
+    let full = IncrementalRunner::new(Cooccurrence::default(), ClusterConfig::paper()).run(&splits);
     assert_eq!(incremental.output, full.output);
     assert!(incremental.stats.memo_hits > 0);
 }
@@ -102,7 +106,8 @@ fn kmeans_incremental_matches_fresh() {
     };
 
     let mut fs = IncHdfs::new(20);
-    fs.copy_from_local_gpu("/pts", &v1, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/pts", &v1, &svc, &TextInputFormat)
+        .unwrap();
     let splits = fs.splits("/pts").unwrap();
 
     let mut runner = IncrementalRunner::new(KMeans::new(4), ClusterConfig::paper());
@@ -115,7 +120,10 @@ fn kmeans_incremental_matches_fresh() {
     let second = driver.run(&mut runner, &splits);
 
     assert_eq!(first.centroids, second.centroids);
-    assert!(second.total_time < first.total_time, "memoized rerun not faster");
+    assert!(
+        second.total_time < first.total_time,
+        "memoized rerun not faster"
+    );
     assert_eq!(second.runs[0].memo_hits, splits.len());
 }
 
@@ -150,7 +158,8 @@ fn semantic_chunking_preserves_record_integrity() {
     let v1 = corpus();
     let svc = service();
     let mut fs = IncHdfs::new(4);
-    fs.copy_from_local_gpu("/in", &v1, &svc, &TextInputFormat);
+    fs.copy_from_local_gpu("/in", &v1, &svc, &TextInputFormat)
+        .unwrap();
 
     let mut from_splits = std::collections::BTreeMap::new();
     for split in fs.splits("/in").unwrap() {

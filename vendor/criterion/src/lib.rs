@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace's
+//! wall-clock micro-benchmarks use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, throughput annotation). Each
+//! benchmark runs a short fixed number of timed iterations and prints
+//! mean wall-clock time (plus derived throughput) — enough to compare
+//! the functional primitives, without statistical analysis or plots.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("run", f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput used to derive rates from times.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples (clamped to keep runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 20);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total_nanos: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total_nanos: 0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.name, &b);
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("  {}/{id}: no iterations", self.name);
+            return;
+        }
+        let mean_ns = b.total_nanos as f64 / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  ({:.2} GiB/s)",
+                    n as f64 / mean_ns * 1e9 / (1u64 << 30) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.2} Melem/s)", n as f64 / mean_ns * 1e9 / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {}/{id}: {:.3} ms/iter over {} iters{rate}",
+            self.name,
+            mean_ns / 1e6,
+            b.iters
+        );
+    }
+}
+
+/// Times closures.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One warmup iteration outside the timed region.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += self.samples as u64;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..1024u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

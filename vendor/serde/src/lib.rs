@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` names this workspace imports —
+//! both as (empty) traits and as no-op derive macros — so the code
+//! compiles unchanged in this network-less container and can switch to
+//! the real `serde` by swapping the dependency path.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
