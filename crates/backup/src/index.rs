@@ -91,6 +91,19 @@ impl DedupIndex {
     }
 }
 
+/// The index is usable as a [`DedupStage`](shredder_core::DedupStage)
+/// backing store, so the backup server's sink graph deduplicates
+/// against it from inside the simulation.
+impl shredder_core::FingerprintIndex for DedupIndex {
+    fn lookup(&mut self, digest: &Digest) -> bool {
+        DedupIndex::lookup(self, digest)
+    }
+
+    fn insert(&mut self, digest: Digest) -> bool {
+        DedupIndex::insert(self, digest)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

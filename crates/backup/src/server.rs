@@ -6,13 +6,24 @@
 //! ship-vs-pointer → new chunks travel to the backup site. Each arrow is
 //! a pipeline stage on the discrete-event simulator; the measured backup
 //! bandwidth (Figure 18) is `image bytes / makespan`.
+//!
+//! The hash → lookup → ship tail is a [`DedupSink`] graph: its stages
+//! execute *inside* the chunking service's simulation (the shared
+//! engine simulation for [`Shredder`], a staged pipeline behind the
+//! measured chunking rate otherwise), so fingerprinting genuinely
+//! overlaps — and backpressures — chunking instead of being
+//! post-processed with analytic formulas.
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use shredder_core::{ChunkError, ChunkingService, EngineReport, Shredder, SliceSource};
-use shredder_des::{BandwidthChannel, Dur, FifoServer, Semaphore, SimTime, Simulation};
-use shredder_hash::sha256;
-use shredder_rabin::Chunk;
+use shredder_core::{
+    ChunkError, ChunkVerdict, ChunkingService, DedupSink, DedupSinkConfig, EngineReport, Shredder,
+    ShredderEngine, SinkPipelineHints, SliceSource,
+};
+use shredder_des::Dur;
 
 use crate::config::BackupConfig;
 use crate::index::DedupIndex;
@@ -74,16 +85,15 @@ impl BatchBackupReport {
     }
 
     /// Aggregate backup bandwidth of the batch in Gbps: total bytes over
-    /// the summed per-image server makespans. Only the *chunking* stage
-    /// is shared across sites (see [`EngineReport::aggregate_gbps`] for
-    /// that overlap); the server's hash/index/ship pipeline drains one
-    /// image at a time, so the batch as a whole is bounded by the sum.
+    /// the shared engine makespan. Every stage — chunking *and* the
+    /// hash/dedup/ship sink graph — runs in the one shared simulation,
+    /// so the sites' pipelines genuinely overlap and the batch finishes
+    /// when the last sink stage drains.
     pub fn aggregate_bandwidth_gbps(&self) -> f64 {
-        let total_time: Dur = self.reports.iter().map(|r| r.makespan).sum();
-        if total_time.is_zero() {
+        if self.engine.makespan.is_zero() {
             return 0.0;
         }
-        self.total_bytes() as f64 * 8.0 / total_time.as_secs_f64() / 1e9
+        self.total_bytes() as f64 * 8.0 / self.engine.makespan.as_secs_f64() / 1e9
     }
 }
 
@@ -112,7 +122,9 @@ impl BatchBackupReport {
 #[derive(Debug)]
 pub struct BackupServer {
     config: BackupConfig,
-    index: DedupIndex,
+    /// Shared with the in-simulation dedup stage of every sink this
+    /// server spawns (single-threaded simulation, hence `RefCell`).
+    index: Rc<RefCell<DedupIndex>>,
     site: BackupSite,
 }
 
@@ -121,7 +133,7 @@ impl BackupServer {
     pub fn new(config: BackupConfig) -> Self {
         BackupServer {
             config,
-            index: DedupIndex::new(),
+            index: Rc::new(RefCell::new(DedupIndex::new())),
             site: BackupSite::new(),
         }
     }
@@ -132,8 +144,8 @@ impl BackupServer {
     }
 
     /// The dedup index.
-    pub fn index(&self) -> &DedupIndex {
-        &self.index
+    pub fn index(&self) -> Ref<'_, DedupIndex> {
+        self.index.borrow()
     }
 
     /// The backup site (restore + verification).
@@ -141,7 +153,27 @@ impl BackupServer {
         &self.site
     }
 
-    /// Backs up one image snapshot through the given chunking engine.
+    /// The server's consumer graph configuration: hash → dedup → ship at
+    /// the §7.3 stage rates, batched at the server's buffer size.
+    fn sink_config(&self) -> DedupSinkConfig {
+        DedupSinkConfig {
+            hash_bw: self.config.hash_bw,
+            index_lookup: self.config.index_lookup,
+            index_insert: self.config.index_insert,
+            ship_bw: self.config.ship_bw,
+            pointer_bytes: self.config.pointer_bytes,
+            ship_chunk_overhead: self.config.ship_chunk_overhead,
+            hints: SinkPipelineHints {
+                granularity: self.config.buffer_size,
+                intake_bw: Some(self.config.ingest_bw),
+                depth: self.config.pipeline_depth,
+            },
+        }
+    }
+
+    /// Backs up one image snapshot through the given chunking engine:
+    /// the hash/dedup/ship tail runs as a [`DedupSink`] inside the
+    /// service's simulation.
     ///
     /// # Errors
     ///
@@ -152,14 +184,22 @@ impl BackupServer {
         image: &[u8],
         service: &dyn ChunkingService,
     ) -> Result<BackupReport, ChunkError> {
-        let outcome = service.chunk_stream(image)?;
-        Ok(self.ingest(image, &outcome.chunks, outcome.report.makespan()))
+        let mut sink = DedupSink::new(self.sink_config(), self.index.clone());
+        let outcome = service.chunk_stream_sink(image, &mut sink)?;
+        Ok(self.commit_image(
+            image,
+            &sink.into_verdicts(),
+            outcome.report.makespan(),
+            outcome.makespan,
+        ))
     }
 
     /// Backs up several site streams in **one batch**: every image is a
-    /// session on one shared multi-stream engine (§7.2's server handling
-    /// many remote sites), so their chunking contends for and overlaps
-    /// on the same device pipeline instead of running back to back.
+    /// sink session on one shared multi-stream engine (§7.2's server
+    /// handling many remote sites). Chunking, fingerprinting, index
+    /// lookup and shipping for all sites contend for and overlap on the
+    /// same simulated hardware; the returned [`EngineReport`] carries
+    /// per-stage (chunk/hash/dedup/ship) busy and queue-wait times.
     ///
     /// # Errors
     ///
@@ -170,16 +210,39 @@ impl BackupServer {
         images: &[&[u8]],
         shredder: &Shredder,
     ) -> Result<BatchBackupReport, ChunkError> {
-        let mut engine = shredder.engine();
-        for (i, image) in images.iter().enumerate() {
-            engine.open_named_session(format!("site-{i}"), 1, SliceSource::new(image));
-        }
-        let outcome = engine.run()?;
+        // The engine's reader models the image source here, so cap it at
+        // the §7.3 ingest rate.
+        let mut cfg = shredder.config().clone();
+        cfg.reader_bandwidth = cfg.reader_bandwidth.min(self.config.ingest_bw);
+
+        let mut sinks: Vec<DedupSink> = images
+            .iter()
+            .map(|_| DedupSink::new(self.sink_config(), self.index.clone()))
+            .collect();
+        let outcome = {
+            let mut engine = ShredderEngine::new(cfg);
+            for (i, (image, sink)) in images.iter().zip(sinks.iter_mut()).enumerate() {
+                engine.open_sink_session(format!("site-{i}"), 1, SliceSource::new(image), sink);
+            }
+            engine.run()?
+        };
 
         let mut reports = Vec::with_capacity(images.len());
-        for (session, image) in outcome.sessions.iter().zip(images) {
-            let chunking_time = outcome.report.sessions[session.id.index()].makespan;
-            reports.push(self.ingest(image, &session.chunks, chunking_time));
+        for ((image, sink), per) in images.iter().zip(sinks).zip(&outcome.report.sessions) {
+            // Chunk-only duration of this session alone: first admission
+            // to the last buffer leaving the Store thread (the sink
+            // stages extend the session makespan beyond that).
+            let chunking_time = per
+                .timeline
+                .last()
+                .map(|t| t.store_end.saturating_since(per.first_admit))
+                .unwrap_or(Dur::ZERO);
+            reports.push(self.commit_image(
+                image,
+                &sink.into_verdicts(),
+                chunking_time,
+                per.makespan,
+            ));
         }
         Ok(BatchBackupReport {
             reports,
@@ -187,10 +250,15 @@ impl BackupServer {
         })
     }
 
-    /// The functional + timing backup pass over already-computed chunks:
-    /// hash, dedup against the index, ship new payloads to the site, and
-    /// simulate the five-stage server pipeline.
-    fn ingest(&mut self, image: &[u8], chunks: &[Chunk], chunking_time: Dur) -> BackupReport {
+    /// Applies the sink's in-simulation decisions to the site: duplicate
+    /// chunks register pointers, new chunks store payloads.
+    fn commit_image(
+        &mut self,
+        image: &[u8],
+        verdicts: &[ChunkVerdict],
+        chunking_time: Dur,
+        makespan: Dur,
+    ) -> BackupReport {
         let chunking_bw = if chunking_time.is_zero() {
             f64::INFINITY
         } else {
@@ -201,44 +269,25 @@ impl BackupServer {
         let mut new_chunks = 0usize;
         let mut new_bytes = 0u64;
         let mut dedup_bytes = 0u64;
-        // Per-buffer ship workload for the timing pass.
-        let buffers = image.len().div_ceil(self.config.buffer_size).max(1);
-        let mut per_buffer: Vec<BufferWork> = (0..buffers)
-            .map(|i| BufferWork {
-                bytes: buffer_len(image.len(), self.config.buffer_size, i) as u64,
-                chunks: 0,
-                new_chunks: 0,
-                ship_bytes: 0,
-            })
-            .collect();
-
-        for chunk in chunks {
-            let payload = chunk.slice(image);
-            let digest = sha256(payload);
-            let b = (chunk.offset as usize / self.config.buffer_size).min(buffers - 1);
-            per_buffer[b].chunks += 1;
-            if self.index.lookup(&digest) {
-                dedup_bytes += chunk.len as u64;
-                per_buffer[b].ship_bytes += self.config.pointer_bytes as u64;
-                self.site.receive_pointer(image_id, digest, chunk.len);
+        for v in verdicts {
+            if v.duplicate {
+                dedup_bytes += v.chunk.len as u64;
+                self.site.receive_pointer(image_id, v.digest, v.chunk.len);
             } else {
-                self.index.insert(digest);
                 new_chunks += 1;
-                new_bytes += chunk.len as u64;
-                per_buffer[b].new_chunks += 1;
-                per_buffer[b].ship_bytes += chunk.len as u64;
-                self.site
-                    .receive_chunk(image_id, digest, Bytes::copy_from_slice(payload));
+                new_bytes += v.chunk.len as u64;
+                self.site.receive_chunk(
+                    image_id,
+                    v.digest,
+                    Bytes::copy_from_slice(v.chunk.slice(image)),
+                );
             }
         }
-
-        // ----- Timing pass: the five-stage pipeline. -----
-        let makespan = self.simulate(&per_buffer, chunking_bw);
 
         BackupReport {
             image_id,
             image_bytes: image.len() as u64,
-            chunks: chunks.len(),
+            chunks: verdicts.len(),
             new_chunks,
             new_bytes,
             dedup_bytes,
@@ -246,73 +295,6 @@ impl BackupServer {
             chunking_bw,
         }
     }
-
-    fn simulate(&self, buffers: &[BufferWork], chunking_bw: f64) -> Dur {
-        if buffers.iter().all(|b| b.bytes == 0) {
-            return Dur::ZERO;
-        }
-        let mut sim = Simulation::new();
-        let admission = Semaphore::new("backup-admission", self.config.pipeline_depth);
-        let ingest = BandwidthChannel::new("image-source", self.config.ingest_bw, Dur::ZERO);
-        let chunker = FifoServer::new("shredder", 1);
-        let hasher = FifoServer::new("store-hash", 1);
-        let lookup = FifoServer::new("index-lookup", 1);
-        let ship = BandwidthChannel::new("backup-link", self.config.ship_bw, Dur::ZERO);
-        let cfg = self.config.clone();
-
-        for work in buffers {
-            let w = *work;
-            let admission = admission.clone();
-            let ingest2 = ingest.clone();
-            let chunker = chunker.clone();
-            let hasher = hasher.clone();
-            let lookup = lookup.clone();
-            let ship2 = ship.clone();
-            let cfg = cfg.clone();
-
-            admission.clone().acquire(&mut sim, 1, move |sim| {
-                ingest2.transfer(sim, w.bytes, move |sim| {
-                    let chunk_time = Dur::from_bytes_at(w.bytes.max(1), chunking_bw.max(1.0));
-                    let hasher = hasher.clone();
-                    let lookup = lookup.clone();
-                    let ship3 = ship2.clone();
-                    chunker.process(sim, chunk_time, move |sim| {
-                        let hash_time = Dur::from_bytes_at(w.bytes.max(1), cfg.hash_bw);
-                        let lookup = lookup.clone();
-                        let ship4 = ship3.clone();
-                        hasher.process(sim, hash_time, move |sim| {
-                            let lookup_time = cfg.index_lookup * w.chunks
-                                + cfg.index_insert * w.new_chunks
-                                + cfg.ship_chunk_overhead * w.new_chunks;
-                            let ship5 = ship4.clone();
-                            lookup.process(sim, lookup_time, move |sim| {
-                                ship5.transfer(sim, w.ship_bytes.max(1), move |sim| {
-                                    admission.release(sim, 1);
-                                });
-                            });
-                        });
-                    });
-                });
-            });
-        }
-
-        let end = sim.run();
-        end.saturating_since(SimTime::ZERO)
-    }
-}
-
-/// Per-buffer workload descriptor for the timing pass.
-#[derive(Debug, Clone, Copy)]
-struct BufferWork {
-    bytes: u64,
-    chunks: u64,
-    new_chunks: u64,
-    ship_bytes: u64,
-}
-
-fn buffer_len(total: usize, buffer: usize, index: usize) -> usize {
-    let start = index * buffer;
-    total.saturating_sub(start).min(buffer)
 }
 
 #[cfg(test)]

@@ -12,12 +12,84 @@
 //! * **throughput** — aggregate GB/s across ≥4 concurrent tenants
 //!   exceeds the single-stream throughput of the same engine
 //!   configuration (pipeline overlap across tenants).
+//!
+//! Set `SHREDDER_BENCH_JSON=<path>` to also dump the run's headline
+//! numbers (aggregate GB/s, per-session makespans/queueing, stage busy
+//! times) as JSON, so the perf trajectory can be recorded across PRs
+//! (`BENCH_multi_tenant.json` by convention). The vendored `serde` is
+//! derive-only, so the encoder here is hand-rolled over the report
+//! fields.
 
 use shredder_bench::{check, gbps, header, result_line, table};
 use shredder_core::{
-    AdmissionPolicy, ChunkingService, Shredder, ShredderConfig, ShredderEngine, SliceSource,
+    AdmissionPolicy, ChunkingService, EngineReport, Shredder, ShredderConfig, ShredderEngine,
+    SliceSource,
 };
 use shredder_rabin::{chunk_all, ChunkParams};
+
+/// Hand-rolled JSON for the perf-trajectory dump (`EngineReport` and
+/// friends derive `serde::Serialize`, but the offline stub emits
+/// nothing).
+fn report_to_json(report: &EngineReport, solo_mean_gbps: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"aggregate_gbps\": {:.6},\n  \"solo_mean_gbps\": {:.6},\n",
+        report.aggregate_gbps(),
+        solo_mean_gbps
+    ));
+    out.push_str(&format!(
+        "  \"bytes\": {},\n  \"buffers\": {},\n  \"pipeline_depth\": {},\n",
+        report.bytes, report.buffers, report.pipeline_depth
+    ));
+    out.push_str(&format!(
+        "  \"makespan_ns\": {},\n  \"queue_wait_ns\": {},\n",
+        report.makespan.as_nanos(),
+        report.queue_wait.as_nanos()
+    ));
+    out.push_str(&format!(
+        "  \"stage_busy_ns\": {{\"read\": {}, \"transfer\": {}, \"kernel\": {}, \"store\": {}}},\n",
+        report.stage_busy.read.as_nanos(),
+        report.stage_busy.transfer.as_nanos(),
+        report.stage_busy.kernel.as_nanos(),
+        report.stage_busy.store.as_nanos()
+    ));
+    let sink_stages: Vec<String> = report
+        .sink_stages
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"busy_ns\": {}, \"queue_wait_ns\": {}, \"jobs\": {}}}",
+                s.name,
+                s.busy.as_nanos(),
+                s.queue_wait.as_nanos(),
+                s.jobs
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"sink_stages\": [\n{}\n  ],\n",
+        sink_stages.join(",\n")
+    ));
+    let sessions: Vec<String> = report
+        .sessions
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"bytes\": {}, \"makespan_ns\": {}, \"queue_wait_ns\": {}, \"gbps\": {:.6}}}",
+                r.name,
+                r.bytes,
+                r.makespan.as_nanos(),
+                r.queue_wait.as_nanos(),
+                r.throughput_gbps()
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"sessions\": [\n{}\n  ]\n}}\n",
+        sessions.join(",\n")
+    ));
+    out
+}
 
 fn main() {
     header(
@@ -137,4 +209,13 @@ fn main() {
         "weighted admission finishes the priority tenant earlier",
         priority.completion < rr_priority.completion,
     );
+
+    // Perf-trajectory dump (BENCH_*.json across PRs).
+    if let Ok(path) = std::env::var("SHREDDER_BENCH_JSON") {
+        let json = report_to_json(&outcome.report, solo_mean);
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("\n  perf trajectory written to {path}"),
+            Err(e) => eprintln!("\n  could not write {path}: {e}"),
+        }
+    }
 }

@@ -19,7 +19,7 @@
 //!   semaphore) hands the global `pipeline_depth` slots to sessions
 //!   fairly: round-robin, weighted, or strict session order.
 //!
-//! The legacy one-shot [`Shredder::chunk_stream`] API is now a thin
+//! The legacy one-shot [`Shredder::chunk_stream`](crate::Shredder) API is now a thin
 //! single-session convenience over this engine (see
 //! [`crate::pipeline`]).
 //!
@@ -63,11 +63,13 @@ use shredder_gpu::hostmem::{HostAllocModel, HostMemKind};
 use shredder_gpu::kernel::ChunkKernel;
 use shredder_gpu::{calibration, GpuExecutor, PinnedRing};
 use shredder_rabin::chunker::{apply_min_max, cuts_to_chunks};
+use shredder_rabin::Chunk;
 
 use crate::config::ShredderConfig;
 use crate::error::ChunkError;
-use crate::report::{BufferTimeline, EngineReport, SessionReport, StageBusy};
+use crate::report::{BufferTimeline, EngineReport, SessionReport, StageBusy, StageReport};
 use crate::session::{ChunkSession, SessionId, SessionOutcome};
+use crate::sink::{ChunkSink, StageSpec};
 use crate::source::StreamSource;
 
 /// How the shared admission slots are handed to sessions.
@@ -188,6 +190,34 @@ impl<'a> ShredderEngine<'a> {
             name: name.into(),
             weight,
             source: Box::new(source),
+            sink: None,
+        });
+        id
+    }
+
+    /// Opens a session whose chunks feed a downstream [`ChunkSink`]: the
+    /// sink's stages execute inside the shared simulation with their own
+    /// service times and queues, and the session's admission slots are
+    /// held until its buffers clear the *last* stage — a slow sink
+    /// backpressures the kernel FIFO.
+    ///
+    /// Pass `&mut sink` to keep ownership and read the sink's functional
+    /// results (digests, dedup verdicts) after [`run`](Self::run); the
+    /// engine must be dropped first to release the borrow.
+    pub fn open_sink_session(
+        &mut self,
+        name: impl Into<String>,
+        weight: u32,
+        source: impl StreamSource + 'a,
+        sink: impl ChunkSink + 'a,
+    ) -> SessionId {
+        let id = SessionId(self.sessions.len());
+        self.sessions.push(ChunkSession {
+            id,
+            name: name.into(),
+            weight,
+            source: Box::new(source),
+            sink: Some(Box::new(sink)),
         });
         id
     }
@@ -209,24 +239,43 @@ impl<'a> ShredderEngine<'a> {
         }
         let sessions = std::mem::take(&mut self.sessions);
 
-        // Functional pass: real chunk boundaries per session.
+        // Functional pass: real chunk boundaries per session. Sessions
+        // with a payload-reading sink also retain their stream bytes so
+        // the sink's functional half can see real payloads.
         let mut plans = Vec::with_capacity(sessions.len());
+        let mut bindings = Vec::with_capacity(sessions.len());
         for session in sessions {
-            plans.push(self.plan_session(session)?);
+            let (plan, binding) = self.plan_session(session)?;
+            plans.push(plan);
+            bindings.push(binding);
         }
 
-        // Timing pass: one shared simulation for every session.
-        let sim = simulate_plans(&self.config, &plans, self.policy);
+        // Store-thread pass, part 1: per-session min/max adjustment —
+        // final chunks must exist *before* the timing pass so sink
+        // stages know their per-buffer service demand.
+        let chunk_sets: Vec<Vec<Chunk>> = plans
+            .iter()
+            .map(|plan| {
+                let cuts = apply_min_max(&plan.cuts, plan.bytes, &self.config.params);
+                cuts_to_chunks(&cuts, plan.bytes)
+            })
+            .collect();
 
-        // Store-thread pass: per-session min/max adjustment + upcall
-        // order, exactly as the single-stream pipeline does (§7.3).
+        // Sink functional pass: deliver every chunk (stream order within
+        // a session, sessions in open order) to its sink, collecting the
+        // per-buffer, per-stage service demand. Stages with the same
+        // name are shared across sessions.
+        let schedule = self.drive_sinks(&plans, &chunk_sets, bindings);
+
+        // Timing pass: one shared simulation for every session,
+        // chunking pipeline and sink stages together.
+        let sim = simulate_plans(&self.config, &plans, self.policy, &schedule);
+
         let mut outcomes = Vec::with_capacity(plans.len());
         let mut reports = Vec::with_capacity(plans.len());
         let mut total_bytes = 0u64;
         let mut total_buffers = 0usize;
-        for (idx, plan) in plans.iter().enumerate() {
-            let cuts = apply_min_max(&plan.cuts, plan.bytes, &self.config.params);
-            let chunks = cuts_to_chunks(&cuts, plan.bytes);
+        for ((idx, plan), chunks) in plans.iter().enumerate().zip(chunk_sets) {
             total_bytes += plan.bytes;
             total_buffers += plan.buffers.len();
 
@@ -244,6 +293,7 @@ impl<'a> ShredderEngine<'a> {
                 makespan: per.completion - per.first_admit,
                 queue_wait: per.queue_wait,
                 kernel_time: plan.buffers.iter().map(|b| b.kernel_dur).sum(),
+                sink_service: schedule.session_service[idx],
                 timeline: per.timeline.clone(),
             });
             outcomes.push(SessionOutcome {
@@ -267,6 +317,7 @@ impl<'a> ShredderEngine<'a> {
             pipeline_depth: self.config.pipeline_depth,
             makespan: sim.end.saturating_since(SimTime::ZERO),
             stage_busy: sim.stage_busy,
+            sink_stages: sim.stages,
             ring_setup,
         };
 
@@ -279,15 +330,25 @@ impl<'a> ShredderEngine<'a> {
     /// Functional pass over one session: pull the stream one pipeline
     /// buffer at a time, keep a `window − 1` byte carry so windows
     /// spanning buffer boundaries are found exactly once, and run the
-    /// chunking kernel on each buffer. Kernel errors propagate.
-    fn plan_session(&self, mut session: ChunkSession<'a>) -> Result<SessionPlan, ChunkError> {
+    /// chunking kernel on each buffer. Kernel errors propagate. When the
+    /// session has a payload-reading sink, the stream's bytes are
+    /// retained alongside it so the sink's functional pass can
+    /// hash/inspect real payloads.
+    fn plan_session(
+        &self,
+        mut session: ChunkSession<'a>,
+    ) -> Result<(SessionPlan, Option<SinkBinding<'a>>), ChunkError> {
         let window = self.config.params.window;
         // Guarded by `run`, but keep planning safe standalone too.
         let overlap = window.saturating_sub(1);
         let size = self.config.buffer_size;
+        // Retain the stream only when the sink actually reads payloads:
+        // boundary-only sinks (the legacy upcall path) stay zero-copy.
+        let retain = session.sink.as_ref().is_some_and(|s| s.needs_payload());
 
         let mut cuts: Vec<u64> = Vec::new();
         let mut buffers: Vec<PlannedBuffer> = Vec::new();
+        let mut retained: Vec<u8> = Vec::new();
         let mut start: u64 = 0;
         // One reused scan buffer: `[carry][current buffer]`. The carry —
         // the last `window − 1` bytes already scanned — is shifted to the
@@ -309,6 +370,9 @@ impl<'a> ShredderEngine<'a> {
             }
             if filled == 0 {
                 break;
+            }
+            if retain {
+                retained.extend_from_slice(&scan[carry_len..carry_len + filled]);
             }
 
             // Scan carry + buffer so boundary-spanning windows are seen.
@@ -338,21 +402,115 @@ impl<'a> ShredderEngine<'a> {
             carry_len = keep;
         }
 
-        Ok(SessionPlan {
-            name: session.name,
-            weight: session.weight,
-            bytes: start,
-            cuts,
-            buffers,
-        })
+        let binding = session.sink.map(|sink| SinkBinding {
+            sink,
+            data: retained,
+        });
+        Ok((
+            SessionPlan {
+                name: session.name,
+                weight: session.weight,
+                bytes: start,
+                cuts,
+                buffers,
+            },
+            binding,
+        ))
+    }
+
+    /// Functional sink pass: delivers every session's final chunks to
+    /// its sink in stream order (sessions in open order, so shared state
+    /// such as a dedup index sees the same sequence a serial run would)
+    /// and aggregates the returned service demand per pipeline buffer
+    /// and per shared stage.
+    fn drive_sinks(
+        &self,
+        plans: &[SessionPlan],
+        chunk_sets: &[Vec<Chunk>],
+        bindings: Vec<Option<SinkBinding<'a>>>,
+    ) -> SinkSchedule {
+        let mut schedule = SinkSchedule {
+            specs: Vec::new(),
+            work: vec![Vec::new(); plans.len()],
+            session_service: vec![Dur::ZERO; plans.len()],
+        };
+        let buffer_size = self.config.buffer_size;
+
+        for (sid, binding) in bindings.into_iter().enumerate() {
+            let Some(SinkBinding { mut sink, data }) = binding else {
+                continue;
+            };
+            let nbuf = plans[sid].buffers.len();
+            let (local, per_buffer) = crate::sink::drive_sink_functional(
+                &mut *sink,
+                &chunk_sets[sid],
+                &data,
+                nbuf,
+                buffer_size,
+            );
+            // Map this sink's stages onto the engine-global stage list,
+            // sharing servers by name.
+            let map: Vec<usize> = local
+                .iter()
+                .map(
+                    |spec| match schedule.specs.iter().position(|s| s.name == spec.name) {
+                        Some(i) => i,
+                        None => {
+                            schedule.specs.push(*spec);
+                            schedule.specs.len() - 1
+                        }
+                    },
+                )
+                .collect();
+
+            schedule.session_service[sid] = per_buffer.iter().flatten().copied().sum();
+            schedule.work[sid] = per_buffer
+                .into_iter()
+                .map(|services| {
+                    services
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, d)| (map[k], d))
+                        .collect()
+                })
+                .collect();
+        }
+        schedule
     }
 
     /// Timing-only run over pre-planned sessions — the experiment
     /// harness path (buffer sweeps reuse measured kernel durations
     /// instead of re-running the functional scan).
     pub(crate) fn simulate_planned(&self, plans: &[SessionPlan]) -> SimResult {
-        simulate_plans(&self.config, plans, self.policy)
+        let schedule = SinkSchedule {
+            specs: Vec::new(),
+            work: vec![Vec::new(); plans.len()],
+            session_service: vec![Dur::ZERO; plans.len()],
+        };
+        simulate_plans(&self.config, plans, self.policy, &schedule)
     }
+}
+
+/// A session's sink plus the stream bytes retained for its functional
+/// pass.
+struct SinkBinding<'a> {
+    sink: Box<dyn ChunkSink + 'a>,
+    data: Vec<u8>,
+}
+
+/// One buffer's downstream work: `(global stage index, service)` per
+/// stage, in stage order.
+type BufferSinkWork = Vec<(usize, Dur)>;
+
+/// The aggregated downstream work of one engine run.
+pub(crate) struct SinkSchedule {
+    /// Engine-global stage list (deduplicated by name across sessions).
+    specs: Vec<StageSpec>,
+    /// `[session][buffer]` downstream work. Sessions without a sink have
+    /// an empty outer vector.
+    work: Vec<Vec<BufferSinkWork>>,
+    /// Total downstream service demand per session.
+    session_service: Vec<Dur>,
 }
 
 impl std::fmt::Debug for ShredderEngine<'_> {
@@ -377,6 +535,7 @@ pub(crate) struct SessionSim {
 pub(crate) struct SimResult {
     pub(crate) sessions: Vec<SessionSim>,
     pub(crate) stage_busy: StageBusy,
+    pub(crate) stages: Vec<StageReport>,
     pub(crate) end: SimTime,
 }
 
@@ -469,6 +628,24 @@ struct PipeCtx {
     gpu: GpuExecutor,
     host_kind: HostMemKind,
     prep_time: Dur,
+    /// Shared downstream sink stage servers (one per global stage name).
+    stage_servers: Rc<Vec<FifoServer>>,
+    /// Per-stage (queue wait, jobs) accounting.
+    stage_acct: Rc<RefCell<Vec<(Dur, u64)>>>,
+    /// `[session][buffer]` → `(stage index, service)` downstream work.
+    sink_work: Rc<Vec<Vec<BufferSinkWork>>>,
+}
+
+impl PipeCtx {
+    /// The downstream work of one buffer (empty for sessions without a
+    /// sink).
+    fn work_of(&self, sid: usize, bidx: usize) -> &[(usize, Dur)] {
+        self.sink_work
+            .get(sid)
+            .and_then(|s| s.get(bidx))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
 }
 
 /// Admits buffers until the shared slots are full, launching each one's
@@ -484,7 +661,10 @@ fn pump(ctx: &PipeCtx, sim: &mut Simulation) {
 }
 
 /// One buffer's trip: prep → read → twin buffer → H2D → kernel → D2H →
-/// store, then release the admission slot and pump again.
+/// store → the session's sink stages (if any), then release the
+/// admission slot and pump again. Because the slot is held until the
+/// *last* sink stage completes, downstream stages genuinely
+/// backpressure admission (and with it the kernel FIFO).
 fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
     let pb = ctx.buffers[sid][bidx];
     let c = ctx.clone();
@@ -524,10 +704,8 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
                                 {
                                     let mut s = c7.sched.borrow_mut();
                                     s.timelines[sid][bidx].store_end = sim.now();
-                                    s.completion[sid] = sim.now();
-                                    s.in_flight -= 1;
                                 }
-                                pump(&c7, sim);
+                                sink_chain(c7, sim, sid, bidx, 0);
                             });
                         });
                     });
@@ -537,11 +715,43 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
     });
 }
 
-/// Runs all planned sessions through one shared simulation.
+/// Runs one buffer's downstream sink work, stage by stage, then
+/// completes the buffer. A buffer with no sink work completes
+/// immediately — the degenerate (upcall-only) path is byte-for-byte the
+/// pre-sink pipeline.
+fn sink_chain(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize, k: usize) {
+    let work = ctx.work_of(sid, bidx);
+    if k >= work.len() {
+        {
+            let mut s = ctx.sched.borrow_mut();
+            s.completion[sid] = sim.now();
+            s.in_flight -= 1;
+        }
+        pump(&ctx, sim);
+        return;
+    }
+    let (stage, service) = work[k];
+    let enqueued = sim.now();
+    let server = ctx.stage_servers[stage].clone();
+    let c = ctx.clone();
+    server.process(sim, service, move |sim| {
+        {
+            let mut acct = c.stage_acct.borrow_mut();
+            let wait = sim.now().saturating_since(enqueued).saturating_sub(service);
+            acct[stage].0 += wait;
+            acct[stage].1 += 1;
+        }
+        sink_chain(c, sim, sid, bidx, k + 1);
+    });
+}
+
+/// Runs all planned sessions through one shared simulation, chunking
+/// pipeline and downstream sink stages together.
 fn simulate_plans(
     config: &ShredderConfig,
     plans: &[SessionPlan],
     policy: AdmissionPolicy,
+    schedule: &SinkSchedule,
 ) -> SimResult {
     let mut sim = Simulation::new();
 
@@ -605,6 +815,15 @@ fn simulate_plans(
             .collect(),
     };
 
+    let stage_servers: Rc<Vec<FifoServer>> = Rc::new(
+        schedule
+            .specs
+            .iter()
+            .map(|s| FifoServer::new(s.name.to_string(), 1))
+            .collect(),
+    );
+    let stage_acct = Rc::new(RefCell::new(vec![(Dur::ZERO, 0u64); schedule.specs.len()]));
+
     let ctx = PipeCtx {
         sched: Rc::new(RefCell::new(sched)),
         buffers: Rc::new(plans.iter().map(|p| p.buffers.clone()).collect()),
@@ -615,6 +834,9 @@ fn simulate_plans(
         gpu: gpu.clone(),
         host_kind,
         prep_time,
+        stage_servers: stage_servers.clone(),
+        stage_acct: stage_acct.clone(),
+        sink_work: Rc::new(schedule.work.clone()),
     };
 
     pump(&ctx, &mut sim);
@@ -626,6 +848,20 @@ fn simulate_plans(
         kernel: gpu.compute_busy(),
         store: gpu.d2h_busy() + store.busy_time(),
     };
+
+    let stage_acct = stage_acct.borrow();
+    let stages = schedule
+        .specs
+        .iter()
+        .enumerate()
+        .map(|(k, spec)| StageReport {
+            kind: spec.kind,
+            name: spec.name.to_string(),
+            busy: stage_servers[k].busy_time(),
+            queue_wait: stage_acct[k].0,
+            jobs: stage_acct[k].1,
+        })
+        .collect();
 
     let sched = ctx.sched.borrow();
     let sessions = (0..n)
@@ -640,6 +876,7 @@ fn simulate_plans(
     SimResult {
         sessions,
         stage_busy,
+        stages,
         end,
     }
 }
@@ -798,6 +1035,68 @@ mod tests {
         let out = engine.run().unwrap();
         assert!(out.sessions[0].chunks.is_empty());
         assert_eq!(out.report.sessions[0].buffers, 0);
+    }
+
+    #[test]
+    fn single_byte_stream() {
+        let mut engine = ShredderEngine::new(small_config());
+        engine.open_session(SliceSource::new(&[42u8]));
+        let out = engine.run().unwrap();
+        assert_eq!(
+            out.sessions[0].chunks,
+            chunk_all(&[42u8], &ChunkParams::paper())
+        );
+        assert_eq!(out.sessions[0].chunks.len(), 1);
+        assert_eq!(out.report.sessions[0].buffers, 1);
+        assert_eq!(out.report.bytes, 1);
+    }
+
+    #[test]
+    fn stream_shorter_than_rabin_window() {
+        // Shorter than the window: no full window ever forms, so the
+        // stream is one chunk — and the `window − 1` carry must not
+        // invent boundaries or read out of bounds.
+        let params = ChunkParams::paper();
+        assert!(params.window > 2, "test needs a window > 2");
+        for len in [1usize, 2, params.window - 1] {
+            let data = pseudo_random(len, 90 + len as u64);
+            let mut engine = ShredderEngine::new(small_config());
+            engine.open_session(SliceSource::new(&data));
+            let out = engine.run().unwrap();
+            assert_eq!(
+                out.sessions[0].chunks,
+                chunk_all(&data, &params),
+                "len {len}"
+            );
+            assert_eq!(out.sessions[0].chunks.len(), 1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn stream_straddling_the_carry_boundary() {
+        // Lengths right around buffer_size ± (window − 1): the carry
+        // path must keep boundaries identical to a sequential scan.
+        let params = ChunkParams::paper();
+        let buffer = 64 << 10;
+        let cfg = ShredderConfig::gpu_streams_memory().with_buffer_size(buffer);
+        for delta in [
+            -(params.window as i64 - 1),
+            -1,
+            0,
+            1,
+            params.window as i64 - 1,
+        ] {
+            let len = (buffer as i64 + delta) as usize;
+            let data = pseudo_random(len, 200 + delta.unsigned_abs());
+            let mut engine = ShredderEngine::new(cfg.clone());
+            engine.open_session(SliceSource::new(&data));
+            let out = engine.run().unwrap();
+            assert_eq!(
+                out.sessions[0].chunks,
+                chunk_all(&data, &params),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The host-only parallel chunker: the paper's pthreads baseline (§5.1).
 //!
 //! Chunk boundaries are computed for real by
-//! [`ParallelChunker`](shredder_rabin::ParallelChunker) (SPMD region
+//! [`ParallelChunker`] (SPMD region
 //! split + boundary merge on actual OS threads). The *simulated* time
 //! uses the calibrated per-byte Xeon cost plus the allocator-contention
 //! loss — the with/without-Hoard distinction of Figure 12's two CPU

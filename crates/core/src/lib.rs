@@ -18,12 +18,19 @@
 //! * [`session`] / [`report`] — per-stream [`SessionReport`]s (makespan,
 //!   queueing/contention time, per-buffer timeline) inside an aggregate
 //!   [`EngineReport`] (aggregate GB/s over the shared makespan).
+//! * [`sink`] — the **staged sink API**: a [`ChunkSink`] attaches typed
+//!   downstream stages ([`FingerprintStage`], [`DedupStage`],
+//!   [`ShipStage`]) to a session; the stages execute *inside* the shared
+//!   simulation with their own service times, queues and backpressure
+//!   onto the kernel FIFO, reported per stage in the
+//!   [`EngineReport`]. This replaces the old
+//!   collect-then-postprocess consumer pattern.
 //! * [`pipeline`] — the legacy single-stream [`Shredder`] service, now a
 //!   thin one-session convenience over the engine.
 //! * [`host_chunker`] — the host-only pthreads baseline of §5.1.
 //! * [`service`] — the fallible [`ChunkingService`] trait the case
-//!   studies (Inc-HDFS, cloud backup) program against, with the
-//!   upcall-style boundary delivery of §3.1.
+//!   studies (Inc-HDFS, cloud backup) program against; its upcall-style
+//!   boundary delivery of §3.1 is the degenerate (stage-less) sink.
 //!
 //! Everywhere, chunk boundaries are **real** (computed by the shared
 //! Rabin tables over the actual bytes, identical across every engine and
@@ -54,6 +61,44 @@
 //! println!("aggregate: {:.2} GB/s", outcome.report.aggregate_gbps());
 //! ```
 //!
+//! Chunking *into a sink*: a dedup consumer graph (fingerprint → index
+//! lookup → ship) running inside the same simulation, so hashing
+//! overlaps chunking instead of being post-processed:
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::collections::HashSet;
+//! use std::rc::Rc;
+//! use shredder_core::{
+//!     ChunkingService, DedupSink, DedupSinkConfig, Shredder, ShredderConfig, SinkPipelineHints,
+//! };
+//! use shredder_des::Dur;
+//!
+//! let data: Vec<u8> = (0..1u32 << 20).map(|i| (i.wrapping_mul(0x9e3779b9) >> 11) as u8).collect();
+//! let index = Rc::new(RefCell::new(HashSet::new()));
+//! let mut sink = DedupSink::new(
+//!     DedupSinkConfig {
+//!         hash_bw: 1.5e9,
+//!         index_lookup: Dur::from_micros(7),
+//!         index_insert: Dur::from_micros(10),
+//!         ship_bw: 0.9e9,
+//!         pointer_bytes: 40,
+//!         ship_chunk_overhead: Dur::from_micros(2),
+//!         hints: SinkPipelineHints::default(),
+//!     },
+//!     index,
+//! );
+//!
+//! let gpu = Shredder::new(ShredderConfig::gpu_streams_memory().with_buffer_size(256 << 10));
+//! let outcome = gpu.chunk_stream_sink(&data, &mut sink).unwrap();
+//!
+//! // Real digests and dedup decisions, per-stage timing from the shared
+//! // simulation — and the stages overlapped the chunking pipeline.
+//! assert!(!sink.verdicts().is_empty());
+//! assert_eq!(outcome.stages.len(), 3);
+//! assert!(outcome.makespan >= outcome.report.makespan());
+//! ```
+//!
 //! The single-stream convenience (identical boundaries, one session):
 //!
 //! ```
@@ -82,6 +127,7 @@ pub mod pipeline;
 pub mod report;
 pub mod service;
 pub mod session;
+pub mod sink;
 pub mod source;
 
 pub use config::{Allocator, HostChunkerConfig, ShredderConfig};
@@ -91,7 +137,12 @@ pub use host_chunker::HostChunker;
 pub use pipeline::Shredder;
 pub use report::{
     BufferTimeline, EngineReport, HostReport, PipelineReport, Report, SessionReport, StageBusy,
+    StageReport,
 };
 pub use service::{ChunkOutcome, ChunkingService};
 pub use session::{ChunkSession, SessionId, SessionOutcome};
+pub use sink::{
+    ChunkSink, ChunkVerdict, DedupSink, DedupSinkConfig, DedupStage, FingerprintIndex,
+    FingerprintStage, ShipStage, SinkOutcome, SinkPipelineHints, StageKind, StageSpec, UpcallSink,
+};
 pub use source::{MemorySource, SliceSource, StreamSource};

@@ -28,6 +28,7 @@ use crate::engine::{PlannedBuffer, SessionPlan, ShredderEngine};
 use crate::error::ChunkError;
 use crate::report::{PipelineReport, Report, StageBusy};
 use crate::service::ChunkingService;
+use crate::sink::{ChunkSink, SinkOutcome, UpcallSink};
 use crate::source::StreamSource;
 
 /// The GPU-accelerated Shredder chunking engine (single-stream view).
@@ -132,28 +133,58 @@ impl ChunkingService for Shredder {
         source: &mut dyn StreamSource,
         upcall: &mut dyn FnMut(Chunk),
     ) -> Result<Report, ChunkError> {
-        let mut engine = self.engine();
-        engine.open_named_session("chunk-stream", 1, source);
-        let outcome = engine.run()?;
-        let session = outcome
-            .sessions
-            .into_iter()
-            .next()
-            .expect("engine ran exactly one session");
-        for chunk in session.chunks {
-            upcall(chunk);
+        // The upcall interface is the degenerate (stage-less) sink.
+        let mut sink = UpcallSink::new(upcall);
+        Ok(self.chunk_source_sink(source, &mut sink)?.report)
+    }
+
+    /// Runs the sink's stages inside the engine's shared simulation: one
+    /// session, chunking pipeline and downstream stages contending and
+    /// overlapping on the same virtual clock. The sink's
+    /// [`intake_bw`](crate::SinkPipelineHints) hint, when set, caps the
+    /// engine's reader — here the reader *is* the consumer's intake link
+    /// (e.g. the §7.3 10 Gbps image source).
+    fn chunk_source_sink(
+        &self,
+        source: &mut dyn StreamSource,
+        sink: &mut dyn ChunkSink,
+    ) -> Result<SinkOutcome, ChunkError> {
+        let mut config = self.config.clone();
+        if let Some(bw) = sink.hints().intake_bw {
+            config.reader_bandwidth = config.reader_bandwidth.min(bw);
         }
+        let outcome = {
+            let mut engine = ShredderEngine::new(config);
+            engine.open_sink_session("chunk-stream", 1, source, sink);
+            engine.run()?
+        };
         let per = &outcome.report.sessions[0];
-        Ok(Report::Pipeline(PipelineReport {
+        // The legacy report keeps chunk-only semantics: with downstream
+        // stages attached, chunking ends when the last buffer leaves the
+        // Store thread, not when the sink drains.
+        let chunk_makespan = if outcome.report.sink_stages.is_empty() {
+            outcome.report.makespan
+        } else {
+            per.timeline
+                .last()
+                .map(|t| t.store_end.saturating_since(per.first_admit))
+                .unwrap_or(Dur::ZERO)
+        };
+        let report = Report::Pipeline(PipelineReport {
             bytes: per.bytes,
             buffers: per.buffers,
-            makespan: outcome.report.makespan,
+            makespan: chunk_makespan,
             stage_busy: outcome.report.stage_busy,
             kernel_time: per.kernel_time,
             timeline: per.timeline.clone(),
             ring_setup: outcome.report.ring_setup,
             raw_cuts: per.raw_cuts,
-        }))
+        });
+        Ok(SinkOutcome {
+            report,
+            makespan: outcome.report.makespan,
+            stages: outcome.report.sink_stages,
+        })
     }
 
     fn service_name(&self) -> String {

@@ -3,6 +3,26 @@
 use serde::{Deserialize, Serialize};
 use shredder_des::{Dur, SimTime};
 
+use crate::sink::StageKind;
+
+/// Busy/queue-wait accounting of one shared downstream sink stage
+/// (fingerprint, dedup, ship, …) inside an engine run's simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// The stage's typed kind.
+    pub kind: StageKind,
+    /// The stage's engine-global name (sessions naming the same stage
+    /// share one simulated server).
+    pub name: String,
+    /// Total time the stage's server spent serving work.
+    pub busy: Dur,
+    /// Total time buffer batches waited in the stage's queue before
+    /// service began.
+    pub queue_wait: Dur,
+    /// Buffer batches served.
+    pub jobs: u64,
+}
+
 /// Per-stage busy time of the four pipeline threads (§3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct StageBusy {
@@ -77,7 +97,8 @@ pub struct SessionReport {
     pub raw_cuts: usize,
     /// When the stream's first buffer was admitted to the pipeline.
     pub first_admit: SimTime,
-    /// When the stream's last buffer left the Store stage.
+    /// When the stream's last buffer cleared its final stage (the Store
+    /// thread, or — for sessions with a sink — the last sink stage).
     pub completion: SimTime,
     /// `first_admit → completion`: the stream's own makespan.
     pub makespan: Dur,
@@ -86,6 +107,9 @@ pub struct SessionReport {
     pub queue_wait: Dur,
     /// Total kernel-only time spent on this stream's buffers.
     pub kernel_time: Dur,
+    /// Total service demand this stream's chunks placed on its sink's
+    /// downstream stages (zero for sessions without a sink).
+    pub sink_service: Dur,
     /// Per-buffer timestamps (indices are per-session).
     pub timeline: Vec<BufferTimeline>,
 }
@@ -113,11 +137,16 @@ pub struct EngineReport {
     pub buffers: usize,
     /// Global admission slots (the shared pipeline depth).
     pub pipeline_depth: usize,
-    /// End-to-end simulated time: engine start → last store completion.
+    /// End-to-end simulated time: engine start → last completion across
+    /// every stage, including downstream sink stages.
     pub makespan: Dur,
     /// Busy time of the shared pipeline stages, summed over all
     /// sessions' buffers.
     pub stage_busy: StageBusy,
+    /// Busy/queue-wait accounting of the shared downstream sink stages
+    /// (fingerprint, dedup, ship, …); empty when no session attached a
+    /// sink.
+    pub sink_stages: Vec<StageReport>,
     /// Total admission queueing across sessions (contention time).
     pub queue_wait: Dur,
     /// One-time pinned-ring setup cost (shared by all sessions).
@@ -139,6 +168,11 @@ impl EngineReport {
     /// The report of one session by engine open order.
     pub fn session(&self, index: usize) -> Option<&SessionReport> {
         self.sessions.get(index)
+    }
+
+    /// The report of one shared sink stage by name.
+    pub fn sink_stage(&self, name: &str) -> Option<&StageReport> {
+        self.sink_stages.iter().find(|s| s.name == name)
     }
 }
 

@@ -10,6 +10,17 @@
 //! [`chunk_source`](ChunkingService::chunk_source) collect the upcalls
 //! into a [`ChunkOutcome`].
 //!
+//! Since the staged-sink redesign, the upcall path is simply the
+//! degenerate (stage-less) case of
+//! [`chunk_source_sink`](ChunkingService::chunk_source_sink): a
+//! [`ChunkSink`] with downstream stages (fingerprint, dedup, ship) runs
+//! those stages *inside* the service's simulation, so hashing genuinely
+//! overlaps chunking instead of being post-processed analytically. The
+//! default implementation pipelines the sink's stages behind a chunker
+//! running at the service's measured rate; engine-backed services
+//! ([`Shredder`](crate::Shredder)) override it to schedule the stages
+//! in the shared multi-session simulation.
+//!
 //! For chunking *many* streams through one shared pipeline, use the
 //! session API ([`ShredderEngine`](crate::ShredderEngine)) directly —
 //! these per-call entry points each run a private single-session engine.
@@ -19,6 +30,7 @@ use shredder_rabin::Chunk;
 
 use crate::error::ChunkError;
 use crate::report::Report;
+use crate::sink::{run_sink_after_chunking, ChunkSink, SinkOutcome};
 use crate::source::{SliceSource, StreamSource};
 
 /// Result of chunking a stream: the chunks plus the engine's timing
@@ -108,9 +120,60 @@ pub trait ChunkingService {
     ///
     /// See [`chunk_source_with`](Self::chunk_source_with).
     fn chunk_stream(&self, data: &[u8]) -> Result<ChunkOutcome, ChunkError> {
+        self.chunk_source(&mut SliceSource::new(data))
+    }
+
+    /// Chunks the stream delivered by `source` and drives `sink`'s
+    /// downstream stages inside the service's simulation.
+    ///
+    /// The sink's functional half (hashing, dedup decisions) always runs
+    /// for real, chunk by chunk in stream order. The default
+    /// implementation is the *degenerate* path for engines without a
+    /// shared simulation: it chunks first, then pipelines the sink's
+    /// stages behind a chunker stage running at the service's measured
+    /// rate (batched at [`SinkPipelineHints::granularity`](crate::SinkPipelineHints)),
+    /// so downstream stages still overlap chunking in simulated time.
+    /// Engine-backed services override this to schedule the stages in
+    /// the same shared simulation as the chunking pipeline itself.
+    ///
+    /// # Errors
+    ///
+    /// See [`chunk_source_with`](Self::chunk_source_with).
+    fn chunk_source_sink(
+        &self,
+        source: &mut dyn StreamSource,
+        sink: &mut dyn ChunkSink,
+    ) -> Result<SinkOutcome, ChunkError> {
+        // Materialize the stream: the sink's functional pass needs real
+        // payloads for every (min/max-adjusted) chunk.
+        let mut data = match source.size_hint() {
+            Some(n) => Vec::with_capacity(n as usize),
+            None => Vec::new(),
+        };
+        let mut buf = vec![0u8; 1 << 20];
+        loop {
+            let n = source.read(&mut buf);
+            if n == 0 {
+                break;
+            }
+            data.extend_from_slice(&buf[..n]);
+        }
         let mut chunks = Vec::new();
-        let report = self.chunk_stream_with(data, &mut |c| chunks.push(c))?;
-        Ok(ChunkOutcome { chunks, report })
+        let report = self.chunk_stream_with(&data, &mut |c| chunks.push(c))?;
+        Ok(run_sink_after_chunking(&data, &chunks, report, sink))
+    }
+
+    /// Chunks an in-memory stream through a sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`chunk_source_with`](Self::chunk_source_with).
+    fn chunk_stream_sink(
+        &self,
+        data: &[u8],
+        sink: &mut dyn ChunkSink,
+    ) -> Result<SinkOutcome, ChunkError> {
+        self.chunk_source_sink(&mut SliceSource::new(data), sink)
     }
 
     /// Human-readable engine name (used in experiment output).

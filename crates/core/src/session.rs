@@ -1,6 +1,6 @@
 //! Chunking sessions: one per tenant stream.
 //!
-//! A [`ChunkSession`] ties a [`StreamSource`](crate::StreamSource) to a
+//! A [`ChunkSession`] ties a [`StreamSource`] to a
 //! scheduling identity (name + admission weight). Sessions are opened on
 //! a [`ShredderEngine`](crate::ShredderEngine), which chunks all of them
 //! through **one** shared device pipeline; per-session results come back
@@ -10,6 +10,7 @@
 
 use shredder_rabin::Chunk;
 
+use crate::sink::ChunkSink;
 use crate::source::StreamSource;
 
 /// Identifies a session within one engine (the open order).
@@ -32,12 +33,15 @@ impl std::fmt::Display for SessionId {
 }
 
 /// An open (not yet run) chunking session: a tenant stream plus its
-/// scheduling identity.
+/// scheduling identity and (optionally) a downstream
+/// [`ChunkSink`] whose stages run inside the shared
+/// simulation.
 pub struct ChunkSession<'a> {
     pub(crate) id: SessionId,
     pub(crate) name: String,
     pub(crate) weight: u32,
     pub(crate) source: Box<dyn StreamSource + 'a>,
+    pub(crate) sink: Option<Box<dyn ChunkSink + 'a>>,
 }
 
 impl ChunkSession<'_> {
@@ -56,6 +60,11 @@ impl ChunkSession<'_> {
     pub fn weight(&self) -> u32 {
         self.weight
     }
+
+    /// True if a downstream sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
 }
 
 impl std::fmt::Debug for ChunkSession<'_> {
@@ -64,6 +73,7 @@ impl std::fmt::Debug for ChunkSession<'_> {
             .field("id", &self.id)
             .field("name", &self.name)
             .field("weight", &self.weight)
+            .field("sink", &self.sink.is_some())
             .finish()
     }
 }

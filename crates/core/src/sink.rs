@@ -1,0 +1,897 @@
+//! The staged sink API: where chunk boundaries go *inside* the
+//! simulation.
+//!
+//! The paper's Store thread does not merely emit boundaries: it hashes
+//! every chunk and drives dedup-index lookups *concurrently* with
+//! chunking (§3.1), and the backup pipeline of §7.2 overlaps
+//! fingerprinting, index lookup and network shipping with the GPU
+//! work. Before this module, consumers collected a full `Vec<Chunk>`
+//! and post-processed it with analytic time formulas, so downstream
+//! cost never contended with — or overlapped — the shared pipeline.
+//!
+//! A [`ChunkSink`] replaces that collect-then-postprocess pattern. It
+//! is a typed graph of downstream stages attached to a
+//! [`ChunkSession`](crate::ChunkSession):
+//!
+//! * the *functional* half runs immediately: [`ChunkSink::accept`] is
+//!   called once per chunk in stream order with the real payload, so
+//!   digests, dedup decisions and ship payloads are computed for real;
+//! * the *timing* half is the per-stage service demand `accept`
+//!   returns, which the engine schedules through shared per-stage FIFO
+//!   servers **inside the same discrete-event simulation** as the
+//!   chunking pipeline. A session's admission slot is held until its
+//!   buffer clears the *last* sink stage, so a slow downstream stage
+//!   backpressures the kernel FIFO exactly as a slow Store thread
+//!   would.
+//!
+//! Three ready-made stages model the §7.2 consumer path:
+//! [`FingerprintStage`] (SHA-256 at a configurable `hash_bw`),
+//! [`DedupStage`] (fingerprint-index lookup/insert) and [`ShipStage`]
+//! (pointer-vs-payload transfer); [`DedupSink`] composes all three into
+//! the backup server's graph. [`UpcallSink`] is the degenerate sink —
+//! no stages, boundaries forwarded to an upcall — which is what the
+//! legacy [`ChunkingService`](crate::ChunkingService) entry points now
+//! run on.
+//!
+//! # Examples
+//!
+//! A fingerprint-only sink inside a shared engine run:
+//!
+//! ```
+//! use shredder_core::{
+//!     ChunkSink, FingerprintStage, ShredderConfig, ShredderEngine, SliceSource, StageSpec,
+//! };
+//! use shredder_des::Dur;
+//! use shredder_rabin::Chunk;
+//!
+//! struct HashSink(FingerprintStage);
+//! impl ChunkSink for HashSink {
+//!     fn stages(&self) -> Vec<StageSpec> {
+//!         vec![self.0.spec()]
+//!     }
+//!     fn accept(&mut self, _chunk: Chunk, payload: &[u8]) -> Vec<Dur> {
+//!         let (_digest, service) = self.0.process(payload);
+//!         vec![service]
+//!     }
+//! }
+//!
+//! let data: Vec<u8> = (0..1u32 << 19).map(|i| (i.wrapping_mul(0x9e3779b9) >> 11) as u8).collect();
+//! let mut sink = HashSink(FingerprintStage::new(1.5e9));
+//! let mut engine =
+//!     ShredderEngine::new(ShredderConfig::gpu_streams_memory().with_buffer_size(128 << 10));
+//! engine.open_sink_session("tenant", 1, SliceSource::new(&data), &mut sink);
+//! let outcome = engine.run().unwrap();
+//! drop(engine);
+//!
+//! // Hashing ran inside the shared simulation: the fingerprint stage
+//! // reports busy time, and every chunk got a real digest.
+//! assert_eq!(outcome.report.sink_stages.len(), 1);
+//! assert!(outcome.report.sink_stages[0].busy > Dur::ZERO);
+//! assert_eq!(sink.0.digests().len(), outcome.sessions[0].chunks.len());
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+use shredder_des::{BandwidthChannel, Dur, FifoServer, Semaphore, SimTime, Simulation};
+use shredder_hash::{sha256, Digest};
+use shredder_rabin::Chunk;
+
+use crate::report::{Report, StageReport};
+
+/// The typed identity of a downstream stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// SHA-256 chunk fingerprinting (the Store thread's hashing step).
+    Fingerprint,
+    /// Fingerprint-index lookup/insert (the §7.2 lookup thread).
+    Dedup,
+    /// Pointer-vs-payload transfer to the consumer's site.
+    Ship,
+    /// An application-defined stage.
+    Custom,
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageKind::Fingerprint => f.write_str("fingerprint"),
+            StageKind::Dedup => f.write_str("dedup"),
+            StageKind::Ship => f.write_str("ship"),
+            StageKind::Custom => f.write_str("custom"),
+        }
+    }
+}
+
+/// Descriptor of one downstream stage in a sink's graph.
+///
+/// Stages with the same `name` are **shared across sessions** of one
+/// engine run — two tenants attaching a `"fingerprint"` stage contend
+/// for the same simulated hashing thread, exactly as two buffers
+/// contend for the one kernel FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// The stage's typed kind.
+    pub kind: StageKind,
+    /// The stage's (engine-global) name.
+    pub name: &'static str,
+}
+
+/// Scheduling hints for running a sink behind a chunking service that
+/// has no shared engine simulation of its own (the degenerate
+/// collect-then-stage path of
+/// [`ChunkingService::chunk_source_sink`](crate::ChunkingService::chunk_source_sink)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkPipelineHints {
+    /// Batch granularity in bytes: chunk work is grouped into batches of
+    /// this many stream bytes before being pipelined through the stages.
+    pub granularity: usize,
+    /// Optional intake link (bytes/s) feeding the chunker — the §7.3
+    /// image source. `None` models a resident stream.
+    pub intake_bw: Option<f64>,
+    /// Batches in flight simultaneously.
+    pub depth: usize,
+}
+
+impl Default for SinkPipelineHints {
+    fn default() -> Self {
+        SinkPipelineHints {
+            granularity: 8 << 20,
+            intake_bw: None,
+            depth: 4,
+        }
+    }
+}
+
+/// A typed graph of downstream stages consuming chunk boundaries inside
+/// the simulation.
+///
+/// Implementations do the *real* downstream work (hash, dedup, collect)
+/// in [`accept`](Self::accept) and return the simulated service demand
+/// each attached stage charges for that chunk. The engine aggregates
+/// the demand per pipeline buffer and schedules it through shared
+/// per-stage FIFO servers in the same simulation as the chunking
+/// pipeline, holding the buffer's admission slot until the last stage
+/// finishes (backpressure).
+pub trait ChunkSink {
+    /// The downstream stages, in pipeline order. Must be stable for the
+    /// sink's lifetime.
+    fn stages(&self) -> Vec<StageSpec>;
+
+    /// Delivers one chunk in stream order with its payload; returns the
+    /// service demand per stage, aligned with [`stages`](Self::stages).
+    fn accept(&mut self, chunk: Chunk, payload: &[u8]) -> Vec<Dur>;
+
+    /// Called once after the last chunk. A sink that holds back work
+    /// (e.g. record re-alignment) flushes here; the returned demand is
+    /// charged to the stream's final buffer. An empty vector means no
+    /// extra work.
+    fn finish(&mut self) -> Vec<Dur> {
+        Vec::new()
+    }
+
+    /// Scheduling hints for the engine-less degenerate path.
+    fn hints(&self) -> SinkPipelineHints {
+        SinkPipelineHints::default()
+    }
+
+    /// Whether [`accept`](Self::accept) reads the payload. Sinks that
+    /// only consume boundaries (e.g. [`UpcallSink`]) return `false`,
+    /// which lets the engine skip retaining a copy of the stream; such
+    /// sinks are handed an empty payload slice.
+    fn needs_payload(&self) -> bool {
+        true
+    }
+}
+
+impl<S: ChunkSink + ?Sized> ChunkSink for &mut S {
+    fn stages(&self) -> Vec<StageSpec> {
+        (**self).stages()
+    }
+
+    fn accept(&mut self, chunk: Chunk, payload: &[u8]) -> Vec<Dur> {
+        (**self).accept(chunk, payload)
+    }
+
+    fn finish(&mut self) -> Vec<Dur> {
+        (**self).finish()
+    }
+
+    fn hints(&self) -> SinkPipelineHints {
+        (**self).hints()
+    }
+
+    fn needs_payload(&self) -> bool {
+        (**self).needs_payload()
+    }
+}
+
+/// The degenerate sink: no downstream stages, every boundary forwarded
+/// to an upcall — the §3.1 notification interface expressed as a sink.
+pub struct UpcallSink<'f> {
+    upcall: &'f mut dyn FnMut(Chunk),
+}
+
+impl<'f> UpcallSink<'f> {
+    /// Wraps an upcall.
+    pub fn new(upcall: &'f mut dyn FnMut(Chunk)) -> Self {
+        UpcallSink { upcall }
+    }
+}
+
+impl ChunkSink for UpcallSink<'_> {
+    fn stages(&self) -> Vec<StageSpec> {
+        Vec::new()
+    }
+
+    fn accept(&mut self, chunk: Chunk, _payload: &[u8]) -> Vec<Dur> {
+        (self.upcall)(chunk);
+        Vec::new()
+    }
+
+    fn needs_payload(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Debug for UpcallSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpcallSink").finish_non_exhaustive()
+    }
+}
+
+/// A fingerprint index a [`DedupStage`] consults: presence lookup plus
+/// insertion. `shredder-backup`'s `DedupIndex` implements this; a plain
+/// `HashSet<Digest>` works for tests.
+pub trait FingerprintIndex {
+    /// True if the fingerprint is present (counts as one lookup).
+    fn lookup(&mut self, digest: &Digest) -> bool;
+    /// Inserts a fingerprint; returns `true` if it was new.
+    fn insert(&mut self, digest: Digest) -> bool;
+}
+
+impl FingerprintIndex for HashSet<Digest> {
+    fn lookup(&mut self, digest: &Digest) -> bool {
+        self.contains(digest)
+    }
+
+    fn insert(&mut self, digest: Digest) -> bool {
+        HashSet::insert(self, digest)
+    }
+}
+
+/// SHA-256 fingerprinting at a configurable hashing bandwidth — the
+/// Store thread's "computes a hash for the overall chunk" step (§7.2),
+/// as an in-simulation stage.
+#[derive(Debug, Clone)]
+pub struct FingerprintStage {
+    hash_bw: f64,
+    digests: Vec<Digest>,
+}
+
+impl FingerprintStage {
+    /// Creates a stage hashing at `hash_bw` bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_bw` is not finite and positive.
+    pub fn new(hash_bw: f64) -> Self {
+        assert!(
+            hash_bw.is_finite() && hash_bw > 0.0,
+            "invalid hash bandwidth {hash_bw}"
+        );
+        FingerprintStage {
+            hash_bw,
+            digests: Vec::new(),
+        }
+    }
+
+    /// The stage descriptor.
+    pub fn spec(&self) -> StageSpec {
+        StageSpec {
+            kind: StageKind::Fingerprint,
+            name: "fingerprint",
+        }
+    }
+
+    /// Hashes one payload for real, records the digest, and returns it
+    /// with the simulated service time.
+    pub fn process(&mut self, payload: &[u8]) -> (Digest, Dur) {
+        let digest = sha256(payload);
+        self.digests.push(digest);
+        (
+            digest,
+            Dur::from_bytes_at(payload.len() as u64, self.hash_bw),
+        )
+    }
+
+    /// Digests computed so far, in delivery order.
+    pub fn digests(&self) -> &[Digest] {
+        &self.digests
+    }
+
+    /// Consumes the stage, returning the digests.
+    pub fn into_digests(self) -> Vec<Digest> {
+        self.digests
+    }
+}
+
+/// Fingerprint-index lookup/insert — the §7.2 lookup thread as an
+/// in-simulation stage. The index itself is shared (`Rc<RefCell<..>>`)
+/// so several sessions of one batch deduplicate against the same state.
+#[derive(Clone)]
+pub struct DedupStage {
+    index: Rc<RefCell<dyn FingerprintIndex>>,
+    lookup_cost: Dur,
+    insert_cost: Dur,
+}
+
+impl DedupStage {
+    /// Creates a stage over a shared index with per-fingerprint lookup
+    /// and insert costs.
+    pub fn new(
+        index: Rc<RefCell<dyn FingerprintIndex>>,
+        lookup_cost: Dur,
+        insert_cost: Dur,
+    ) -> Self {
+        DedupStage {
+            index,
+            lookup_cost,
+            insert_cost,
+        }
+    }
+
+    /// The stage descriptor.
+    pub fn spec(&self) -> StageSpec {
+        StageSpec {
+            kind: StageKind::Dedup,
+            name: "dedup",
+        }
+    }
+
+    /// Looks up (and, when absent, inserts) one fingerprint. Returns
+    /// whether the chunk was a duplicate plus the service time.
+    pub fn process(&mut self, digest: Digest) -> (bool, Dur) {
+        let mut index = self.index.borrow_mut();
+        if index.lookup(&digest) {
+            (true, self.lookup_cost)
+        } else {
+            index.insert(digest);
+            (false, self.lookup_cost + self.insert_cost)
+        }
+    }
+}
+
+impl std::fmt::Debug for DedupStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DedupStage")
+            .field("lookup_cost", &self.lookup_cost)
+            .field("insert_cost", &self.insert_cost)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Pointer-vs-payload shipping over the consumer's network link as an
+/// in-simulation stage: duplicates ship a fixed-size pointer, new
+/// chunks ship their payload plus a per-chunk protocol overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct ShipStage {
+    ship_bw: f64,
+    pointer_bytes: usize,
+    per_chunk_overhead: Dur,
+}
+
+impl ShipStage {
+    /// Creates a stage shipping at `ship_bw` bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ship_bw` is not finite and positive.
+    pub fn new(ship_bw: f64, pointer_bytes: usize, per_chunk_overhead: Dur) -> Self {
+        assert!(
+            ship_bw.is_finite() && ship_bw > 0.0,
+            "invalid ship bandwidth {ship_bw}"
+        );
+        ShipStage {
+            ship_bw,
+            pointer_bytes,
+            per_chunk_overhead,
+        }
+    }
+
+    /// The stage descriptor.
+    pub fn spec(&self) -> StageSpec {
+        StageSpec {
+            kind: StageKind::Ship,
+            name: "ship",
+        }
+    }
+
+    /// The bytes and service time to ship one chunk decision.
+    pub fn process(&self, duplicate: bool, chunk_len: usize) -> (u64, Dur) {
+        if duplicate {
+            let bytes = self.pointer_bytes as u64;
+            (bytes, Dur::from_bytes_at(bytes, self.ship_bw))
+        } else {
+            let bytes = chunk_len as u64;
+            (
+                bytes,
+                Dur::from_bytes_at(bytes, self.ship_bw) + self.per_chunk_overhead,
+            )
+        }
+    }
+}
+
+/// One chunk's dedup decision, recorded by a [`DedupSink`] during the
+/// functional pass so the application can apply it (store payloads,
+/// register pointers) after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkVerdict {
+    /// The chunk (offsets into the session's stream).
+    pub chunk: Chunk,
+    /// Its SHA-256 fingerprint.
+    pub digest: Digest,
+    /// True if the fingerprint was already indexed.
+    pub duplicate: bool,
+    /// Bytes shipped for it (pointer or payload).
+    pub ship_bytes: u64,
+}
+
+/// Configuration of a [`DedupSink`] graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DedupSinkConfig {
+    /// Store-thread hashing bandwidth, bytes/s.
+    pub hash_bw: f64,
+    /// Per-fingerprint index lookup cost.
+    pub index_lookup: Dur,
+    /// Additional cost to insert a new fingerprint.
+    pub index_insert: Dur,
+    /// Ship-link bandwidth, bytes/s.
+    pub ship_bw: f64,
+    /// Pointer size shipped for a duplicate chunk, bytes.
+    pub pointer_bytes: usize,
+    /// Per-shipped-chunk protocol overhead.
+    pub ship_chunk_overhead: Dur,
+    /// Scheduling hints for the degenerate (engine-less) path.
+    pub hints: SinkPipelineHints,
+}
+
+/// The backup server's consumer graph: fingerprint → dedup → ship, all
+/// three executing inside the simulation that also runs the chunking
+/// pipeline.
+pub struct DedupSink {
+    fingerprint: FingerprintStage,
+    dedup: DedupStage,
+    ship: ShipStage,
+    hints: SinkPipelineHints,
+    verdicts: Vec<ChunkVerdict>,
+}
+
+impl DedupSink {
+    /// Builds the graph over a shared fingerprint index.
+    pub fn new(config: DedupSinkConfig, index: Rc<RefCell<dyn FingerprintIndex>>) -> Self {
+        DedupSink {
+            fingerprint: FingerprintStage::new(config.hash_bw),
+            dedup: DedupStage::new(index, config.index_lookup, config.index_insert),
+            ship: ShipStage::new(
+                config.ship_bw,
+                config.pointer_bytes,
+                config.ship_chunk_overhead,
+            ),
+            hints: config.hints,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// The per-chunk decisions, in stream order.
+    pub fn verdicts(&self) -> &[ChunkVerdict] {
+        &self.verdicts
+    }
+
+    /// Consumes the sink, returning the decisions.
+    pub fn into_verdicts(self) -> Vec<ChunkVerdict> {
+        self.verdicts
+    }
+}
+
+impl ChunkSink for DedupSink {
+    fn stages(&self) -> Vec<StageSpec> {
+        vec![self.fingerprint.spec(), self.dedup.spec(), self.ship.spec()]
+    }
+
+    fn accept(&mut self, chunk: Chunk, payload: &[u8]) -> Vec<Dur> {
+        let (digest, hash_service) = self.fingerprint.process(payload);
+        let (duplicate, dedup_service) = self.dedup.process(digest);
+        let (ship_bytes, ship_service) = self.ship.process(duplicate, chunk.len);
+        self.verdicts.push(ChunkVerdict {
+            chunk,
+            digest,
+            duplicate,
+            ship_bytes,
+        });
+        vec![hash_service, dedup_service, ship_service]
+    }
+
+    fn hints(&self) -> SinkPipelineHints {
+        self.hints
+    }
+}
+
+impl std::fmt::Debug for DedupSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DedupSink")
+            .field("verdicts", &self.verdicts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The result of chunking a stream *through a sink*: the chunking
+/// engine's own report plus the end-to-end view including the sink's
+/// downstream stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkOutcome {
+    /// The chunking engine's report (chunk-only timings, as the legacy
+    /// collect path reported them).
+    pub report: Report,
+    /// End-to-end simulated makespan: stream start → last sink stage
+    /// completion. Equals `report.makespan()` for stage-less sinks.
+    pub makespan: Dur,
+    /// Per-stage busy/queue-wait accounting from the simulation (empty
+    /// for stage-less sinks).
+    pub stages: Vec<StageReport>,
+}
+
+/// Per-stage accounting shared by the stage-chain closures.
+pub(crate) type StageAcct = Rc<RefCell<Vec<(Dur, u64)>>>;
+
+/// Runs one batch's tail through the stage servers, then releases the
+/// admission slot. Queue wait per stage is measured as
+/// `(completion − enqueue) − service`.
+fn degenerate_stage_chain(
+    servers: Rc<Vec<FifoServer>>,
+    acct: StageAcct,
+    services: Rc<Vec<Dur>>,
+    k: usize,
+    admission: Semaphore,
+    sim: &mut Simulation,
+) {
+    if k == services.len() {
+        admission.release(sim, 1);
+        return;
+    }
+    let service = services[k];
+    let enqueued = sim.now();
+    let server = servers[k].clone();
+    server.process(sim, service, move |sim| {
+        {
+            let mut acct_mut = acct.borrow_mut();
+            let wait = sim.now().saturating_since(enqueued).saturating_sub(service);
+            acct_mut[k].0 += wait;
+            acct_mut[k].1 += 1;
+        }
+        degenerate_stage_chain(servers, acct, services, k + 1, admission, sim);
+    });
+}
+
+/// The shared functional pass over one stream's final chunks: delivers
+/// every chunk to the sink in stream order and aggregates the returned
+/// per-stage service demand into `buckets` buckets of `bucket_size`
+/// stream bytes (pipeline buffers in the engine, batches on the
+/// degenerate path); [`ChunkSink::finish`]'s tail demand is charged to
+/// the last bucket. Sinks that don't
+/// [`need the payload`](ChunkSink::needs_payload) may be driven with
+/// `data` shorter than the stream; they receive empty payload slices.
+///
+/// Returns the sink's stage list alongside the `[bucket][stage]`
+/// demand.
+pub(crate) fn drive_sink_functional(
+    sink: &mut dyn ChunkSink,
+    chunks: &[Chunk],
+    data: &[u8],
+    buckets: usize,
+    bucket_size: usize,
+) -> (Vec<StageSpec>, Vec<Vec<Dur>>) {
+    let specs = sink.stages();
+    let mut per_bucket: Vec<Vec<Dur>> = vec![vec![Dur::ZERO; specs.len()]; buckets];
+    for chunk in chunks {
+        let payload = if data.len() as u64 >= chunk.end() {
+            chunk.slice(data)
+        } else {
+            &[]
+        };
+        let services = sink.accept(*chunk, payload);
+        debug_assert_eq!(services.len(), specs.len(), "sink stage arity mismatch");
+        if buckets == 0 {
+            continue;
+        }
+        let b = (chunk.offset as usize / bucket_size.max(1)).min(buckets - 1);
+        for (k, d) in services.iter().enumerate().take(specs.len()) {
+            per_bucket[b][k] += *d;
+        }
+    }
+    let tail = sink.finish();
+    if !tail.is_empty() && buckets > 0 {
+        debug_assert_eq!(tail.len(), specs.len(), "sink stage arity mismatch");
+        for (k, d) in tail.iter().enumerate().take(specs.len()) {
+            per_bucket[buckets - 1][k] += *d;
+        }
+    }
+    (specs, per_bucket)
+}
+
+/// One batch of the degenerate consumer pipeline.
+pub(crate) struct ConsumerBatch {
+    pub(crate) bytes: u64,
+    pub(crate) chunk_service: Dur,
+    pub(crate) stage_service: Vec<Dur>,
+}
+
+/// Simulates the degenerate consumer pipeline: optional intake link →
+/// chunker (at the service's measured rate) → the sink's stages, with
+/// `depth` batches in flight. Returns the makespan and per-stage
+/// reports.
+pub(crate) fn simulate_consumer_pipeline(
+    batches: Vec<ConsumerBatch>,
+    specs: &[StageSpec],
+    hints: SinkPipelineHints,
+) -> (Dur, Vec<StageReport>) {
+    if batches.is_empty() {
+        return (
+            Dur::ZERO,
+            specs
+                .iter()
+                .map(|s| StageReport {
+                    kind: s.kind,
+                    name: s.name.to_string(),
+                    busy: Dur::ZERO,
+                    queue_wait: Dur::ZERO,
+                    jobs: 0,
+                })
+                .collect(),
+        );
+    }
+
+    let mut sim = Simulation::new();
+    let admission = Semaphore::new("sink-admission", hints.depth.max(1));
+    let intake = hints
+        .intake_bw
+        .map(|bw| BandwidthChannel::new("sink-intake", bw, Dur::ZERO));
+    let chunker = FifoServer::new("chunker", 1);
+    let servers: Rc<Vec<FifoServer>> = Rc::new(
+        specs
+            .iter()
+            .map(|s| FifoServer::new(s.name.to_string(), 1))
+            .collect(),
+    );
+    let acct: StageAcct = Rc::new(RefCell::new(vec![(Dur::ZERO, 0); specs.len()]));
+
+    for batch in batches {
+        let services = Rc::new(batch.stage_service);
+        let admission2 = admission.clone();
+        let intake2 = intake.clone();
+        let chunker2 = chunker.clone();
+        let servers2 = servers.clone();
+        let acct2 = acct.clone();
+        admission.acquire(&mut sim, 1, move |sim| {
+            let run_chunker = move |sim: &mut Simulation| {
+                chunker2.process(sim, batch.chunk_service, move |sim| {
+                    degenerate_stage_chain(servers2, acct2, services, 0, admission2, sim);
+                });
+            };
+            match intake2 {
+                Some(link) => link.transfer(sim, batch.bytes.max(1), run_chunker),
+                None => run_chunker(sim),
+            }
+        });
+    }
+
+    let end = sim.run();
+    let acct = acct.borrow();
+    let stages = specs
+        .iter()
+        .enumerate()
+        .map(|(k, s)| StageReport {
+            kind: s.kind,
+            name: s.name.to_string(),
+            busy: servers[k].busy_time(),
+            queue_wait: acct[k].0,
+            jobs: acct[k].1,
+        })
+        .collect();
+    (end.saturating_since(SimTime::ZERO), stages)
+}
+
+/// The degenerate collect-then-stage path behind
+/// [`ChunkingService::chunk_source_sink`](crate::ChunkingService::chunk_source_sink):
+/// chunks are already computed (with the service's own report); the
+/// sink's functional pass runs here and its stages are pipelined behind
+/// a chunker running at the service's measured rate.
+pub(crate) fn run_sink_after_chunking(
+    data: &[u8],
+    chunks: &[Chunk],
+    report: Report,
+    sink: &mut dyn ChunkSink,
+) -> SinkOutcome {
+    let hints = sink.hints();
+    let granularity = hints.granularity.max(1);
+    let batch_count = if data.is_empty() {
+        0
+    } else {
+        data.len().div_ceil(granularity)
+    };
+
+    let (specs, per_batch) = drive_sink_functional(sink, chunks, data, batch_count, granularity);
+
+    if specs.is_empty() {
+        let makespan = report.makespan();
+        return SinkOutcome {
+            report,
+            makespan,
+            stages: Vec::new(),
+        };
+    }
+
+    // Chunking itself is one pipeline stage running at the service's
+    // measured sustained rate, apportioned per batch by bytes.
+    let total_chunk_time = report.makespan();
+    let batches: Vec<ConsumerBatch> = per_batch
+        .into_iter()
+        .enumerate()
+        .map(|(i, stage_service)| {
+            let start = i * granularity;
+            let bytes = data.len().saturating_sub(start).min(granularity) as u64;
+            let chunk_service = if data.is_empty() {
+                Dur::ZERO
+            } else {
+                Dur::from_secs_f64(
+                    total_chunk_time.as_secs_f64() * bytes as f64 / data.len() as f64,
+                )
+            };
+            ConsumerBatch {
+                bytes,
+                chunk_service,
+                stage_service,
+            }
+        })
+        .collect();
+
+    let (makespan, stages) = simulate_consumer_pipeline(batches, &specs, hints);
+    let makespan = makespan.max(report.makespan());
+    SinkOutcome {
+        report,
+        makespan,
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(seed)).collect()
+    }
+
+    #[test]
+    fn fingerprint_stage_hashes_for_real() {
+        let mut stage = FingerprintStage::new(1e9);
+        let data = payload(1000, 3);
+        let (digest, service) = stage.process(&data);
+        assert_eq!(digest, sha256(&data));
+        assert_eq!(service, Dur::from_bytes_at(1000, 1e9));
+        assert_eq!(stage.digests().len(), 1);
+    }
+
+    #[test]
+    fn dedup_stage_tracks_presence() {
+        let index: Rc<RefCell<HashSet<Digest>>> = Rc::default();
+        let mut stage = DedupStage::new(index.clone(), Dur::from_micros(7), Dur::from_micros(10));
+        let d = sha256(b"chunk");
+        let (dup1, cost1) = stage.process(d);
+        assert!(!dup1);
+        assert_eq!(cost1, Dur::from_micros(17));
+        let (dup2, cost2) = stage.process(d);
+        assert!(dup2);
+        assert_eq!(cost2, Dur::from_micros(7));
+        assert_eq!(index.borrow().len(), 1);
+    }
+
+    #[test]
+    fn ship_stage_pointer_vs_payload() {
+        let stage = ShipStage::new(1e9, 40, Dur::from_micros(2));
+        let (ptr_bytes, ptr_cost) = stage.process(true, 8192);
+        assert_eq!(ptr_bytes, 40);
+        let (new_bytes, new_cost) = stage.process(false, 8192);
+        assert_eq!(new_bytes, 8192);
+        assert!(new_cost > ptr_cost);
+    }
+
+    #[test]
+    fn dedup_sink_verdicts_match_index_state() {
+        let index: Rc<RefCell<HashSet<Digest>>> = Rc::default();
+        let mut sink = DedupSink::new(
+            DedupSinkConfig {
+                hash_bw: 1.5e9,
+                index_lookup: Dur::from_micros(7),
+                index_insert: Dur::from_micros(10),
+                ship_bw: 0.9e9,
+                pointer_bytes: 40,
+                ship_chunk_overhead: Dur::from_micros(2),
+                hints: SinkPipelineHints::default(),
+            },
+            index,
+        );
+        let data = payload(4096, 9);
+        let chunk = Chunk {
+            offset: 0,
+            len: data.len(),
+        };
+        let first = sink.accept(chunk, &data);
+        assert_eq!(first.len(), 3);
+        let second = sink.accept(chunk, &data);
+        assert!(second[2] < first[2], "duplicate ships only a pointer");
+        let verdicts = sink.verdicts();
+        assert!(!verdicts[0].duplicate);
+        assert!(verdicts[1].duplicate);
+        assert_eq!(verdicts[1].ship_bytes, 40);
+        assert_eq!(verdicts[0].digest, sha256(&data));
+    }
+
+    #[test]
+    fn upcall_sink_is_stage_less() {
+        let mut seen = Vec::new();
+        let mut upcall = |c: Chunk| seen.push(c);
+        let mut sink = UpcallSink::new(&mut upcall);
+        assert!(sink.stages().is_empty());
+        assert!(sink
+            .accept(Chunk { offset: 0, len: 5 }, b"abcde")
+            .is_empty());
+        assert_eq!(seen.len(), 1);
+    }
+
+    #[test]
+    fn consumer_pipeline_overlaps_stages() {
+        // Two stages of equal cost over many batches: pipelining keeps
+        // the makespan well under the serial sum.
+        let specs = [
+            StageSpec {
+                kind: StageKind::Fingerprint,
+                name: "fingerprint",
+            },
+            StageSpec {
+                kind: StageKind::Ship,
+                name: "ship",
+            },
+        ];
+        let batches: Vec<ConsumerBatch> = (0..16)
+            .map(|_| ConsumerBatch {
+                bytes: 1 << 20,
+                chunk_service: Dur::from_micros(100),
+                stage_service: vec![Dur::from_micros(100), Dur::from_micros(100)],
+            })
+            .collect();
+        let (makespan, stages) = simulate_consumer_pipeline(
+            batches,
+            &specs,
+            SinkPipelineHints {
+                granularity: 1 << 20,
+                intake_bw: None,
+                depth: 4,
+            },
+        );
+        let busy_sum: Dur = stages.iter().map(|s| s.busy).sum::<Dur>() + Dur::from_micros(1600);
+        assert!(makespan < busy_sum, "{makespan} !< {busy_sum}");
+        assert_eq!(stages[0].jobs, 16);
+        assert!(stages[0].busy == Dur::from_micros(1600));
+    }
+
+    #[test]
+    fn empty_consumer_pipeline() {
+        let (makespan, stages) =
+            simulate_consumer_pipeline(Vec::new(), &[], SinkPipelineHints::default());
+        assert_eq!(makespan, Dur::ZERO);
+        assert!(stages.is_empty());
+    }
+}

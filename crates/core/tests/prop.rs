@@ -5,10 +5,41 @@
 
 use proptest::prelude::*;
 use shredder_core::{
-    AdmissionPolicy, ChunkingService, HostChunker, HostChunkerConfig, Shredder, ShredderConfig,
-    ShredderEngine, SliceSource,
+    AdmissionPolicy, ChunkSink, ChunkingService, FingerprintStage, HostChunker, HostChunkerConfig,
+    Shredder, ShredderConfig, ShredderEngine, SliceSource, StageSpec,
 };
-use shredder_rabin::{chunk_all, ChunkParams};
+use shredder_des::Dur;
+use shredder_hash::sha256;
+use shredder_rabin::{chunk_all, Chunk, ChunkParams};
+
+/// A recording sink: collects every delivered chunk (and its payload
+/// digest) in delivery order, with a fingerprint stage attached so the
+/// delivery also runs through the simulation.
+struct RecordingSink {
+    fingerprint: FingerprintStage,
+    delivered: Vec<Chunk>,
+}
+
+impl RecordingSink {
+    fn new() -> Self {
+        RecordingSink {
+            fingerprint: FingerprintStage::new(1.5e9),
+            delivered: Vec::new(),
+        }
+    }
+}
+
+impl ChunkSink for RecordingSink {
+    fn stages(&self) -> Vec<StageSpec> {
+        vec![self.fingerprint.spec()]
+    }
+
+    fn accept(&mut self, chunk: Chunk, payload: &[u8]) -> Vec<Dur> {
+        let (_digest, service) = self.fingerprint.process(payload);
+        self.delivered.push(chunk);
+        vec![service]
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -117,6 +148,41 @@ proptest! {
                 policy
             );
         }
+    }
+
+    /// Sink-delivery order ≡ collected order ≡ sequential scan: for any
+    /// data and buffer size, the chunks a sink receives (with real
+    /// payloads, fingerprinted in-simulation) are exactly the chunks the
+    /// legacy collect path returns, which are exactly a sequential scan.
+    #[test]
+    fn sink_delivery_equals_collect_equals_sequential(
+        data in proptest::collection::vec(any::<u8>(), 0..131_072),
+        buffer_shift in 13usize..17, // 8 KiB .. 64 KiB
+    ) {
+        let cfg = ShredderConfig::gpu_streams_memory().with_buffer_size(1 << buffer_shift);
+        let service = Shredder::new(cfg);
+
+        // Sink path.
+        let mut sink = RecordingSink::new();
+        let sink_outcome = service.chunk_stream_sink(&data, &mut sink).unwrap();
+
+        // Legacy collect path.
+        let collected = service.chunk_stream(&data).unwrap();
+
+        // Sequential reference.
+        let reference = chunk_all(&data, &ChunkParams::paper());
+
+        prop_assert_eq!(&sink.delivered, &collected.chunks);
+        prop_assert_eq!(&collected.chunks, &reference);
+        // Digests computed inside the simulation equal the legacy
+        // post-processed digests.
+        let legacy_digests = collected.digests(&data);
+        prop_assert_eq!(sink.fingerprint.digests(), legacy_digests.as_slice());
+        for (chunk, digest) in sink.delivered.iter().zip(sink.fingerprint.digests()) {
+            prop_assert_eq!(*digest, sha256(chunk.slice(&data)));
+        }
+        // The end-to-end makespan extends (or equals) the chunk-only one.
+        prop_assert!(sink_outcome.makespan >= sink_outcome.report.makespan());
     }
 
     /// Determinism: the same session set through the same engine twice

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// A 256-bit digest identifying a chunk's contents.
 ///
-/// Produced by [`crate::sha256`]. Two chunks with equal digests are treated
+/// Produced by [`crate::sha256`](fn@crate::sha256). Two chunks with equal digests are treated
 /// as identical by every dedup index in the workspace, mirroring the
 /// paper's use of collision-resistant hashes for the *matching* step
 /// (§2.1, step 3).

@@ -2,7 +2,7 @@
 //!
 //! Duplicate identification (paper §2.1) consists of *chunking*, *hashing*,
 //! and *matching*. This crate provides the hashing half: a from-scratch
-//! [SHA-256](sha256) implementation used to compute collision-resistant
+//! [SHA-256](fn@sha256) implementation used to compute collision-resistant
 //! chunk fingerprints (the paper's Store thread "computes a hash for the
 //! overall chunk", §7.2), a fast non-cryptographic [FNV-1a](fnv) hash used
 //! by in-memory dedup indexes, and the [`Digest`] newtype that the rest of

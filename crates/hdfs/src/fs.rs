@@ -3,9 +3,9 @@
 //! `copy_from_local` mimics plain HDFS (fixed-size splits);
 //! `copy_from_local_gpu` is the §6.3 extension: the client runs the
 //! computationally expensive chunking through a
-//! [`ChunkingService`](shredder_core::ChunkingService) (the
-//! Shredder-enabled HDFS client of Figure 14) before uploading chunks to
-//! DataNodes, deduplicating splits whose content is already stored.
+//! [`ChunkingService`] (the Shredder-enabled HDFS client of Figure 14)
+//! before uploading chunks to DataNodes, deduplicating splits whose
+//! content is already stored.
 
 use std::fmt;
 
@@ -15,8 +15,9 @@ use shredder_des::Dur;
 use shredder_hash::{sha256, Digest};
 use shredder_rabin::{chunk_fixed, Chunk};
 
-use crate::input_format::{apply_input_format, InputFormat};
+use crate::input_format::InputFormat;
 use crate::namenode::{FileVersion, NameNode, SplitMeta};
+use crate::sink::RecordAlignedSink;
 use crate::store::ChunkStore;
 
 /// Errors from Inc-HDFS operations.
@@ -75,6 +76,10 @@ pub struct UploadReport {
     pub new_splits: usize,
     /// Simulated client-side chunking time (from the chunking service).
     pub chunking_time: Dur,
+    /// Simulated end-to-end ingestion time: chunking plus the
+    /// in-simulation fingerprinting of every aligned split. Zero for the
+    /// fixed-split path (no fingerprint stage is simulated there).
+    pub upload_makespan: Dur,
 }
 
 impl UploadReport {
@@ -203,12 +208,18 @@ impl IncHdfs {
     /// Plain-HDFS upload: fixed-size splits of `split_size` bytes
     /// (`copyFromLocal`).
     pub fn copy_from_local(&mut self, path: &str, data: &[u8], split_size: usize) -> UploadReport {
-        let chunks = chunk_fixed(data, split_size);
-        self.commit(path, data, &chunks, Dur::ZERO)
+        let aligned: Vec<(Chunk, Digest)> = chunk_fixed(data, split_size)
+            .into_iter()
+            .map(|c| (c, sha256(c.slice(data))))
+            .collect();
+        self.commit(path, data, &aligned, Dur::ZERO, Dur::ZERO)
     }
 
     /// Content-based upload through a Shredder chunking service with
-    /// semantic record alignment (`copyFromLocalGPU`, §6.3).
+    /// semantic record alignment (`copyFromLocalGPU`, §6.3). Record
+    /// alignment and split fingerprinting run as a
+    /// [`RecordAlignedSink`] inside the service's simulation, so the
+    /// hash work overlaps chunking.
     ///
     /// # Errors
     ///
@@ -220,21 +231,26 @@ impl IncHdfs {
         service: &dyn ChunkingService,
         format: &dyn InputFormat,
     ) -> Result<UploadReport, HdfsError> {
-        let outcome = service.chunk_stream(data)?;
-        // Semantic chunking: snap content cuts to record boundaries.
-        let cuts: Vec<u64> = outcome.chunks.iter().skip(1).map(|c| c.offset).collect();
-        let chunks = apply_input_format(data, &cuts, format);
-        Ok(self.commit(path, data, &chunks, outcome.report.makespan()))
+        let mut sink = RecordAlignedSink::new(format);
+        let outcome = service.chunk_stream_sink(data, &mut sink)?;
+        Ok(self.commit(
+            path,
+            data,
+            &sink.into_aligned(),
+            outcome.report.makespan(),
+            outcome.makespan,
+        ))
     }
 
     /// Batch ingestion: uploads several files in one multi-stream engine
-    /// run, so their chunking contends for and overlaps on **one**
-    /// shared device pipeline (the §4.2 pipeline kept saturated across
-    /// files instead of drained between them).
+    /// run, so their chunking — and the record-aligned fingerprinting of
+    /// every split — contends for and overlaps on **one** shared device
+    /// pipeline (the §4.2 pipeline kept saturated across files instead
+    /// of drained between them).
     ///
     /// Returns one report per `(path, data)` pair, in order. Each file's
-    /// `chunking_time` is its own session makespan inside the shared
-    /// run.
+    /// `chunking_time` is its own chunk-only duration (first admit →
+    /// last Store completion) inside the shared run.
     ///
     /// # Errors
     ///
@@ -246,18 +262,34 @@ impl IncHdfs {
         shredder: &Shredder,
         format: &dyn InputFormat,
     ) -> Result<Vec<UploadReport>, HdfsError> {
-        let mut engine = shredder.engine();
-        for (path, data) in files {
-            engine.open_named_session(path.to_string(), 1, SliceSource::new(data));
-        }
-        let outcome = engine.run()?;
+        let mut sinks: Vec<RecordAlignedSink> = files
+            .iter()
+            .map(|_| RecordAlignedSink::new(format))
+            .collect();
+        let outcome = {
+            let mut engine = shredder.engine();
+            for ((path, data), sink) in files.iter().zip(sinks.iter_mut()) {
+                engine.open_sink_session(path.to_string(), 1, SliceSource::new(data), sink);
+            }
+            engine.run()?
+        };
 
         let mut reports = Vec::with_capacity(files.len());
-        for (session, (path, data)) in outcome.sessions.iter().zip(files) {
-            let cuts: Vec<u64> = session.chunks.iter().skip(1).map(|c| c.offset).collect();
-            let chunks = apply_input_format(data, &cuts, format);
-            let chunking_time = outcome.report.sessions[session.id.index()].makespan;
-            reports.push(self.commit(path, data, &chunks, chunking_time));
+        for ((sink, (path, data)), per) in
+            sinks.into_iter().zip(files).zip(&outcome.report.sessions)
+        {
+            let chunking_time = per
+                .timeline
+                .last()
+                .map(|t| t.store_end.saturating_since(per.first_admit))
+                .unwrap_or(Dur::ZERO);
+            reports.push(self.commit(
+                path,
+                data,
+                &sink.into_aligned(),
+                chunking_time,
+                per.makespan,
+            ));
         }
         Ok(reports)
     }
@@ -266,17 +298,18 @@ impl IncHdfs {
         &mut self,
         path: &str,
         data: &[u8],
-        chunks: &[Chunk],
+        aligned: &[(Chunk, Digest)],
         chunking_time: Dur,
+        upload_makespan: Dur,
     ) -> UploadReport {
-        let mut splits = Vec::with_capacity(chunks.len());
+        let mut splits = Vec::with_capacity(aligned.len());
         let mut new_bytes = 0u64;
         let mut dedup_bytes = 0u64;
         let mut new_splits = 0usize;
 
-        for chunk in chunks {
+        for (chunk, digest) in aligned {
             let payload = chunk.slice(data);
-            let digest = sha256(payload);
+            let digest = *digest;
             // Dedup across the whole cluster: if the chunk is already
             // replicated somewhere, point there; otherwise place it on
             // `replication` live nodes round-robin.
@@ -325,9 +358,10 @@ impl IncHdfs {
             total_bytes: data.len() as u64,
             new_bytes,
             dedup_bytes,
-            splits: chunks.len(),
+            splits: aligned.len(),
             new_splits,
             chunking_time,
+            upload_makespan,
         }
     }
 

@@ -1,7 +1,7 @@
 //! The semantic chunking framework of §6.3.
 //!
 //! Content-based chunking "is oblivious to the semantics of the input
-//! data, [so] chunk boundaries [could] be placed anywhere, including …
+//! data, \[so\] chunk boundaries \[could\] be placed anywhere, including …
 //! in the middle of a record that should not be broken". Inc-HDFS reuses
 //! the MapReduce job's `InputFormat` to snap every proposed cut to the
 //! next record boundary, so each split holds whole records and Map tasks

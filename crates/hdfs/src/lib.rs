@@ -12,6 +12,10 @@
 //! * [`input_format`] — the semantic-chunking framework of §6.3: snap
 //!   content-defined cuts to record boundaries so a split never cuts a
 //!   record in half (reusing the job's `InputFormat` notion).
+//! * [`sink`] — the ingestion consumer: a
+//!   [`RecordAlignedSink`] performs record
+//!   alignment incrementally and fingerprints every aligned split as an
+//!   in-simulation stage, so hashing overlaps chunking.
 //! * [`fs`] — the client API: `copy_from_local` (fixed-size, plain HDFS
 //!   behaviour) and `copy_from_local_gpu` (content-based via any
 //!   [`ChunkingService`](shredder_core::ChunkingService) — the
@@ -40,9 +44,11 @@
 pub mod fs;
 pub mod input_format;
 pub mod namenode;
+pub mod sink;
 pub mod store;
 
 pub use fs::{HdfsError, IncHdfs, SplitData, UploadReport};
 pub use input_format::{apply_input_format, InputFormat, TextInputFormat};
 pub use namenode::{FileVersion, NameNode, SplitMeta};
+pub use sink::RecordAlignedSink;
 pub use store::ChunkStore;

@@ -1,0 +1,239 @@
+//! The Inc-HDFS ingestion sink: record alignment + fingerprinting as
+//! in-simulation stages.
+//!
+//! §6.3's semantic chunking snaps content-defined cuts forward to
+//! record boundaries; the client then fingerprints every aligned split
+//! for cluster-wide dedup. Before the staged sink API both steps were
+//! post-processing over a collected `Vec<Chunk>`; a
+//! [`RecordAlignedSink`] instead consumes the engine's upcalls
+//! incrementally — holding back only the bytes between the last emitted
+//! record boundary and the stream head — and charges its SHA-256
+//! hashing to a [`FingerprintStage`] scheduled inside the shared
+//! simulation, so split fingerprinting overlaps chunking.
+//!
+//! The alignment is bit-identical to
+//! [`apply_input_format`](crate::input_format::apply_input_format) over
+//! the collected cut list (a property test in `fs.rs` pins this).
+
+use std::collections::VecDeque;
+
+use shredder_core::{ChunkSink, FingerprintStage, StageSpec};
+use shredder_des::Dur;
+use shredder_hash::Digest;
+use shredder_rabin::Chunk;
+
+use crate::input_format::InputFormat;
+
+/// Default client-side fingerprinting bandwidth (the Store thread's
+/// SHA-256 rate, matching the §7.3 backup emulation).
+pub const CLIENT_HASH_BW: f64 = 1.5e9;
+
+/// A sink that re-tiles content-defined chunks to record boundaries and
+/// fingerprints every aligned split inside the simulation.
+pub struct RecordAlignedSink<'f> {
+    format: &'f dyn InputFormat,
+    fingerprint: FingerprintStage,
+    /// Bytes from the last emitted boundary to the stream head.
+    pending: Vec<u8>,
+    /// Absolute offset of `pending[0]`.
+    pending_base: u64,
+    /// Proposed (content-defined) cuts not yet resolved to a record
+    /// boundary, in increasing offset order.
+    proposed: VecDeque<u64>,
+    /// Aligned splits emitted so far, with their fingerprints.
+    aligned: Vec<(Chunk, Digest)>,
+}
+
+impl<'f> RecordAlignedSink<'f> {
+    /// Creates a sink aligning to `format` and hashing at the default
+    /// client rate.
+    pub fn new(format: &'f dyn InputFormat) -> Self {
+        RecordAlignedSink::with_hash_bw(format, CLIENT_HASH_BW)
+    }
+
+    /// Creates a sink hashing at `hash_bw` bytes/s.
+    pub fn with_hash_bw(format: &'f dyn InputFormat, hash_bw: f64) -> Self {
+        RecordAlignedSink {
+            format,
+            fingerprint: FingerprintStage::new(hash_bw),
+            pending: Vec::new(),
+            pending_base: 0,
+            proposed: VecDeque::new(),
+            aligned: Vec::new(),
+        }
+    }
+
+    /// The aligned splits emitted so far, in stream order.
+    pub fn aligned(&self) -> &[(Chunk, Digest)] {
+        &self.aligned
+    }
+
+    /// Consumes the sink, returning the aligned splits.
+    pub fn into_aligned(self) -> Vec<(Chunk, Digest)> {
+        self.aligned
+    }
+
+    /// Emits the aligned split `[pending_base, pending_base + len)`,
+    /// hashing its payload; returns the fingerprint service time.
+    fn emit(&mut self, len: usize) -> Dur {
+        let (digest, service) = self.fingerprint.process(&self.pending[..len]);
+        self.aligned.push((
+            Chunk {
+                offset: self.pending_base,
+                len,
+            },
+            digest,
+        ));
+        self.pending.drain(..len);
+        self.pending_base += len as u64;
+        service
+    }
+
+    /// Resolves every proposed cut whose snapped record boundary is
+    /// already visible in `pending`. A boundary that would land exactly
+    /// on the stream head is deferred (it is only legal if more bytes
+    /// follow; at `finished` it merges into the final split).
+    fn resolve(&mut self, finished: bool) -> Dur {
+        let mut service = Dur::ZERO;
+        while let Some(&p) = self.proposed.front() {
+            if p <= self.pending_base {
+                // Collapsed into an earlier snap (several content cuts
+                // inside one long record).
+                self.proposed.pop_front();
+                continue;
+            }
+            let rel = (p - self.pending_base) as usize;
+            if rel >= self.pending.len() {
+                // The cut itself is beyond the buffered head (possible
+                // only at finish, after earlier emits).
+                self.proposed.pop_front();
+                continue;
+            }
+            let snapped = self.format.next_record_boundary(&self.pending, rel as u64) as usize;
+            if snapped >= self.pending.len() {
+                if finished {
+                    // Snaps to the stream end: no cut (the final split
+                    // absorbs it).
+                    self.proposed.pop_front();
+                    continue;
+                }
+                // Boundary not visible yet — wait for more bytes.
+                break;
+            }
+            self.proposed.pop_front();
+            service += self.emit(snapped);
+        }
+        service
+    }
+}
+
+impl ChunkSink for RecordAlignedSink<'_> {
+    fn stages(&self) -> Vec<StageSpec> {
+        vec![self.fingerprint.spec()]
+    }
+
+    fn accept(&mut self, chunk: Chunk, payload: &[u8]) -> Vec<Dur> {
+        debug_assert_eq!(chunk.offset, self.pending_base + self.pending.len() as u64);
+        if chunk.offset > 0 {
+            // The boundary between the previous chunk and this one is a
+            // proposed cut.
+            self.proposed.push_back(chunk.offset);
+        }
+        self.pending.extend_from_slice(payload);
+        vec![self.resolve(false)]
+    }
+
+    fn finish(&mut self) -> Vec<Dur> {
+        let mut service = self.resolve(true);
+        if !self.pending.is_empty() {
+            let len = self.pending.len();
+            service += self.emit(len);
+        }
+        vec![service]
+    }
+}
+
+impl std::fmt::Debug for RecordAlignedSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordAlignedSink")
+            .field("format", &self.format.format_name())
+            .field("aligned", &self.aligned.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_format::{apply_input_format, TextInputFormat};
+    use shredder_hash::sha256;
+    use shredder_rabin::chunker::{cuts_to_chunks, raw_cuts};
+    use shredder_rabin::ChunkParams;
+
+    /// Feeds `data`, pre-chunked at `cuts`, through the sink and returns
+    /// the aligned splits.
+    fn run_sink(data: &[u8], cuts: &[u64]) -> Vec<(Chunk, Digest)> {
+        let chunks = cuts_to_chunks(cuts, data.len() as u64);
+        let mut sink = RecordAlignedSink::new(&TextInputFormat);
+        for c in &chunks {
+            sink.accept(*c, c.slice(data));
+        }
+        sink.finish();
+        sink.into_aligned()
+    }
+
+    fn assert_matches_batch(data: &[u8], cuts: &[u64]) {
+        let streamed = run_sink(data, cuts);
+        let batch = apply_input_format(data, cuts, &TextInputFormat);
+        let streamed_chunks: Vec<Chunk> = streamed.iter().map(|(c, _)| *c).collect();
+        assert_eq!(streamed_chunks, batch);
+        for (c, d) in &streamed {
+            assert_eq!(*d, sha256(c.slice(data)), "digest of {c:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_alignment_equals_batch_snapping() {
+        let record = b"some record content here\n";
+        let data: Vec<u8> = record.iter().copied().cycle().take(100_000).collect();
+        let cuts = raw_cuts(&data, &ChunkParams::paper().with_expected_size(2048));
+        assert_matches_batch(&data, &cuts);
+    }
+
+    #[test]
+    fn collapsing_cuts_merge() {
+        // One giant record: every cut snaps to the same end boundary.
+        let mut data = vec![b'x'; 50_000];
+        data.push(b'\n');
+        assert_matches_batch(&data, &[100, 5000, 20000]);
+    }
+
+    #[test]
+    fn cut_on_existing_boundary_stays() {
+        let data = b"aaa\nbbb\nccc\n".to_vec();
+        assert_matches_batch(&data, &[4, 9]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let data = b"abc\ndef\nghij".to_vec();
+        assert_matches_batch(&data, &[2, 6, 10]);
+    }
+
+    #[test]
+    fn empty_stream_emits_nothing() {
+        assert!(run_sink(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn boundary_exactly_at_chunk_edge_defers_correctly() {
+        // Newline as the last byte of a chunk: the cut is only legal
+        // once the next chunk arrives.
+        let data = b"aaaa\nbbbb\ncccc\n".to_vec();
+        assert_matches_batch(&data, &[5, 10]);
+        // And a newline at the stream end must not produce an empty split.
+        assert_matches_batch(&data, &[15]);
+        assert_matches_batch(&data, &[14]);
+    }
+}

@@ -180,6 +180,47 @@ pub fn splits_from_bytes(data: &[u8], target_split: usize) -> Vec<SplitData> {
     out
 }
 
+/// Builds record-aligned splits by **content-defined chunking** through
+/// any [`ChunkingService`](shredder_core::ChunkingService), consuming
+/// the boundaries via a
+/// [`RecordAlignedSink`](shredder_hdfs::RecordAlignedSink): record
+/// alignment and split fingerprinting run inside the service's
+/// simulation (overlapping chunking), and the split digests — the memo
+/// keys that make reruns incremental — come straight from the sink's
+/// fingerprint stage.
+///
+/// Unlike [`splits_from_bytes`], a small edit to `data` changes only
+/// the splits it touches, so [`IncrementalRunner::run`] reuses every
+/// other map task from the memo table.
+///
+/// # Errors
+///
+/// [`shredder_core::ChunkError`] if the chunking engine fails.
+pub fn content_defined_splits(
+    data: &[u8],
+    service: &dyn shredder_core::ChunkingService,
+    format: &dyn shredder_hdfs::InputFormat,
+) -> Result<Vec<SplitData>, shredder_core::ChunkError> {
+    use shredder_hdfs::namenode::SplitMeta;
+    use shredder_hdfs::RecordAlignedSink;
+
+    let mut sink = RecordAlignedSink::new(format);
+    service.chunk_stream_sink(data, &mut sink)?;
+    Ok(sink
+        .into_aligned()
+        .into_iter()
+        .map(|(chunk, digest)| SplitData {
+            meta: SplitMeta {
+                digest,
+                offset: chunk.offset,
+                len: chunk.len,
+                datanode: 0,
+            },
+            bytes: bytes::Bytes::copy_from_slice(chunk.slice(data)),
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +314,63 @@ mod tests {
         assert_eq!(out.stats.bytes_mapped, data.len() as u64);
         let again = runner.run(&splits);
         assert_eq!(again.stats.bytes_mapped, 0);
+    }
+
+    fn cdc_service() -> shredder_core::HostChunker {
+        shredder_core::HostChunker::new(shredder_core::HostChunkerConfig {
+            params: shredder_rabin_params(),
+            ..shredder_core::HostChunkerConfig::optimized()
+        })
+    }
+
+    fn shredder_rabin_params() -> shredder_rabin::ChunkParams {
+        shredder_rabin::ChunkParams::paper().with_expected_size(4096)
+    }
+
+    #[test]
+    fn content_defined_splits_tile_align_and_fingerprint() {
+        let data = corpus();
+        let splits =
+            content_defined_splits(&data, &cdc_service(), &shredder_hdfs::TextInputFormat).unwrap();
+        let total: usize = splits.iter().map(|s| s.bytes.len()).sum();
+        assert_eq!(total, data.len());
+        for s in &splits[..splits.len() - 1] {
+            assert_eq!(*s.bytes.last().unwrap(), b'\n');
+        }
+        // The sink's in-simulation fingerprints are the real digests —
+        // the memo keys the incremental runner depends on.
+        for s in &splits {
+            assert_eq!(s.meta.digest, sha256(&s.bytes));
+        }
+        // Same final output as the fixed-split path.
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        assert_eq!(runner.run(&splits).output, count_reference(&data));
+    }
+
+    #[test]
+    fn content_defined_splits_localize_edits_where_fixed_splits_do_not() {
+        let data = corpus();
+        let svc = cdc_service();
+        let format = shredder_hdfs::TextInputFormat;
+        let splits = content_defined_splits(&data, &svc, &format).unwrap();
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        runner.run(&splits);
+
+        // Insert a record at the front: every fixed split shifts, but
+        // content-defined boundaries re-synchronize.
+        let mut shifted = b"inserted record\n".to_vec();
+        shifted.extend_from_slice(&data);
+        let changed = content_defined_splits(&shifted, &svc, &format).unwrap();
+        let incremental = runner.run(&changed);
+        assert!(
+            incremental.stats.memo_hits * 2 > changed.len(),
+            "only {} of {} splits memoized",
+            incremental.stats.memo_hits,
+            changed.len()
+        );
+        assert_eq!(incremental.output, {
+            let mut fresh = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+            fresh.run(&changed).output
+        });
     }
 }

@@ -7,7 +7,7 @@
 //! * [`text`] — record-oriented text corpora with a Zipf-ish word
 //!   distribution, the input for Word-Count and Co-occurrence Matrix
 //!   (Figure 15), plus numeric point datasets for K-means.
-//! * [`mutate`] — incremental-change operators: given a dataset and a
+//! * [`mutate`](mod@mutate) — incremental-change operators: given a dataset and a
 //!   change percentage, produce the "next run" input by replacing,
 //!   inserting and deleting localized spans (Figure 15's x-axis).
 //! * [`vmimage`] — the §7.3 emulation environment: a master VM image,

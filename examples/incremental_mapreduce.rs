@@ -81,4 +81,20 @@ fn main() {
     for (word, count) in top.iter().take(5) {
         println!("  {word:<8} {count}");
     }
+
+    // The same input format, consumed directly through the staged sink
+    // API (no Inc-HDFS instance): record alignment + split
+    // fingerprinting run inside the chunking simulation, and the
+    // resulting splits memoize identically.
+    let direct =
+        shredder::mapreduce::runner::content_defined_splits(&v2, &service, &TextInputFormat)
+            .expect("content-defined splits");
+    let via_sink = runner.run(&direct);
+    assert_eq!(via_sink.output, incremental.output, "sink splits diverge");
+    println!(
+        "\nsink-based splits: {} splits, {}/{} memoized on rerun",
+        direct.len(),
+        via_sink.stats.memo_hits,
+        via_sink.stats.splits
+    );
 }

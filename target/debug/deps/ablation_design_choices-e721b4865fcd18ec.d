@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_design_choices-e721b4865fcd18ec.d: crates/bench/benches/ablation_design_choices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_design_choices-e721b4865fcd18ec.rmeta: crates/bench/benches/ablation_design_choices.rs Cargo.toml
+
+crates/bench/benches/ablation_design_choices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

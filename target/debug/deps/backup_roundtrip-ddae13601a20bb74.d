@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backup_roundtrip-ddae13601a20bb74.d: tests/backup_roundtrip.rs
+
+/root/repo/target/debug/deps/backup_roundtrip-ddae13601a20bb74: tests/backup_roundtrip.rs
+
+tests/backup_roundtrip.rs:

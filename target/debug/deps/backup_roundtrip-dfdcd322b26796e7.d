@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backup_roundtrip-dfdcd322b26796e7.d: tests/backup_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackup_roundtrip-dfdcd322b26796e7.rmeta: tests/backup_roundtrip.rs Cargo.toml
+
+tests/backup_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

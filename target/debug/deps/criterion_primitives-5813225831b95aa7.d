@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion_primitives-5813225831b95aa7.d: crates/bench/benches/criterion_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion_primitives-5813225831b95aa7.rmeta: crates/bench/benches/criterion_primitives.rs Cargo.toml
+
+crates/bench/benches/criterion_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

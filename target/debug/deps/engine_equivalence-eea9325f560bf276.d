@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-eea9325f560bf276.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-eea9325f560bf276: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

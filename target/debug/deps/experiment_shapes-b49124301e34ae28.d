@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiment_shapes-b49124301e34ae28.d: tests/experiment_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiment_shapes-b49124301e34ae28.rmeta: tests/experiment_shapes.rs Cargo.toml
+
+tests/experiment_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-c27d17a44225ca90.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-c27d17a44225ca90: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_coalescing-d6504b6bee410409.d: crates/bench/benches/fig11_coalescing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_coalescing-d6504b6bee410409.rmeta: crates/bench/benches/fig11_coalescing.rs Cargo.toml
+
+crates/bench/benches/fig11_coalescing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_throughput-60421470964ec974.d: crates/bench/benches/fig12_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_throughput-60421470964ec974.rmeta: crates/bench/benches/fig12_throughput.rs Cargo.toml
+
+crates/bench/benches/fig12_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_incremental-99cd0d66f660578e.d: crates/bench/benches/fig15_incremental.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_incremental-99cd0d66f660578e.rmeta: crates/bench/benches/fig15_incremental.rs Cargo.toml
+
+crates/bench/benches/fig15_incremental.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

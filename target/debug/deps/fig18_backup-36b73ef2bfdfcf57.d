@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_backup-36b73ef2bfdfcf57.d: crates/bench/benches/fig18_backup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_backup-36b73ef2bfdfcf57.rmeta: crates/bench/benches/fig18_backup.rs Cargo.toml
+
+crates/bench/benches/fig18_backup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_bandwidth-6ffa91153d8fde7f.d: crates/bench/benches/fig3_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_bandwidth-6ffa91153d8fde7f.rmeta: crates/bench/benches/fig3_bandwidth.rs Cargo.toml
+
+crates/bench/benches/fig3_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_overlap-87a1dac5a91acfa5.d: crates/bench/benches/fig5_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_overlap-87a1dac5a91acfa5.rmeta: crates/bench/benches/fig5_overlap.rs Cargo.toml
+
+crates/bench/benches/fig5_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

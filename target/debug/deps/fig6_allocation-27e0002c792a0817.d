@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_allocation-27e0002c792a0817.d: crates/bench/benches/fig6_allocation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_allocation-27e0002c792a0817.rmeta: crates/bench/benches/fig6_allocation.rs Cargo.toml
+
+crates/bench/benches/fig6_allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_pipeline-d4513ec4ba2b7ac8.d: crates/bench/benches/fig9_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_pipeline-d4513ec4ba2b7ac8.rmeta: crates/bench/benches/fig9_pipeline.rs Cargo.toml
+
+crates/bench/benches/fig9_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_streams-66e1677e56eb401f.d: tests/gpu_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_streams-66e1677e56eb401f.rmeta: tests/gpu_streams.rs Cargo.toml
+
+tests/gpu_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

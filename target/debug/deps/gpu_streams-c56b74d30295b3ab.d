@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_streams-c56b74d30295b3ab.d: tests/gpu_streams.rs
+
+/root/repo/target/debug/deps/gpu_streams-c56b74d30295b3ab: tests/gpu_streams.rs
+
+tests/gpu_streams.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_computation-086397ee33fded23.d: tests/incremental_computation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_computation-086397ee33fded23.rmeta: tests/incremental_computation.rs Cargo.toml
+
+tests/incremental_computation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_computation-ca46b8c18feb711d.d: tests/incremental_computation.rs
+
+/root/repo/target/debug/deps/incremental_computation-ca46b8c18feb711d: tests/incremental_computation.rs
+
+tests/incremental_computation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_stream-4ab660de4a2460e1.d: tests/multi_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_stream-4ab660de4a2460e1.rmeta: tests/multi_stream.rs Cargo.toml
+
+tests/multi_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

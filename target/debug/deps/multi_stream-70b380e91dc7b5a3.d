@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_stream-70b380e91dc7b5a3.d: tests/multi_stream.rs
+
+/root/repo/target/debug/deps/multi_stream-70b380e91dc7b5a3: tests/multi_stream.rs
+
+tests/multi_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_tenant-a97f6553387d1357.d: crates/bench/benches/multi_tenant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_tenant-a97f6553387d1357.rmeta: crates/bench/benches/multi_tenant.rs Cargo.toml
+
+crates/bench/benches/multi_tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-652762c4db49ca2a.d: crates/mapreduce/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-652762c4db49ca2a: crates/mapreduce/tests/prop.rs
+
+crates/mapreduce/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-96f060166d9c19de.d: crates/mapreduce/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-96f060166d9c19de.rmeta: crates/mapreduce/tests/prop.rs Cargo.toml
+
+crates/mapreduce/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

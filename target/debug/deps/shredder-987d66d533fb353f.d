@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shredder-987d66d533fb353f.d: src/lib.rs
+
+/root/repo/target/debug/deps/shredder-987d66d533fb353f: src/lib.rs
+
+src/lib.rs:

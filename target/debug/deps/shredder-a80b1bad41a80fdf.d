@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder-a80b1bad41a80fdf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder-a80b1bad41a80fdf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder-b376757d897f9939.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder-b376757d897f9939.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shredder-c168bde5947e2fe5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshredder-c168bde5947e2fe5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshredder-c168bde5947e2fe5.rmeta: src/lib.rs
+
+src/lib.rs:

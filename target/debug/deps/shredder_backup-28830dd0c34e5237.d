@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder_backup-28830dd0c34e5237.d: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+/root/repo/target/debug/deps/libshredder_backup-28830dd0c34e5237.rmeta: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+crates/backup/src/lib.rs:
+crates/backup/src/config.rs:
+crates/backup/src/index.rs:
+crates/backup/src/server.rs:
+crates/backup/src/site.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shredder_bench-6fe105824ad2681a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder_bench-6fe105824ad2681a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

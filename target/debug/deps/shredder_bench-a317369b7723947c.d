@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shredder_bench-a317369b7723947c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shredder_bench-a317369b7723947c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/shredder_core-29812e1b8d1b5e09.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs Cargo.toml
+/root/repo/target/debug/deps/shredder_core-29812e1b8d1b5e09.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/sink.rs crates/core/src/source.rs Cargo.toml
 
-/root/repo/target/debug/deps/libshredder_core-29812e1b8d1b5e09.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs Cargo.toml
+/root/repo/target/debug/deps/libshredder_core-29812e1b8d1b5e09.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/sink.rs crates/core/src/source.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
@@ -11,6 +11,7 @@ crates/core/src/pipeline.rs:
 crates/core/src/report.rs:
 crates/core/src/service.rs:
 crates/core/src/session.rs:
+crates/core/src/sink.rs:
 crates/core/src/source.rs:
 Cargo.toml:
 

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/shredder_core-40ff79746f7a3fff.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs
+/root/repo/target/debug/deps/shredder_core-40ff79746f7a3fff.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/sink.rs crates/core/src/source.rs
 
-/root/repo/target/debug/deps/shredder_core-40ff79746f7a3fff: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/source.rs
+/root/repo/target/debug/deps/shredder_core-40ff79746f7a3fff: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/sink.rs crates/core/src/source.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
@@ -11,4 +11,5 @@ crates/core/src/pipeline.rs:
 crates/core/src/report.rs:
 crates/core/src/service.rs:
 crates/core/src/session.rs:
+crates/core/src/sink.rs:
 crates/core/src/source.rs:

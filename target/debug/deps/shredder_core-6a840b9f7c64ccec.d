@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shredder_core-6a840b9f7c64ccec.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/sink.rs crates/core/src/source.rs
+
+/root/repo/target/debug/deps/libshredder_core-6a840b9f7c64ccec.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/host_chunker.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/session.rs crates/core/src/sink.rs crates/core/src/source.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/host_chunker.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/service.rs:
+crates/core/src/session.rs:
+crates/core/src/sink.rs:
+crates/core/src/source.rs:

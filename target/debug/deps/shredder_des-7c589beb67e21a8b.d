@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shredder_des-7c589beb67e21a8b.d: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libshredder_des-7c589beb67e21a8b.rmeta: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/channel.rs:
+crates/des/src/engine.rs:
+crates/des/src/resources.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

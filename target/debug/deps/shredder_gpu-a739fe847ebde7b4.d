@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shredder_gpu-a739fe847ebde7b4.d: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs
+
+/root/repo/target/debug/deps/libshredder_gpu-a739fe847ebde7b4.rmeta: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/calibration.rs:
+crates/gpu/src/coalesce.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/dma.rs:
+crates/gpu/src/dram.rs:
+crates/gpu/src/executor.rs:
+crates/gpu/src/hostmem.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/simt.rs:
+crates/gpu/src/stream.rs:

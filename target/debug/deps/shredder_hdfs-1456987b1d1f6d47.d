@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/shredder_hdfs-1456987b1d1f6d47.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/shredder_hdfs-1456987b1d1f6d47.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs Cargo.toml
 
-/root/repo/target/debug/deps/libshredder_hdfs-1456987b1d1f6d47.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libshredder_hdfs-1456987b1d1f6d47.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs Cargo.toml
 
 crates/hdfs/src/lib.rs:
 crates/hdfs/src/fs.rs:
 crates/hdfs/src/input_format.rs:
 crates/hdfs/src/namenode.rs:
+crates/hdfs/src/sink.rs:
 crates/hdfs/src/store.rs:
 Cargo.toml:
 

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/shredder_hdfs-250cb1f621d8f04d.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+/root/repo/target/debug/deps/shredder_hdfs-250cb1f621d8f04d.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
 
-/root/repo/target/debug/deps/libshredder_hdfs-250cb1f621d8f04d.rlib: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+/root/repo/target/debug/deps/libshredder_hdfs-250cb1f621d8f04d.rlib: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
 
-/root/repo/target/debug/deps/libshredder_hdfs-250cb1f621d8f04d.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+/root/repo/target/debug/deps/libshredder_hdfs-250cb1f621d8f04d.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
 
 crates/hdfs/src/lib.rs:
 crates/hdfs/src/fs.rs:
 crates/hdfs/src/input_format.rs:
 crates/hdfs/src/namenode.rs:
+crates/hdfs/src/sink.rs:
 crates/hdfs/src/store.rs:

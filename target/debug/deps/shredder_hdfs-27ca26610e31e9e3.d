@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/shredder_hdfs-27ca26610e31e9e3.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+/root/repo/target/debug/deps/shredder_hdfs-27ca26610e31e9e3.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
 
-/root/repo/target/debug/deps/shredder_hdfs-27ca26610e31e9e3: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+/root/repo/target/debug/deps/shredder_hdfs-27ca26610e31e9e3: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
 
 crates/hdfs/src/lib.rs:
 crates/hdfs/src/fs.rs:
 crates/hdfs/src/input_format.rs:
 crates/hdfs/src/namenode.rs:
+crates/hdfs/src/sink.rs:
 crates/hdfs/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shredder_hdfs-9b9c9355fb96ab23.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
+
+/root/repo/target/debug/deps/libshredder_hdfs-9b9c9355fb96ab23.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
+
+crates/hdfs/src/lib.rs:
+crates/hdfs/src/fs.rs:
+crates/hdfs/src/input_format.rs:
+crates/hdfs/src/namenode.rs:
+crates/hdfs/src/sink.rs:
+crates/hdfs/src/store.rs:

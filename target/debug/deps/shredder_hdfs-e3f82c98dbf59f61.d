@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/shredder_hdfs-e3f82c98dbf59f61.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/shredder_hdfs-e3f82c98dbf59f61.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs Cargo.toml
 
-/root/repo/target/debug/deps/libshredder_hdfs-e3f82c98dbf59f61.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libshredder_hdfs-e3f82c98dbf59f61.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs Cargo.toml
 
 crates/hdfs/src/lib.rs:
 crates/hdfs/src/fs.rs:
 crates/hdfs/src/input_format.rs:
 crates/hdfs/src/namenode.rs:
+crates/hdfs/src/sink.rs:
 crates/hdfs/src/store.rs:
 Cargo.toml:
 

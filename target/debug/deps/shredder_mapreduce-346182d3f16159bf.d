@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shredder_mapreduce-346182d3f16159bf.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+/root/repo/target/debug/deps/shredder_mapreduce-346182d3f16159bf: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/apps/mod.rs:
+crates/mapreduce/src/apps/cooccurrence.rs:
+crates/mapreduce/src/apps/kmeans.rs:
+crates/mapreduce/src/apps/wordcount.rs:
+crates/mapreduce/src/cluster.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/memo.rs:
+crates/mapreduce/src/runner.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/shredder_mapreduce-9fcaf4d5edfc9811.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshredder_mapreduce-9fcaf4d5edfc9811.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs Cargo.toml
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/apps/mod.rs:
+crates/mapreduce/src/apps/cooccurrence.rs:
+crates/mapreduce/src/apps/kmeans.rs:
+crates/mapreduce/src/apps/wordcount.rs:
+crates/mapreduce/src/cluster.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/memo.rs:
+crates/mapreduce/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

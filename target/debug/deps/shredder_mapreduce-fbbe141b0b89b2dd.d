@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shredder_mapreduce-fbbe141b0b89b2dd.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+/root/repo/target/debug/deps/libshredder_mapreduce-fbbe141b0b89b2dd.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/apps/mod.rs:
+crates/mapreduce/src/apps/cooccurrence.rs:
+crates/mapreduce/src/apps/kmeans.rs:
+crates/mapreduce/src/apps/wordcount.rs:
+crates/mapreduce/src/cluster.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/memo.rs:
+crates/mapreduce/src/runner.rs:

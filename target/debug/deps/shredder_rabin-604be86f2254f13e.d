@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shredder_rabin-604be86f2254f13e.d: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+/root/repo/target/debug/deps/libshredder_rabin-604be86f2254f13e.rmeta: crates/rabin/src/lib.rs crates/rabin/src/chunker.rs crates/rabin/src/fixed.rs crates/rabin/src/parallel.rs crates/rabin/src/poly.rs crates/rabin/src/skip.rs crates/rabin/src/tables.rs
+
+crates/rabin/src/lib.rs:
+crates/rabin/src/chunker.rs:
+crates/rabin/src/fixed.rs:
+crates/rabin/src/parallel.rs:
+crates/rabin/src/poly.rs:
+crates/rabin/src/skip.rs:
+crates/rabin/src/tables.rs:

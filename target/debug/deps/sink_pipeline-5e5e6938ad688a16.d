@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sink_pipeline-5e5e6938ad688a16.d: tests/sink_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsink_pipeline-5e5e6938ad688a16.rmeta: tests/sink_pipeline.rs Cargo.toml
+
+tests/sink_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sink_pipeline-fbbd1581715fd1ba.d: tests/sink_pipeline.rs
+
+/root/repo/target/debug/deps/sink_pipeline-fbbd1581715fd1ba: tests/sink_pipeline.rs
+
+tests/sink_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_characteristics-98eda85bb916bdc7.d: crates/bench/benches/table1_characteristics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_characteristics-98eda85bb916bdc7.rmeta: crates/bench/benches/table1_characteristics.rs Cargo.toml
+
+crates/bench/benches/table1_characteristics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

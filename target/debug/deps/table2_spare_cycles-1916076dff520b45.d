@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_spare_cycles-1916076dff520b45.d: crates/bench/benches/table2_spare_cycles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_spare_cycles-1916076dff520b45.rmeta: crates/bench/benches/table2_spare_cycles.rs Cargo.toml
+
+crates/bench/benches/table2_spare_cycles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

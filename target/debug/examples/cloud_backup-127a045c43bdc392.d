@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cloud_backup-127a045c43bdc392.d: examples/cloud_backup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcloud_backup-127a045c43bdc392.rmeta: examples/cloud_backup.rs Cargo.toml
+
+examples/cloud_backup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_backup-5b596f863d20d9d2.d: examples/cloud_backup.rs
+
+/root/repo/target/debug/examples/cloud_backup-5b596f863d20d9d2: examples/cloud_backup.rs
+
+examples/cloud_backup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dedup_storage-5316f5a327843718.d: examples/dedup_storage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdedup_storage-5316f5a327843718.rmeta: examples/dedup_storage.rs Cargo.toml
+
+examples/dedup_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dedup_storage-bcb9812eb6376e19.d: examples/dedup_storage.rs
+
+/root/repo/target/debug/examples/dedup_storage-bcb9812eb6376e19: examples/dedup_storage.rs
+
+examples/dedup_storage.rs:

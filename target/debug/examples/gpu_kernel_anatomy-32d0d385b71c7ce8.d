@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gpu_kernel_anatomy-32d0d385b71c7ce8.d: examples/gpu_kernel_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgpu_kernel_anatomy-32d0d385b71c7ce8.rmeta: examples/gpu_kernel_anatomy.rs Cargo.toml
+
+examples/gpu_kernel_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

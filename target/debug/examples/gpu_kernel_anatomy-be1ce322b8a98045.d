@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_kernel_anatomy-be1ce322b8a98045.d: examples/gpu_kernel_anatomy.rs
+
+/root/repo/target/debug/examples/gpu_kernel_anatomy-be1ce322b8a98045: examples/gpu_kernel_anatomy.rs
+
+examples/gpu_kernel_anatomy.rs:

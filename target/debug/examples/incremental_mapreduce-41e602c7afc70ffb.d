@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_mapreduce-41e602c7afc70ffb.d: examples/incremental_mapreduce.rs
+
+/root/repo/target/debug/examples/incremental_mapreduce-41e602c7afc70ffb: examples/incremental_mapreduce.rs
+
+examples/incremental_mapreduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_mapreduce-7c2f68fabb47a4f1.d: examples/incremental_mapreduce.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_mapreduce-7c2f68fabb47a4f1.rmeta: examples/incremental_mapreduce.rs Cargo.toml
+
+examples/incremental_mapreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

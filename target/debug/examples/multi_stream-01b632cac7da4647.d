@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_stream-01b632cac7da4647.d: examples/multi_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_stream-01b632cac7da4647.rmeta: examples/multi_stream.rs Cargo.toml
+
+examples/multi_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

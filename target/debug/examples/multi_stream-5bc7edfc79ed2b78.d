@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_stream-5bc7edfc79ed2b78.d: examples/multi_stream.rs
+
+/root/repo/target/debug/examples/multi_stream-5bc7edfc79ed2b78: examples/multi_stream.rs
+
+examples/multi_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_redundancy-9f6c13c7d84be03a.d: examples/network_redundancy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_redundancy-9f6c13c7d84be03a.rmeta: examples/network_redundancy.rs Cargo.toml
+
+examples/network_redundancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

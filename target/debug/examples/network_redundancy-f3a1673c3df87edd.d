@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_redundancy-f3a1673c3df87edd.d: examples/network_redundancy.rs
+
+/root/repo/target/debug/examples/network_redundancy-f3a1673c3df87edd: examples/network_redundancy.rs
+
+examples/network_redundancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-448ac84459c3a815.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-448ac84459c3a815: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["shredder_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"shredder_core/error/enum.ChunkError.html\" title=\"enum shredder_core::error::ChunkError\">ChunkError</a>",0]]],["shredder_gpu",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"shredder_gpu/device/enum.GpuError.html\" title=\"enum shredder_gpu::device::GpuError\">GpuError</a>",0]]],["shredder_hdfs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"shredder_hdfs/fs/enum.HdfsError.html\" title=\"enum shredder_hdfs::fs::HdfsError\">HdfsError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[299,293,291]}

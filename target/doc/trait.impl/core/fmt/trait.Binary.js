@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["shredder_rabin",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Binary.html\" title=\"trait core::fmt::Binary\">Binary</a> for <a class=\"struct\" href=\"shredder_rabin/poly/struct.Polynomial.html\" title=\"struct shredder_rabin::poly::Polynomial\">Polynomial</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[305]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["shredder_hash",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hasher.html\" title=\"trait core::hash::Hasher\">Hasher</a> for <a class=\"struct\" href=\"shredder_hash/fnv/struct.Fnv1a64.html\" title=\"struct shredder_hash::fnv::Fnv1a64\">Fnv1a64</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[293]}

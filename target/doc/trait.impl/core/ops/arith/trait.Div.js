@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["shredder_des",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Div.html\" title=\"trait core::ops::arith::Div\">Div</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.u64.html\">u64</a>&gt; for <a class=\"struct\" href=\"shredder_des/time/struct.Dur.html\" title=\"struct shredder_des::time::Dur\">Dur</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[385]}

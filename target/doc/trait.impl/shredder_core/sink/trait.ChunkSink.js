@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["shredder_core",[]],["shredder_hdfs",[["impl <a class=\"trait\" href=\"shredder_core/sink/trait.ChunkSink.html\" title=\"trait shredder_core::sink::ChunkSink\">ChunkSink</a> for <a class=\"struct\" href=\"shredder_hdfs/sink/struct.RecordAlignedSink.html\" title=\"struct shredder_hdfs::sink::RecordAlignedSink\">RecordAlignedSink</a>&lt;'_&gt;",0]]],["shredder_hdfs",[["impl ChunkSink for <a class=\"struct\" href=\"shredder_hdfs/sink/struct.RecordAlignedSink.html\" title=\"struct shredder_hdfs::sink::RecordAlignedSink\">RecordAlignedSink</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[20,330,211]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["shredder_backup",[["impl <a class=\"trait\" href=\"shredder_core/sink/trait.FingerprintIndex.html\" title=\"trait shredder_core::sink::FingerprintIndex\">FingerprintIndex</a> for <a class=\"struct\" href=\"shredder_backup/index/struct.DedupIndex.html\" title=\"struct shredder_backup::index::DedupIndex\">DedupIndex</a>",0]]],["shredder_backup",[["impl FingerprintIndex for <a class=\"struct\" href=\"shredder_backup/index/struct.DedupIndex.html\" title=\"struct shredder_backup::index::DedupIndex\">DedupIndex</a>",0]]],["shredder_core",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[327,195,21]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_design_choices-7a39a686cea147e6.d: crates/bench/benches/ablation_design_choices.rs
+
+/root/repo/target/release/deps/ablation_design_choices-7a39a686cea147e6: crates/bench/benches/ablation_design_choices.rs
+
+crates/bench/benches/ablation_design_choices.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-413b5f0c93c20460.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-413b5f0c93c20460: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

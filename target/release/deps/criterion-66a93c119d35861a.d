@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-66a93c119d35861a.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-66a93c119d35861a: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion_primitives-05d3c24dbc02912a.d: crates/bench/benches/criterion_primitives.rs
+
+/root/repo/target/release/deps/criterion_primitives-05d3c24dbc02912a: crates/bench/benches/criterion_primitives.rs
+
+crates/bench/benches/criterion_primitives.rs:

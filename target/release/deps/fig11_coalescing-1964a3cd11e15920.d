@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_coalescing-1964a3cd11e15920.d: crates/bench/benches/fig11_coalescing.rs
+
+/root/repo/target/release/deps/fig11_coalescing-1964a3cd11e15920: crates/bench/benches/fig11_coalescing.rs
+
+crates/bench/benches/fig11_coalescing.rs:

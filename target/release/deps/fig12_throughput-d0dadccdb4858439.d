@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_throughput-d0dadccdb4858439.d: crates/bench/benches/fig12_throughput.rs
+
+/root/repo/target/release/deps/fig12_throughput-d0dadccdb4858439: crates/bench/benches/fig12_throughput.rs
+
+crates/bench/benches/fig12_throughput.rs:

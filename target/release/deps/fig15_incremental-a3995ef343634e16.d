@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_incremental-a3995ef343634e16.d: crates/bench/benches/fig15_incremental.rs
+
+/root/repo/target/release/deps/fig15_incremental-a3995ef343634e16: crates/bench/benches/fig15_incremental.rs
+
+crates/bench/benches/fig15_incremental.rs:

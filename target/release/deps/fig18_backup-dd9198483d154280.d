@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_backup-dd9198483d154280.d: crates/bench/benches/fig18_backup.rs
+
+/root/repo/target/release/deps/fig18_backup-dd9198483d154280: crates/bench/benches/fig18_backup.rs
+
+crates/bench/benches/fig18_backup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_bandwidth-da8d49d8291aebf7.d: crates/bench/benches/fig3_bandwidth.rs
+
+/root/repo/target/release/deps/fig3_bandwidth-da8d49d8291aebf7: crates/bench/benches/fig3_bandwidth.rs
+
+crates/bench/benches/fig3_bandwidth.rs:

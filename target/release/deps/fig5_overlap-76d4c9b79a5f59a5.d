@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_overlap-76d4c9b79a5f59a5.d: crates/bench/benches/fig5_overlap.rs
+
+/root/repo/target/release/deps/fig5_overlap-76d4c9b79a5f59a5: crates/bench/benches/fig5_overlap.rs
+
+crates/bench/benches/fig5_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_allocation-d4b1646889136ed9.d: crates/bench/benches/fig6_allocation.rs
+
+/root/repo/target/release/deps/fig6_allocation-d4b1646889136ed9: crates/bench/benches/fig6_allocation.rs
+
+crates/bench/benches/fig6_allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_pipeline-349a5b08478b567d.d: crates/bench/benches/fig9_pipeline.rs
+
+/root/repo/target/release/deps/fig9_pipeline-349a5b08478b567d: crates/bench/benches/fig9_pipeline.rs
+
+crates/bench/benches/fig9_pipeline.rs:

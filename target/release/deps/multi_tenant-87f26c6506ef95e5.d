@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_tenant-87f26c6506ef95e5.d: crates/bench/benches/multi_tenant.rs
+
+/root/repo/target/release/deps/multi_tenant-87f26c6506ef95e5: crates/bench/benches/multi_tenant.rs
+
+crates/bench/benches/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-4c77e59de9366653.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-4c77e59de9366653: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

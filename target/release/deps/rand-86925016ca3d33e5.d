@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-86925016ca3d33e5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-86925016ca3d33e5: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-138c84a31cc19923.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-138c84a31cc19923: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shredder-7dddd84d27d195ff.d: src/lib.rs
+
+/root/repo/target/release/deps/libshredder-7dddd84d27d195ff.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libshredder-7dddd84d27d195ff.rmeta: src/lib.rs
+
+src/lib.rs:

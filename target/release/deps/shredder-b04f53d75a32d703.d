@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shredder-b04f53d75a32d703.d: src/lib.rs
+
+/root/repo/target/release/deps/shredder-b04f53d75a32d703: src/lib.rs
+
+src/lib.rs:

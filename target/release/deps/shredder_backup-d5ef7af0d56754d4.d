@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/shredder_backup-d5ef7af0d56754d4.d: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+/root/repo/target/release/deps/shredder_backup-d5ef7af0d56754d4: crates/backup/src/lib.rs crates/backup/src/config.rs crates/backup/src/index.rs crates/backup/src/server.rs crates/backup/src/site.rs
+
+crates/backup/src/lib.rs:
+crates/backup/src/config.rs:
+crates/backup/src/index.rs:
+crates/backup/src/server.rs:
+crates/backup/src/site.rs:

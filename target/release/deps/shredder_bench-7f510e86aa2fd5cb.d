@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shredder_bench-7f510e86aa2fd5cb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/shredder_bench-7f510e86aa2fd5cb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shredder_des-376996d684a0ab57.d: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/shredder_des-376996d684a0ab57: crates/des/src/lib.rs crates/des/src/channel.rs crates/des/src/engine.rs crates/des/src/resources.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/channel.rs:
+crates/des/src/engine.rs:
+crates/des/src/resources.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/shredder_gpu-f3ad7ffa6e2aa5a7.d: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs
+
+/root/repo/target/release/deps/shredder_gpu-f3ad7ffa6e2aa5a7: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/device.rs crates/gpu/src/dma.rs crates/gpu/src/dram.rs crates/gpu/src/executor.rs crates/gpu/src/hostmem.rs crates/gpu/src/kernel.rs crates/gpu/src/simt.rs crates/gpu/src/stream.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/calibration.rs:
+crates/gpu/src/coalesce.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/dma.rs:
+crates/gpu/src/dram.rs:
+crates/gpu/src/executor.rs:
+crates/gpu/src/hostmem.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/simt.rs:
+crates/gpu/src/stream.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/shredder_hash-7421015733d049f8.d: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+/root/repo/target/release/deps/shredder_hash-7421015733d049f8: crates/hash/src/lib.rs crates/hash/src/digest.rs crates/hash/src/fnv.rs crates/hash/src/sha256.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/digest.rs:
+crates/hash/src/fnv.rs:
+crates/hash/src/sha256.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shredder_hdfs-9feaf5e29232a551.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
+
+/root/repo/target/release/deps/shredder_hdfs-9feaf5e29232a551: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
+
+crates/hdfs/src/lib.rs:
+crates/hdfs/src/fs.rs:
+crates/hdfs/src/input_format.rs:
+crates/hdfs/src/namenode.rs:
+crates/hdfs/src/sink.rs:
+crates/hdfs/src/store.rs:

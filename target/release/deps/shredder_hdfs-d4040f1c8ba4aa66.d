@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/shredder_hdfs-d4040f1c8ba4aa66.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+/root/repo/target/release/deps/shredder_hdfs-d4040f1c8ba4aa66.d: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
 
-/root/repo/target/release/deps/libshredder_hdfs-d4040f1c8ba4aa66.rlib: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+/root/repo/target/release/deps/libshredder_hdfs-d4040f1c8ba4aa66.rlib: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
 
-/root/repo/target/release/deps/libshredder_hdfs-d4040f1c8ba4aa66.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/store.rs
+/root/repo/target/release/deps/libshredder_hdfs-d4040f1c8ba4aa66.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/fs.rs crates/hdfs/src/input_format.rs crates/hdfs/src/namenode.rs crates/hdfs/src/sink.rs crates/hdfs/src/store.rs
 
 crates/hdfs/src/lib.rs:
 crates/hdfs/src/fs.rs:
 crates/hdfs/src/input_format.rs:
 crates/hdfs/src/namenode.rs:
+crates/hdfs/src/sink.rs:
 crates/hdfs/src/store.rs:

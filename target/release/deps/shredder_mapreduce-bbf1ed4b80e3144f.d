@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shredder_mapreduce-bbf1ed4b80e3144f.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+/root/repo/target/release/deps/shredder_mapreduce-bbf1ed4b80e3144f: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/apps/mod.rs:
+crates/mapreduce/src/apps/cooccurrence.rs:
+crates/mapreduce/src/apps/kmeans.rs:
+crates/mapreduce/src/apps/wordcount.rs:
+crates/mapreduce/src/cluster.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/memo.rs:
+crates/mapreduce/src/runner.rs:

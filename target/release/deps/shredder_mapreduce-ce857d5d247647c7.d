@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/shredder_mapreduce-ce857d5d247647c7.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+/root/repo/target/release/deps/libshredder_mapreduce-ce857d5d247647c7.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+/root/repo/target/release/deps/libshredder_mapreduce-ce857d5d247647c7.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/apps/mod.rs crates/mapreduce/src/apps/cooccurrence.rs crates/mapreduce/src/apps/kmeans.rs crates/mapreduce/src/apps/wordcount.rs crates/mapreduce/src/cluster.rs crates/mapreduce/src/job.rs crates/mapreduce/src/memo.rs crates/mapreduce/src/runner.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/apps/mod.rs:
+crates/mapreduce/src/apps/cooccurrence.rs:
+crates/mapreduce/src/apps/kmeans.rs:
+crates/mapreduce/src/apps/wordcount.rs:
+crates/mapreduce/src/cluster.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/memo.rs:
+crates/mapreduce/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/shredder_workloads-81f255ffaf7279c3.d: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+/root/repo/target/release/deps/shredder_workloads-81f255ffaf7279c3: crates/workloads/src/lib.rs crates/workloads/src/bytes.rs crates/workloads/src/mutate.rs crates/workloads/src/text.rs crates/workloads/src/vmimage.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bytes.rs:
+crates/workloads/src/mutate.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/vmimage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_characteristics-7b5a3a464850e4cc.d: crates/bench/benches/table1_characteristics.rs
+
+/root/repo/target/release/deps/table1_characteristics-7b5a3a464850e4cc: crates/bench/benches/table1_characteristics.rs
+
+crates/bench/benches/table1_characteristics.rs:

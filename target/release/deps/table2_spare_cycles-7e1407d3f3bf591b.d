@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_spare_cycles-7e1407d3f3bf591b.d: crates/bench/benches/table2_spare_cycles.rs
+
+/root/repo/target/release/deps/table2_spare_cycles-7e1407d3f3bf591b: crates/bench/benches/table2_spare_cycles.rs
+
+crates/bench/benches/table2_spare_cycles.rs:

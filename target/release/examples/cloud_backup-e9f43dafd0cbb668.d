@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cloud_backup-e9f43dafd0cbb668.d: examples/cloud_backup.rs
+
+/root/repo/target/release/examples/cloud_backup-e9f43dafd0cbb668: examples/cloud_backup.rs
+
+examples/cloud_backup.rs:

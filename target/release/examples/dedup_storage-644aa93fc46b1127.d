@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dedup_storage-644aa93fc46b1127.d: examples/dedup_storage.rs
+
+/root/repo/target/release/examples/dedup_storage-644aa93fc46b1127: examples/dedup_storage.rs
+
+examples/dedup_storage.rs:

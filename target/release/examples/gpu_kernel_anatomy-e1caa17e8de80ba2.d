@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gpu_kernel_anatomy-e1caa17e8de80ba2.d: examples/gpu_kernel_anatomy.rs
+
+/root/repo/target/release/examples/gpu_kernel_anatomy-e1caa17e8de80ba2: examples/gpu_kernel_anatomy.rs
+
+examples/gpu_kernel_anatomy.rs:

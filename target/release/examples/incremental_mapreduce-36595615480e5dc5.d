@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incremental_mapreduce-36595615480e5dc5.d: examples/incremental_mapreduce.rs
+
+/root/repo/target/release/examples/incremental_mapreduce-36595615480e5dc5: examples/incremental_mapreduce.rs
+
+examples/incremental_mapreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_stream-8e70a8405064f2d5.d: examples/multi_stream.rs
+
+/root/repo/target/release/examples/multi_stream-8e70a8405064f2d5: examples/multi_stream.rs
+
+examples/multi_stream.rs:

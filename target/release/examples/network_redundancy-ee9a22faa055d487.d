@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/network_redundancy-ee9a22faa055d487.d: examples/network_redundancy.rs
+
+/root/repo/target/release/examples/network_redundancy-ee9a22faa055d487: examples/network_redundancy.rs
+
+examples/network_redundancy.rs:

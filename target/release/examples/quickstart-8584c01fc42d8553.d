@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8584c01fc42d8553.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8584c01fc42d8553: examples/quickstart.rs
+
+examples/quickstart.rs:
