@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backup_roundtrip-5b7f82d839511647.d: tests/backup_roundtrip.rs
+
+/root/repo/target/release/deps/backup_roundtrip-5b7f82d839511647: tests/backup_roundtrip.rs
+
+tests/backup_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiment_shapes-33a0dd325fb6e07f.d: tests/experiment_shapes.rs
+
+/root/repo/target/release/deps/experiment_shapes-33a0dd325fb6e07f: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

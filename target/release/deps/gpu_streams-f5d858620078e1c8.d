@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gpu_streams-f5d858620078e1c8.d: tests/gpu_streams.rs
+
+/root/repo/target/release/deps/gpu_streams-f5d858620078e1c8: tests/gpu_streams.rs
+
+tests/gpu_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_stream-cf61fdaa2d5b2937.d: tests/multi_stream.rs
+
+/root/repo/target/release/deps/multi_stream-cf61fdaa2d5b2937: tests/multi_stream.rs
+
+tests/multi_stream.rs:

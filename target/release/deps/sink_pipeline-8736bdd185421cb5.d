@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sink_pipeline-8736bdd185421cb5.d: tests/sink_pipeline.rs
+
+/root/repo/target/release/deps/sink_pipeline-8736bdd185421cb5: tests/sink_pipeline.rs
+
+tests/sink_pipeline.rs:
