@@ -13,7 +13,7 @@
 //! All five chunk the stream for real; every engine must produce
 //! identical boundaries or the harness fails.
 
-use shredder_bench::{check, gbps, header, result_line};
+use shredder_bench::{check, dump_bench_json, gbps, header, result_line};
 use shredder_core::{ChunkingService, HostChunker, HostChunkerConfig, Shredder, ShredderConfig};
 
 fn main() {
@@ -100,4 +100,18 @@ fn main() {
         "full Shredder is bounded by the 2 GB/s reader I/O (Table 1), not the kernel",
         (1.5e9..2.05e9).contains(&gpu_full),
     );
+
+    // Perf-trajectory dump for the CI bench gate: `aggregate_gbps` is
+    // the headline series (the fully optimized system), the rest gives
+    // the gate context when it trips.
+    let json = format!(
+        "{{\n  \"aggregate_gbps\": {:.6},\n  \"cpu_malloc_gbps\": {:.6},\n  \"cpu_hoard_gbps\": {:.6},\n  \"gpu_basic_gbps\": {:.6},\n  \"gpu_streams_gbps\": {:.6},\n  \"speedup_over_host\": {:.6}\n}}\n",
+        gpu_full / 1e9,
+        cpu_malloc / 1e9,
+        cpu_hoard / 1e9,
+        gpu_basic / 1e9,
+        gpu_streams / 1e9,
+        full_x,
+    );
+    dump_bench_json(&json);
 }

@@ -20,7 +20,7 @@
 //! derive-only, so the encoder here is hand-rolled over the report
 //! fields.
 
-use shredder_bench::{check, gbps, header, result_line, table};
+use shredder_bench::{check, dump_bench_json, gbps, header, result_line, table};
 use shredder_core::{
     AdmissionPolicy, ChunkingService, EngineReport, Shredder, ShredderConfig, ShredderEngine,
     SliceSource,
@@ -70,13 +70,28 @@ fn report_to_json(report: &EngineReport, solo_mean_gbps: f64) -> String {
         "  \"sink_stages\": [\n{}\n  ],\n",
         sink_stages.join(",\n")
     ));
+    let devices: Vec<String> = report
+        .devices
+        .iter()
+        .map(|d| {
+            format!(
+                "    {{\"id\": {}, \"sessions\": {}, \"buffers\": {}, \"utilization\": {:.6}, \"overlap\": {:.6}}}",
+                d.id, d.sessions, d.buffers, d.utilization, d.overlap
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"devices\": [\n{}\n  ],\n",
+        devices.join(",\n")
+    ));
     let sessions: Vec<String> = report
         .sessions
         .iter()
         .map(|r| {
             format!(
-                "    {{\"name\": \"{}\", \"bytes\": {}, \"makespan_ns\": {}, \"queue_wait_ns\": {}, \"gbps\": {:.6}}}",
+                "    {{\"name\": \"{}\", \"device\": {}, \"bytes\": {}, \"makespan_ns\": {}, \"queue_wait_ns\": {}, \"gbps\": {:.6}}}",
                 r.name,
+                r.device,
                 r.bytes,
                 r.makespan.as_nanos(),
                 r.queue_wait.as_nanos(),
@@ -211,11 +226,5 @@ fn main() {
     );
 
     // Perf-trajectory dump (BENCH_*.json across PRs).
-    if let Ok(path) = std::env::var("SHREDDER_BENCH_JSON") {
-        let json = report_to_json(&outcome.report, solo_mean);
-        match std::fs::write(&path, &json) {
-            Ok(()) => println!("\n  perf trajectory written to {path}"),
-            Err(e) => eprintln!("\n  could not write {path}: {e}"),
-        }
-    }
+    dump_bench_json(&report_to_json(&outcome.report, solo_mean));
 }

@@ -1,0 +1,239 @@
+//! CI bench-regression gate.
+//!
+//! Compares the `aggregate_gbps` headline of freshly-dumped bench JSON
+//! files (`SHREDDER_BENCH_JSON`) against the checked-in
+//! `bench/baseline.json` and fails (exit 1) if any bench dropped by more
+//! than the allowed percentage. The simulation is deterministic, so a
+//! drop is a real model/pipeline regression, not machine noise.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline bench/baseline.json [--max-drop-pct 20] \
+//!     fig12_throughput=bench-out/fig12_throughput.json \
+//!     multi_tenant=bench-out/multi_tenant.json
+//! ```
+//!
+//! The baseline maps each bench name to an object holding its expected
+//! `aggregate_gbps`; improvements are reported (refresh the baseline to
+//! ratchet the gate) but never fail. The vendored `serde` stub cannot
+//! deserialize, so the parser here is a purpose-built scanner for the
+//! hand-rolled dumps — it only understands `"key": number` fields.
+
+use std::process::ExitCode;
+
+/// Extracts the numeric value of `"key": <number>` from `json`,
+/// starting at `from`. Returns the value and the index after the match.
+fn extract_number_at(json: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\"");
+    let rel = json.get(from..)?.find(&needle)?;
+    let after_key = from + rel + needle.len();
+    let rest = &json[after_key..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(tail.len());
+    let value: f64 = tail[..end].parse().ok()?;
+    let consumed = json.len() - tail.len() + end;
+    Some((value, consumed))
+}
+
+/// Top-level `"key": number` lookup.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    extract_number_at(json, key, 0).map(|(v, _)| v)
+}
+
+/// Looks up `key` inside the object that follows `"scope"` — good
+/// enough for the flat two-level baseline file. The scope anchor must
+/// read `"scope": {` (whitespace allowed), so a bench name quoted
+/// inside a string value (e.g. the baseline's `_comment`) is skipped
+/// rather than capturing the wrong object; and the search for `key` is
+/// bounded by the scope object's closing brace, so a scope missing the
+/// key reports `None` instead of reading the next scope's value.
+fn extract_scoped(json: &str, scope: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{scope}\"");
+    let mut from = 0;
+    let open = loop {
+        let at = from + json.get(from..)?.find(&needle)? + needle.len();
+        let rest = json[at..].trim_start();
+        if let Some(tail) = rest.strip_prefix(':') {
+            if tail.trim_start().starts_with('{') {
+                break at + (json[at..].len() - tail.trim_start().len());
+            }
+        }
+        from = at;
+    };
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let scope_body = &json[..close?];
+    extract_number_at(scope_body, key, open).map(|(v, _)| v)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut max_drop_pct = 20.0f64;
+    let mut pairs: Vec<(String, String)> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p),
+                None => return fail("--baseline needs a path"),
+            },
+            "--max-drop-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_drop_pct = v,
+                None => return fail("--max-drop-pct needs a number"),
+            },
+            other => match other.split_once('=') {
+                Some((name, path)) => pairs.push((name.to_string(), path.to_string())),
+                None => return fail(&format!("unrecognized argument '{other}'")),
+            },
+        }
+    }
+    let Some(baseline_path) = baseline_path else {
+        return fail("missing --baseline <path>");
+    };
+    if pairs.is_empty() {
+        return fail("no benches given (expected name=current.json arguments)");
+    }
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read baseline {baseline_path}: {e}")),
+    };
+
+    let mut failed = false;
+    for (name, path) in &pairs {
+        let current = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("  [FAIL] {name}: cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let Some(expected) = extract_scoped(&baseline, name, "aggregate_gbps") else {
+            eprintln!("  [FAIL] {name}: no aggregate_gbps in baseline {baseline_path}");
+            failed = true;
+            continue;
+        };
+        let Some(measured) = extract_number(&current, "aggregate_gbps") else {
+            eprintln!("  [FAIL] {name}: no aggregate_gbps in {path}");
+            failed = true;
+            continue;
+        };
+        let delta_pct = (measured - expected) / expected * 100.0;
+        if delta_pct < -max_drop_pct {
+            eprintln!(
+                "  [FAIL] {name}: {measured:.3} GB/s vs baseline {expected:.3} GB/s ({delta_pct:+.1}%, limit -{max_drop_pct:.0}%)"
+            );
+            failed = true;
+        } else {
+            println!(
+                "  [ ok ] {name}: {measured:.3} GB/s vs baseline {expected:.3} GB/s ({delta_pct:+.1}%)"
+            );
+            if delta_pct > max_drop_pct {
+                println!("         improvement — consider refreshing bench/baseline.json");
+            }
+        }
+    }
+    if failed {
+        return fail("aggregate throughput regressed past the gate");
+    }
+    println!("bench_gate: all benches within -{max_drop_pct:.0}% of baseline");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "fig12_throughput": { "aggregate_gbps": 1.98 },
+  "multi_tenant": { "aggregate_gbps": 2.05 }
+}"#;
+
+    #[test]
+    fn extracts_top_level_numbers() {
+        let json = "{\n  \"aggregate_gbps\": 9.274513,\n  \"other\": 1\n}";
+        assert_eq!(extract_number(json, "aggregate_gbps"), Some(9.274513));
+        assert_eq!(extract_number(json, "missing"), None);
+    }
+
+    #[test]
+    fn extracts_scoped_numbers() {
+        assert_eq!(
+            extract_scoped(BASELINE, "fig12_throughput", "aggregate_gbps"),
+            Some(1.98)
+        );
+        assert_eq!(
+            extract_scoped(BASELINE, "multi_tenant", "aggregate_gbps"),
+            Some(2.05)
+        );
+        assert_eq!(extract_scoped(BASELINE, "nope", "aggregate_gbps"), None);
+    }
+
+    #[test]
+    fn scoped_lookup_does_not_leak_backwards() {
+        // The scope anchors the search: a key *before* the scope is not
+        // picked up.
+        let json = r#"{"a": {"x": 1.0}, "b": {"x": 2.0}}"#;
+        assert_eq!(extract_scoped(json, "b", "x"), Some(2.0));
+    }
+
+    #[test]
+    fn scoped_lookup_skips_scope_names_quoted_in_strings() {
+        // A string *value* equal to a bench name (a _comment-style
+        // field) must not anchor the scope and capture the next object.
+        let json = r#"{
+  "headline": "multi_tenant",
+  "fig12_throughput": { "aggregate_gbps": 1.98 },
+  "multi_tenant": { "aggregate_gbps": 2.05 }
+}"#;
+        assert_eq!(
+            extract_scoped(json, "multi_tenant", "aggregate_gbps"),
+            Some(2.05)
+        );
+        assert_eq!(
+            extract_scoped(json, "fig12_throughput", "aggregate_gbps"),
+            Some(1.98)
+        );
+    }
+
+    #[test]
+    fn scoped_lookup_does_not_leak_forwards() {
+        // A scope missing the key must not pick it up from the next
+        // scope's object.
+        let json = r#"{"a": {}, "b": {"x": 2.0}}"#;
+        assert_eq!(extract_scoped(json, "a", "x"), None);
+        assert_eq!(extract_scoped(json, "b", "x"), Some(2.0));
+    }
+
+    #[test]
+    fn handles_scientific_and_negative_numbers() {
+        let json = r#"{"v": -1.5e-3}"#;
+        assert_eq!(extract_number(json, "v"), Some(-0.0015));
+    }
+}

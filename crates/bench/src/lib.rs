@@ -61,6 +61,24 @@ pub fn ms(d: shredder_des::Dur) -> String {
     format!("{:.2} ms", d.as_millis_f64())
 }
 
+/// Dumps a bench's headline JSON to the path named by the
+/// `SHREDDER_BENCH_JSON` env var (no-op when unset). The CI bench gate
+/// (`bench_gate`) reads these dumps, so a write failure is a hard error:
+/// better to fail here than have the gate later report a confusing
+/// "cannot read" failure.
+///
+/// # Panics
+///
+/// Panics if the env var is set but the file cannot be written.
+pub fn dump_bench_json(json: &str) {
+    if let Ok(path) = std::env::var("SHREDDER_BENCH_JSON") {
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("\n  perf trajectory written to {path}"),
+            Err(e) => panic!("could not write bench JSON to {path}: {e}"),
+        }
+    }
+}
+
 /// Buffer-size sweep used by Figures 5, 6, 9, 11 and Table 2:
 /// 16 MB … 256 MB.
 pub fn paper_buffer_sizes() -> Vec<usize> {

@@ -5,6 +5,8 @@ use shredder_gpu::kernel::KernelVariant;
 use shredder_gpu::{calibration, DeviceConfig};
 use shredder_rabin::ChunkParams;
 
+use crate::engine::PlacementPolicy;
+
 /// Configuration of the GPU-accelerated Shredder pipeline.
 ///
 /// The three presets correspond to the GPU systems compared in
@@ -43,11 +45,27 @@ pub struct ShredderConfig {
     pub pinned_ring: bool,
     /// Chunking kernel variant (§3.1 basic vs §4.3 coalesced).
     pub kernel: KernelVariant,
-    /// Simulated device.
+    /// Simulated device (each pool device is one of these).
     pub device: DeviceConfig,
+    /// Number of devices in the pool. 1 reproduces the paper's
+    /// single-C2050 testbed; N > 1 shards sessions across N identical
+    /// devices, each with its own DMA engines, twin buffers and pinned
+    /// staging ring.
+    pub gpus: usize,
+    /// How sessions are sharded across the device pool (only meaningful
+    /// with `gpus > 1`).
+    pub placement: PlacementPolicy,
+    /// Per-device pinned staging-ring slots. `None` sizes the ring to
+    /// `pipeline_depth` (§4.1.2: "as low as the number of stages in the
+    /// streaming pipeline"), which never throttles; set it lower to
+    /// model a smaller ring whose exhaustion backpressures admission.
+    pub ring_slots: Option<usize>,
     /// Reader (SAN) bandwidth in bytes/s (Table 1: 2 GB/s). The §5.3
     /// testbed reads over GPUDirect into pinned buffers, so no staging
-    /// memcpy is charged when `pinned_ring` is on.
+    /// memcpy is charged when `pinned_ring` is on. The reader is shared
+    /// by every device: a multi-GPU deployment that wants to scale past
+    /// it must provision a faster fabric via
+    /// [`with_reader_bandwidth`](Self::with_reader_bandwidth).
     pub reader_bandwidth: f64,
 }
 
@@ -62,6 +80,9 @@ impl ShredderConfig {
             pinned_ring: false,
             kernel: KernelVariant::Basic,
             device: DeviceConfig::tesla_c2050(),
+            gpus: 1,
+            placement: PlacementPolicy::LeastLoaded,
+            ring_slots: None,
             reader_bandwidth: calibration::READER_IO_BW,
         }
     }
@@ -115,10 +136,59 @@ impl ShredderConfig {
         self
     }
 
-    /// Number of pinned ring slots: "as low as the number of stages in
-    /// the streaming pipeline" (§4.1.2).
+    /// Sets the device-pool size. Streams are sharded across the pool
+    /// by the [`PlacementPolicy`]; consider scaling
+    /// [`with_pipeline_depth`](Self::with_pipeline_depth) with the pool
+    /// so every device can hold buffers in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is zero.
+    pub fn with_gpus(mut self, gpus: usize) -> Self {
+        assert!(gpus > 0, "device pool must be non-empty");
+        self.gpus = gpus;
+        self
+    }
+
+    /// Sets the session-placement policy for the device pool.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the per-device pinned staging-ring size. Slots smaller than
+    /// the pipeline depth genuinely throttle: a buffer holds its slot
+    /// from SAN read through H2D, so an exhausted ring backpressures
+    /// admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_ring_slots(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "ring must have at least one slot");
+        self.ring_slots = Some(slots);
+        self
+    }
+
+    /// Sets the shared reader (SAN) bandwidth in bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not positive and finite.
+    pub fn with_reader_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "reader bandwidth must be positive"
+        );
+        self.reader_bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// Number of pinned ring slots per device: the configured override,
+    /// or "as low as the number of stages in the streaming pipeline"
+    /// (§4.1.2).
     pub fn ring_slots(&self) -> usize {
-        self.pipeline_depth
+        self.ring_slots.unwrap_or(self.pipeline_depth)
     }
 }
 
@@ -219,6 +289,51 @@ mod tests {
 
         assert_eq!(full.kernel, KernelVariant::Coalesced);
         assert_eq!(ShredderConfig::default(), full);
+
+        // Every preset is single-device with the default placement.
+        for cfg in [&basic, &streams, &full] {
+            assert_eq!(cfg.gpus, 1);
+            assert_eq!(cfg.placement, PlacementPolicy::LeastLoaded);
+            assert_eq!(cfg.ring_slots, None);
+        }
+    }
+
+    #[test]
+    fn multi_gpu_builders() {
+        let cfg = ShredderConfig::default()
+            .with_gpus(4)
+            .with_placement(PlacementPolicy::RoundRobin)
+            .with_ring_slots(2)
+            .with_reader_bandwidth(16e9);
+        assert_eq!(cfg.gpus, 4);
+        assert_eq!(cfg.placement, PlacementPolicy::RoundRobin);
+        assert_eq!(cfg.ring_slots(), 2);
+        assert_eq!(cfg.reader_bandwidth, 16e9);
+        // Without an override the ring matches the pipeline depth.
+        assert_eq!(
+            ShredderConfig::default()
+                .with_pipeline_depth(3)
+                .ring_slots(),
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_gpus_panics() {
+        let _ = ShredderConfig::default().with_gpus(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_ring_slots_panics() {
+        let _ = ShredderConfig::default().with_ring_slots(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_reader_bandwidth_panics() {
+        let _ = ShredderConfig::default().with_reader_bandwidth(0.0);
     }
 
     #[test]

@@ -10,8 +10,14 @@
 //!   `gpu_streams_memory()` (adds the coalesced kernel, §4.3).
 //! * [`engine`] — the [`ShredderEngine`]: N concurrent [`ChunkSession`]s
 //!   scheduled through **one shared** discrete-event pipeline (one SAN
-//!   reader, one twin-buffer pool, one kernel FIFO, one Store thread)
-//!   under round-robin / weighted / session-order admission.
+//!   reader, one Store thread) under round-robin / weighted /
+//!   session-order admission, sharded across a **device pool**
+//!   (`gpus = N` in [`ShredderConfig`]) by a [`PlacementPolicy`]
+//!   (least-loaded, round-robin, or pinned). Each pool device has its
+//!   own twin-buffer lanes, pinned staging ring (held as a DES resource
+//!   — exhaustion backpressures admission) and event-chained
+//!   copy–compute overlap, reported per device in
+//!   [`EngineReport::devices`] (utilization + overlap fraction).
 //! * [`source`] — [`StreamSource`] ingestion ([`SliceSource`],
 //!   [`MemorySource`]): streams feed the engine one pipeline buffer at a
 //!   time instead of as a fully-materialized slice.
@@ -131,13 +137,13 @@ pub mod sink;
 pub mod source;
 
 pub use config::{Allocator, HostChunkerConfig, ShredderConfig};
-pub use engine::{AdmissionPolicy, EngineOutcome, ShredderEngine};
+pub use engine::{AdmissionPolicy, EngineOutcome, PlacementPolicy, ShredderEngine};
 pub use error::ChunkError;
 pub use host_chunker::HostChunker;
 pub use pipeline::Shredder;
 pub use report::{
-    BufferTimeline, EngineReport, HostReport, PipelineReport, Report, SessionReport, StageBusy,
-    StageReport,
+    BufferTimeline, DeviceReport, EngineReport, HostReport, PipelineReport, Report, SessionReport,
+    StageBusy, StageReport,
 };
 pub use service::{ChunkOutcome, ChunkingService};
 pub use session::{ChunkSession, SessionId, SessionOutcome};

@@ -86,6 +86,7 @@ impl Shredder {
         let plan = SessionPlan {
             name: "synthetic".into(),
             weight: 1,
+            pin: None,
             bytes: (buffers * bytes) as u64,
             // The timing pass never reads individual cut offsets — only
             // the per-buffer counts below drive the D2H/Store costs.
@@ -111,6 +112,7 @@ impl Shredder {
         };
         let ring_setup = if self.config.pinned_ring {
             PinnedRing::new(self.config.ring_slots(), self.config.buffer_size).setup_time()
+                * self.config.gpus as u64
         } else {
             Dur::ZERO
         };
@@ -189,7 +191,7 @@ impl ChunkingService for Shredder {
 
     fn service_name(&self) -> String {
         format!(
-            "shredder-gpu({} kernel, depth {}, twins {}, {})",
+            "shredder-gpu({} kernel, depth {}, twins {}, {}, {} gpu{})",
             self.config.kernel,
             self.config.pipeline_depth,
             self.config.twin_buffers,
@@ -197,7 +199,9 @@ impl ChunkingService for Shredder {
                 "pinned ring"
             } else {
                 "pageable"
-            }
+            },
+            self.config.gpus,
+            if self.config.gpus == 1 { "" } else { "s" }
         )
     }
 }

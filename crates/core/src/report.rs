@@ -23,6 +23,39 @@ pub struct StageReport {
     pub jobs: u64,
 }
 
+/// Per-device accounting of one engine run over a device pool.
+///
+/// One entry per pool device, in device order, whether or not any
+/// session landed on it. The utilization and overlap numbers are the
+/// multi-GPU observability the placement layer steers by: a device with
+/// low utilization is under-sharded; a device with a low overlap
+/// fraction is paying serialized copy–compute (§4.1.1's counterfactual).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Device index in the pool.
+    pub id: usize,
+    /// Sessions placed on this device.
+    pub sessions: usize,
+    /// Pipeline buffers this device processed.
+    pub buffers: u64,
+    /// Payload bytes transferred to this device.
+    pub bytes: u64,
+    /// H2D DMA engine busy time.
+    pub transfer_busy: Dur,
+    /// Compute engine busy time.
+    pub kernel_busy: Dur,
+    /// D2H DMA engine busy time (boundary-array return).
+    pub return_busy: Dur,
+    /// Window from this device's first engine-service start to its last
+    /// completion.
+    pub busy_span: Dur,
+    /// Compute-engine utilization over the engine makespan, in `[0, 1]`.
+    pub utilization: f64,
+    /// Fraction of this device's DMA time that ran concurrently with
+    /// its kernel (copy–compute overlap), in `[0, 1]`.
+    pub overlap: f64,
+}
+
 /// Per-stage busy time of the four pipeline threads (§3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct StageBusy {
@@ -87,6 +120,8 @@ pub struct SessionReport {
     pub name: String,
     /// Admission weight used by the scheduler.
     pub weight: u32,
+    /// Pool device this session's buffers ran on.
+    pub device: usize,
     /// Stream bytes chunked.
     pub bytes: u64,
     /// Pipeline buffers the stream was split into.
@@ -141,8 +176,11 @@ pub struct EngineReport {
     /// every stage, including downstream sink stages.
     pub makespan: Dur,
     /// Busy time of the shared pipeline stages, summed over all
-    /// sessions' buffers.
+    /// sessions' buffers (and, for the device stages, all devices).
     pub stage_busy: StageBusy,
+    /// Per-device utilization/overlap accounting, one entry per pool
+    /// device in device order.
+    pub devices: Vec<DeviceReport>,
     /// Busy/queue-wait accounting of the shared downstream sink stages
     /// (fingerprint, dedup, ship, …); empty when no session attached a
     /// sink.
@@ -173,6 +211,11 @@ impl EngineReport {
     /// The report of one shared sink stage by name.
     pub fn sink_stage(&self, name: &str) -> Option<&StageReport> {
         self.sink_stages.iter().find(|s| s.name == name)
+    }
+
+    /// The report of one pool device by index.
+    pub fn device(&self, index: usize) -> Option<&DeviceReport> {
+        self.devices.get(index)
     }
 }
 

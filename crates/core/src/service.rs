@@ -24,6 +24,14 @@
 //! For chunking *many* streams through one shared pipeline, use the
 //! session API ([`ShredderEngine`](crate::ShredderEngine)) directly —
 //! these per-call entry points each run a private single-session engine.
+//!
+//! Every entry point honors the full
+//! [`ShredderConfig`](crate::ShredderConfig), including the device pool:
+//! a service built with `gpus = N`
+//! ([`ShredderConfig::with_gpus`](crate::ShredderConfig::with_gpus))
+//! runs its sessions over N devices, and engine-backed reports expose
+//! the per-device utilization/overlap in
+//! [`EngineReport::devices`](crate::EngineReport).
 
 use shredder_hash::{sha256, Digest};
 use shredder_rabin::Chunk;

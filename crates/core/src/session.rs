@@ -40,6 +40,9 @@ pub struct ChunkSession<'a> {
     pub(crate) id: SessionId,
     pub(crate) name: String,
     pub(crate) weight: u32,
+    /// Explicit device pin: this session's buffers run on the given
+    /// pool device regardless of the placement policy.
+    pub(crate) pin: Option<usize>,
     pub(crate) source: Box<dyn StreamSource + 'a>,
     pub(crate) sink: Option<Box<dyn ChunkSink + 'a>>,
 }
@@ -61,6 +64,11 @@ impl ChunkSession<'_> {
         self.weight
     }
 
+    /// The pool device this session is pinned to, if any.
+    pub fn pinned_device(&self) -> Option<usize> {
+        self.pin
+    }
+
     /// True if a downstream sink is attached.
     pub fn has_sink(&self) -> bool {
         self.sink.is_some()
@@ -73,6 +81,7 @@ impl std::fmt::Debug for ChunkSession<'_> {
             .field("id", &self.id)
             .field("name", &self.name)
             .field("weight", &self.weight)
+            .field("pin", &self.pin)
             .field("sink", &self.sink.is_some())
             .finish()
     }

@@ -73,6 +73,20 @@ impl GpuExecutor {
         &self.dma
     }
 
+    /// The service time [`copy_h2d`](Self::copy_h2d) charges for a
+    /// host→device DMA of `bytes`. The single source of truth for
+    /// accounting that mirrors the charge (e.g. the pool's busy
+    /// intervals).
+    pub fn h2d_time(&self, kind: HostMemKind, bytes: u64) -> Dur {
+        self.dma.transfer_time(Direction::HostToDevice, kind, bytes)
+    }
+
+    /// The service time [`copy_d2h`](Self::copy_d2h) charges for a
+    /// device→host DMA of `bytes`.
+    pub fn d2h_time(&self, kind: HostMemKind, bytes: u64) -> Dur {
+        self.dma.transfer_time(Direction::DeviceToHost, kind, bytes)
+    }
+
     /// Enqueues a host→device DMA of `bytes`; `done` fires on completion.
     pub fn copy_h2d(
         &self,
@@ -81,7 +95,7 @@ impl GpuExecutor {
         kind: HostMemKind,
         done: impl FnOnce(&mut Simulation) + 'static,
     ) {
-        let t = self.dma.transfer_time(Direction::HostToDevice, kind, bytes);
+        let t = self.h2d_time(kind, bytes);
         self.h2d.process(sim, t, done);
     }
 
@@ -93,7 +107,7 @@ impl GpuExecutor {
         kind: HostMemKind,
         done: impl FnOnce(&mut Simulation) + 'static,
     ) {
-        let t = self.dma.transfer_time(Direction::DeviceToHost, kind, bytes);
+        let t = self.d2h_time(kind, bytes);
         self.d2h.process(sim, t, done);
     }
 

@@ -228,6 +228,43 @@ mod tests {
     }
 
     #[test]
+    fn ring_exhaustion_and_release_reuse_cycles() {
+        // The overlap scheduler leans on slot reuse: drain the ring,
+        // verify exhaustion, then cycle release→acquire many times and
+        // check every handed-out slot index stays in range and unique
+        // among in-flight slots.
+        let slots = 3;
+        let mut ring = PinnedRing::new(slots, 4096);
+        let mut held: Vec<usize> = (0..slots).map(|_| ring.acquire().unwrap()).collect();
+        assert_eq!(ring.in_use(), slots);
+        assert!(ring.acquire().is_none(), "exhausted ring must refuse");
+        assert!(ring.acquire().is_none(), "exhaustion is stable");
+
+        for round in 0..10 {
+            let freed = held.remove(round % held.len());
+            ring.release(freed);
+            assert_eq!(ring.in_use(), slots - 1);
+            let got = ring.acquire().expect("slot just freed");
+            assert!(got < slots, "slot {got} out of range");
+            assert!(!held.contains(&got), "slot {got} double-issued");
+            held.push(got);
+            assert!(ring.acquire().is_none(), "ring full again");
+        }
+        assert_eq!(ring.acquisitions(), slots as u64 + 10);
+        for s in held {
+            ring.release(s);
+        }
+        assert_eq!(ring.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_release_panics() {
+        let mut ring = PinnedRing::new(2, 1024);
+        ring.release(2);
+    }
+
+    #[test]
     #[should_panic(expected = "double-released")]
     fn double_release_panics() {
         let mut ring = PinnedRing::new(2, 1024);

@@ -32,6 +32,10 @@
 //! * [`executor`] — the device-side engines (H2D DMA, D2H DMA, compute)
 //!   as discrete-event resources, supporting synchronous or
 //!   stream-overlapped operation (double buffering).
+//! * [`pool`] — a multi-device pool: N independent executors, each with
+//!   a per-device H2D/compute/D2H stream triple, event-chained double
+//!   buffering, staging-ring backpressure and measured copy–compute
+//!   overlap.
 //!
 //! # Hardware substitution
 //!
@@ -70,6 +74,7 @@ pub mod dram;
 pub mod executor;
 pub mod hostmem;
 pub mod kernel;
+pub mod pool;
 pub mod simt;
 pub mod stream;
 
@@ -78,4 +83,5 @@ pub use device::{BufferId, Device, GpuError};
 pub use dma::DmaModel;
 pub use executor::GpuExecutor;
 pub use hostmem::{HostAllocModel, HostMemKind, PinnedRing};
+pub use pool::{BufferJob, DevicePool, PooledDevice};
 pub use stream::{Event, Stream};

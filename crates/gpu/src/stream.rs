@@ -358,6 +358,73 @@ mod tests {
     }
 
     #[test]
+    fn event_chain_orders_three_streams() {
+        // The device-pool wiring: H2D, kernel and D2H live on three
+        // different streams, chained H2D→kernel→D2H by events. The
+        // phases must execute strictly in that order even though each
+        // stream would otherwise run independently.
+        let mut sim = Simulation::new();
+        let g = gpu();
+        let (h2d, compute, d2h) = (Stream::new(&g), Stream::new(&g), Stream::new(&g));
+
+        h2d.enqueue_h2d(&mut sim, 64 << 20, HostMemKind::Pinned); // ~12.4ms
+        let landed = h2d.record_event(&mut sim);
+        compute.wait_event(&mut sim, &landed);
+        compute.enqueue_kernel(&mut sim, Dur::from_millis(30));
+        let chunked = compute.record_event(&mut sim);
+        d2h.wait_event(&mut sim, &chunked);
+        d2h.enqueue_d2h(&mut sim, 1 << 10, HostMemKind::Pinned);
+        let returned = d2h.record_event(&mut sim);
+
+        let times: Rc<RefCell<Vec<u64>>> = std::rc::Rc::default();
+        for ev in [&landed, &chunked, &returned] {
+            let t = times.clone();
+            ev.on_fire(&mut sim, move |sim| {
+                t.borrow_mut().push(sim.now().as_nanos())
+            });
+        }
+        sim.run();
+        let times = times.borrow();
+        assert_eq!(times.len(), 3);
+        assert!(times[0] < times[1] && times[1] <= times[2], "{times:?}");
+        // Kernel ended ≈ 12.4ms copy + 30ms compute after start.
+        let kernel_end_ms = times[1] as f64 / 1e6;
+        assert!((kernel_end_ms - 42.4).abs() < 1.0, "{kernel_end_ms}ms");
+    }
+
+    #[test]
+    fn wait_event_chain_across_buffers_preserves_order() {
+        // Two buffers double-buffering through the same event-chained
+        // triple: buffer 1's kernel may not start before its own H2D,
+        // and kernels serialize on the single compute engine.
+        let mut sim = Simulation::new();
+        let g = gpu();
+        let (h2d, compute) = (Stream::new(&g), Stream::new(&g));
+        let mut kernel_ends = Vec::new();
+        for _ in 0..2 {
+            h2d.enqueue_h2d(&mut sim, 64 << 20, HostMemKind::Pinned);
+            let landed = h2d.record_event(&mut sim);
+            compute.wait_event(&mut sim, &landed);
+            compute.enqueue_kernel(&mut sim, Dur::from_millis(40));
+            kernel_ends.push(compute.record_event(&mut sim));
+        }
+        let ends: Rc<RefCell<Vec<u64>>> = std::rc::Rc::default();
+        for ev in &kernel_ends {
+            let e = ends.clone();
+            ev.on_fire(&mut sim, move |sim| {
+                e.borrow_mut().push(sim.now().as_nanos())
+            });
+        }
+        sim.run();
+        let ends = ends.borrow();
+        // First kernel: 12.4 + 40; second: its copy overlapped kernel 0,
+        // so it ends one kernel later, not one (copy+kernel) later.
+        let (e0, e1) = (ends[0] as f64 / 1e6, ends[1] as f64 / 1e6);
+        assert!((e0 - 52.4).abs() < 1.0, "{e0}ms");
+        assert!((e1 - 92.4).abs() < 1.0, "{e1}ms");
+    }
+
+    #[test]
     fn figure4_double_buffering_with_streams() {
         // The exact Figure 4 schedule: twin buffers alternate between
         // two streams; copy of buffer i+1 overlaps compute of buffer i.

@@ -16,12 +16,16 @@
 //! * [`des`] — the deterministic discrete-event simulation kernel that
 //!   underpins every timing result.
 //! * [`gpu`] — the functional + timing model of the paper's Tesla C2050
-//!   (DRAM banks, coalescing, DMA, SIMT, the two chunking kernels).
+//!   (DRAM banks, coalescing, DMA, SIMT, the two chunking kernels), and
+//!   the multi-device [`DevicePool`](gpu::DevicePool) with per-device
+//!   stream triples and event-chained copy–compute overlap.
 //! * [`core`] — the Shredder framework: the session-based
 //!   [`ShredderEngine`](core::ShredderEngine) scheduling N concurrent
 //!   [`ChunkSession`](core::ChunkSession)s through one shared
 //!   Reader→Transfer→Kernel→Store pipeline (double buffering, pinned
-//!   ring, fair admission), the single-stream
+//!   ring, fair admission), sharded across a device pool (`gpus = N`,
+//!   least-loaded / round-robin / pinned placement, per-device
+//!   utilization + overlap reporting), the single-stream
 //!   [`Shredder`](core::Shredder) convenience, and the host-only
 //!   pthreads baseline.
 //! * [`workloads`] — seeded data/trace generators (mutations, VM images,
