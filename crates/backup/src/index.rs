@@ -3,106 +3,20 @@
 //! Maps chunk fingerprints to presence at the backup site (§7.2: "a
 //! lookup thread picks up the enqueued chunk fingerprints and looks up
 //! in the index whether a particular chunk needs to be backed up or is
-//! already present"). Sharded by a fast FNV prefix internally, as a real
-//! in-memory index would be; the collision-resistant identity is the
-//! full SHA-256 digest.
+//! already present"). Since the store crate landed this is a re-export:
+//! the FNV-prefix sharding previously copy-pasted here lives once in
+//! [`shredder_store::ChunkIndex`], and the same [`DedupIndex`] type
+//! backs the in-simulation
+//! [`DedupStage`](shredder_core::DedupStage) (the `FingerprintIndex`
+//! impl lives in `shredder-core`).
+//!
+//! The index also grew a GC hook: when the site's store frees chunks,
+//! [`DedupIndex::evict`] must drop their fingerprints, or later backups
+//! would register pointers to chunks nobody holds
+//! ([`BackupServer::collect_garbage`](crate::BackupServer::collect_garbage)
+//! wires this up).
 
-use std::collections::HashMap;
-
-use shredder_hash::{fnv1a_64, Digest};
-
-/// The fingerprint index.
-///
-/// # Examples
-///
-/// ```
-/// use shredder_backup::DedupIndex;
-/// use shredder_hash::sha256;
-///
-/// let mut index = DedupIndex::new();
-/// let d = sha256(b"chunk");
-/// assert!(!index.contains(&d));
-/// assert!(index.insert(d));
-/// assert!(index.contains(&d));
-/// assert!(!index.insert(d)); // already present
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct DedupIndex {
-    shards: Vec<HashMap<Digest, ()>>,
-    lookups: u64,
-    hits: u64,
-}
-
-const SHARDS: usize = 64;
-
-impl DedupIndex {
-    /// Creates an empty index.
-    pub fn new() -> Self {
-        DedupIndex {
-            shards: vec![HashMap::new(); SHARDS],
-            lookups: 0,
-            hits: 0,
-        }
-    }
-
-    fn shard(&self, digest: &Digest) -> usize {
-        (fnv1a_64(&digest.0[..8]) as usize) % SHARDS
-    }
-
-    /// True if the fingerprint is indexed. Counts a lookup.
-    pub fn lookup(&mut self, digest: &Digest) -> bool {
-        self.lookups += 1;
-        let present = self.shards[self.shard(digest)].contains_key(digest);
-        if present {
-            self.hits += 1;
-        }
-        present
-    }
-
-    /// Non-counting presence check.
-    pub fn contains(&self, digest: &Digest) -> bool {
-        self.shards[self.shard(digest)].contains_key(digest)
-    }
-
-    /// Inserts a fingerprint; returns `true` if it was new.
-    pub fn insert(&mut self, digest: Digest) -> bool {
-        let shard = self.shard(&digest);
-        self.shards[shard].insert(digest, ()).is_none()
-    }
-
-    /// Distinct fingerprints indexed.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
-    }
-
-    /// True if nothing is indexed.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Lookups performed.
-    pub fn lookups(&self) -> u64 {
-        self.lookups
-    }
-
-    /// Lookup hits (duplicates found).
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-}
-
-/// The index is usable as a [`DedupStage`](shredder_core::DedupStage)
-/// backing store, so the backup server's sink graph deduplicates
-/// against it from inside the simulation.
-impl shredder_core::FingerprintIndex for DedupIndex {
-    fn lookup(&mut self, digest: &Digest) -> bool {
-        DedupIndex::lookup(self, digest)
-    }
-
-    fn insert(&mut self, digest: Digest) -> bool {
-        DedupIndex::insert(self, digest)
-    }
-}
+pub use shredder_store::DedupIndex;
 
 #[cfg(test)]
 mod tests {
@@ -130,9 +44,9 @@ mod tests {
             idx.insert(sha256(&i.to_le_bytes()));
         }
         assert_eq!(idx.len(), 10_000);
-        // No shard should hold more than 5× the average.
-        let max = idx.shards.iter().map(HashMap::len).max().unwrap();
-        assert!(max < 5 * (10_000 / SHARDS), "max shard {max}");
+        // No shard should hold more than 5× the average (64 shards).
+        let max = idx.max_shard_len();
+        assert!(max < 5 * (10_000 / 64), "max shard {max}");
     }
 
     #[test]

@@ -16,12 +16,18 @@
 //! * [`config`] — the §7.3 emulation parameters: 10 Gbps image source,
 //!   the *unoptimized* index/network stage the paper names as the
 //!   bandwidth limiter, min/max chunk sizes on.
-//! * [`index`] — the dedup index (digest → present-at-site).
-//! * [`site`] — the backup site: the receiving Shredder agent that
-//!   stores new chunks and reconstructs images from chunk references.
+//! * [`index`] — the dedup index (digest → present-at-site), re-exported
+//!   from `shredder-store`'s unified sharded index.
+//! * [`site`] — the backup site: the receiving Shredder agent, now a
+//!   client of the versioned store — every image is one generation,
+//!   restores verify every digest, and expired images are
+//!   garbage-collected with segment compaction.
 //! * [`server`] — the backup server pipeline: ingest → chunk → hash →
 //!   index lookup → ship, with end-to-end bandwidth accounting
-//!   (Figure 18).
+//!   (Figure 18), plus the retention path:
+//!   [`BackupServer::expire_images`] →
+//!   [`BackupServer::collect_garbage`] (which also evicts freed
+//!   fingerprints from the dedup index).
 //!
 //! # Examples
 //!
@@ -51,5 +57,5 @@ pub mod site;
 
 pub use config::BackupConfig;
 pub use index::DedupIndex;
-pub use server::{BackupReport, BackupServer};
+pub use server::{BackupReport, BackupServer, BatchBackupReport};
 pub use site::BackupSite;

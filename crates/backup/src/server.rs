@@ -76,6 +76,10 @@ pub struct BatchBackupReport {
     /// The shared chunking engine's aggregate report (per-site makespan,
     /// queueing, aggregate GB/s).
     pub engine: EngineReport,
+    /// Cumulative dedup-index lookups on the server after this batch.
+    pub index_lookups: u64,
+    /// Cumulative dedup-index hits (duplicates found) after this batch.
+    pub index_hits: u64,
 }
 
 impl BatchBackupReport {
@@ -94,6 +98,16 @@ impl BatchBackupReport {
             return 0.0;
         }
         self.total_bytes() as f64 * 8.0 / self.engine.makespan.as_secs_f64() / 1e9
+    }
+
+    /// Fraction of index lookups that found a duplicate, in `[0, 1]` —
+    /// the server-side dedup effectiveness (cumulative over the
+    /// server's lifetime, like the counters it summarizes).
+    pub fn index_hit_rate(&self) -> f64 {
+        if self.index_lookups == 0 {
+            return 0.0;
+        }
+        self.index_hits as f64 / self.index_lookups as f64
     }
 }
 
@@ -131,10 +145,16 @@ pub struct BackupServer {
 impl BackupServer {
     /// Creates a server with an empty index and site.
     pub fn new(config: BackupConfig) -> Self {
+        BackupServer::with_store_config(config, shredder_store::StoreConfig::default())
+    }
+
+    /// Creates a server whose site store uses the given configuration
+    /// (segment size, GC compaction threshold, retention).
+    pub fn with_store_config(config: BackupConfig, store: shredder_store::StoreConfig) -> Self {
         BackupServer {
             config,
             index: Rc::new(RefCell::new(DedupIndex::new())),
-            site: BackupSite::new(),
+            site: BackupSite::with_store_config(store),
         }
     }
 
@@ -247,7 +267,29 @@ impl BackupServer {
         Ok(BatchBackupReport {
             reports,
             engine: outcome.report,
+            index_lookups: self.index.borrow().lookups(),
+            index_hits: self.index.borrow().hits(),
         })
+    }
+
+    /// Expires every backed-up image up to and including `through` (the
+    /// retention cut a nightly-backup deployment applies). The chunk
+    /// payloads stay resident until
+    /// [`collect_garbage`](Self::collect_garbage) reclaims them.
+    /// Returns how many images expired.
+    pub fn expire_images(&mut self, through: usize) -> usize {
+        self.site.expire_images(through)
+    }
+
+    /// Garbage-collects the backup site: frees chunks no live image
+    /// references, compacts mostly-dead segments, **and evicts the
+    /// freed fingerprints from the dedup index** — without the
+    /// eviction, a later backup of similar data would register pointers
+    /// to chunks the site no longer holds.
+    pub fn collect_garbage(&mut self) -> shredder_store::GcReport {
+        let gc = self.site.gc();
+        self.index.borrow_mut().evict(&gc.freed_digests);
+        gc
     }
 
     /// Applies the sink's in-simulation decisions to the site: duplicate
@@ -436,6 +478,61 @@ mod tests {
         let batch = server.backup_batch(&[], &gpu_service()).unwrap();
         assert!(batch.reports.is_empty());
         assert_eq!(batch.aggregate_bandwidth_gbps(), 0.0);
+        assert_eq!(batch.index_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn batch_report_surfaces_index_counters() {
+        let mut server = BackupServer::new(small_config());
+        let image = shredder_workloads::random_bytes(1 << 20, 31);
+        let first = server
+            .backup_batch(&[image.as_slice()], &gpu_service())
+            .unwrap();
+        assert!(first.index_lookups > 0);
+        assert_eq!(first.index_hits, 0, "fresh site holds nothing");
+        // The same image again: every lookup hits.
+        let second = server
+            .backup_batch(&[image.as_slice()], &gpu_service())
+            .unwrap();
+        assert_eq!(second.index_lookups, 2 * first.index_lookups);
+        assert_eq!(second.index_hits, first.index_lookups);
+        assert!((second.index_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gc_after_expiry_reclaims_and_keeps_index_consistent() {
+        // Small segments so compaction (not just the sweep) is exercised:
+        // with multi-MB segments the dead bytes would stay resident in
+        // the open segment until it seals.
+        let mut server = BackupServer::with_store_config(
+            small_config(),
+            shredder_store::StoreConfig {
+                segment_bytes: 64 << 10,
+                gc_threshold: 0.5,
+                retention: None,
+            },
+        );
+        let svc = cpu_service();
+        let master = MasterImage::synthesize(1 << 20, 16 << 10, 41);
+        let table = SimilarityTable::uniform(master.segments(), 0.3);
+        let old = master.derive(&table, 1);
+        let new = master.derive(&table, 2);
+
+        let old_report = server.backup_image(&old, &svc).unwrap();
+        let new_report = server.backup_image(&new, &svc).unwrap();
+        let physical_before = server.site().physical_bytes();
+
+        assert_eq!(server.expire_images(old_report.image_id), 1);
+        let gc = server.collect_garbage();
+        assert!(gc.freed_chunks > 0, "old image had unique chunks");
+        assert!(server.site().physical_bytes() < physical_before);
+        // The live image is untouched and fully verified.
+        assert_eq!(server.site().restore(new_report.image_id).unwrap(), new);
+        // Freed fingerprints left the index: re-backing-up the expired
+        // image ships its unique chunks again and restores correctly.
+        let again = server.backup_image(&old, &svc).unwrap();
+        assert!(again.new_chunks > 0, "GC'd chunks must re-ship");
+        assert_eq!(server.site().restore(again.image_id).unwrap(), old);
     }
 
     #[test]

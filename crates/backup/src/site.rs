@@ -3,29 +3,27 @@
 //! "We deploy an additional Shredder agent residing on the backup site,
 //! which receives all the chunks and pointers and recreates the original
 //! uncompressed data."
+//!
+//! The site is now a client of the versioned store
+//! ([`shredder_store::ChunkStore`]): every image is one generation of
+//! the site's `"images"` stream, chunk payloads pack into the shared
+//! segment log, restores verify every digest on the read-back path, and
+//! old images can be [expired](BackupSite::expire_images) and their
+//! unique chunks [garbage-collected](BackupSite::gc) — the incremental
+//! storage lifecycle the paper's backup consumer exists for.
 
 use bytes::Bytes;
-use shredder_hash::{sha256, Digest};
-use shredder_hdfs::ChunkStore;
+use shredder_hash::Digest;
+use shredder_store::{ChunkStore, GcReport, StoreConfig, StoreReport};
 
-/// A reference in an image manifest: either a pointer to an existing
-/// chunk or (logically) the chunk that was shipped alongside.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ChunkRef {
-    /// Chunk fingerprint.
-    pub digest: Digest,
-    /// Chunk length in bytes.
-    pub len: usize,
-    /// True if the chunk payload was shipped for this image (false = a
-    /// pointer to an already-present chunk).
-    pub shipped: bool,
-}
+/// The stream name all images snapshot under.
+const IMAGE_STREAM: &str = "images";
 
-/// The backup site: chunk storage plus per-image manifests.
+/// The backup site: a versioned chunk store plus per-image manifests.
 #[derive(Debug, Clone, Default)]
 pub struct BackupSite {
     store: ChunkStore,
-    images: Vec<Vec<ChunkRef>>,
+    images_begun: usize,
 }
 
 impl BackupSite {
@@ -34,10 +32,20 @@ impl BackupSite {
         BackupSite::default()
     }
 
+    /// Creates a site over a store with the given configuration
+    /// (segment size, GC threshold, retention).
+    pub fn with_store_config(config: StoreConfig) -> Self {
+        BackupSite {
+            store: ChunkStore::with_config(config),
+            images_begun: 0,
+        }
+    }
+
     /// Starts a new image manifest, returning its id.
     pub fn begin_image(&mut self) -> usize {
-        self.images.push(Vec::new());
-        self.images.len() - 1
+        let generation = self.store.open_snapshot(IMAGE_STREAM);
+        self.images_begun += 1;
+        generation as usize
     }
 
     /// Receives a shipped chunk payload for an image.
@@ -49,28 +57,21 @@ impl BackupSite {
     pub fn receive_chunk(&mut self, image: usize, digest: Digest, payload: Bytes) {
         let len = payload.len();
         self.store.put_with_digest(digest, payload);
-        self.images[image].push(ChunkRef {
-            digest,
-            len,
-            shipped: true,
-        });
+        self.store
+            .append_chunk(IMAGE_STREAM, image as u64, digest, len)
+            .expect("no such image manifest");
     }
 
     /// Receives a pointer to an already-present chunk.
     ///
     /// # Panics
     ///
-    /// Panics if `image` does not exist.
+    /// Panics if `image` does not exist or the site does not hold the
+    /// chunk.
     pub fn receive_pointer(&mut self, image: usize, digest: Digest, len: usize) {
-        debug_assert!(
-            self.store.contains(&digest),
-            "pointer to chunk the site does not hold"
-        );
-        self.images[image].push(ChunkRef {
-            digest,
-            len,
-            shipped: false,
-        });
+        self.store
+            .append_chunk(IMAGE_STREAM, image as u64, digest, len)
+            .expect("pointer to chunk the site does not hold");
     }
 
     /// True if the site already holds a chunk.
@@ -81,35 +82,54 @@ impl BackupSite {
     /// Reconstructs an image from its manifest, verifying every chunk
     /// digest (end-to-end integrity).
     ///
-    /// Returns `None` if the image id is unknown or a chunk is missing
-    /// or corrupt.
+    /// Returns `None` if the image id is unknown (or expired) or a
+    /// chunk is missing or corrupt.
     pub fn restore(&self, image: usize) -> Option<Vec<u8>> {
-        let manifest = self.images.get(image)?;
-        let total: usize = manifest.iter().map(|r| r.len).sum();
-        let mut out = Vec::with_capacity(total);
-        for r in manifest {
-            let payload = self.store.get(&r.digest)?;
-            if payload.len() != r.len || sha256(&payload) != r.digest {
-                return None;
-            }
-            out.extend_from_slice(&payload);
-        }
-        Some(out)
+        self.store.restore(IMAGE_STREAM, image as u64).ok()
     }
 
-    /// Number of images stored.
+    /// Number of images ever begun (expired images still count).
     pub fn image_count(&self) -> usize {
-        self.images.len()
+        self.images_begun
     }
 
-    /// Physical bytes stored after dedup.
+    /// Image ids still live (restorable), ascending.
+    pub fn live_images(&self) -> Vec<usize> {
+        self.store
+            .generations(IMAGE_STREAM)
+            .into_iter()
+            .map(|g| g as usize)
+            .collect()
+    }
+
+    /// Expires every image up to and including `through`. The chunk
+    /// payloads stay resident until [`gc`](Self::gc) reclaims them.
+    /// Returns how many images expired.
+    pub fn expire_images(&mut self, through: usize) -> usize {
+        self.store.expire(IMAGE_STREAM, through as u64)
+    }
+
+    /// Mark-and-sweep garbage collection over the site store: frees
+    /// chunks no live image references and compacts mostly-dead
+    /// segments. The caller (the backup server) must evict
+    /// [`freed_digests`](GcReport::freed_digests) from its dedup index.
+    pub fn gc(&mut self) -> GcReport {
+        self.store.gc()
+    }
+
+    /// Physical bytes stored after dedup (resident segment bytes).
     pub fn physical_bytes(&self) -> u64 {
         self.store.physical_bytes()
     }
 
-    /// Logical bytes across all manifests.
+    /// Logical bytes across all live image manifests.
     pub fn logical_bytes(&self) -> u64 {
-        self.images.iter().flatten().map(|r| r.len as u64).sum()
+        self.store
+            .generations(IMAGE_STREAM)
+            .into_iter()
+            .filter_map(|g| self.store.manifest(IMAGE_STREAM, g))
+            .map(|m| m.logical_bytes())
+            .sum()
     }
 
     /// Dedup ratio achieved at the site (logical / physical).
@@ -120,11 +140,22 @@ impl BackupSite {
         }
         self.logical_bytes() as f64 / phys as f64
     }
+
+    /// The underlying versioned store (space accounting, manifests).
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+
+    /// The site store's aggregate report.
+    pub fn report(&self) -> StoreReport {
+        self.store.report()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use shredder_hash::sha256;
 
     #[test]
     fn ship_and_restore() {
@@ -169,5 +200,33 @@ mod tests {
         let img = site.begin_image();
         site.receive_chunk(img, d, payload);
         assert!(site.holds(&d));
+    }
+
+    #[test]
+    fn expire_and_gc_reclaim_unique_images() {
+        let mut site = BackupSite::new();
+        let shared = Bytes::from_static(b"shared across images");
+        let unique0 = Bytes::from_static(b"only in image zero..");
+        let unique1 = Bytes::from_static(b"only in image one...");
+        let ds = sha256(&shared);
+
+        let img0 = site.begin_image();
+        site.receive_chunk(img0, ds, shared.clone());
+        site.receive_chunk(img0, sha256(&unique0), unique0.clone());
+        let img1 = site.begin_image();
+        site.receive_pointer(img1, ds, shared.len());
+        site.receive_chunk(img1, sha256(&unique1), unique1.clone());
+
+        assert_eq!(site.expire_images(img0), 1);
+        let gc = site.gc();
+        assert_eq!(gc.freed_chunks, 1);
+        assert_eq!(gc.freed_digests, vec![sha256(&unique0)]);
+        assert!(site.restore(img0).is_none(), "expired");
+        let mut expected = shared.to_vec();
+        expected.extend_from_slice(&unique1);
+        assert_eq!(site.restore(img1).unwrap(), expected);
+        assert_eq!(site.live_images(), vec![img1]);
+        assert_eq!(site.image_count(), 2, "expired images still counted");
+        assert_eq!(site.report().gc_runs, 1);
     }
 }

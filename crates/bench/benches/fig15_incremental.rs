@@ -9,7 +9,7 @@
 //! of both runs must be identical — speedup without correctness is
 //! meaningless.
 
-use shredder_bench::{check, header, table};
+use shredder_bench::{check, dump_bench_json, header, table};
 use shredder_core::{HostChunker, HostChunkerConfig};
 use shredder_hdfs::{IncHdfs, TextInputFormat};
 use shredder_mapreduce::apps::{Cooccurrence, KMeans, KMeansDriver, WordCount};
@@ -166,4 +166,21 @@ fn main() {
         "K-means benefits least (iterative state limits reuse, as in the paper's figure)",
         km_curve[1] < wc_curve[1] && km_curve[1] < co_curve[1],
     );
+
+    // Perf-trajectory dump so the incremental-computation figure is
+    // tracked release over release (uploaded by the CI bench job).
+    dump_bench_json(&format!(
+        concat!(
+            "{{\n",
+            "  \"name\": \"fig15_incremental\",\n",
+            "  \"wordcount_speedup_2pct\": {:.6},\n",
+            "  \"cooccurrence_speedup_2pct\": {:.6},\n",
+            "  \"kmeans_speedup_2pct\": {:.6},\n",
+            "  \"wordcount_speedup_25pct\": {:.6},\n",
+            "  \"cooccurrence_speedup_25pct\": {:.6},\n",
+            "  \"kmeans_speedup_25pct\": {:.6}\n",
+            "}}\n"
+        ),
+        wc_curve[1], co_curve[1], km_curve[1], wc_curve[5], co_curve[5], km_curve[5],
+    ));
 }

@@ -9,7 +9,7 @@
 //! byte-identical.
 
 use shredder_backup::{BackupConfig, BackupServer};
-use shredder_bench::{check, header, table};
+use shredder_bench::{check, dump_bench_json, header, table};
 use shredder_core::{HostChunker, HostChunkerConfig, Shredder, ShredderConfig};
 use shredder_rabin::ChunkParams;
 use shredder_workloads::{MasterImage, SimilarityTable};
@@ -210,4 +210,32 @@ fn main() {
         "batch backup bandwidth is reported and finite",
         batch.aggregate_bandwidth_gbps() > 0.0 && batch.aggregate_bandwidth_gbps().is_finite(),
     );
+    check(
+        "dedup-index counters are surfaced (hit rate within (0, 1))",
+        batch.index_hit_rate() > 0.0 && batch.index_hit_rate() < 1.0,
+    );
+
+    // Perf-trajectory dump so the backup-bandwidth figure is tracked
+    // release over release (uploaded by the CI bench job).
+    dump_bench_json(&format!(
+        concat!(
+            "{{\n",
+            "  \"name\": \"fig18_backup\",\n",
+            "  \"cpu_gbps_p05\": {:.6},\n",
+            "  \"gpu_gbps_p05\": {:.6},\n",
+            "  \"cpu_gbps_p25\": {:.6},\n",
+            "  \"gpu_gbps_p25\": {:.6},\n",
+            "  \"mean_speedup\": {:.6},\n",
+            "  \"batch_aggregate_gbps\": {:.6},\n",
+            "  \"index_hit_rate\": {:.6}\n",
+            "}}\n"
+        ),
+        cpu_curve[0],
+        gpu_curve[0],
+        cpu_curve[4],
+        gpu_curve[4],
+        mean_speedup,
+        batch.aggregate_bandwidth_gbps(),
+        batch.index_hit_rate(),
+    ));
 }

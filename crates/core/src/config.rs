@@ -67,6 +67,18 @@ pub struct ShredderConfig {
     /// it must provision a faster fabric via
     /// [`with_reader_bandwidth`](Self::with_reader_bandwidth).
     pub reader_bandwidth: f64,
+    /// Segment roll size of the downstream chunk store
+    /// ([`shredder_store::ChunkStore`]): payloads are packed into
+    /// append-only segments of this size.
+    pub segment_bytes: usize,
+    /// Store GC compaction threshold in `[0, 1]`: sealed segments whose
+    /// live fraction falls below this are compacted and retired.
+    pub gc_threshold: f64,
+    /// Snapshot retention per store stream: `Some(n)` keeps only the
+    /// latest `n` generations, enforced by the store whenever a new
+    /// snapshot opens; `None` keeps everything until explicitly
+    /// expired. Expired payloads are reclaimed by the store's GC.
+    pub retention: Option<u64>,
 }
 
 impl ShredderConfig {
@@ -84,6 +96,9 @@ impl ShredderConfig {
             placement: PlacementPolicy::LeastLoaded,
             ring_slots: None,
             reader_bandwidth: calibration::READER_IO_BW,
+            segment_bytes: 8 << 20,
+            gc_threshold: 0.5,
+            retention: None,
         }
     }
 
@@ -182,6 +197,57 @@ impl ShredderConfig {
         );
         self.reader_bandwidth = bytes_per_sec;
         self
+    }
+
+    /// Sets the store segment roll size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_segment_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "segment size must be non-zero");
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the store GC compaction threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn with_gc_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "gc threshold must be within [0, 1]"
+        );
+        self.gc_threshold = threshold;
+        self
+    }
+
+    /// Sets the per-stream snapshot retention (latest `n` generations,
+    /// enforced by the store at every snapshot open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generations` is zero (that would expire every
+    /// snapshot the moment it opens).
+    pub fn with_retention(mut self, generations: u64) -> Self {
+        assert!(
+            generations > 0,
+            "retention must keep at least one generation"
+        );
+        self.retention = Some(generations);
+        self
+    }
+
+    /// The downstream chunk-store configuration derived from this
+    /// pipeline configuration.
+    pub fn store_config(&self) -> shredder_store::StoreConfig {
+        shredder_store::StoreConfig {
+            segment_bytes: self.segment_bytes,
+            gc_threshold: self.gc_threshold,
+            retention: self.retention,
+        }
     }
 
     /// Number of pinned ring slots per device: the configured override,
@@ -316,6 +382,38 @@ mod tests {
                 .ring_slots(),
             3
         );
+    }
+
+    #[test]
+    fn store_builders_and_derived_config() {
+        let cfg = ShredderConfig::default()
+            .with_segment_bytes(4 << 20)
+            .with_gc_threshold(0.25)
+            .with_retention(3);
+        assert_eq!(cfg.segment_bytes, 4 << 20);
+        assert_eq!(cfg.gc_threshold, 0.25);
+        assert_eq!(cfg.retention, Some(3));
+        let store = cfg.store_config();
+        assert_eq!(store.segment_bytes, 4 << 20);
+        assert_eq!(store.gc_threshold, 0.25);
+        assert_eq!(store.retention, Some(3));
+        // Defaults: retain everything, 8 MiB segments, 0.5 threshold.
+        let default = ShredderConfig::default().store_config();
+        assert_eq!(default.retention, None);
+        assert_eq!(default.segment_bytes, 8 << 20);
+        assert_eq!(default.gc_threshold, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment size")]
+    fn zero_segment_bytes_panics() {
+        let _ = ShredderConfig::default().with_segment_bytes(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn bad_gc_threshold_panics() {
+        let _ = ShredderConfig::default().with_gc_threshold(-0.1);
     }
 
     #[test]

@@ -26,11 +26,14 @@
 //!   [`EngineReport`] (aggregate GB/s over the shared makespan).
 //! * [`sink`] — the **staged sink API**: a [`ChunkSink`] attaches typed
 //!   downstream stages ([`FingerprintStage`], [`DedupStage`],
-//!   [`ShipStage`]) to a session; the stages execute *inside* the shared
-//!   simulation with their own service times, queues and backpressure
-//!   onto the kernel FIFO, reported per stage in the
-//!   [`EngineReport`]. This replaces the old
-//!   collect-then-postprocess consumer pattern.
+//!   [`ShipStage`], [`StoreStage`]) to a session; the stages execute
+//!   *inside* the shared simulation with their own service times,
+//!   queues and backpressure onto the kernel FIFO, reported per stage
+//!   in the [`EngineReport`]. This replaces the old
+//!   collect-then-postprocess consumer pattern. [`StoreSink`] commits
+//!   chunks and snapshot manifests into the versioned
+//!   [`shredder_store::ChunkStore`] in-simulation, making each session
+//!   one new restorable generation.
 //! * [`pipeline`] — the legacy single-stream [`Shredder`] service, now a
 //!   thin one-session convenience over the engine.
 //! * [`host_chunker`] — the host-only pthreads baseline of §5.1.
@@ -149,6 +152,7 @@ pub use service::{ChunkOutcome, ChunkingService};
 pub use session::{ChunkSession, SessionId, SessionOutcome};
 pub use sink::{
     ChunkSink, ChunkVerdict, DedupSink, DedupSinkConfig, DedupStage, FingerprintIndex,
-    FingerprintStage, ShipStage, SinkOutcome, SinkPipelineHints, StageKind, StageSpec, UpcallSink,
+    FingerprintStage, ShipStage, SinkOutcome, SinkPipelineHints, StageKind, StageSpec, StoreSink,
+    StoreSinkConfig, StoreStage, UpcallSink,
 };
 pub use source::{MemorySource, SliceSource, StreamSource};

@@ -174,10 +174,10 @@ impl IncHdfs {
         self.dead.remove(&node);
     }
 
-    /// Fetches a chunk from any live replica.
-    fn fetch(&self, digest: &Digest, primary: usize) -> Option<Bytes> {
+    /// Borrowed, copy-free read of a chunk from any live replica.
+    fn fetch_ref(&self, digest: &Digest, primary: usize) -> Option<&[u8]> {
         if !self.dead.contains(&primary) {
-            if let Some(b) = self.datanodes[primary].get(digest) {
+            if let Some(b) = self.datanodes[primary].read_chunk(digest) {
                 return Some(b);
             }
         }
@@ -185,9 +185,14 @@ impl IncHdfs {
             if self.dead.contains(&n) {
                 None
             } else {
-                self.datanodes[n].get(digest)
+                self.datanodes[n].read_chunk(digest)
             }
         })
+    }
+
+    /// Fetches a chunk from any live replica as owned bytes.
+    fn fetch(&self, digest: &Digest, primary: usize) -> Option<Bytes> {
+        self.fetch_ref(digest, primary).map(Bytes::copy_from_slice)
     }
 
     /// The NameNode (metadata queries).
@@ -316,9 +321,9 @@ impl IncHdfs {
             let node = match self.replicas.get(&digest).and_then(|r| r.first().copied()) {
                 Some(primary) => {
                     dedup_bytes += chunk.len as u64;
-                    // Register the logical reference on the primary.
-                    self.datanodes[primary]
-                        .put_with_digest(digest, Bytes::copy_from_slice(payload));
+                    // Register the logical reference on the primary
+                    // (a dedup hit: `put_slice` copies nothing).
+                    self.datanodes[primary].put_slice(digest, payload);
                     primary
                 }
                 None => {
@@ -332,7 +337,7 @@ impl IncHdfs {
                         if self.dead.contains(&n) || placed.contains(&n) {
                             continue;
                         }
-                        self.datanodes[n].put_with_digest(digest, Bytes::copy_from_slice(payload));
+                        self.datanodes[n].put_slice(digest, payload);
                         placed.push(n);
                     }
                     // Fewer live nodes than the replication factor: store
@@ -393,10 +398,12 @@ impl IncHdfs {
             })?;
         let mut out = Vec::with_capacity(v.len() as usize);
         for s in &v.splits {
+            // Borrowed read: the payload is appended straight from the
+            // DataNode's segment log, no intermediate copy.
             let payload = self
-                .fetch(&s.digest, s.datanode)
+                .fetch_ref(&s.digest, s.datanode)
                 .ok_or(HdfsError::MissingChunk(s.digest))?;
-            out.extend_from_slice(&payload);
+            out.extend_from_slice(payload);
         }
         Ok(out)
     }

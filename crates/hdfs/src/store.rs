@@ -1,116 +1,20 @@
 //! Content-addressed chunk storage (what each DataNode holds).
+//!
+//! Since the store crate landed, this is a re-export: every DataNode is
+//! a [`shredder_store::ChunkStore`] — the segment-packed,
+//! snapshot-capable store shared with the backup site — rather than a
+//! private digest → payload map with its own copy of the FNV-sharded
+//! index. The API this module historically offered (`put`,
+//! `put_with_digest`, `get`, `contains`, byte accounting) is unchanged;
+//! the versioned snapshot/GC surface is new capability underneath.
 
-use std::collections::HashMap;
-
-use bytes::Bytes;
-use shredder_hash::Digest;
-
-/// A content-addressed store: digest → chunk payload.
-///
-/// Storing the same content twice keeps one copy — the dedup behaviour
-/// every byte of Inc-HDFS and the backup site relies on.
-///
-/// # Examples
-///
-/// ```
-/// use shredder_hash::sha256;
-/// use shredder_hdfs::ChunkStore;
-///
-/// let mut store = ChunkStore::new();
-/// let d = store.put(b"hello".as_slice().into());
-/// assert_eq!(d, sha256(b"hello"));
-/// store.put(b"hello".as_slice().into()); // dedup: no growth
-/// assert_eq!(store.physical_bytes(), 5);
-/// assert_eq!(store.logical_bytes(), 10);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct ChunkStore {
-    chunks: HashMap<Digest, Bytes>,
-    physical_bytes: u64,
-    logical_bytes: u64,
-    dedup_hits: u64,
-}
-
-impl ChunkStore {
-    /// Creates an empty store.
-    pub fn new() -> Self {
-        ChunkStore::default()
-    }
-
-    /// Stores a chunk, returning its digest. Duplicate content is
-    /// detected by digest and not stored again.
-    pub fn put(&mut self, data: Bytes) -> Digest {
-        let digest = shredder_hash::sha256(&data);
-        self.put_with_digest(digest, data);
-        digest
-    }
-
-    /// Stores a chunk under a pre-computed digest (the common path: the
-    /// Store thread already hashed the chunk).
-    ///
-    /// Returns `true` if the chunk was new.
-    ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `digest` does not match the data.
-    pub fn put_with_digest(&mut self, digest: Digest, data: Bytes) -> bool {
-        debug_assert_eq!(digest, shredder_hash::sha256(&data), "digest mismatch");
-        self.logical_bytes += data.len() as u64;
-        match self.chunks.entry(digest) {
-            std::collections::hash_map::Entry::Occupied(_) => {
-                self.dedup_hits += 1;
-                false
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                self.physical_bytes += data.len() as u64;
-                e.insert(data);
-                true
-            }
-        }
-    }
-
-    /// Fetches a chunk by digest.
-    pub fn get(&self, digest: &Digest) -> Option<Bytes> {
-        self.chunks.get(digest).cloned()
-    }
-
-    /// True if the digest is stored.
-    pub fn contains(&self, digest: &Digest) -> bool {
-        self.chunks.contains_key(digest)
-    }
-
-    /// Number of distinct chunks stored.
-    pub fn chunk_count(&self) -> usize {
-        self.chunks.len()
-    }
-
-    /// Bytes actually stored (after dedup).
-    pub fn physical_bytes(&self) -> u64 {
-        self.physical_bytes
-    }
-
-    /// Bytes offered to the store (before dedup).
-    pub fn logical_bytes(&self) -> u64 {
-        self.logical_bytes
-    }
-
-    /// Number of puts that deduplicated.
-    pub fn dedup_hits(&self) -> u64 {
-        self.dedup_hits
-    }
-
-    /// Dedup ratio: logical / physical (1.0 = no savings).
-    pub fn dedup_ratio(&self) -> f64 {
-        if self.physical_bytes == 0 {
-            return 1.0;
-        }
-        self.logical_bytes as f64 / self.physical_bytes as f64
-    }
-}
+pub use shredder_store::ChunkStore;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
+    use shredder_hash::Digest;
 
     #[test]
     fn put_get_roundtrip() {

@@ -70,6 +70,21 @@ impl<K, V> MemoTable<K, V> {
         self.bytes_saved += split_bytes as u64;
     }
 
+    /// Evicts every entry keyed by one of `digests` (across all aux
+    /// keys) — the GC hook: when the store frees a split's chunk, its
+    /// memoized map outputs are dead weight and, worse, a content
+    /// collision after re-ingestion must not resurrect stale state.
+    /// Returns how many entries were dropped.
+    pub fn evict_digests(&mut self, digests: &[Digest]) -> usize {
+        if digests.is_empty() {
+            return 0;
+        }
+        let dead: std::collections::HashSet<&Digest> = digests.iter().collect();
+        let before = self.entries.len();
+        self.entries.retain(|(digest, _), _| !dead.contains(digest));
+        before - self.entries.len()
+    }
+
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -120,6 +135,22 @@ mod tests {
         assert_eq!(memo.hits(), 1);
         assert_eq!(memo.misses(), 2);
         assert_eq!(memo.bytes_saved(), 100);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn evict_digests_drops_all_aux_variants() {
+        let mut memo: MemoTable<u32, u32> = MemoTable::new();
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        memo.insert((a, 1), vec![(1, 1)], 10);
+        memo.insert((a, 2), vec![(2, 2)], 10);
+        memo.insert((b, 1), vec![(3, 3)], 10);
+        assert_eq!(memo.evict_digests(&[a]), 2);
+        assert!(memo.lookup(&(a, 1)).is_none());
+        assert!(memo.lookup(&(a, 2)).is_none());
+        assert!(memo.lookup(&(b, 1)).is_some());
+        assert_eq!(memo.evict_digests(&[]), 0);
         assert_eq!(memo.len(), 1);
     }
 

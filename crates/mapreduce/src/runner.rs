@@ -25,8 +25,24 @@ pub struct RunStats {
     pub bytes_mapped: u64,
     /// Intermediate pairs entering the shuffle.
     pub reduce_pairs: usize,
+    /// Cumulative map-input bytes skipped thanks to memo hits over the
+    /// runner's lifetime (`MemoTable::bytes_saved`, previously internal
+    /// state no report ever surfaced).
+    pub memo_bytes_saved: u64,
+    /// Memoized entries resident after this run.
+    pub memo_entries: usize,
     /// Simulated cluster timing.
     pub timing: JobTiming,
+}
+
+impl RunStats {
+    /// Fraction of this run's input bytes skipped via memoization.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.bytes_total == 0 {
+            return 0.0;
+        }
+        (self.bytes_total - self.bytes_mapped) as f64 / self.bytes_total as f64
+    }
 }
 
 /// Result of one job run: real output plus stats.
@@ -145,9 +161,18 @@ impl<J: MapReduceJob> IncrementalRunner<J> {
                 bytes_total: splits.iter().map(|s| s.bytes.len() as u64).sum(),
                 bytes_mapped,
                 reduce_pairs,
+                memo_bytes_saved: self.memo.bytes_saved(),
+                memo_entries: self.memo.len(),
                 timing,
             },
         }
+    }
+
+    /// Evicts memoized outputs for GC'd splits (feed it
+    /// `GcReport::freed_digests` from the store that held the splits).
+    /// Returns how many memo entries were dropped.
+    pub fn evict_splits(&mut self, digests: &[shredder_hash::Digest]) -> usize {
+        self.memo.evict_digests(digests)
     }
 }
 
@@ -312,8 +337,33 @@ mod tests {
         let out = runner.run(&splits);
         assert_eq!(out.stats.bytes_total, data.len() as u64);
         assert_eq!(out.stats.bytes_mapped, data.len() as u64);
+        assert_eq!(out.stats.memo_bytes_saved, 0);
+        assert_eq!(out.stats.memo_entries, splits.len());
+        assert_eq!(out.stats.reuse_fraction(), 0.0);
         let again = runner.run(&splits);
         assert_eq!(again.stats.bytes_mapped, 0);
+        // The dedup-effectiveness counters are now observable, not just
+        // internal memo state.
+        assert_eq!(again.stats.memo_bytes_saved, data.len() as u64);
+        assert_eq!(again.stats.reuse_fraction(), 1.0);
+    }
+
+    #[test]
+    fn evicted_splits_recompute_but_stay_correct() {
+        let data = corpus();
+        let splits = splits_from_bytes(&data, 4096);
+        let mut runner = IncrementalRunner::new(WordCount, ClusterConfig::paper());
+        let first = runner.run(&splits);
+
+        // Evict half the splits, as a store GC would after expiry.
+        let evicted: Vec<_> = splits.iter().step_by(2).map(|s| s.meta.digest).collect();
+        let dropped = runner.evict_splits(&evicted);
+        assert_eq!(dropped, evicted.len());
+
+        let rerun = runner.run(&splits);
+        assert_eq!(rerun.output, first.output, "eviction never changes output");
+        assert_eq!(rerun.stats.memo_hits, splits.len() - evicted.len());
+        assert_eq!(rerun.stats.memo_entries, splits.len(), "re-memoized");
     }
 
     fn cdc_service() -> shredder_core::HostChunker {

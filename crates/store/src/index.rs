@@ -1,0 +1,280 @@
+//! The sharded fingerprint index — the one implementation behind every
+//! digest → something map in the workspace.
+//!
+//! Before this crate, `shredder-hdfs`'s `ChunkStore` and
+//! `shredder-backup`'s `DedupIndex` each carried their own copy of the
+//! same FNV-prefix sharding. [`ChunkIndex`] is that structure once,
+//! generic over the value: the store maps digests to segment locations,
+//! the dedup index maps them to nothing but presence.
+
+use std::collections::HashMap;
+
+use shredder_hash::{fnv1a_64, Digest};
+
+/// Shard count of the in-memory index. Sharding by a fast FNV prefix
+/// mirrors how a real multi-threaded index would partition its lock
+/// domains; the collision-resistant identity stays the full SHA-256.
+const SHARDS: usize = 64;
+
+/// A sharded digest → value map with lookup/hit accounting.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_hash::sha256;
+/// use shredder_store::ChunkIndex;
+///
+/// let mut index: ChunkIndex<u32> = ChunkIndex::new();
+/// let d = sha256(b"chunk");
+/// assert!(index.lookup(&d).is_none());
+/// index.insert(d, 7);
+/// assert_eq!(index.lookup(&d), Some(&7));
+/// assert_eq!(index.lookups(), 2);
+/// assert_eq!(index.hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkIndex<V> {
+    shards: Vec<HashMap<Digest, V>>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl<V> ChunkIndex<V> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        ChunkIndex {
+            shards: (0..SHARDS).map(|_| HashMap::new()).collect(),
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    fn shard_of(digest: &Digest) -> usize {
+        (fnv1a_64(&digest.0[..8]) as usize) % SHARDS
+    }
+
+    /// Non-counting read.
+    pub fn get(&self, digest: &Digest) -> Option<&V> {
+        self.shards[Self::shard_of(digest)].get(digest)
+    }
+
+    /// Mutable non-counting read.
+    pub fn get_mut(&mut self, digest: &Digest) -> Option<&mut V> {
+        self.shards[Self::shard_of(digest)].get_mut(digest)
+    }
+
+    /// Counting read: records one lookup, and a hit when present.
+    pub fn lookup(&mut self, digest: &Digest) -> Option<&V> {
+        self.lookups += 1;
+        let v = self.shards[Self::shard_of(digest)].get(digest);
+        if v.is_some() {
+            self.hits += 1;
+        }
+        v
+    }
+
+    /// Non-counting presence check.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.get(digest).is_some()
+    }
+
+    /// Inserts a value, returning the previous one if any.
+    pub fn insert(&mut self, digest: Digest, value: V) -> Option<V> {
+        self.shards[Self::shard_of(&digest)].insert(digest, value)
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, digest: &Digest) -> Option<V> {
+        self.shards[Self::shard_of(digest)].remove(digest)
+    }
+
+    /// Distinct digests indexed.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Counting lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Counting lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Entry count per shard (for balance diagnostics).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(HashMap::len).collect()
+    }
+
+    /// Iterates every entry. **Shard-internal order is unspecified**;
+    /// callers that need determinism (the GC sweep does) must sort.
+    pub fn iter(&self) -> impl Iterator<Item = (&Digest, &V)> {
+        self.shards.iter().flat_map(HashMap::iter)
+    }
+}
+
+impl<V> Default for ChunkIndex<V> {
+    fn default() -> Self {
+        ChunkIndex::new()
+    }
+}
+
+/// The dedup index: fingerprint → present-at-site, with lookup/hit
+/// accounting (§7.2's "lookup thread ... looks up in the index whether a
+/// particular chunk needs to be backed up or is already present").
+///
+/// `shredder-backup` re-exports this as its `DedupIndex`; the sharding
+/// previously copy-pasted there now lives once in [`ChunkIndex`].
+///
+/// # Examples
+///
+/// ```
+/// use shredder_hash::sha256;
+/// use shredder_store::DedupIndex;
+///
+/// let mut index = DedupIndex::new();
+/// let d = sha256(b"chunk");
+/// assert!(!index.contains(&d));
+/// assert!(index.insert(d));
+/// assert!(index.contains(&d));
+/// assert!(!index.insert(d)); // already present
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DedupIndex {
+    index: ChunkIndex<()>,
+}
+
+impl DedupIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        DedupIndex::default()
+    }
+
+    /// True if the fingerprint is indexed. Counts a lookup.
+    pub fn lookup(&mut self, digest: &Digest) -> bool {
+        self.index.lookup(digest).is_some()
+    }
+
+    /// Non-counting presence check.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.index.contains(digest)
+    }
+
+    /// Inserts a fingerprint; returns `true` if it was new.
+    pub fn insert(&mut self, digest: Digest) -> bool {
+        self.index.insert(digest, ()).is_none()
+    }
+
+    /// Removes the given fingerprints (the GC eviction hook: digests
+    /// freed from the chunk store must leave the index too, or later
+    /// backups would register pointers to chunks nobody holds). Returns
+    /// how many were present.
+    pub fn evict(&mut self, digests: &[Digest]) -> usize {
+        digests
+            .iter()
+            .filter(|d| self.index.remove(d).is_some())
+            .count()
+    }
+
+    /// Distinct fingerprints indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.index.lookups()
+    }
+
+    /// Lookup hits (duplicates found).
+    pub fn hits(&self) -> u64 {
+        self.index.hits()
+    }
+
+    /// Largest shard's entry count (balance diagnostics).
+    pub fn max_shard_len(&self) -> usize {
+        self.index.shard_lens().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shredder_hash::sha256;
+
+    #[test]
+    fn insert_lookup_cycle() {
+        let mut idx = DedupIndex::new();
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert!(!idx.lookup(&a));
+        idx.insert(a);
+        assert!(idx.lookup(&a));
+        assert!(!idx.lookup(&b));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.lookups(), 3);
+        assert_eq!(idx.hits(), 1);
+    }
+
+    #[test]
+    fn many_digests_spread_over_shards() {
+        let mut idx = DedupIndex::new();
+        for i in 0..10_000u32 {
+            idx.insert(sha256(&i.to_le_bytes()));
+        }
+        assert_eq!(idx.len(), 10_000);
+        // No shard should hold more than 5× the average.
+        let max = idx.max_shard_len();
+        assert!(max < 5 * (10_000 / SHARDS), "max shard {max}");
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut idx = DedupIndex::new();
+        let d = sha256(b"x");
+        assert!(idx.insert(d));
+        assert!(!idx.insert(d));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn evict_removes_and_counts() {
+        let mut idx = DedupIndex::new();
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        let c = sha256(b"c");
+        idx.insert(a);
+        idx.insert(b);
+        assert_eq!(idx.evict(&[a, c]), 1);
+        assert!(!idx.contains(&a));
+        assert!(idx.contains(&b));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn generic_index_counts_and_mutates() {
+        let mut idx: ChunkIndex<u64> = ChunkIndex::new();
+        let d = sha256(b"v");
+        assert!(idx.lookup(&d).is_none());
+        assert!(idx.insert(d, 1).is_none());
+        *idx.get_mut(&d).unwrap() = 2;
+        assert_eq!(idx.get(&d), Some(&2));
+        assert_eq!(idx.insert(d, 3), Some(2));
+        assert_eq!(idx.remove(&d), Some(3));
+        assert!(idx.is_empty());
+        assert_eq!(idx.lookups(), 1);
+        assert_eq!(idx.hits(), 0);
+    }
+}

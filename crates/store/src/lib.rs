@@ -1,0 +1,69 @@
+//! The versioned content-addressed chunk store (incremental storage's
+//! server side).
+//!
+//! Shredder exists to *feed* a store like this: chunk fingerprints are
+//! only useful if some storage system keeps one physical copy across
+//! many logical generations, can hand any generation back bit-for-bit,
+//! and reclaims space when old generations expire. This crate is that
+//! consumer, shared by the Inc-HDFS DataNodes and the backup site:
+//!
+//! * [`ChunkIndex`] / [`DedupIndex`] — the one sharded fingerprint
+//!   index behind every digest map in the workspace (previously
+//!   copy-pasted in `shredder-hdfs` and `shredder-backup`).
+//! * `SegmentLog` (internal) — chunk payloads packed into fixed-size
+//!   append-only segments; the index maps digest →
+//!   [`ChunkLoc`] (segment, offset, length).
+//! * [`SnapshotManifest`] — the ordered chunk recipe of one stream
+//!   generation: first-class snapshots, the GC roots.
+//! * [`ChunkStore`] — the store itself: dedup `put`, digest-verified
+//!   [`restore`](ChunkStore::restore) of any live generation,
+//!   [`expire`](ChunkStore::expire) / retention, and mark-and-sweep
+//!   [`gc`](ChunkStore::gc) with segment compaction below a liveness
+//!   threshold. [`StoreReport`] / [`GcReport`] make space accounting
+//!   observable.
+//!
+//! Timing lives elsewhere by design: this crate is purely functional
+//! (real bytes, real hashes, deterministic GC), and `shredder-core`'s
+//! `StoreSink` charges the store's write bandwidth and index latency as
+//! stages inside the discrete-event simulation.
+//!
+//! # Examples
+//!
+//! N generations in, bounded physical growth, any generation
+//! restorable, space reclaimed on expiry:
+//!
+//! ```
+//! use shredder_store::ChunkStore;
+//!
+//! let mut store = ChunkStore::new();
+//! let base = store.put(b"unchanged base content".as_slice().into());
+//! let mut gens = Vec::new();
+//! for i in 0..4u8 {
+//!     let delta = store.put(vec![i; 16].into());
+//!     gens.push(store.commit_snapshot("vm", &[(base, 22), (delta, 16)]).unwrap());
+//! }
+//! // 4 generations share one base chunk.
+//! assert_eq!(store.physical_bytes(), 22 + 4 * 16);
+//!
+//! // Expire the first two; GC reclaims exactly their unique deltas.
+//! store.expire("vm", gens[1]);
+//! let gc = store.gc();
+//! assert_eq!(gc.freed_chunks, 2);
+//! assert_eq!(gc.freed_bytes, 32);
+//! // The survivors still restore, every digest verified.
+//! let restored = store.restore("vm", gens[3]).unwrap();
+//! assert_eq!(&restored[..22], b"unchanged base content");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod manifest;
+mod segment;
+pub mod store;
+
+pub use index::{ChunkIndex, DedupIndex};
+pub use manifest::{ManifestEntry, SnapshotManifest};
+pub use segment::ChunkLoc;
+pub use store::{ChunkStore, GcReport, StoreConfig, StoreError, StoreReport};

@@ -1,0 +1,278 @@
+//! The segment log: chunk payloads packed into fixed-size append-only
+//! segments.
+//!
+//! A real dedup store never keeps one file (or one heap allocation) per
+//! chunk — chunks are a few KB and there are millions of them. Payloads
+//! are instead appended into large *segments* (the container design of
+//! log-structured dedup stores); the store's index maps each digest to a
+//! [`ChunkLoc`] (segment, offset, length). Deletion is deferred: freeing
+//! a chunk only decrements its segment's live-byte count, and a
+//! compaction pass (driven by the store's GC) rewrites the survivors of
+//! mostly-dead segments and retires the segment wholesale.
+
+/// Location of one chunk payload inside the segment log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkLoc {
+    /// Segment id (stable for the life of the log; retired segments
+    /// leave a hole).
+    pub segment: u32,
+    /// Byte offset inside the segment.
+    pub offset: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+impl ChunkLoc {
+    /// Payload length as a `u64`.
+    pub fn byte_len(&self) -> u64 {
+        self.len as u64
+    }
+}
+
+/// One append-only segment.
+#[derive(Debug, Clone, Default)]
+struct Segment {
+    data: Vec<u8>,
+    live_bytes: u64,
+}
+
+/// The append-only, segment-packed payload log.
+#[derive(Debug, Clone)]
+pub(crate) struct SegmentLog {
+    /// Retired segments become `None`; ids stay stable.
+    segments: Vec<Option<Segment>>,
+    segment_bytes: usize,
+    resident_bytes: u64,
+    live_bytes: u64,
+}
+
+impl SegmentLog {
+    /// Creates a log rolling segments at `segment_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_bytes` is zero or exceeds 4 GiB — offsets are
+    /// 32-bit ([`ChunkLoc`]), so a larger segment would silently
+    /// truncate chunk locations.
+    pub(crate) fn new(segment_bytes: usize) -> Self {
+        assert!(segment_bytes > 0, "segment size must be non-zero");
+        assert!(
+            segment_bytes <= u32::MAX as usize,
+            "segment size exceeds the 4 GiB chunk-location limit"
+        );
+        SegmentLog {
+            segments: vec![Some(Segment::default())],
+            segment_bytes,
+            resident_bytes: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// Index of the segment currently accepting appends.
+    fn current(&self) -> usize {
+        self.segments.len() - 1
+    }
+
+    /// Public view of the current append target's id.
+    pub(crate) fn current_segment(&self) -> usize {
+        self.current()
+    }
+
+    /// Appends a payload, rolling to a fresh segment when the current one
+    /// is full. A payload larger than the segment size gets a segment of
+    /// its own (the log never splits a chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds 4 GiB (the [`ChunkLoc`] length
+    /// limit; real chunkers cap chunks orders of magnitude below this).
+    pub(crate) fn append(&mut self, payload: &[u8]) -> ChunkLoc {
+        assert!(
+            payload.len() <= u32::MAX as usize,
+            "chunk payload exceeds the 4 GiB chunk-location limit"
+        );
+        let roll = {
+            let cur = self.segments[self.current()]
+                .as_ref()
+                .expect("current segment is always resident");
+            !cur.data.is_empty() && cur.data.len() + payload.len() > self.segment_bytes
+        };
+        if roll {
+            self.segments.push(Some(Segment::default()));
+        }
+        let id = self.current();
+        let seg = self.segments[id].as_mut().expect("just ensured resident");
+        let offset = seg.data.len();
+        seg.data.extend_from_slice(payload);
+        seg.live_bytes += payload.len() as u64;
+        self.resident_bytes += payload.len() as u64;
+        self.live_bytes += payload.len() as u64;
+        ChunkLoc {
+            segment: id as u32,
+            offset: offset as u32,
+            len: payload.len() as u32,
+        }
+    }
+
+    /// Reads a chunk payload back. `None` if the segment was retired.
+    pub(crate) fn read(&self, loc: ChunkLoc) -> Option<&[u8]> {
+        let seg = self.segments.get(loc.segment as usize)?.as_ref()?;
+        let start = loc.offset as usize;
+        seg.data.get(start..start + loc.len as usize)
+    }
+
+    /// Marks a chunk dead: its bytes stay resident until compaction or
+    /// retirement reclaims the segment.
+    pub(crate) fn mark_dead(&mut self, loc: ChunkLoc) {
+        let seg = self.segments[loc.segment as usize]
+            .as_mut()
+            .expect("marking a chunk in a retired segment");
+        seg.live_bytes = seg
+            .live_bytes
+            .checked_sub(loc.byte_len())
+            .expect("live bytes underflow: chunk freed twice");
+        self.live_bytes -= loc.byte_len();
+    }
+
+    /// Live fraction of a segment (1.0 for empty segments, which carry
+    /// nothing worth compacting).
+    pub(crate) fn live_fraction(&self, id: usize) -> f64 {
+        match &self.segments[id] {
+            Some(s) if !s.data.is_empty() => s.live_bytes as f64 / s.data.len() as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Seals the current segment (if non-empty) so it becomes eligible
+    /// for compaction; appends continue into a fresh segment.
+    pub(crate) fn seal_current(&mut self) {
+        let cur = self.current();
+        if self.segments[cur]
+            .as_ref()
+            .is_some_and(|s| !s.data.is_empty())
+        {
+            self.segments.push(Some(Segment::default()));
+        }
+    }
+
+    /// Whether a resident segment is worth compacting at `threshold`: a
+    /// fully-dead segment always is (retiring it costs nothing, even at
+    /// threshold 0.0 where compaction proper is disabled), otherwise the
+    /// live fraction must fall below the threshold.
+    pub(crate) fn wants_compaction(&self, id: usize, threshold: f64) -> bool {
+        match &self.segments[id] {
+            Some(s) if !s.data.is_empty() => {
+                s.live_bytes == 0 || self.live_fraction(id) < threshold
+            }
+            _ => false,
+        }
+    }
+
+    /// Segment ids eligible for compaction: resident, sealed (not the
+    /// current append target), and either fully dead or below the
+    /// liveness threshold.
+    pub(crate) fn compaction_victims(&self, threshold: f64) -> Vec<usize> {
+        let current = self.current();
+        (0..self.segments.len())
+            .filter(|&id| id != current && self.wants_compaction(id, threshold))
+            .collect()
+    }
+
+    /// Drops a segment's bytes entirely, returning how many were freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment still holds live bytes or is the current
+    /// append target.
+    pub(crate) fn retire(&mut self, id: usize) -> u64 {
+        assert_ne!(id, self.current(), "cannot retire the open segment");
+        let seg = self.segments[id].take().expect("retiring twice");
+        assert_eq!(seg.live_bytes, 0, "retiring a segment with live chunks");
+        let freed = seg.data.len() as u64;
+        self.resident_bytes -= freed;
+        freed
+    }
+
+    /// Bytes resident across all segments (live + dead-not-yet-reclaimed).
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Bytes referenced by live chunks.
+    pub(crate) fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Resident (non-retired) segment count.
+    pub(crate) fn segment_count(&self) -> usize {
+        self.segments.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_read_roundtrip() {
+        let mut log = SegmentLog::new(64);
+        let a = log.append(b"hello");
+        let b = log.append(b"world!");
+        assert_eq!(log.read(a).unwrap(), b"hello");
+        assert_eq!(log.read(b).unwrap(), b"world!");
+        assert_eq!(log.resident_bytes(), 11);
+        assert_eq!(log.segment_count(), 1);
+    }
+
+    #[test]
+    fn segments_roll_at_capacity() {
+        let mut log = SegmentLog::new(10);
+        let a = log.append(&[1u8; 8]);
+        let b = log.append(&[2u8; 8]); // would overflow: new segment
+        assert_eq!(a.segment, 0);
+        assert_eq!(b.segment, 1);
+        assert_eq!(log.segment_count(), 2);
+    }
+
+    #[test]
+    fn oversized_payload_gets_own_segment() {
+        let mut log = SegmentLog::new(10);
+        log.append(&[1u8; 4]);
+        let big = log.append(&[2u8; 100]);
+        assert_eq!(big.segment, 1);
+        assert_eq!(log.read(big).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn mark_dead_and_retire() {
+        let mut log = SegmentLog::new(8);
+        let a = log.append(&[1u8; 8]);
+        let b = log.append(&[2u8; 8]);
+        assert_eq!(log.live_bytes(), 16);
+        log.mark_dead(a);
+        assert_eq!(log.live_bytes(), 8);
+        assert_eq!(log.live_fraction(0), 0.0);
+        // Segment 1 is current, so only segment 0 is a victim.
+        assert_eq!(log.compaction_victims(0.5), vec![0]);
+        assert_eq!(log.retire(0), 8);
+        assert_eq!(log.resident_bytes(), 8);
+        assert!(log.read(a).is_none());
+        assert_eq!(log.read(b).unwrap(), &[2u8; 8]);
+    }
+
+    #[test]
+    fn live_fraction_of_empty_segment_is_one() {
+        let log = SegmentLog::new(8);
+        assert_eq!(log.live_fraction(0), 1.0);
+        assert!(log.compaction_victims(0.9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "live chunks")]
+    fn retiring_live_segment_panics() {
+        let mut log = SegmentLog::new(4);
+        log.append(&[1u8; 4]);
+        log.append(&[2u8; 4]); // rolls; segment 0 sealed but live
+        log.retire(0);
+    }
+}

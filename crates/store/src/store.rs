@@ -1,0 +1,1036 @@
+//! The versioned content-addressed chunk store.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use shredder_hash::{sha256, Digest};
+
+use crate::index::ChunkIndex;
+use crate::manifest::{ManifestEntry, SnapshotManifest};
+use crate::segment::{ChunkLoc, SegmentLog};
+
+/// Store tuning parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Segment roll size in bytes: chunk payloads are packed into
+    /// append-only segments of (about) this size.
+    pub segment_bytes: usize,
+    /// Compaction threshold in `[0, 1]`: GC rewrites the survivors of
+    /// any sealed segment whose live fraction falls below this and
+    /// retires the segment. `0.0` disables compaction (only fully-dead
+    /// segments are retired); `1.0` compacts any segment with a single
+    /// dead byte.
+    pub gc_threshold: f64,
+    /// Snapshot retention per stream: `Some(n)` keeps only the latest
+    /// `n` generations — enforced automatically whenever a new snapshot
+    /// opens (and re-appliable via [`ChunkStore::apply_retention`]).
+    /// `None` retains everything until explicitly expired. Expired
+    /// chunk payloads stay resident until [`ChunkStore::gc`] reclaims
+    /// them. Must not be `Some(0)`.
+    pub retention: Option<u64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            segment_bytes: 8 << 20,
+            gc_threshold: 0.5,
+            retention: None,
+        }
+    }
+}
+
+/// Errors from snapshot and restore operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The stream has no snapshots.
+    UnknownStream(String),
+    /// The generation does not exist (never committed, or expired).
+    UnknownGeneration {
+        /// Requested stream.
+        stream: String,
+        /// Requested generation.
+        generation: u64,
+    },
+    /// A recipe references a chunk the store does not hold.
+    MissingChunk(Digest),
+    /// A chunk's payload failed digest (or length) verification on the
+    /// read-back path.
+    CorruptChunk(Digest),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
+            StoreError::UnknownGeneration { stream, generation } => {
+                write!(f, "generation {generation} of {stream} not found")
+            }
+            StoreError::MissingChunk(d) => write!(f, "missing chunk {}", d.to_hex()),
+            StoreError::CorruptChunk(d) => {
+                write!(f, "chunk {} failed digest verification", d.to_hex())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Outcome of one [`ChunkStore::gc`] pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GcReport {
+    /// Chunks freed by the sweep.
+    pub freed_chunks: usize,
+    /// Payload bytes those chunks held.
+    pub freed_bytes: u64,
+    /// The freed fingerprints, sorted — the eviction feed for external
+    /// indexes (`DedupIndex::evict`, `MemoTable::evict_digests`).
+    pub freed_digests: Vec<Digest>,
+    /// Segments compacted and retired.
+    pub compacted_segments: usize,
+    /// Live bytes rewritten during compaction.
+    pub moved_bytes: u64,
+    /// Resident bytes before the pass.
+    pub physical_before: u64,
+    /// Resident bytes after the pass.
+    pub physical_after: u64,
+}
+
+impl GcReport {
+    /// Physical bytes actually reclaimed by this pass.
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.physical_before.saturating_sub(self.physical_after)
+    }
+
+    /// Fraction of the pre-GC footprint reclaimed, in `[0, 1]`.
+    pub fn reclaim_fraction(&self) -> f64 {
+        if self.physical_before == 0 {
+            return 0.0;
+        }
+        self.reclaimed_bytes() as f64 / self.physical_before as f64
+    }
+}
+
+/// Aggregate store observability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreReport {
+    /// Distinct chunks stored.
+    pub chunk_count: usize,
+    /// Resident segments.
+    pub segment_count: usize,
+    /// Bytes resident in segments (live + dead-not-yet-reclaimed).
+    pub physical_bytes: u64,
+    /// Bytes referenced by live chunks.
+    pub live_bytes: u64,
+    /// Bytes offered to the store across all puts (before dedup).
+    pub logical_bytes: u64,
+    /// Puts that deduplicated.
+    pub dedup_hits: u64,
+    /// Streams with at least one live snapshot.
+    pub streams: usize,
+    /// Live snapshots across all streams.
+    pub snapshots: usize,
+    /// GC passes run.
+    pub gc_runs: u64,
+    /// Cumulative chunks freed by GC.
+    pub freed_chunks_total: u64,
+    /// Cumulative payload bytes freed by GC.
+    pub freed_bytes_total: u64,
+}
+
+impl StoreReport {
+    /// Dedup ratio: logical / physical (1.0 = no savings).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            return 1.0;
+        }
+        self.logical_bytes as f64 / self.physical_bytes as f64
+    }
+
+    /// Live fraction of the resident footprint, in `[0, 1]`.
+    pub fn live_fraction(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            return 1.0;
+        }
+        self.live_bytes as f64 / self.physical_bytes as f64
+    }
+}
+
+/// Per-stream snapshot state.
+#[derive(Debug, Clone, Default)]
+struct StreamState {
+    next_generation: u64,
+    snapshots: BTreeMap<u64, SnapshotManifest>,
+}
+
+/// A versioned content-addressed chunk store.
+///
+/// Chunk payloads are packed into fixed-size segments
+/// (the internal segment log); a sharded [`ChunkIndex`] maps each digest to its
+/// (segment, offset, length). On top of the flat store sit
+/// **snapshots**: per-stream, per-generation [`SnapshotManifest`]s
+/// recording the ordered chunk recipe of that generation.
+/// [`restore`](ChunkStore::restore) reassembles any live generation and
+/// verifies every payload against its digest;
+/// [`expire`](ChunkStore::expire) drops old generations; and
+/// [`gc`](ChunkStore::gc) mark-and-sweeps unreferenced chunks, then
+/// compacts segments below the configured liveness threshold.
+///
+/// Storing the same content twice keeps one copy — the dedup behaviour
+/// every byte of Inc-HDFS and the backup site relies on.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_hash::sha256;
+/// use shredder_store::ChunkStore;
+///
+/// let mut store = ChunkStore::new();
+/// let d = store.put(b"hello".as_slice().into());
+/// assert_eq!(d, sha256(b"hello"));
+/// store.put(b"hello".as_slice().into()); // dedup: no growth
+/// assert_eq!(store.physical_bytes(), 5);
+/// assert_eq!(store.logical_bytes(), 10);
+/// ```
+///
+/// Snapshots, restore and GC:
+///
+/// ```
+/// use shredder_store::ChunkStore;
+///
+/// let mut store = ChunkStore::new();
+/// let a = store.put(b"generation one".as_slice().into());
+/// let g0 = store.commit_snapshot("vm", &[(a, 14)]).unwrap();
+/// let b = store.put(b"generation two".as_slice().into());
+/// let g1 = store.commit_snapshot("vm", &[(b, 14)]).unwrap();
+///
+/// assert_eq!(store.restore("vm", g0).unwrap(), b"generation one");
+/// store.expire("vm", g0);
+/// let gc = store.gc();
+/// assert_eq!(gc.freed_chunks, 1); // generation one's chunk
+/// assert_eq!(store.restore("vm", g1).unwrap(), b"generation two");
+/// assert!(store.restore("vm", g0).is_err()); // expired
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkStore {
+    config: StoreConfig,
+    log: SegmentLog,
+    index: ChunkIndex<ChunkLoc>,
+    streams: BTreeMap<String, StreamState>,
+    logical_bytes: u64,
+    dedup_hits: u64,
+    gc_runs: u64,
+    freed_chunks_total: u64,
+    freed_bytes_total: u64,
+}
+
+impl ChunkStore {
+    /// Creates an empty store with the default configuration.
+    pub fn new() -> Self {
+        ChunkStore::with_config(StoreConfig::default())
+    }
+
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_bytes` is zero or exceeds 4 GiB (chunk
+    /// locations are 32-bit), `gc_threshold` is outside `[0, 1]`, or
+    /// `retention` is `Some(0)` (which would expire a snapshot the
+    /// moment it opens).
+    pub fn with_config(config: StoreConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.gc_threshold),
+            "gc threshold must be within [0, 1]"
+        );
+        assert!(
+            config.retention != Some(0),
+            "retention of 0 generations would expire every snapshot at open"
+        );
+        ChunkStore {
+            log: SegmentLog::new(config.segment_bytes),
+            config,
+            index: ChunkIndex::new(),
+            streams: BTreeMap::new(),
+            logical_bytes: 0,
+            dedup_hits: 0,
+            gc_runs: 0,
+            freed_chunks_total: 0,
+            freed_bytes_total: 0,
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Stores a chunk, returning its digest. Duplicate content is
+    /// detected by digest and not stored again.
+    pub fn put(&mut self, data: Bytes) -> Digest {
+        let digest = sha256(&data);
+        self.put_with_digest(digest, data);
+        digest
+    }
+
+    /// Stores a chunk under a pre-computed digest (the common path: the
+    /// Store thread already hashed the chunk).
+    ///
+    /// Returns `true` if the chunk was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `digest` does not match the data.
+    pub fn put_with_digest(&mut self, digest: Digest, data: Bytes) -> bool {
+        self.put_slice(digest, &data)
+    }
+
+    /// [`put_with_digest`](Self::put_with_digest) from a borrowed slice:
+    /// the payload is only copied (into the segment log) when the chunk
+    /// is new, so dedup hits on the hot ingest path allocate nothing.
+    ///
+    /// Returns `true` if the chunk was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `digest` does not match the data.
+    pub fn put_slice(&mut self, digest: Digest, data: &[u8]) -> bool {
+        debug_assert_eq!(digest, sha256(data), "digest mismatch");
+        self.logical_bytes += data.len() as u64;
+        if self.index.contains(&digest) {
+            self.dedup_hits += 1;
+            return false;
+        }
+        let loc = self.log.append(data);
+        self.index.insert(digest, loc);
+        true
+    }
+
+    /// Fetches a chunk by digest, copying it out as owned [`Bytes`].
+    /// Read paths that only need to look at (or append from) the
+    /// payload should prefer the copy-free
+    /// [`read_chunk`](Self::read_chunk).
+    pub fn get(&self, digest: &Digest) -> Option<Bytes> {
+        self.read_chunk(digest).map(Bytes::copy_from_slice)
+    }
+
+    /// Borrowed, copy-free read of a chunk payload straight from the
+    /// segment log.
+    pub fn read_chunk(&self, digest: &Digest) -> Option<&[u8]> {
+        let loc = *self.index.get(digest)?;
+        self.log.read(loc)
+    }
+
+    /// True if the digest is stored.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.index.contains(digest)
+    }
+
+    /// Number of distinct chunks stored.
+    pub fn chunk_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Bytes resident in segments (live chunks plus dead bytes GC has
+    /// not yet reclaimed). Before any expiry this equals the deduped
+    /// chunk bytes.
+    pub fn physical_bytes(&self) -> u64 {
+        self.log.resident_bytes()
+    }
+
+    /// Bytes referenced by live chunks.
+    pub fn live_bytes(&self) -> u64 {
+        self.log.live_bytes()
+    }
+
+    /// Bytes offered to the store (before dedup).
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Number of puts that deduplicated.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Dedup ratio: logical / physical (1.0 = no savings).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.physical_bytes() == 0 {
+            return 1.0;
+        }
+        self.logical_bytes as f64 / self.physical_bytes() as f64
+    }
+
+    /// Resident segment count.
+    pub fn segment_count(&self) -> usize {
+        self.log.segment_count()
+    }
+
+    // ----- Snapshots -----
+
+    /// Opens a new (growable) snapshot for `stream`, returning its
+    /// generation number. Chunks are attached with
+    /// [`append_chunk`](Self::append_chunk); the manifest is live — and
+    /// a GC root — from this moment. A configured
+    /// [`retention`](StoreConfig::retention) is enforced here: opening
+    /// generation `k` expires everything older than the latest `n`
+    /// (the new, in-progress snapshot counts as one of the `n`).
+    pub fn open_snapshot(&mut self, stream: &str) -> u64 {
+        let retention = self.config.retention;
+        let state = self.streams.entry(stream.to_string()).or_default();
+        let generation = state.next_generation;
+        state.next_generation += 1;
+        state
+            .snapshots
+            .insert(generation, SnapshotManifest::new(stream, generation));
+        if let Some(keep) = retention {
+            Self::trim_stream(state, keep);
+        }
+        generation
+    }
+
+    /// Drops a stream's oldest snapshots until at most `keep` remain.
+    fn trim_stream(state: &mut StreamState, keep: u64) -> usize {
+        let mut dropped = 0;
+        while state.snapshots.len() as u64 > keep {
+            let oldest = *state.snapshots.keys().next().expect("non-empty");
+            state.snapshots.remove(&oldest);
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Appends one chunk reference to an open snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] / [`StoreError::UnknownGeneration`]
+    /// for a bad handle, [`StoreError::MissingChunk`] if the chunk is
+    /// not stored, and [`StoreError::CorruptChunk`] if `len` contradicts
+    /// the stored payload length.
+    pub fn append_chunk(
+        &mut self,
+        stream: &str,
+        generation: u64,
+        digest: Digest,
+        len: usize,
+    ) -> Result<(), StoreError> {
+        let loc = *self
+            .index
+            .get(&digest)
+            .ok_or(StoreError::MissingChunk(digest))?;
+        if loc.byte_len() != len as u64 {
+            return Err(StoreError::CorruptChunk(digest));
+        }
+        let manifest = self
+            .streams
+            .get_mut(stream)
+            .ok_or_else(|| StoreError::UnknownStream(stream.to_string()))?
+            .snapshots
+            .get_mut(&generation)
+            .ok_or_else(|| StoreError::UnknownGeneration {
+                stream: stream.to_string(),
+                generation,
+            })?;
+        manifest.entries.push(ManifestEntry {
+            digest,
+            len: len as u32,
+        });
+        Ok(())
+    }
+
+    /// Commits a whole recipe as one new generation of `stream`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingChunk`] / [`StoreError::CorruptChunk`] if
+    /// any reference is invalid; the snapshot is not created in that
+    /// case.
+    pub fn commit_snapshot(
+        &mut self,
+        stream: &str,
+        recipe: &[(Digest, usize)],
+    ) -> Result<u64, StoreError> {
+        // Validate first so a bad recipe leaves no half-committed state.
+        for &(digest, len) in recipe {
+            let loc = self
+                .index
+                .get(&digest)
+                .ok_or(StoreError::MissingChunk(digest))?;
+            if loc.byte_len() != len as u64 {
+                return Err(StoreError::CorruptChunk(digest));
+            }
+        }
+        let generation = self.open_snapshot(stream);
+        let manifest = self
+            .streams
+            .get_mut(stream)
+            .expect("stream just opened")
+            .snapshots
+            .get_mut(&generation)
+            .expect("snapshot just opened");
+        manifest
+            .entries
+            .extend(recipe.iter().map(|&(digest, len)| ManifestEntry {
+                digest,
+                len: len as u32,
+            }));
+        Ok(generation)
+    }
+
+    /// The manifest of one live generation.
+    pub fn manifest(&self, stream: &str, generation: u64) -> Option<&SnapshotManifest> {
+        self.streams.get(stream)?.snapshots.get(&generation)
+    }
+
+    /// Live generation numbers of a stream, ascending.
+    pub fn generations(&self, stream: &str) -> Vec<u64> {
+        self.streams
+            .get(stream)
+            .map(|s| s.snapshots.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Stream names with at least one live snapshot, sorted.
+    pub fn stream_names(&self) -> Vec<&str> {
+        self.streams
+            .iter()
+            .filter(|(_, s)| !s.snapshots.is_empty())
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// Live snapshots across all streams.
+    pub fn snapshot_count(&self) -> usize {
+        self.streams.values().map(|s| s.snapshots.len()).sum()
+    }
+
+    // ----- Restore -----
+
+    /// Reassembles one live generation, verifying every chunk payload
+    /// against its recorded digest and length — the read-back integrity
+    /// path a computational-storage deployment must exercise.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] / [`StoreError::UnknownGeneration`]
+    /// for dead handles (including expired generations),
+    /// [`StoreError::MissingChunk`] if a referenced chunk is gone, and
+    /// [`StoreError::CorruptChunk`] if a payload fails verification.
+    pub fn restore(&self, stream: &str, generation: u64) -> Result<Vec<u8>, StoreError> {
+        let manifest = self
+            .streams
+            .get(stream)
+            .ok_or_else(|| StoreError::UnknownStream(stream.to_string()))?
+            .snapshots
+            .get(&generation)
+            .ok_or_else(|| StoreError::UnknownGeneration {
+                stream: stream.to_string(),
+                generation,
+            })?;
+        let mut out = Vec::with_capacity(manifest.logical_bytes() as usize);
+        for entry in &manifest.entries {
+            let loc = *self
+                .index
+                .get(&entry.digest)
+                .ok_or(StoreError::MissingChunk(entry.digest))?;
+            let payload = self
+                .log
+                .read(loc)
+                .ok_or(StoreError::MissingChunk(entry.digest))?;
+            if payload.len() != entry.len as usize || sha256(payload) != entry.digest {
+                return Err(StoreError::CorruptChunk(entry.digest));
+            }
+            out.extend_from_slice(payload);
+        }
+        Ok(out)
+    }
+
+    // ----- Expiry and GC -----
+
+    /// Expires every generation of `stream` up to and including
+    /// `through`. Returns how many snapshots were dropped. The chunk
+    /// payloads stay resident until [`gc`](Self::gc) runs.
+    pub fn expire(&mut self, stream: &str, through: u64) -> usize {
+        let Some(state) = self.streams.get_mut(stream) else {
+            return 0;
+        };
+        let keep = state.snapshots.split_off(&(through + 1));
+        let dropped = state.snapshots.len();
+        state.snapshots = keep;
+        dropped
+    }
+
+    /// Applies the configured retention policy to every stream: keeps
+    /// only the latest `retention` generations. Retention is already
+    /// enforced on [`open_snapshot`](Self::open_snapshot); this entry
+    /// point re-applies it across all streams (e.g. after lowering the
+    /// policy on a long-lived store). Returns how many snapshots
+    /// expired. A `retention` of `None` keeps everything.
+    pub fn apply_retention(&mut self) -> usize {
+        let Some(keep) = self.config.retention else {
+            return 0;
+        };
+        self.streams
+            .values_mut()
+            .map(|state| Self::trim_stream(state, keep))
+            .sum()
+    }
+
+    /// Mark-and-sweep garbage collection with segment compaction.
+    ///
+    /// *Mark*: every digest referenced by any live manifest is live.
+    /// *Sweep*: unreferenced chunks leave the index and their segment's
+    /// live count. *Compact*: sealed segments whose live fraction fell
+    /// below [`StoreConfig::gc_threshold`] get their survivors rewritten
+    /// to the log head and are retired, reclaiming their bytes.
+    ///
+    /// The sweep is deterministic (processed in digest order), so two
+    /// identical stores produce identical [`GcReport`]s.
+    pub fn gc(&mut self) -> GcReport {
+        let physical_before = self.log.resident_bytes();
+
+        // Mark.
+        let mut live: HashSet<Digest> = HashSet::new();
+        for state in self.streams.values() {
+            for manifest in state.snapshots.values() {
+                for entry in &manifest.entries {
+                    live.insert(entry.digest);
+                }
+            }
+        }
+
+        // Sweep, in digest order for determinism.
+        let mut dead: Vec<(Digest, ChunkLoc)> = self
+            .index
+            .iter()
+            .filter(|(d, _)| !live.contains(d))
+            .map(|(d, loc)| (*d, *loc))
+            .collect();
+        dead.sort_by_key(|(d, _)| *d);
+        let mut freed_bytes = 0u64;
+        let mut freed_digests = Vec::with_capacity(dead.len());
+        for (digest, loc) in dead {
+            self.index.remove(&digest);
+            self.log.mark_dead(loc);
+            freed_bytes += loc.byte_len();
+            freed_digests.push(digest);
+        }
+
+        // Compact segments below the liveness threshold (fully-dead
+        // segments always qualify — retiring them is free even when
+        // compaction proper is disabled at threshold 0.0). The open
+        // append target is sealed first when the sweep left it mostly
+        // dead, so its bytes are reclaimable too. Survivors move to the
+        // log head; then the segment retires wholesale.
+        if self
+            .log
+            .wants_compaction(self.log.current_segment(), self.config.gc_threshold)
+        {
+            self.log.seal_current();
+        }
+        let victims = self.log.compaction_victims(self.config.gc_threshold);
+        let mut moved_bytes = 0u64;
+        if !victims.is_empty() {
+            let victim_set: HashSet<u32> = victims.iter().map(|&v| v as u32).collect();
+            let mut survivors: Vec<(Digest, ChunkLoc)> = self
+                .index
+                .iter()
+                .filter(|(_, loc)| victim_set.contains(&loc.segment))
+                .map(|(d, loc)| (*d, *loc))
+                .collect();
+            survivors.sort_by_key(|(d, _)| *d);
+            for (digest, loc) in survivors {
+                let payload = self
+                    .log
+                    .read(loc)
+                    .expect("survivor payload resident")
+                    .to_vec();
+                let new_loc = self.log.append(&payload);
+                self.log.mark_dead(loc);
+                *self.index.get_mut(&digest).expect("survivor indexed") = new_loc;
+                moved_bytes += loc.byte_len();
+            }
+            for &victim in &victims {
+                self.log.retire(victim);
+            }
+        }
+
+        self.gc_runs += 1;
+        self.freed_chunks_total += freed_digests.len() as u64;
+        self.freed_bytes_total += freed_bytes;
+        GcReport {
+            freed_chunks: freed_digests.len(),
+            freed_bytes,
+            freed_digests,
+            compacted_segments: victims.len(),
+            moved_bytes,
+            physical_before,
+            physical_after: self.log.resident_bytes(),
+        }
+    }
+
+    /// The aggregate store report.
+    pub fn report(&self) -> StoreReport {
+        StoreReport {
+            chunk_count: self.index.len(),
+            segment_count: self.log.segment_count(),
+            physical_bytes: self.physical_bytes(),
+            live_bytes: self.live_bytes(),
+            logical_bytes: self.logical_bytes,
+            dedup_hits: self.dedup_hits,
+            streams: self
+                .streams
+                .values()
+                .filter(|s| !s.snapshots.is_empty())
+                .count(),
+            snapshots: self.snapshot_count(),
+            gc_runs: self.gc_runs,
+            freed_chunks_total: self.freed_chunks_total,
+            freed_bytes_total: self.freed_bytes_total,
+        }
+    }
+}
+
+impl Default for ChunkStore {
+    fn default() -> Self {
+        ChunkStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize, seed: u8) -> Bytes {
+        let v: Vec<u8> = (0..len)
+            .map(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed))
+            .collect();
+        v.into()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = ChunkStore::new();
+        let d = s.put(Bytes::from_static(b"abc"));
+        assert_eq!(s.get(&d).unwrap(), Bytes::from_static(b"abc"));
+        assert!(s.contains(&d));
+        assert_eq!(s.chunk_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_content_stored_once() {
+        let mut s = ChunkStore::new();
+        let d1 = s.put(Bytes::from_static(b"same"));
+        let d2 = s.put(Bytes::from_static(b"same"));
+        assert_eq!(d1, d2);
+        assert_eq!(s.chunk_count(), 1);
+        assert_eq!(s.physical_bytes(), 4);
+        assert_eq!(s.logical_bytes(), 8);
+        assert_eq!(s.dedup_hits(), 1);
+        assert!((s.dedup_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_digest_returns_none() {
+        let s = ChunkStore::new();
+        assert!(s.get(&Digest::ZERO).is_none());
+        assert!(!s.contains(&Digest::ZERO));
+        assert_eq!(s.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn snapshot_commit_and_restore_verified() {
+        let mut s = ChunkStore::new();
+        let a = payload(1000, 3);
+        let b = payload(500, 7);
+        let da = s.put(a.clone());
+        let db = s.put(b.clone());
+        let gen = s
+            .commit_snapshot("vm", &[(da, a.len()), (db, b.len()), (da, a.len())])
+            .unwrap();
+        let mut expected = a.to_vec();
+        expected.extend_from_slice(&b);
+        expected.extend_from_slice(&a);
+        assert_eq!(s.restore("vm", gen).unwrap(), expected);
+        assert_eq!(s.manifest("vm", gen).unwrap().chunk_count(), 3);
+        assert_eq!(
+            s.manifest("vm", gen).unwrap().logical_bytes(),
+            expected.len() as u64
+        );
+    }
+
+    #[test]
+    fn commit_rejects_bad_recipes_atomically() {
+        let mut s = ChunkStore::new();
+        let d = s.put(payload(100, 1));
+        assert_eq!(
+            s.commit_snapshot("vm", &[(d, 100), (Digest::ZERO, 5)]),
+            Err(StoreError::MissingChunk(Digest::ZERO))
+        );
+        assert_eq!(
+            s.commit_snapshot("vm", &[(d, 99)]),
+            Err(StoreError::CorruptChunk(d))
+        );
+        assert!(s.generations("vm").is_empty(), "no half-committed snapshot");
+        // Next successful commit still starts at generation 0.
+        assert_eq!(s.commit_snapshot("vm", &[(d, 100)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn open_snapshot_grows_incrementally() {
+        let mut s = ChunkStore::new();
+        let a = payload(64, 2);
+        let da = s.put(a.clone());
+        let gen = s.open_snapshot("images");
+        s.append_chunk("images", gen, da, a.len()).unwrap();
+        s.append_chunk("images", gen, da, a.len()).unwrap();
+        let mut expected = a.to_vec();
+        expected.extend_from_slice(&a);
+        assert_eq!(s.restore("images", gen).unwrap(), expected);
+        assert_eq!(
+            s.append_chunk("images", 9, da, a.len()),
+            Err(StoreError::UnknownGeneration {
+                stream: "images".into(),
+                generation: 9
+            })
+        );
+        assert!(matches!(
+            s.append_chunk("nope", gen, da, a.len()),
+            Err(StoreError::MissingChunk(_)) | Err(StoreError::UnknownStream(_))
+        ));
+    }
+
+    #[test]
+    fn restore_errors_on_unknown_handles() {
+        let s = ChunkStore::new();
+        assert_eq!(
+            s.restore("vm", 0),
+            Err(StoreError::UnknownStream("vm".into()))
+        );
+    }
+
+    #[test]
+    fn expire_then_gc_reclaims_unique_chunks() {
+        let mut s = ChunkStore::with_config(StoreConfig {
+            segment_bytes: 256,
+            gc_threshold: 0.6,
+            retention: None,
+        });
+        let shared = payload(128, 5);
+        let only_old = payload(128, 6);
+        let only_new = payload(128, 7);
+        let ds = s.put(shared.clone());
+        let dold = s.put(only_old.clone());
+        let g0 = s.commit_snapshot("vm", &[(ds, 128), (dold, 128)]).unwrap();
+        let dnew = s.put(only_new.clone());
+        let g1 = s.commit_snapshot("vm", &[(ds, 128), (dnew, 128)]).unwrap();
+
+        assert_eq!(s.expire("vm", g0), 1);
+        let gc = s.gc();
+        assert_eq!(gc.freed_chunks, 1);
+        assert_eq!(gc.freed_bytes, 128);
+        assert_eq!(gc.freed_digests, vec![dold]);
+        assert!(gc.reclaimed_bytes() >= 128, "{gc:?}");
+        assert!(!s.contains(&dold));
+        assert!(s.contains(&ds));
+
+        // The live generation still restores, fully verified.
+        let mut expected = shared.to_vec();
+        expected.extend_from_slice(&only_new);
+        assert_eq!(s.restore("vm", g1).unwrap(), expected);
+        assert!(matches!(
+            s.restore("vm", g0),
+            Err(StoreError::UnknownGeneration { .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_rewrites_survivors_and_retires_segments() {
+        // Small segments: each holds two 100-byte chunks.
+        let mut s = ChunkStore::with_config(StoreConfig {
+            segment_bytes: 200,
+            gc_threshold: 0.6,
+            retention: None,
+        });
+        let chunks: Vec<(Digest, Bytes)> = (0..6u8)
+            .map(|i| {
+                let p = payload(100, 10 + i);
+                (s.put(p.clone()), p)
+            })
+            .collect();
+        let recipe: Vec<(Digest, usize)> = chunks.iter().map(|(d, p)| (*d, p.len())).collect();
+        let g0 = s.commit_snapshot("vm", &recipe).unwrap();
+        // Keep only chunks 0 and 2 live in a second generation.
+        let g1 = s.commit_snapshot("vm", &[recipe[0], recipe[2]]).unwrap();
+        s.expire("vm", g0);
+
+        let physical_before = s.physical_bytes();
+        assert_eq!(physical_before, 600);
+        let gc = s.gc();
+        assert_eq!(gc.freed_chunks, 4);
+        assert_eq!(gc.freed_bytes, 400);
+        // Chunks 0 and 2 lived in half-dead segments: both rewritten.
+        assert!(gc.compacted_segments >= 1, "{gc:?}");
+        assert_eq!(s.live_bytes(), 200);
+        assert_eq!(s.physical_bytes(), s.live_bytes(), "fully compacted");
+        assert!(gc.reclaimed_bytes() == 400, "{gc:?}");
+
+        // Rewritten chunks still restore bit-identical.
+        let mut expected = chunks[0].1.to_vec();
+        expected.extend_from_slice(&chunks[2].1);
+        assert_eq!(s.restore("vm", g1).unwrap(), expected);
+    }
+
+    #[test]
+    fn threshold_zero_still_retires_fully_dead_segments() {
+        // The documented contract: 0.0 disables compaction proper, but
+        // fully-dead segments are still retired (retiring costs no
+        // moves). Regression: strict `< 0.0` used to keep them forever.
+        let mut s = ChunkStore::with_config(StoreConfig {
+            segment_bytes: 64,
+            gc_threshold: 0.0,
+            retention: None,
+        });
+        let half_live: Vec<(Digest, usize)> =
+            (0..2u8).map(|i| (s.put(payload(64, 40 + i)), 64)).collect();
+        let g0 = s.commit_snapshot("vm", &half_live).unwrap();
+        let g1 = s.commit_snapshot("vm", &half_live[..1]).unwrap();
+        s.expire("vm", g0);
+
+        let gc = s.gc();
+        assert_eq!(gc.freed_chunks, 1);
+        // The fully-dead segment retired; the half-live one did not
+        // (no compaction at threshold 0.0).
+        assert_eq!(gc.compacted_segments, 1);
+        assert_eq!(gc.moved_bytes, 0, "threshold 0.0 never moves chunks");
+        assert_eq!(gc.reclaimed_bytes(), 64);
+        assert_eq!(s.restore("vm", g1).unwrap(), payload(64, 40).to_vec());
+    }
+
+    #[test]
+    fn put_slice_matches_put_with_digest() {
+        let mut s = ChunkStore::new();
+        let data = payload(128, 3);
+        let digest = sha256(&data);
+        assert!(s.put_slice(digest, &data));
+        assert!(!s.put_slice(digest, &data));
+        assert!(!s.put_with_digest(digest, data.clone()));
+        assert_eq!(s.dedup_hits(), 2);
+        assert_eq!(s.logical_bytes(), 384);
+        assert_eq!(s.physical_bytes(), 128);
+        assert_eq!(s.get(&digest).unwrap(), data);
+    }
+
+    #[test]
+    fn retention_expires_old_generations_automatically() {
+        let mut s = ChunkStore::with_config(StoreConfig {
+            retention: Some(2),
+            ..StoreConfig::default()
+        });
+        let d = s.put(payload(50, 1));
+        for _ in 0..5 {
+            s.commit_snapshot("vm", &[(d, 50)]).unwrap();
+        }
+        // Retention was enforced at every commit: only the latest two
+        // generations survive, with no explicit apply call.
+        assert_eq!(s.generations("vm"), vec![3, 4]);
+        assert_eq!(s.apply_retention(), 0, "already within policy");
+        // Chunk still referenced: GC frees nothing.
+        let gc = s.gc();
+        assert_eq!(gc.freed_chunks, 0);
+        assert!(s.contains(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "retention of 0")]
+    fn zero_retention_panics() {
+        let _ = ChunkStore::with_config(StoreConfig {
+            retention: Some(0),
+            ..StoreConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "4 GiB")]
+    fn oversized_segment_config_panics() {
+        let _ = ChunkStore::with_config(StoreConfig {
+            segment_bytes: (u32::MAX as usize) + 1,
+            ..StoreConfig::default()
+        });
+    }
+
+    #[test]
+    fn read_chunk_borrows_without_copy() {
+        let mut s = ChunkStore::new();
+        let data = payload(64, 9);
+        let d = s.put(data.clone());
+        assert_eq!(s.read_chunk(&d).unwrap(), &data[..]);
+        assert!(s.read_chunk(&Digest::ZERO).is_none());
+    }
+
+    #[test]
+    fn gc_is_deterministic() {
+        let build = || {
+            let mut s = ChunkStore::with_config(StoreConfig {
+                segment_bytes: 300,
+                gc_threshold: 0.7,
+                retention: None,
+            });
+            let recipe: Vec<(Digest, usize)> = (0..20u8)
+                .map(|i| (s.put(payload(60 + i as usize, i)), 60 + i as usize))
+                .collect();
+            s.commit_snapshot("vm", &recipe).unwrap();
+            s.commit_snapshot("vm", &recipe[..5]).unwrap();
+            s.expire("vm", 0);
+            s
+        };
+        let mut a = build();
+        let mut b = build();
+        let ra = a.gc();
+        let rb = b.gc();
+        assert_eq!(ra, rb);
+        assert_eq!(a.restore("vm", 1).unwrap(), b.restore("vm", 1).unwrap());
+    }
+
+    #[test]
+    fn report_accounts_everything() {
+        let mut s = ChunkStore::new();
+        let d = s.put(payload(100, 1));
+        s.put(payload(100, 1));
+        s.commit_snapshot("a", &[(d, 100)]).unwrap();
+        s.commit_snapshot("b", &[(d, 100)]).unwrap();
+        let r = s.report();
+        assert_eq!(r.chunk_count, 1);
+        assert_eq!(r.physical_bytes, 100);
+        assert_eq!(r.logical_bytes, 200);
+        assert_eq!(r.dedup_hits, 1);
+        assert_eq!(r.streams, 2);
+        assert_eq!(r.snapshots, 2);
+        assert_eq!(r.gc_runs, 0);
+        assert!((r.dedup_ratio() - 2.0).abs() < 1e-9);
+        assert_eq!(r.live_fraction(), 1.0);
+
+        s.expire("a", 0);
+        s.expire("b", 0);
+        let gc = s.gc();
+        assert_eq!(gc.freed_chunks, 1);
+        let r = s.report();
+        assert_eq!(r.streams, 0);
+        assert_eq!(r.gc_runs, 1);
+        assert_eq!(r.freed_chunks_total, 1);
+        assert_eq!(r.freed_bytes_total, 100);
+        assert_eq!(r.physical_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn bad_threshold_panics() {
+        let _ = ChunkStore::with_config(StoreConfig {
+            gc_threshold: 1.5,
+            ..StoreConfig::default()
+        });
+    }
+}

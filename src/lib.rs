@@ -28,6 +28,12 @@
 //!   utilization + overlap reporting), the single-stream
 //!   [`Shredder`](core::Shredder) convenience, and the host-only
 //!   pthreads baseline.
+//! * [`store`] — the versioned content-addressed chunk store: a
+//!   segment-packed payload log behind one shared fingerprint index,
+//!   first-class snapshots (per-stream generations), digest-verified
+//!   restore, and mark-and-sweep GC with segment compaction. Fed
+//!   in-simulation by [`core::StoreSink`]; the Inc-HDFS DataNodes and
+//!   the backup site are its clients.
 //! * [`workloads`] — seeded data/trace generators (mutations, VM images,
 //!   record datasets).
 //! * [`hdfs`] — Inc-HDFS: content-defined chunking for HDFS-style
@@ -109,4 +115,5 @@ pub use shredder_hash as hash;
 pub use shredder_hdfs as hdfs;
 pub use shredder_mapreduce as mapreduce;
 pub use shredder_rabin as rabin;
+pub use shredder_store as store;
 pub use shredder_workloads as workloads;
