@@ -20,8 +20,9 @@ use std::rc::Rc;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use shredder_core::{
-    ChunkError, ChunkVerdict, ChunkingService, DedupSink, DedupSinkConfig, EngineReport, Shredder,
-    ShredderEngine, SinkPipelineHints, SliceSource,
+    AdmissionControl, ChunkError, ChunkRequest, ChunkVerdict, ChunkingService, DedupSink,
+    DedupSinkConfig, EngineReport, ServiceReport, Shredder, ShredderEngine, ShredderService,
+    SinkPipelineHints, SliceSource, TenantClass, Workload,
 };
 use shredder_des::Dur;
 
@@ -80,6 +81,46 @@ pub struct BatchBackupReport {
     pub index_lookups: u64,
     /// Cumulative dedup-index hits (duplicates found) after this batch.
     pub index_hits: u64,
+}
+
+/// Outcome of serving a stream of backup requests through the online
+/// service frontend ([`BackupServer::backup_service`]).
+#[derive(Debug)]
+pub struct ServiceBackupReport {
+    /// Per-image outcomes, in submission order. Shed requests carry
+    /// [`ChunkError::Overloaded`]; nothing of theirs was hashed,
+    /// deduplicated or stored.
+    pub reports: Vec<Result<BackupReport, ChunkError>>,
+    /// The shared engine report;
+    /// [`EngineReport::service`] holds the offered/achieved load, the
+    /// admission queue-depth timeline and per-class latency
+    /// percentiles.
+    pub engine: EngineReport,
+    /// Cumulative dedup-index lookups on the server after this run.
+    pub index_lookups: u64,
+    /// Cumulative dedup-index hits after this run.
+    pub index_hits: u64,
+}
+
+impl ServiceBackupReport {
+    /// The service-level report (offered vs. achieved req/s and Gbps,
+    /// queue depth, latency percentiles).
+    pub fn service(&self) -> &ServiceReport {
+        self.engine
+            .service
+            .as_ref()
+            .expect("service runs always carry a ServiceReport")
+    }
+
+    /// Images that completed.
+    pub fn completed(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Images shed by admission control.
+    pub fn shed(&self) -> usize {
+        self.reports.len() - self.completed()
+    }
 }
 
 impl BatchBackupReport {
@@ -175,6 +216,13 @@ impl BackupServer {
 
     /// The server's consumer graph configuration: hash → dedup → ship at
     /// the §7.3 stage rates, batched at the server's buffer size.
+    ///
+    /// Note: the `intake_bw` hint only matters on the legacy
+    /// engine-less paths ([`backup_image`](Self::backup_image) with a
+    /// non-engine service). The request path
+    /// ([`backup_service`](Self::backup_service)) models the per-site
+    /// ingest cap as a [`TenantClass`] bandwidth limit instead — the
+    /// hint is kept for compatibility but deprecated in favor of it.
     fn sink_config(&self) -> DedupSinkConfig {
         DedupSinkConfig {
             hash_bw: self.config.hash_bw,
@@ -265,6 +313,101 @@ impl BackupServer {
             ));
         }
         Ok(BatchBackupReport {
+            reports,
+            engine: outcome.report,
+            index_lookups: self.index.borrow().lookups(),
+            index_hits: self.index.borrow().hits(),
+        })
+    }
+
+    /// Serves a stream of backup requests through the **online service
+    /// frontend**: images arrive inside the simulation according to
+    /// `workload` (Poisson open loop, closed loop, trace replay, or
+    /// batch), pass through the bounded admission queue of `control`,
+    /// and may be shed with [`ChunkError::Overloaded`] under overload.
+    ///
+    /// The per-site ingest cap (§7.3's 10 Gbps image source) is modeled
+    /// as a [`TenantClass`] bandwidth limit on the `"site"` class — the
+    /// first-class replacement for the ad-hoc
+    /// [`SinkPipelineHints::intake_bw`] hint and the reader-capping
+    /// plumbing of [`backup_batch`](Self::backup_batch) (both still
+    /// work, but are deprecated in favor of this path).
+    ///
+    /// A shed request touches nothing: its image is not hashed, its
+    /// fingerprints never enter the index, and the site stores no
+    /// payloads for it — accepted images' chunk streams are
+    /// bit-identical to a run without the shed traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkError`] if the engine rejects the configuration or a
+    /// kernel launch fails; no image is stored in that case. Per-image
+    /// `Overloaded` rejections come back inside the report instead.
+    pub fn backup_service(
+        &mut self,
+        images: &[&[u8]],
+        shredder: &Shredder,
+        workload: &Workload,
+        control: AdmissionControl,
+    ) -> Result<ServiceBackupReport, ChunkError> {
+        let mut sinks: Vec<DedupSink> = images
+            .iter()
+            .map(|_| DedupSink::new(self.sink_config(), self.index.clone()))
+            .collect();
+        let outcome = {
+            let mut service =
+                ShredderService::new(shredder.config().clone()).with_admission(control);
+            service.define_class(TenantClass::new("site").with_ingest_bw(self.config.ingest_bw));
+            for (i, (image, sink)) in images.iter().zip(sinks.iter_mut()).enumerate() {
+                service.submit(
+                    ChunkRequest::new(SliceSource::new(image))
+                        .named(format!("site-{i}"))
+                        .with_class("site")
+                        .with_sink(sink),
+                );
+            }
+            service.run(workload)?
+        };
+
+        // Commit completed images in *dispatch* order — the order their
+        // sinks deduplicated against the shared index — so a pointer
+        // never precedes the chunk it references.
+        let service_report = outcome
+            .report
+            .service
+            .as_ref()
+            .expect("service runs always carry a ServiceReport");
+        let mut admitted: Vec<usize> = service_report
+            .requests
+            .iter()
+            .filter(|r| r.done.is_some())
+            .map(|r| r.id)
+            .collect();
+        admitted.sort_by_key(|&i| (service_report.requests[i].admit, i));
+
+        let mut sinks: Vec<Option<DedupSink>> = sinks.into_iter().map(Some).collect();
+        let mut reports: Vec<Result<BackupReport, ChunkError>> = outcome
+            .requests
+            .iter()
+            .map(|r| match &r.outcome {
+                Ok(_) => Err(ChunkError::InvalidConfig("pending commit".into())),
+                Err(e) => Err(e.clone()),
+            })
+            .collect();
+        for &i in &admitted {
+            let sink = sinks[i].take().expect("each request commits once");
+            let per = &outcome.report.sessions[i];
+            let chunking_time = per
+                .timeline
+                .last()
+                .map(|t| t.store_end.saturating_since(per.first_admit))
+                .unwrap_or(Dur::ZERO);
+            let latency = service_report.requests[i].latency().unwrap_or(per.makespan);
+            reports[i] =
+                Ok(self.commit_image(images[i], &sink.into_verdicts(), chunking_time, latency));
+        }
+
+        Ok(ServiceBackupReport {
             reports,
             engine: outcome.report,
             index_lookups: self.index.borrow().lookups(),
@@ -533,6 +676,97 @@ mod tests {
         let again = server.backup_image(&old, &svc).unwrap();
         assert!(again.new_chunks > 0, "GC'd chunks must re-ship");
         assert_eq!(server.site().restore(again.image_id).unwrap(), old);
+    }
+
+    #[test]
+    fn backup_service_poisson_matches_batch_dedup_and_reports_latency() {
+        use shredder_core::{AdmissionControl, Workload};
+
+        let master = MasterImage::synthesize(1 << 20, 32 << 10, 51);
+        let table = SimilarityTable::uniform(master.segments(), 0.2);
+        let snaps: Vec<Vec<u8>> = (1..=3).map(|n| master.derive(&table, n)).collect();
+        let images: Vec<&[u8]> = snaps.iter().map(|s| s.as_slice()).collect();
+        let gpu = gpu_service();
+
+        // Gentle open-loop arrivals with FIFO admission: everything
+        // completes, and the dedup decisions match the batch path
+        // (identical chunk boundaries, identical index sequence).
+        let mut svc_server = BackupServer::new(small_config());
+        let svc = svc_server
+            .backup_service(
+                &images,
+                &gpu,
+                &Workload::poisson(50.0, 7),
+                AdmissionControl::fifo(1),
+            )
+            .unwrap();
+        assert_eq!(svc.completed(), 3);
+        assert_eq!(svc.shed(), 0);
+        let report = svc.service();
+        assert_eq!(report.completed, 3);
+        assert!(report.p99() > Dur::ZERO);
+        assert!(report.class("site").is_some());
+
+        let mut batch_server = BackupServer::new(small_config());
+        let batch = batch_server.backup_batch(&images, &gpu).unwrap();
+        for (s, b) in svc.reports.iter().zip(&batch.reports) {
+            let s = s.as_ref().unwrap();
+            assert_eq!(s.chunks, b.chunks);
+            assert_eq!(s.new_chunks, b.new_chunks);
+            assert_eq!(s.new_bytes, b.new_bytes);
+        }
+        // Every image restores bit-identically.
+        for (r, snap) in svc.reports.iter().zip(&snaps) {
+            let r = r.as_ref().unwrap();
+            assert_eq!(svc_server.site().restore(r.image_id).unwrap(), *snap);
+        }
+    }
+
+    #[test]
+    fn backup_service_sheds_under_overload_without_corrupting_accepted_images() {
+        use shredder_core::{AdmissionControl, ChunkError, Workload};
+
+        let images_data: Vec<Vec<u8>> = (0..6u64)
+            .map(|s| shredder_workloads::random_bytes(1 << 20, 60 + s))
+            .collect();
+        let images: Vec<&[u8]> = images_data.iter().map(|s| s.as_slice()).collect();
+        let gpu = gpu_service();
+
+        // A hard queue bound under a burst: some images must shed.
+        let mut server = BackupServer::new(small_config());
+        let control = AdmissionControl::fifo(1).with_queue_depth(1);
+        let svc = server
+            .backup_service(&images, &gpu, &Workload::Batch, control)
+            .unwrap();
+        assert!(svc.shed() > 0, "burst into depth-1 queue must shed");
+        assert!(svc.completed() > 0);
+        for r in &svc.reports {
+            if let Err(e) = r {
+                assert!(matches!(e, ChunkError::Overloaded { .. }), "{e:?}");
+            }
+        }
+
+        // Accepted images match a run containing only them: the shed
+        // traffic left no trace in the index or the site.
+        let accepted: Vec<&[u8]> = svc
+            .reports
+            .iter()
+            .zip(&images)
+            .filter(|(r, _)| r.is_ok())
+            .map(|(_, img)| *img)
+            .collect();
+        let mut clean = BackupServer::new(small_config());
+        let clean_batch = clean.backup_batch(&accepted, &gpu).unwrap();
+        let kept: Vec<&BackupReport> = svc.reports.iter().filter_map(|r| r.as_ref().ok()).collect();
+        for (a, b) in kept.iter().zip(&clean_batch.reports) {
+            assert_eq!(a.chunks, b.chunks);
+            assert_eq!(
+                a.new_chunks, b.new_chunks,
+                "shed requests polluted the index"
+            );
+            assert_eq!(a.new_bytes, b.new_bytes);
+        }
+        assert_eq!(svc.index_lookups, clean_batch.index_lookups);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Online service under open-loop load: offered req/s vs. achieved
+//! throughput and request latency.
+//!
+//! "GPUs as Storage System Accelerators" evaluates GPU-backed storage
+//! services exactly this way: sweep the offered load, watch the latency
+//! curve, find the knee. This harness drives the [`ShredderService`]
+//! frontend with Poisson arrivals at increasing fractions of the
+//! measured batch capacity, prints the latency curve (p50/p99, achieved
+//! rate, queue depth), locates the knee, and then bisects
+//! ([`capacity_search`]) for the highest sustained rate meeting a p99
+//! SLO under delay-bounded admission.
+//!
+//! Set `SHREDDER_BENCH_JSON=<path>` to dump the headline numbers; the
+//! CI gate (`bench_gate`) tracks `sustained_rps` — the sustained req/s
+//! at SLO — release over release.
+
+use shredder_bench::{check, dump_bench_json, header, result_line, table};
+use shredder_core::{
+    capacity_search, AdmissionControl, ChunkRequest, MemorySource, ServiceReport, ShredderConfig,
+    ShredderService, Workload,
+};
+use shredder_des::Dur;
+
+const REQUESTS: usize = 24;
+const REQ_BYTES: usize = 1 << 20;
+
+fn config() -> ShredderConfig {
+    ShredderConfig::gpu_streams_memory().with_buffer_size(256 << 10)
+}
+
+fn service<'a>(control: AdmissionControl) -> ShredderService<'a> {
+    let mut service = ShredderService::new(config()).with_admission(control);
+    for t in 0..REQUESTS as u64 {
+        service.submit(ChunkRequest::new(MemorySource::pseudo_random(REQ_BYTES, t)));
+    }
+    service
+}
+
+fn run_poisson(rate: f64, control: AdmissionControl, seed: u64) -> ServiceReport {
+    let out = service(control)
+        .run(&Workload::poisson(rate, seed))
+        .expect("service run failed");
+    out.service().clone()
+}
+
+fn main() {
+    header(
+        "Service load sweep",
+        "open-loop Poisson arrivals: offered load vs. latency, knee and sustained rate at SLO",
+    );
+
+    // Capacity estimate: a closed batch through the same admission
+    // slots — the completion rate with the queue never empty.
+    let batch = service(AdmissionControl::fifo(4))
+        .run(&Workload::Batch)
+        .expect("batch run failed");
+    let mu = batch.service().achieved_rps;
+    result_line("batch capacity estimate", format!("{mu:.0} req/s"));
+    result_line(
+        "batch aggregate",
+        format!("{:.2} GB/s", batch.service().achieved_gbps),
+    );
+    println!();
+
+    // The latency curve: offered load from 30% to 150% of capacity.
+    let fractions = [0.3, 0.5, 0.7, 0.85, 1.0, 1.2, 1.5];
+    let mut sweep: Vec<(f64, ServiceReport)> = Vec::new();
+    for (i, f) in fractions.iter().enumerate() {
+        let rate = f * mu;
+        let report = run_poisson(rate, AdmissionControl::fifo(4), 0xbeef + i as u64);
+        sweep.push((rate, report));
+    }
+
+    let rows: Vec<(String, Vec<String>)> = fractions
+        .iter()
+        .zip(&sweep)
+        .map(|(f, (rate, r))| {
+            (
+                format!("{:.0}% ({rate:.0} rps)", f * 100.0),
+                vec![
+                    format!("{:.0} rps", r.achieved_rps),
+                    format!("{:.2} ms", r.p50().as_millis_f64()),
+                    format!("{:.2} ms", r.p99().as_millis_f64()),
+                    format!("{}", r.max_queue_depth),
+                ],
+            )
+        })
+        .collect();
+    table(&["achieved", "p50", "p99", "max queue"], &rows);
+
+    // The SLO: 3x the p50 at the lightest load — comfortably met at low
+    // rates, busted past the knee.
+    let base_p50 = sweep[0].1.p50();
+    let slo = Dur::from_secs_f64(base_p50.as_secs_f64() * 3.0);
+    let knee = fractions
+        .iter()
+        .zip(&sweep)
+        .filter(|(_, (_, r))| r.shed == 0 && r.p99() <= slo)
+        .map(|(f, (rate, _))| (*f, *rate))
+        .next_back();
+    println!();
+    result_line(
+        "p99 SLO (3x light-load p50)",
+        format!("{:.2} ms", slo.as_millis_f64()),
+    );
+    match knee {
+        Some((f, rate)) => result_line(
+            "knee (highest swept load within SLO)",
+            format!("{:.0}% of capacity ({rate:.0} rps)", f * 100.0),
+        ),
+        None => result_line("knee", "below the lightest swept load"),
+    }
+
+    // Bisect for the sustained rate at SLO under delay-bounded
+    // admission (the production posture: queue delay capped, overload
+    // sheds instead of queueing without bound).
+    let control = AdmissionControl::fifo(4).with_max_queue_delay(slo);
+    let search = capacity_search(slo, 0.1 * mu, 2.0 * mu, 7, |rate| {
+        Ok(run_poisson(rate, control, 0xcafe))
+    })
+    .expect("capacity search failed");
+    let sustained = search.sustained_rps;
+    let sustained_gbps = sustained * REQ_BYTES as f64 / 1e9;
+    println!();
+    result_line("sustained rate at SLO", format!("{sustained:.0} req/s"));
+    result_line(
+        "sustained ingest at SLO",
+        format!("{sustained_gbps:.2} GB/s"),
+    );
+    if let Some(p99) = search.p99_at_sustained {
+        result_line(
+            "p99 at sustained rate",
+            format!("{:.2} ms", p99.as_millis_f64()),
+        );
+    }
+
+    println!();
+    let light = &sweep[0].1;
+    let heavy = &sweep[sweep.len() - 1].1;
+    check(
+        "latency rises with offered load (p99 at 150% > p99 at 30%)",
+        heavy.p99() > light.p99(),
+    );
+    check(
+        "below capacity nothing sheds and everything completes",
+        sweep[..3]
+            .iter()
+            .all(|(_, r)| r.shed == 0 && r.completed == REQUESTS),
+    );
+    check(
+        "achieved rate saturates: at 150% offered, achieved < offered",
+        heavy.achieved_rps < heavy.offered_rps,
+    );
+    check("a knee exists within the sweep", knee.is_some());
+    check(
+        "capacity search found a positive sustained rate at SLO",
+        sustained > 0.0,
+    );
+    check(
+        "sustained rate is below the overloaded end of the sweep",
+        sustained < 1.5 * mu,
+    );
+
+    // Perf-trajectory dump: bench_gate tracks sustained_rps.
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(rate, r)| {
+            format!(
+                "    {{\"offered_rps\": {:.3}, \"achieved_rps\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"shed\": {}, \"max_queue_depth\": {}}}",
+                rate,
+                r.achieved_rps,
+                r.p50().as_millis_f64(),
+                r.p99().as_millis_f64(),
+                r.shed,
+                r.max_queue_depth
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"sustained_rps\": {:.6},\n  \"sustained_gbps\": {:.6},\n  \"capacity_estimate_rps\": {:.6},\n  \"slo_ms\": {:.6},\n  \"request_bytes\": {},\n  \"requests\": {},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        sustained,
+        sustained_gbps,
+        mu,
+        slo.as_millis_f64(),
+        REQ_BYTES,
+        REQUESTS,
+        sweep_json.join(",\n")
+    );
+    dump_bench_json(&json);
+}

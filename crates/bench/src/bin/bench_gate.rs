@@ -11,14 +11,19 @@
 //! ```text
 //! bench_gate --baseline bench/baseline.json [--max-drop-pct 20] \
 //!     fig12_throughput=bench-out/fig12_throughput.json \
-//!     multi_tenant=bench-out/multi_tenant.json
+//!     multi_tenant=bench-out/multi_tenant.json \
+//!     service_load:sustained_rps=bench-out/service_load.json
 //! ```
 //!
-//! The baseline maps each bench name to an object holding its expected
-//! `aggregate_gbps`; improvements are reported (refresh the baseline to
-//! ratchet the gate) but never fail. The vendored `serde` stub cannot
-//! deserialize, so the parser here is a purpose-built scanner for the
-//! hand-rolled dumps — it only understands `"key": number` fields.
+//! Each argument is `name[:key]=current.json`: the gated headline
+//! defaults to `aggregate_gbps`, and a `name:key` prefix gates a
+//! different numeric headline (e.g. the service-load bench's sustained
+//! req/s at its latency SLO). The baseline maps each bench name to an
+//! object holding the expected value under the same key; improvements
+//! are reported (refresh the baseline to ratchet the gate) but never
+//! fail. The vendored `serde` stub cannot deserialize, so the parser
+//! here is a purpose-built scanner for the hand-rolled dumps — it only
+//! understands `"key": number` fields.
 
 use std::process::ExitCode;
 
@@ -85,6 +90,15 @@ fn extract_scoped(json: &str, scope: &str, key: &str) -> Option<f64> {
     extract_number_at(scope_body, key, open).map(|(v, _)| v)
 }
 
+/// Splits a `name[:key]` bench spec; the gated key defaults to
+/// `aggregate_gbps`.
+fn parse_spec(spec: &str) -> (&str, &str) {
+    match spec.split_once(':') {
+        Some((name, key)) => (name, key),
+        None => (spec, "aggregate_gbps"),
+    }
+}
+
 fn fail(msg: &str) -> ExitCode {
     eprintln!("bench_gate: {msg}");
     ExitCode::FAILURE
@@ -94,7 +108,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path: Option<String> = None;
     let mut max_drop_pct = 20.0f64;
-    let mut pairs: Vec<(String, String)> = Vec::new();
+    // (bench name, gated key, current-dump path)
+    let mut pairs: Vec<(String, String, String)> = Vec::new();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -108,7 +123,10 @@ fn main() -> ExitCode {
                 None => return fail("--max-drop-pct needs a number"),
             },
             other => match other.split_once('=') {
-                Some((name, path)) => pairs.push((name.to_string(), path.to_string())),
+                Some((spec, path)) => {
+                    let (name, key) = parse_spec(spec);
+                    pairs.push((name.to_string(), key.to_string(), path.to_string()));
+                }
                 None => return fail(&format!("unrecognized argument '{other}'")),
             },
         }
@@ -125,7 +143,7 @@ fn main() -> ExitCode {
     };
 
     let mut failed = false;
-    for (name, path) in &pairs {
+    for (name, key, path) in &pairs {
         let current = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
@@ -134,25 +152,25 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let Some(expected) = extract_scoped(&baseline, name, "aggregate_gbps") else {
-            eprintln!("  [FAIL] {name}: no aggregate_gbps in baseline {baseline_path}");
+        let Some(expected) = extract_scoped(&baseline, name, key) else {
+            eprintln!("  [FAIL] {name}: no {key} in baseline {baseline_path}");
             failed = true;
             continue;
         };
-        let Some(measured) = extract_number(&current, "aggregate_gbps") else {
-            eprintln!("  [FAIL] {name}: no aggregate_gbps in {path}");
+        let Some(measured) = extract_number(&current, key) else {
+            eprintln!("  [FAIL] {name}: no {key} in {path}");
             failed = true;
             continue;
         };
         let delta_pct = (measured - expected) / expected * 100.0;
         if delta_pct < -max_drop_pct {
             eprintln!(
-                "  [FAIL] {name}: {measured:.3} GB/s vs baseline {expected:.3} GB/s ({delta_pct:+.1}%, limit -{max_drop_pct:.0}%)"
+                "  [FAIL] {name}: {key} {measured:.3} vs baseline {expected:.3} ({delta_pct:+.1}%, limit -{max_drop_pct:.0}%)"
             );
             failed = true;
         } else {
             println!(
-                "  [ ok ] {name}: {measured:.3} GB/s vs baseline {expected:.3} GB/s ({delta_pct:+.1}%)"
+                "  [ ok ] {name}: {key} {measured:.3} vs baseline {expected:.3} ({delta_pct:+.1}%)"
             );
             if delta_pct > max_drop_pct {
                 println!("         improvement — consider refreshing bench/baseline.json");
@@ -160,7 +178,7 @@ fn main() -> ExitCode {
         }
     }
     if failed {
-        return fail("aggregate throughput regressed past the gate");
+        return fail("a gated bench headline regressed past the limit");
     }
     println!("bench_gate: all benches within -{max_drop_pct:.0}% of baseline");
     ExitCode::SUCCESS
@@ -229,6 +247,18 @@ mod tests {
         let json = r#"{"a": {}, "b": {"x": 2.0}}"#;
         assert_eq!(extract_scoped(json, "a", "x"), None);
         assert_eq!(extract_scoped(json, "b", "x"), Some(2.0));
+    }
+
+    #[test]
+    fn spec_parsing_defaults_to_aggregate_gbps() {
+        assert_eq!(
+            parse_spec("multi_tenant"),
+            ("multi_tenant", "aggregate_gbps")
+        );
+        assert_eq!(
+            parse_spec("service_load:sustained_rps"),
+            ("service_load", "sustained_rps")
+        );
     }
 
     #[test]

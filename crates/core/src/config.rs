@@ -256,6 +256,66 @@ impl ShredderConfig {
     pub fn ring_slots(&self) -> usize {
         self.ring_slots.unwrap_or(self.pipeline_depth)
     }
+
+    /// Validates the whole configuration, returning a typed
+    /// [`ChunkError::InvalidConfig`](crate::ChunkError) instead of
+    /// panicking (or misbehaving deep inside `shredder-store`) later.
+    ///
+    /// The `with_*` builders already assert these invariants one by one,
+    /// but the fields are public: a configuration assembled by struct
+    /// update or direct mutation can carry a zero `segment_bytes` or an
+    /// out-of-range `gc_threshold` that would otherwise only surface as
+    /// a panic inside the store's segment log. Every engine entry point
+    /// ([`ShredderEngine::run`](crate::ShredderEngine::run) and the
+    /// service frontend) calls this before doing any work.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkError::InvalidConfig`](crate::ChunkError) naming the first
+    /// offending field.
+    pub fn validate(&self) -> Result<(), crate::ChunkError> {
+        use crate::ChunkError::InvalidConfig;
+        if self.params.window == 0 {
+            return Err(InvalidConfig("chunking window must be non-zero".into()));
+        }
+        if self.buffer_size == 0 {
+            return Err(InvalidConfig("buffer size must be non-zero".into()));
+        }
+        if self.pipeline_depth == 0 {
+            return Err(InvalidConfig("pipeline depth must be non-zero".into()));
+        }
+        if self.gpus == 0 {
+            return Err(InvalidConfig(
+                "device pool must have at least one GPU".into(),
+            ));
+        }
+        if self.ring_slots == Some(0) {
+            return Err(InvalidConfig(
+                "pinned ring must have at least one slot".into(),
+            ));
+        }
+        if !(self.reader_bandwidth.is_finite() && self.reader_bandwidth > 0.0) {
+            return Err(InvalidConfig(format!(
+                "reader bandwidth must be positive and finite, got {}",
+                self.reader_bandwidth
+            )));
+        }
+        if self.segment_bytes == 0 {
+            return Err(InvalidConfig("store segment_bytes must be non-zero".into()));
+        }
+        if !(self.gc_threshold.is_finite() && (0.0..=1.0).contains(&self.gc_threshold)) {
+            return Err(InvalidConfig(format!(
+                "store gc_threshold must be within [0, 1], got {}",
+                self.gc_threshold
+            )));
+        }
+        if self.retention == Some(0) {
+            return Err(InvalidConfig(
+                "retention must keep at least one generation".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for ShredderConfig {
@@ -408,6 +468,56 @@ mod tests {
     #[should_panic(expected = "segment size")]
     fn zero_segment_bytes_panics() {
         let _ = ShredderConfig::default().with_segment_bytes(0);
+    }
+
+    #[test]
+    fn validate_rejects_field_level_mutation() {
+        use crate::ChunkError;
+        assert_eq!(ShredderConfig::default().validate(), Ok(()));
+
+        // The builders panic, but nothing stops struct-update
+        // construction — validate() must catch it with a typed error
+        // instead of letting the bad value panic deep inside
+        // shredder-store.
+        let cfg = ShredderConfig {
+            segment_bytes: 0,
+            ..ShredderConfig::default()
+        };
+        match cfg.validate() {
+            Err(ChunkError::InvalidConfig(msg)) => assert!(msg.contains("segment_bytes"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let cfg = ShredderConfig {
+                gc_threshold: bad,
+                ..ShredderConfig::default()
+            };
+            match cfg.validate() {
+                Err(ChunkError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("gc_threshold"), "{msg}")
+                }
+                other => panic!("expected InvalidConfig for {bad}, got {other:?}"),
+            }
+        }
+
+        let broken = [
+            ShredderConfig {
+                retention: Some(0),
+                ..ShredderConfig::default()
+            },
+            ShredderConfig {
+                reader_bandwidth: f64::NAN,
+                ..ShredderConfig::default()
+            },
+            ShredderConfig {
+                ring_slots: Some(0),
+                ..ShredderConfig::default()
+            },
+        ];
+        for cfg in broken {
+            assert!(cfg.validate().is_err(), "{cfg:?}");
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
-use shredder_des::{BandwidthChannel, Dur, FifoServer, SimTime, Simulation};
+use shredder_des::{BandwidthChannel, Dur, FifoServer, SimTime, Simulation, TimeSeries};
 use shredder_gpu::hostmem::{HostAllocModel, HostMemKind};
 use shredder_gpu::kernel::ChunkKernel;
 use shredder_gpu::pool::{BufferJob, DevicePool, PooledDevice};
@@ -74,11 +74,13 @@ use shredder_rabin::Chunk;
 use crate::config::ShredderConfig;
 use crate::error::ChunkError;
 use crate::report::{
-    BufferTimeline, DeviceReport, EngineReport, SessionReport, StageBusy, StageReport,
+    percentile, BufferTimeline, ClassLatency, DeviceReport, EngineReport, RequestReport,
+    ServiceReport, SessionReport, StageBusy, StageReport,
 };
 use crate::session::{ChunkSession, SessionId, SessionOutcome};
 use crate::sink::{ChunkSink, StageSpec};
 use crate::source::StreamSource;
+use crate::workload::{AdmissionControl, ArrivalSchedule, TenantClass, Workload};
 
 /// How the shared admission slots are handed to sessions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -186,12 +188,46 @@ pub(crate) struct PlannedBuffer {
 pub(crate) struct SessionPlan {
     pub(crate) name: String,
     pub(crate) weight: u32,
+    /// Tenant-class index (0 = the default class).
+    pub(crate) class: usize,
     /// Explicit device pin, if the session requested one.
     pub(crate) pin: Option<usize>,
     pub(crate) bytes: u64,
     /// Raw cuts at stream-absolute offsets, in stream order.
     pub(crate) cuts: Vec<u64>,
     pub(crate) buffers: Vec<PlannedBuffer>,
+}
+
+/// A tenant class resolved for one simulation run.
+#[derive(Debug, Clone)]
+pub(crate) struct ClassRuntime {
+    pub(crate) name: String,
+    pub(crate) weight: u32,
+    /// Ingest bandwidth cap: when set, all reads of this class's
+    /// sessions pass through one shared class link of this bandwidth
+    /// before the SAN reader.
+    pub(crate) ingest_bw: Option<f64>,
+}
+
+impl ClassRuntime {
+    /// The implicit class every legacy session belongs to.
+    pub(crate) fn default_class() -> Self {
+        ClassRuntime {
+            name: "default".into(),
+            weight: 1,
+            ingest_bw: None,
+        }
+    }
+}
+
+impl From<&TenantClass> for ClassRuntime {
+    fn from(c: &TenantClass) -> Self {
+        ClassRuntime {
+            name: c.name.clone(),
+            weight: c.weight,
+            ingest_bw: c.ingest_bw,
+        }
+    }
 }
 
 /// The session-based multi-stream chunking engine.
@@ -256,6 +292,7 @@ impl<'a> ShredderEngine<'a> {
             id,
             name: name.into(),
             weight,
+            class: 0,
             pin: None,
             source: Box::new(source),
             sink: None,
@@ -279,9 +316,36 @@ impl<'a> ShredderEngine<'a> {
             id,
             name: name.into(),
             weight,
+            class: 0,
             pin: Some(device),
             source: Box::new(source),
             sink: None,
+        });
+        id
+    }
+
+    /// Opens a request session on behalf of the service frontend: a
+    /// named, weighted, *classed* session with an optional sink. The
+    /// class index is resolved by
+    /// [`ShredderService`](crate::ShredderService) against its tenant
+    /// table.
+    pub(crate) fn open_service_session(
+        &mut self,
+        name: impl Into<String>,
+        weight: u32,
+        class: usize,
+        source: Box<dyn StreamSource + 'a>,
+        sink: Option<Box<dyn ChunkSink + 'a>>,
+    ) -> SessionId {
+        let id = SessionId(self.sessions.len());
+        self.sessions.push(ChunkSession {
+            id,
+            name: name.into(),
+            weight,
+            class,
+            pin: None,
+            source,
+            sink,
         });
         id
     }
@@ -307,6 +371,7 @@ impl<'a> ShredderEngine<'a> {
             id,
             name: name.into(),
             weight,
+            class: 0,
             pin: None,
             source: Box::new(source),
             sink: Some(Box::new(sink)),
@@ -318,24 +383,57 @@ impl<'a> ShredderEngine<'a> {
     /// returns per-session chunks plus the aggregate report. Consumes
     /// the open sessions (the engine can then be reused).
     ///
+    /// This is the degenerate closed-batch workload of the service
+    /// frontend: every session "arrives" at `t = 0` and admission is
+    /// unbounded, so nothing queues at the service level and nothing is
+    /// shed — the chunks and digests are bit-identical to the
+    /// pre-service engine.
+    ///
     /// # Errors
     ///
     /// [`ChunkError::InvalidConfig`] for unusable chunking parameters,
     /// [`ChunkError::Gpu`] if a kernel launch fails. Errors from any
     /// session abort the whole run (no partial simulation is reported).
     pub fn run(&mut self) -> Result<EngineOutcome, ChunkError> {
-        if self.config.params.window == 0 {
-            return Err(ChunkError::InvalidConfig(
-                "chunking window must be non-zero".into(),
-            ));
-        }
-        if self.config.gpus == 0 {
-            return Err(ChunkError::InvalidConfig(
-                "device pool must have at least one GPU".into(),
-            ));
-        }
+        // The legacy report keeps its closed-batch shape: no service
+        // frontend accounting (and none is built).
+        let run = self.run_with_workload(
+            &Workload::Batch,
+            AdmissionControl::unbounded(),
+            vec![ClassRuntime::default_class()],
+            false,
+        )?;
+        let sessions = run
+            .outcomes
+            .into_iter()
+            .map(|r| r.expect("unbounded admission never sheds"))
+            .collect();
+        Ok(EngineOutcome {
+            sessions,
+            report: run.report,
+        })
+    }
+
+    /// Runs every open session as a *request* under the given arrival
+    /// workload and admission control — the open-loop service path
+    /// behind [`ShredderService`](crate::ShredderService). Requests
+    /// arrive inside the simulation, wait in the bounded admission
+    /// queue, and are dispatched (or shed with
+    /// [`ChunkError::Overloaded`]) by the control's policy.
+    ///
+    /// `with_service_report` controls whether the [`ServiceReport`] is
+    /// assembled: the closed-batch [`run`](Self::run) path skips it (it
+    /// would be discarded), the service frontend builds it.
+    pub(crate) fn run_with_workload(
+        &mut self,
+        workload: &Workload,
+        control: AdmissionControl,
+        classes: Vec<ClassRuntime>,
+        with_service_report: bool,
+    ) -> Result<ServiceRun, ChunkError> {
+        self.config.validate()?;
         // Validate before taking the sessions so a config error leaves
-        // the queued sessions intact, like the window/gpus checks above.
+        // the queued sessions intact, like the validate() above.
         for session in &self.sessions {
             if let Some(pin) = session.pin {
                 if pin >= self.config.gpus {
@@ -345,8 +443,17 @@ impl<'a> ShredderEngine<'a> {
                     )));
                 }
             }
+            if session.class >= classes.len() {
+                return Err(ChunkError::InvalidConfig(format!(
+                    "session '{}' uses tenant class {}, but only {} class(es) are defined",
+                    session.name,
+                    session.class,
+                    classes.len()
+                )));
+            }
         }
         let sessions = std::mem::take(&mut self.sessions);
+        let arrivals = workload.schedule(sessions.len());
 
         // Functional pass: real chunk boundaries per session. Sessions
         // with a payload-reading sink also retain their stream bytes so
@@ -361,7 +468,10 @@ impl<'a> ShredderEngine<'a> {
 
         // Store-thread pass, part 1: per-session min/max adjustment —
         // final chunks must exist *before* the timing pass so sink
-        // stages know their per-buffer service demand.
+        // stages know their per-buffer service demand. (The sink
+        // functional pass itself is deferred into the simulation: it
+        // runs when a request is *dispatched*, so shed requests never
+        // touch shared sink state.)
         let chunk_sets: Vec<Vec<Chunk>> = plans
             .iter()
             .map(|plan| {
@@ -370,25 +480,55 @@ impl<'a> ShredderEngine<'a> {
             })
             .collect();
 
-        // Sink functional pass: deliver every chunk (stream order within
-        // a session, sessions in open order) to its sink, collecting the
-        // per-buffer, per-stage service demand. Stages with the same
-        // name are shared across sessions.
-        let schedule = self.drive_sinks(&plans, &chunk_sets, bindings);
-
-        // Timing pass: one shared simulation for every session,
-        // chunking pipeline and sink stages together.
-        let sim = simulate_plans(&self.config, &plans, self.policy, &schedule);
+        // Timing pass: one shared simulation for every session —
+        // arrival events, the admission queue, the chunking pipeline
+        // and the sink stages all on one virtual clock.
+        let sim = simulate_service(
+            &self.config,
+            &plans,
+            self.policy,
+            &chunk_sets,
+            ServiceInputs {
+                arrivals,
+                control,
+                classes: &classes,
+                bindings,
+            },
+        );
 
         let mut outcomes = Vec::with_capacity(plans.len());
         let mut reports = Vec::with_capacity(plans.len());
         let mut total_bytes = 0u64;
         let mut total_buffers = 0usize;
         for ((idx, plan), chunks) in plans.iter().enumerate().zip(chunk_sets) {
+            let per = &sim.sessions[idx];
+            if let Some(shed_at) = sim.service.shed[idx] {
+                // The request never entered the pipeline: it did no
+                // work and owns no chunks.
+                reports.push(SessionReport {
+                    id: idx,
+                    name: plan.name.clone(),
+                    weight: plan.weight,
+                    device: sim.placement[idx],
+                    bytes: 0,
+                    buffers: 0,
+                    chunks: 0,
+                    raw_cuts: 0,
+                    first_admit: SimTime::ZERO,
+                    completion: SimTime::ZERO,
+                    makespan: Dur::ZERO,
+                    queue_wait: Dur::ZERO,
+                    kernel_time: Dur::ZERO,
+                    sink_service: Dur::ZERO,
+                    timeline: Vec::new(),
+                });
+                outcomes.push(Err(ChunkError::Overloaded {
+                    queued: shed_at.saturating_since(sim.service.arrival[idx]),
+                }));
+                continue;
+            }
             total_bytes += plan.bytes;
             total_buffers += plan.buffers.len();
-
-            let per = &sim.sessions[idx];
             reports.push(SessionReport {
                 id: idx,
                 name: plan.name.clone(),
@@ -403,14 +543,14 @@ impl<'a> ShredderEngine<'a> {
                 makespan: per.completion - per.first_admit,
                 queue_wait: per.queue_wait,
                 kernel_time: plan.buffers.iter().map(|b| b.kernel_dur).sum(),
-                sink_service: schedule.session_service[idx],
+                sink_service: sim.service.session_service[idx],
                 timeline: per.timeline.clone(),
             });
-            outcomes.push(SessionOutcome {
+            outcomes.push(Ok(SessionOutcome {
                 id: SessionId(idx),
                 name: plan.name.clone(),
                 chunks,
-            });
+            }));
         }
 
         // The ring is allocated once per device at system init (§4.1.2).
@@ -444,6 +584,8 @@ impl<'a> ShredderEngine<'a> {
             })
             .collect();
 
+        let service = with_service_report
+            .then(|| build_service_report(&plans, &classes, &sim.service, makespan));
         let report = EngineReport {
             queue_wait: reports.iter().map(|r| r.queue_wait).sum(),
             sessions: reports,
@@ -455,12 +597,10 @@ impl<'a> ShredderEngine<'a> {
             devices,
             sink_stages: sim.stages,
             ring_setup,
+            service,
         };
 
-        Ok(EngineOutcome {
-            sessions: outcomes,
-            report,
-        })
+        Ok(ServiceRun { outcomes, report })
     }
 
     /// Functional pass over one session: pull the stream one pipeline
@@ -546,6 +686,7 @@ impl<'a> ShredderEngine<'a> {
             SessionPlan {
                 name: session.name,
                 weight: session.weight,
+                class: session.class,
                 pin: session.pin,
                 bytes: start,
                 cuts,
@@ -555,82 +696,37 @@ impl<'a> ShredderEngine<'a> {
         ))
     }
 
-    /// Functional sink pass: delivers every session's final chunks to
-    /// its sink in stream order (sessions in open order, so shared state
-    /// such as a dedup index sees the same sequence a serial run would)
-    /// and aggregates the returned service demand per pipeline buffer
-    /// and per shared stage.
-    fn drive_sinks(
-        &self,
-        plans: &[SessionPlan],
-        chunk_sets: &[Vec<Chunk>],
-        bindings: Vec<Option<SinkBinding<'a>>>,
-    ) -> SinkSchedule {
-        let mut schedule = SinkSchedule {
-            specs: Vec::new(),
-            work: vec![Vec::new(); plans.len()],
-            session_service: vec![Dur::ZERO; plans.len()],
-        };
-        let buffer_size = self.config.buffer_size;
-
-        for (sid, binding) in bindings.into_iter().enumerate() {
-            let Some(SinkBinding { mut sink, data }) = binding else {
-                continue;
-            };
-            let nbuf = plans[sid].buffers.len();
-            let (local, per_buffer) = crate::sink::drive_sink_functional(
-                &mut *sink,
-                &chunk_sets[sid],
-                &data,
-                nbuf,
-                buffer_size,
-            );
-            // Map this sink's stages onto the engine-global stage list,
-            // sharing servers by name.
-            let map: Vec<usize> = local
-                .iter()
-                .map(
-                    |spec| match schedule.specs.iter().position(|s| s.name == spec.name) {
-                        Some(i) => i,
-                        None => {
-                            schedule.specs.push(*spec);
-                            schedule.specs.len() - 1
-                        }
-                    },
-                )
-                .collect();
-
-            schedule.session_service[sid] = per_buffer.iter().flatten().copied().sum();
-            schedule.work[sid] = per_buffer
-                .into_iter()
-                .map(|services| {
-                    services
-                        .into_iter()
-                        .enumerate()
-                        .map(|(k, d)| (map[k], d))
-                        .collect()
-                })
-                .collect();
-        }
-        schedule
-    }
-
     /// Timing-only run over pre-planned sessions — the experiment
     /// harness path (buffer sweeps reuse measured kernel durations
     /// instead of re-running the functional scan).
     pub(crate) fn simulate_planned(&self, plans: &[SessionPlan]) -> SimResult {
-        let schedule = SinkSchedule {
-            specs: Vec::new(),
-            work: vec![Vec::new(); plans.len()],
-            session_service: vec![Dur::ZERO; plans.len()],
-        };
-        simulate_plans(&self.config, plans, self.policy, &schedule)
+        let chunk_sets = vec![Vec::new(); plans.len()];
+        simulate_service(
+            &self.config,
+            plans,
+            self.policy,
+            &chunk_sets,
+            ServiceInputs {
+                arrivals: ArrivalSchedule::Open(vec![SimTime::ZERO; plans.len()]),
+                control: AdmissionControl::unbounded(),
+                classes: &[ClassRuntime::default_class()],
+                bindings: plans.iter().map(|_| None).collect(),
+            },
+        )
     }
+}
+
+/// The result of a service-frontend run: one outcome per request
+/// (`Err(Overloaded)` for shed requests) plus the engine report with
+/// its [`ServiceReport`] attached.
+pub(crate) struct ServiceRun {
+    pub(crate) outcomes: Vec<Result<SessionOutcome, ChunkError>>,
+    pub(crate) report: EngineReport,
 }
 
 /// A session's sink plus the stream bytes retained for its functional
 /// pass.
-struct SinkBinding<'a> {
+pub(crate) struct SinkBinding<'a> {
     sink: Box<dyn ChunkSink + 'a>,
     data: Vec<u8>,
 }
@@ -639,15 +735,17 @@ struct SinkBinding<'a> {
 /// stage, in stage order.
 type BufferSinkWork = Vec<(usize, Dur)>;
 
-/// The aggregated downstream work of one engine run.
-pub(crate) struct SinkSchedule {
-    /// Engine-global stage list (deduplicated by name across sessions).
-    specs: Vec<StageSpec>,
-    /// `[session][buffer]` downstream work. Sessions without a sink have
-    /// an empty outer vector.
-    work: Vec<Vec<BufferSinkWork>>,
-    /// Total downstream service demand per session.
-    session_service: Vec<Dur>,
+/// The inputs that turn a plain engine simulation into a *service*
+/// simulation: when each request arrives, how admission is controlled,
+/// which tenant classes exist, and the (deferred) sink bindings.
+pub(crate) struct ServiceInputs<'s, 'a> {
+    pub(crate) arrivals: ArrivalSchedule,
+    pub(crate) control: AdmissionControl,
+    pub(crate) classes: &'s [ClassRuntime],
+    /// Per-session sink bindings. Their functional pass runs when the
+    /// request is dispatched (in dispatch order), never for shed
+    /// requests.
+    pub(crate) bindings: Vec<Option<SinkBinding<'a>>>,
 }
 
 impl std::fmt::Debug for ShredderEngine<'_> {
@@ -680,6 +778,21 @@ pub(crate) struct DeviceSim {
     pub(crate) overlap: f64,
 }
 
+/// Service-frontend timing produced by the shared simulation.
+pub(crate) struct ServiceSimOut {
+    pub(crate) arrival: Vec<SimTime>,
+    pub(crate) admit: Vec<Option<SimTime>>,
+    pub(crate) first_chunk: Vec<Option<SimTime>>,
+    pub(crate) done: Vec<Option<SimTime>>,
+    pub(crate) shed: Vec<Option<SimTime>>,
+    /// Admission queue depth sampled at every arrival/dispatch/shed.
+    pub(crate) depth_points: Vec<(SimTime, f64)>,
+    pub(crate) max_depth: usize,
+    /// Total downstream sink service demand per session (zero for
+    /// sink-less and shed sessions).
+    pub(crate) session_service: Vec<Dur>,
+}
+
 /// The shared simulation's output.
 pub(crate) struct SimResult {
     pub(crate) sessions: Vec<SessionSim>,
@@ -689,6 +802,7 @@ pub(crate) struct SimResult {
     pub(crate) stage_busy: StageBusy,
     pub(crate) stages: Vec<StageReport>,
     pub(crate) end: SimTime,
+    pub(crate) service: ServiceSimOut,
 }
 
 /// Central admission state shared by the event closures.
@@ -768,12 +882,117 @@ impl Sched {
     }
 }
 
+/// Service-frontend state shared by the arrival/admission event
+/// closures: the explicit admission queue between request *arrival* and
+/// *dispatch* into the engine.
+struct SvcState {
+    policy: AdmissionPolicy,
+    slots: usize,
+    queue_depth: Option<usize>,
+    max_queue_delay: Option<Dur>,
+    /// Per-class admission queues of waiting request ids.
+    class_queues: Vec<VecDeque<usize>>,
+    class_weights: Vec<u32>,
+    credits: Vec<u32>,
+    cursor: usize,
+    /// Requests currently waiting across all class queues.
+    waiting: usize,
+    /// Requests currently dispatched (chunking) — bounded by `slots`.
+    running: usize,
+    arrival: Vec<SimTime>,
+    admit: Vec<Option<SimTime>>,
+    first_chunk: Vec<Option<SimTime>>,
+    done: Vec<Option<SimTime>>,
+    shed: Vec<Option<SimTime>>,
+    /// Buffers not yet completed per session (completion detector).
+    remaining: Vec<usize>,
+    /// Closed-loop chaining: the next request of the same client.
+    next_req: Vec<Option<usize>>,
+    think: Dur,
+    closed_loop: bool,
+    depth_points: Vec<(SimTime, f64)>,
+    max_depth: usize,
+    session_service: Vec<Dur>,
+}
+
+impl SvcState {
+    fn sample_depth(&mut self, now: SimTime) {
+        self.depth_points.push((now, self.waiting as f64));
+        self.max_depth = self.max_depth.max(self.waiting);
+    }
+
+    /// Picks the next waiting request to dispatch, or `None` when every
+    /// class queue is empty. Mirrors [`Sched::pick_next`]'s policies,
+    /// applied across tenant classes: `SessionOrder` is FIFO by arrival
+    /// time, `RoundRobin` rotates classes, `Weighted` is deficit
+    /// round-robin by class weight.
+    fn pick_waiting(&mut self) -> Option<usize> {
+        let k = self.class_queues.len();
+        let class = match self.policy {
+            AdmissionPolicy::SessionOrder => (0..k)
+                .filter_map(|c| {
+                    self.class_queues[c]
+                        .front()
+                        .map(|&sid| (self.arrival[sid], sid, c))
+                })
+                .min()
+                .map(|(_, _, c)| c),
+            AdmissionPolicy::RoundRobin => {
+                let found = (0..k)
+                    .map(|i| (self.cursor + i) % k)
+                    .find(|&c| !self.class_queues[c].is_empty());
+                if let Some(c) = found {
+                    self.cursor = (c + 1) % k;
+                }
+                found
+            }
+            AdmissionPolicy::Weighted => {
+                let mut found = None;
+                for pass in 0..2 {
+                    found = (0..k)
+                        .map(|i| (self.cursor + i) % k)
+                        .find(|&c| !self.class_queues[c].is_empty() && self.credits[c] > 0);
+                    if found.is_some() || pass == 1 {
+                        break;
+                    }
+                    for c in 0..k {
+                        if !self.class_queues[c].is_empty() {
+                            self.credits[c] = self.class_weights[c].max(1);
+                        }
+                    }
+                }
+                if let Some(c) = found {
+                    self.credits[c] -= 1;
+                    if self.credits[c] == 0 {
+                        self.cursor = (c + 1) % k;
+                    }
+                }
+                found
+            }
+        }?;
+        let sid = self.class_queues[class].pop_front().expect("queue checked");
+        self.waiting -= 1;
+        Some(sid)
+    }
+}
+
 /// Everything an in-flight buffer's event chain needs.
 #[derive(Clone)]
 struct PipeCtx {
     sched: Rc<RefCell<Sched>>,
+    /// Service-frontend state (admission queue, request timestamps).
+    svc: Rc<RefCell<SvcState>>,
+    /// Requests dispatched this event whose deferred sink functional
+    /// pass the driver loop must run before the next event executes.
+    pending_sinks: Rc<RefCell<VecDeque<usize>>>,
     buffers: Rc<Vec<Vec<PlannedBuffer>>>,
     reader: BandwidthChannel,
+    /// Per-tenant-class ingest links (`None` = uncapped class): a
+    /// class's reads funnel through its link before the shared SAN
+    /// reader.
+    class_links: Rc<Vec<Option<BandwidthChannel>>>,
+    /// Session → tenant class.
+    class_of: Rc<Vec<usize>>,
     prep: FifoServer,
     store: FifoServer,
     /// The device pool plus each session's assigned device.
@@ -788,20 +1007,150 @@ struct PipeCtx {
     stage_servers: Rc<Vec<FifoServer>>,
     /// Per-stage (queue wait, jobs) accounting.
     stage_acct: Rc<RefCell<Vec<(Dur, u64)>>>,
-    /// `[session][buffer]` → `(stage index, service)` downstream work.
-    sink_work: Rc<Vec<Vec<BufferSinkWork>>>,
+    /// `[session][buffer]` → `(stage index, service)` downstream work,
+    /// filled in by the deferred sink pass at dispatch.
+    sink_work: Rc<RefCell<Vec<Vec<BufferSinkWork>>>>,
 }
 
 impl PipeCtx {
-    /// The downstream work of one buffer (empty for sessions without a
-    /// sink).
-    fn work_of(&self, sid: usize, bidx: usize) -> &[(usize, Dur)] {
+    /// The `k`-th downstream stage job of one buffer, or `None` once
+    /// the buffer's sink work (possibly empty) is exhausted. A short
+    /// borrow + `Copy` read — no allocation on the per-stage hot path.
+    fn work_at(&self, sid: usize, bidx: usize, k: usize) -> Option<(usize, Dur)> {
         self.sink_work
+            .borrow()
             .get(sid)
             .and_then(|s| s.get(bidx))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .and_then(|work| work.get(k))
+            .copied()
     }
+}
+
+/// One request arrives at the service: it either joins the admission
+/// queue (possibly with a shed timer) or — queue full — is shed on the
+/// spot.
+fn arrive(ctx: &PipeCtx, sim: &mut Simulation, sid: usize) {
+    let now = sim.now();
+    let bound = {
+        let mut svc = ctx.svc.borrow_mut();
+        svc.arrival[sid] = now;
+        // The queue bound only applies to requests that would actually
+        // wait: with a free dispatch slot the queue is necessarily
+        // empty (try_dispatch drains it on every state change), so the
+        // arrival goes straight through — even at queue_depth 0.
+        if svc.running >= svc.slots {
+            if let Some(depth) = svc.queue_depth {
+                if svc.waiting >= depth {
+                    drop(svc);
+                    shed_request(ctx, sim, sid);
+                    return;
+                }
+            }
+        }
+        let class = ctx.class_of[sid];
+        svc.class_queues[class].push_back(sid);
+        svc.waiting += 1;
+        svc.sample_depth(now);
+        svc.max_queue_delay
+    };
+    if let Some(bound) = bound {
+        let c = ctx.clone();
+        sim.schedule(bound, move |sim| queue_timeout(&c, sim, sid));
+    }
+    try_dispatch(ctx, sim);
+}
+
+/// The shed timer of one queued request fired: if it is still waiting,
+/// it has now exceeded the queue-delay bound and is shed.
+fn queue_timeout(ctx: &PipeCtx, sim: &mut Simulation, sid: usize) {
+    {
+        let mut svc = ctx.svc.borrow_mut();
+        if svc.admit[sid].is_some() || svc.shed[sid].is_some() {
+            return;
+        }
+        let class = ctx.class_of[sid];
+        svc.class_queues[class].retain(|&x| x != sid);
+        svc.waiting -= 1;
+        svc.sample_depth(sim.now());
+    }
+    shed_request(ctx, sim, sid);
+}
+
+/// Rejects one request with `Overloaded`: records the shed instant and
+/// runs the post-request hooks (closed-loop clients think and retry
+/// with their next request; freed capacity dispatches waiters).
+fn shed_request(ctx: &PipeCtx, sim: &mut Simulation, sid: usize) {
+    ctx.svc.borrow_mut().shed[sid] = Some(sim.now());
+    after_request(ctx, sim, sid);
+}
+
+/// Post-request hooks shared by completion and shed: closed-loop
+/// clients issue their next request after the think time, and freed
+/// dispatch slots pull waiting requests in.
+fn after_request(ctx: &PipeCtx, sim: &mut Simulation, sid: usize) {
+    let next = {
+        let svc = ctx.svc.borrow();
+        if svc.closed_loop {
+            svc.next_req[sid].map(|n| (n, svc.think))
+        } else {
+            None
+        }
+    };
+    if let Some((next_sid, think)) = next {
+        let c = ctx.clone();
+        sim.schedule(think, move |sim| arrive(&c, sim, next_sid));
+    }
+    try_dispatch(ctx, sim);
+}
+
+/// Dispatches waiting requests while dispatch slots are free. Each
+/// dispatch queues the request's deferred sink pass (run by the driver
+/// loop in dispatch order, so shared sink state never sees shed
+/// requests) and makes its buffers visible to the buffer-level
+/// admission scheduler.
+fn try_dispatch(ctx: &PipeCtx, sim: &mut Simulation) {
+    loop {
+        let sid = {
+            let mut svc = ctx.svc.borrow_mut();
+            if svc.running >= svc.slots || svc.waiting == 0 {
+                break;
+            }
+            let Some(sid) = svc.pick_waiting() else { break };
+            svc.running += 1;
+            svc.admit[sid] = Some(sim.now());
+            svc.sample_depth(sim.now());
+            sid
+        };
+        dispatch(ctx, sim, sid);
+    }
+}
+
+/// Admits one request into the engine: its (already planned) buffers
+/// join the buffer-level scheduler and the shared pipeline is pumped.
+fn dispatch(ctx: &PipeCtx, sim: &mut Simulation, sid: usize) {
+    ctx.pending_sinks.borrow_mut().push_back(sid);
+    let nbuf = ctx.buffers[sid].len();
+    {
+        let mut sched = ctx.sched.borrow_mut();
+        sched.queues[sid] = (0..nbuf).collect();
+        sched.head_since[sid] = sim.now();
+    }
+    if nbuf == 0 {
+        // An empty stream completes the moment it is admitted.
+        {
+            let mut svc = ctx.svc.borrow_mut();
+            svc.done[sid] = Some(sim.now());
+            svc.running -= 1;
+        }
+        after_request(ctx, sim, sid);
+        return;
+    }
+    // Pump via the calendar so every same-instant dispatch enqueues its
+    // buffers *before* the first admission decision — the batch
+    // workload then round-robins across all sessions exactly like the
+    // closed-batch engine did.
+    let c = ctx.clone();
+    sim.schedule_now(move |sim| pump(&c, sim));
 }
 
 /// Admits buffers until the shared slots are full, launching each one's
@@ -833,7 +1182,7 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
         let staged = move |sim: &mut Simulation| {
             let c3 = c2.clone();
             let dev2 = dev.clone();
-            c2.reader.transfer(sim, pb.bytes, move |sim| {
+            let read_done = move |sim: &mut Simulation| {
                 {
                     let mut s = c3.sched.borrow_mut();
                     s.timelines[sid][bidx].read_end = sim.now();
@@ -875,11 +1224,31 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
                                 let mut s = c7.sched.borrow_mut();
                                 s.timelines[sid][bidx].store_end = sim.now();
                             }
+                            {
+                                // First boundary delivery of this
+                                // request — the "first chunk" service
+                                // timestamp.
+                                let mut svc = c7.svc.borrow_mut();
+                                if svc.first_chunk[sid].is_none() {
+                                    svc.first_chunk[sid] = Some(sim.now());
+                                }
+                            }
                             sink_chain(c7, sim, sid, bidx, 0);
                         });
                     },
                 );
-            });
+            };
+            // A tenant class with an ingest cap funnels its reads
+            // through the class link before the shared SAN reader.
+            match c2.class_links[c2.class_of[sid]].clone() {
+                Some(link) => {
+                    let reader = c2.reader.clone();
+                    link.transfer(sim, pb.bytes, move |sim| {
+                        reader.transfer(sim, pb.bytes, read_done)
+                    });
+                }
+                None => c2.reader.transfer(sim, pb.bytes, read_done),
+            }
         };
         if c.pinned_ring {
             device.ring().clone().acquire(sim, 1, staged);
@@ -894,17 +1263,31 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
 /// immediately — the degenerate (upcall-only) path is byte-for-byte the
 /// pre-sink pipeline.
 fn sink_chain(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize, k: usize) {
-    let work = ctx.work_of(sid, bidx);
-    if k >= work.len() {
+    let Some((stage, service)) = ctx.work_at(sid, bidx, k) else {
         {
             let mut s = ctx.sched.borrow_mut();
             s.completion[sid] = sim.now();
             s.in_flight -= 1;
         }
+        let request_done = {
+            let mut svc = ctx.svc.borrow_mut();
+            svc.remaining[sid] -= 1;
+            if svc.remaining[sid] == 0 {
+                svc.done[sid] = Some(sim.now());
+                svc.running -= 1;
+                true
+            } else {
+                false
+            }
+        };
+        if request_done {
+            // A dispatch slot freed up: waiting requests (and, closed
+            // loop, this client's next request) move.
+            after_request(&ctx, sim, sid);
+        }
         pump(&ctx, sim);
         return;
-    }
-    let (stage, service) = work[k];
+    };
     let enqueued = sim.now();
     let server = ctx.stage_servers[stage].clone();
     let c = ctx.clone();
@@ -919,13 +1302,53 @@ fn sink_chain(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize, k: us
     });
 }
 
-/// Runs all planned sessions through one shared simulation, chunking
-/// pipeline and downstream sink stages together.
-fn simulate_plans(
+/// Runs the deferred sink functional pass of one freshly-dispatched
+/// request: every final chunk is delivered to the sink (real payloads,
+/// real digests/dedup decisions) and the per-buffer, per-stage service
+/// demand lands in `ctx.sink_work` for the timing chain to consume.
+///
+/// Runs *outside* the event closures (the driver loop below) so sinks
+/// can borrow caller state; dispatch order is deterministic, so shared
+/// sink state (a dedup index, a chunk store) sees the same sequence on
+/// every replay — and never sees shed requests at all.
+fn run_deferred_sink<'a>(
+    ctx: &PipeCtx,
+    bindings: &mut [Option<SinkBinding<'a>>],
+    stage_map: &[Vec<usize>],
+    plans: &[SessionPlan],
+    chunk_sets: &[Vec<Chunk>],
+    buffer_size: usize,
+    sid: usize,
+) {
+    let Some(SinkBinding { mut sink, data }) = bindings[sid].take() else {
+        return;
+    };
+    let nbuf = plans[sid].buffers.len();
+    let (_, per_buffer) =
+        crate::sink::drive_sink_functional(&mut *sink, &chunk_sets[sid], &data, nbuf, buffer_size);
+    let map = &stage_map[sid];
+    ctx.svc.borrow_mut().session_service[sid] = per_buffer.iter().flatten().copied().sum();
+    ctx.sink_work.borrow_mut()[sid] = per_buffer
+        .into_iter()
+        .map(|services| {
+            services
+                .into_iter()
+                .enumerate()
+                .map(|(k, d)| (map[k], d))
+                .collect()
+        })
+        .collect();
+}
+
+/// Runs all planned sessions through one shared simulation: arrival
+/// events, the service-level admission queue, the chunking pipeline and
+/// the downstream sink stages all on one virtual clock.
+fn simulate_service<'a>(
     config: &ShredderConfig,
     plans: &[SessionPlan],
     policy: AdmissionPolicy,
-    schedule: &SinkSchedule,
+    chunk_sets: &[Vec<Chunk>],
+    inputs: ServiceInputs<'_, 'a>,
 ) -> SimResult {
     let mut sim = Simulation::new();
 
@@ -963,11 +1386,10 @@ fn simulate_plans(
     };
 
     let n = plans.len();
+    // Buffer-level admission state: queues start *empty* — a session's
+    // buffers only become schedulable when the service dispatches it.
     let sched = Sched {
-        queues: plans
-            .iter()
-            .map(|p| (0..p.buffers.len()).collect())
-            .collect(),
+        queues: vec![VecDeque::new(); n],
         weights: plans.iter().map(|p| p.weight).collect(),
         credits: plans.iter().map(|p| p.weight.max(1)).collect(),
         cursor: 0,
@@ -998,19 +1420,97 @@ fn simulate_plans(
             .collect(),
     };
 
+    // Engine-global sink stage list (deduplicated by name across
+    // sessions) plus each session's local → global stage map. Built
+    // up-front from the sinks' stage descriptors; the per-buffer demand
+    // arrives later via the deferred functional pass.
+    let mut specs: Vec<StageSpec> = Vec::new();
+    let stage_map: Vec<Vec<usize>> = inputs
+        .bindings
+        .iter()
+        .map(|binding| match binding {
+            Some(b) => b
+                .sink
+                .stages()
+                .iter()
+                .map(
+                    |spec| match specs.iter().position(|s| s.name == spec.name) {
+                        Some(i) => i,
+                        None => {
+                            specs.push(*spec);
+                            specs.len() - 1
+                        }
+                    },
+                )
+                .collect(),
+            None => Vec::new(),
+        })
+        .collect();
+
     let stage_servers: Rc<Vec<FifoServer>> = Rc::new(
-        schedule
-            .specs
+        specs
             .iter()
             .map(|s| FifoServer::new(s.name.to_string(), 1))
             .collect(),
     );
-    let stage_acct = Rc::new(RefCell::new(vec![(Dur::ZERO, 0u64); schedule.specs.len()]));
+    let stage_acct = Rc::new(RefCell::new(vec![(Dur::ZERO, 0u64); specs.len()]));
+
+    let class_links: Vec<Option<BandwidthChannel>> = inputs
+        .classes
+        .iter()
+        .map(|c| {
+            c.ingest_bw
+                .map(|bw| BandwidthChannel::new(format!("ingest-{}", c.name), bw, Dur::ZERO))
+        })
+        .collect();
+
+    let (closed_loop, clients, think) = match inputs.arrivals {
+        ArrivalSchedule::Closed { clients, think } => (true, clients, think),
+        ArrivalSchedule::Open(_) => (false, 0, Dur::ZERO),
+    };
+    let next_req: Vec<Option<usize>> = (0..n)
+        .map(|sid| {
+            if closed_loop && sid + clients < n {
+                Some(sid + clients)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let svc = SvcState {
+        policy: inputs.control.policy,
+        slots: inputs.control.slots.max(1),
+        queue_depth: inputs.control.queue_depth,
+        max_queue_delay: inputs.control.max_queue_delay,
+        class_queues: vec![VecDeque::new(); inputs.classes.len()],
+        class_weights: inputs.classes.iter().map(|c| c.weight).collect(),
+        credits: inputs.classes.iter().map(|c| c.weight.max(1)).collect(),
+        cursor: 0,
+        waiting: 0,
+        running: 0,
+        arrival: vec![SimTime::ZERO; n],
+        admit: vec![None; n],
+        first_chunk: vec![None; n],
+        done: vec![None; n],
+        shed: vec![None; n],
+        remaining: plans.iter().map(|p| p.buffers.len()).collect(),
+        next_req,
+        think,
+        closed_loop,
+        depth_points: Vec::new(),
+        max_depth: 0,
+        session_service: vec![Dur::ZERO; n],
+    };
 
     let ctx = PipeCtx {
         sched: Rc::new(RefCell::new(sched)),
+        svc: Rc::new(RefCell::new(svc)),
+        pending_sinks: Rc::new(RefCell::new(VecDeque::new())),
         buffers: Rc::new(plans.iter().map(|p| p.buffers.clone()).collect()),
         reader: reader.clone(),
+        class_links: Rc::new(class_links),
+        class_of: Rc::new(plans.iter().map(|p| p.class).collect()),
         prep: prep.clone(),
         store: store.clone(),
         pool: Rc::new(pool),
@@ -1020,11 +1520,54 @@ fn simulate_plans(
         prep_time,
         stage_servers: stage_servers.clone(),
         stage_acct: stage_acct.clone(),
-        sink_work: Rc::new(schedule.work.clone()),
+        sink_work: Rc::new(RefCell::new(vec![Vec::new(); n])),
     };
 
-    pump(&ctx, &mut sim);
-    let end = sim.run();
+    // Arrival events enter the calendar up-front (open loop) or chain
+    // off completions (closed loop, seeded with each client's first
+    // request).
+    match &inputs.arrivals {
+        ArrivalSchedule::Open(times) => {
+            for (sid, at) in times.iter().enumerate() {
+                let c = ctx.clone();
+                sim.schedule_at(*at, move |sim| arrive(&c, sim, sid));
+            }
+        }
+        ArrivalSchedule::Closed { clients, .. } => {
+            for sid in 0..n.min(*clients) {
+                let c = ctx.clone();
+                sim.schedule_at(SimTime::ZERO, move |sim| arrive(&c, sim, sid));
+            }
+        }
+    }
+
+    // The driver loop: between events, run the deferred sink passes of
+    // requests dispatched by the event that just executed. The demands
+    // are always ready before any of that request's buffers reach the
+    // sink stage chain (a buffer must clear read → H2D → kernel → store
+    // first, all strictly later in virtual time).
+    let mut bindings = inputs.bindings;
+    let buffer_size = config.buffer_size;
+    loop {
+        loop {
+            let next = ctx.pending_sinks.borrow_mut().pop_front();
+            match next {
+                Some(sid) => run_deferred_sink(
+                    &ctx,
+                    &mut bindings,
+                    &stage_map,
+                    plans,
+                    chunk_sets,
+                    buffer_size,
+                    sid,
+                ),
+                None => break,
+            }
+        }
+        if !sim.step() {
+            break;
+        }
+    }
 
     let devices: Vec<DeviceSim> = ctx
         .pool
@@ -1049,8 +1592,7 @@ fn simulate_plans(
     };
 
     let stage_acct = stage_acct.borrow();
-    let stages = schedule
-        .specs
+    let stages = specs
         .iter()
         .enumerate()
         .map(|(k, spec)| StageReport {
@@ -1063,7 +1605,7 @@ fn simulate_plans(
         .collect();
 
     let sched = ctx.sched.borrow();
-    let sessions = (0..n)
+    let sessions: Vec<SessionSim> = (0..n)
         .map(|s| SessionSim {
             first_admit: sched.first_admit[s].unwrap_or(SimTime::ZERO),
             completion: sched.completion[s],
@@ -1072,6 +1614,34 @@ fn simulate_plans(
         })
         .collect();
 
+    let svc = ctx.svc.borrow();
+    // The effective end of the run: the last completion, shed or
+    // arrival. (The raw calendar can run longer — a no-op shed timer of
+    // an already-admitted request still fires — but dead timers are not
+    // service activity and must not inflate the makespan.)
+    let mut end = SimTime::ZERO;
+    for s in &sessions {
+        end = end.max(s.completion);
+    }
+    for t in svc.done.iter().chain(svc.shed.iter()).flatten() {
+        end = end.max(*t);
+    }
+    for t in &svc.arrival {
+        end = end.max(*t);
+    }
+
+    let service = ServiceSimOut {
+        arrival: svc.arrival.clone(),
+        admit: svc.admit.clone(),
+        first_chunk: svc.first_chunk.clone(),
+        done: svc.done.clone(),
+        shed: svc.shed.clone(),
+        depth_points: svc.depth_points.clone(),
+        max_depth: svc.max_depth,
+        session_service: svc.session_service.clone(),
+    };
+    drop(svc);
+
     SimResult {
         sessions,
         placement: ctx.placement.as_ref().clone(),
@@ -1079,6 +1649,117 @@ fn simulate_plans(
         stage_busy,
         stages,
         end,
+        service,
+    }
+}
+
+/// Assembles the [`ServiceReport`] from the simulation's raw service
+/// timestamps: offered vs. achieved load, the queue-depth timeline, and
+/// per-class latency percentiles.
+fn build_service_report(
+    plans: &[SessionPlan],
+    classes: &[ClassRuntime],
+    svc: &ServiceSimOut,
+    makespan: Dur,
+) -> ServiceReport {
+    let requests: Vec<RequestReport> = plans
+        .iter()
+        .enumerate()
+        .map(|(sid, plan)| RequestReport {
+            id: sid,
+            name: plan.name.clone(),
+            class: classes[plan.class].name.clone(),
+            bytes: plan.bytes,
+            arrival: svc.arrival[sid],
+            admit: svc.admit[sid],
+            first_chunk: svc.first_chunk[sid],
+            done: svc.done[sid],
+            shed_at: svc.shed[sid],
+        })
+        .collect();
+
+    let completed = requests.iter().filter(|r| r.done.is_some()).count();
+    let shed = requests.iter().filter(|r| r.is_shed()).count();
+
+    // Offered load is measured over the arrival span; a batch workload
+    // (every arrival at one instant) falls back to the makespan.
+    let first_arrival = requests.iter().map(|r| r.arrival).min();
+    let last_arrival = requests.iter().map(|r| r.arrival).max();
+    let arrival_span = match (first_arrival, last_arrival) {
+        (Some(a), Some(b)) => {
+            let span = b.saturating_since(a);
+            if span.is_zero() {
+                makespan
+            } else {
+                span
+            }
+        }
+        _ => makespan,
+    };
+    let offered_bytes: u64 = requests.iter().map(|r| r.bytes).sum();
+    let achieved_bytes: u64 = requests
+        .iter()
+        .filter(|r| r.done.is_some())
+        .map(|r| r.bytes)
+        .sum();
+    let rate = |count: f64, over: Dur| {
+        if over.is_zero() {
+            0.0
+        } else {
+            count / over.as_secs_f64()
+        }
+    };
+    let offered_rps = rate(requests.len() as f64, arrival_span);
+    let achieved_rps = rate(completed as f64, makespan);
+    let offered_gbps = rate(offered_bytes as f64 / 1e9, arrival_span);
+    let achieved_gbps = rate(achieved_bytes as f64 / 1e9, makespan);
+
+    let class_reports = classes
+        .iter()
+        .enumerate()
+        .map(|(ci, class)| {
+            let of_class: Vec<&RequestReport> = requests
+                .iter()
+                .filter(|r| plans[r.id].class == ci)
+                .collect();
+            let mut latencies: Vec<Dur> = of_class.iter().filter_map(|r| r.latency()).collect();
+            latencies.sort_unstable();
+            let done: Vec<&&RequestReport> = of_class.iter().filter(|r| r.done.is_some()).collect();
+            let mean_queue_delay = if done.is_empty() {
+                Dur::ZERO
+            } else {
+                let total: Dur = done.iter().map(|r| r.queue_delay()).sum();
+                Dur::from_secs_f64(total.as_secs_f64() / done.len() as f64)
+            };
+            ClassLatency {
+                class: class.name.clone(),
+                completed: latencies.len(),
+                shed: of_class.iter().filter(|r| r.is_shed()).count(),
+                p50: percentile(&latencies, 0.50),
+                p95: percentile(&latencies, 0.95),
+                p99: percentile(&latencies, 0.99),
+                max: latencies.last().copied().unwrap_or(Dur::ZERO),
+                mean_queue_delay,
+            }
+        })
+        .collect();
+
+    let mut queue_depth = TimeSeries::new("admission-queue-depth");
+    for &(at, depth) in &svc.depth_points {
+        queue_depth.record(at, depth);
+    }
+
+    ServiceReport {
+        requests,
+        offered_rps,
+        achieved_rps,
+        offered_gbps,
+        achieved_gbps,
+        completed,
+        shed,
+        queue_depth,
+        max_queue_depth: svc.max_depth,
+        classes: class_reports,
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use shredder_des::Dur;
 use shredder_gpu::GpuError;
 
 /// An error from the session-based chunking engine.
@@ -9,7 +10,9 @@ use shredder_gpu::GpuError;
 /// Kernel launches and device transfers can fail (invalid buffers,
 /// out-of-memory) and misconfigured chunking parameters are rejected up
 /// front; both propagate through the session API instead of panicking
-/// inside the pipeline.
+/// inside the pipeline. On the online-service path
+/// ([`ShredderService`](crate::ShredderService)) a request can
+/// additionally be rejected by admission control under overload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChunkError {
     /// The GPU model rejected an operation.
@@ -17,6 +20,15 @@ pub enum ChunkError {
     /// The engine configuration is unusable (e.g. a zero-byte Rabin
     /// window, which would make the buffer-overlap math meaningless).
     InvalidConfig(String),
+    /// Admission control shed this request: the service was overloaded
+    /// (admission queue full, or the request's queue delay exceeded the
+    /// configured bound). The request did no work — no chunks were
+    /// formed and no sink state was touched.
+    Overloaded {
+        /// How long the request waited in the admission queue before it
+        /// was shed.
+        queued: Dur,
+    },
 }
 
 impl fmt::Display for ChunkError {
@@ -24,6 +36,11 @@ impl fmt::Display for ChunkError {
         match self {
             ChunkError::Gpu(e) => write!(f, "gpu error: {e:?}"),
             ChunkError::InvalidConfig(msg) => write!(f, "invalid engine config: {msg}"),
+            ChunkError::Overloaded { queued } => write!(
+                f,
+                "request shed by admission control after {:.3} ms in queue",
+                queued.as_millis_f64()
+            ),
         }
     }
 }
@@ -51,5 +68,14 @@ mod tests {
         assert!(e.to_string().contains("gpu error"));
         let c = ChunkError::InvalidConfig("window must be non-zero".into());
         assert!(c.to_string().contains("window"));
+    }
+
+    #[test]
+    fn overloaded_reports_queue_delay() {
+        let e = ChunkError::Overloaded {
+            queued: Dur::from_millis(12),
+        };
+        assert!(e.to_string().contains("shed"));
+        assert!(e.to_string().contains("12.000 ms"));
     }
 }

@@ -34,6 +34,21 @@
 //!   chunks and snapshot manifests into the versioned
 //!   [`shredder_store::ChunkStore`] in-simulation, making each session
 //!   one new restorable generation.
+//! * [`frontend`] / [`workload`] — the **online service frontend**:
+//!   [`ShredderService`] runs submitted [`ChunkRequest`]s under a
+//!   pluggable arrival [`Workload`] (open-loop Poisson, closed-loop
+//!   clients + think time, trace replay, or the degenerate batch),
+//!   through an explicit bounded admission queue ([`AdmissionControl`]:
+//!   FIFO / per-tenant fair share / weighted share across
+//!   [`TenantClass`]es, with load shedding via
+//!   [`ChunkError::Overloaded`]). Every request gets arrival → admit →
+//!   first-chunk → done timestamps, and the [`EngineReport`] grows a
+//!   [`ServiceReport`] (offered vs. achieved req/s and GB/s,
+//!   queue-depth timeline, per-class latency p50/p95/p99/max);
+//!   [`capacity_search`] bisects the highest sustained Poisson rate
+//!   meeting a p99 SLO. The legacy `open_*_session` + `run()` path *is*
+//!   the batch workload with unbounded admission — chunks and digests
+//!   are bit-identical.
 //! * [`pipeline`] — the legacy single-stream [`Shredder`] service, now a
 //!   thin one-session convenience over the engine.
 //! * [`host_chunker`] — the host-only pthreads baseline of §5.1.
@@ -131,6 +146,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod frontend;
 pub mod host_chunker;
 pub mod pipeline;
 pub mod report;
@@ -138,15 +154,20 @@ pub mod service;
 pub mod session;
 pub mod sink;
 pub mod source;
+pub mod workload;
 
 pub use config::{Allocator, HostChunkerConfig, ShredderConfig};
 pub use engine::{AdmissionPolicy, EngineOutcome, PlacementPolicy, ShredderEngine};
 pub use error::ChunkError;
+pub use frontend::{
+    capacity_search, CapacityReport, CapacityTrial, ChunkRequest, RequestId, RequestResult,
+    ServiceOutcome, ShredderService,
+};
 pub use host_chunker::HostChunker;
 pub use pipeline::Shredder;
 pub use report::{
-    BufferTimeline, DeviceReport, EngineReport, HostReport, PipelineReport, Report, SessionReport,
-    StageBusy, StageReport,
+    BufferTimeline, ClassLatency, DeviceReport, EngineReport, HostReport, PipelineReport, Report,
+    RequestReport, ServiceReport, SessionReport, StageBusy, StageReport,
 };
 pub use service::{ChunkOutcome, ChunkingService};
 pub use session::{ChunkSession, SessionId, SessionOutcome};
@@ -156,3 +177,4 @@ pub use sink::{
     StoreSinkConfig, StoreStage, UpcallSink,
 };
 pub use source::{MemorySource, SliceSource, StreamSource};
+pub use workload::{AdmissionControl, TenantClass, Workload};

@@ -86,6 +86,7 @@ impl Shredder {
         let plan = SessionPlan {
             name: "synthetic".into(),
             weight: 1,
+            class: 0,
             pin: None,
             bytes: (buffers * bytes) as u64,
             // The timing pass never reads individual cut offsets — only

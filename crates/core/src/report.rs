@@ -1,9 +1,174 @@
 //! Timing reports produced by the chunking engines.
 
 use serde::{Deserialize, Serialize};
-use shredder_des::{Dur, SimTime};
+use shredder_des::{Dur, SimTime, TimeSeries};
 
 use crate::sink::StageKind;
+
+/// Per-request record of one trip through the service frontend:
+/// arrival → admit (dispatch into the engine) → first chunk boundary
+/// delivered → done, or shed by admission control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestReport {
+    /// Request index in submit order (also the session index of the
+    /// underlying engine run).
+    pub id: usize,
+    /// Request name.
+    pub name: String,
+    /// Tenant class name.
+    pub class: String,
+    /// The request's stream size in bytes (counted as *offered* load
+    /// whether or not the request was admitted).
+    pub bytes: u64,
+    /// When the request arrived.
+    pub arrival: SimTime,
+    /// When admission control dispatched it into the engine (`None` if
+    /// shed).
+    pub admit: Option<SimTime>,
+    /// When its first chunk boundary was delivered (`None` if shed or
+    /// the stream was empty).
+    pub first_chunk: Option<SimTime>,
+    /// When its last chunk cleared the final stage (`None` if shed).
+    pub done: Option<SimTime>,
+    /// When admission control shed it (`None` if admitted).
+    pub shed_at: Option<SimTime>,
+}
+
+impl RequestReport {
+    /// True if admission control shed the request.
+    pub fn is_shed(&self) -> bool {
+        self.shed_at.is_some()
+    }
+
+    /// Time spent waiting in the admission queue: arrival → admit (or
+    /// arrival → shed for rejected requests).
+    pub fn queue_delay(&self) -> Dur {
+        match self.admit.or(self.shed_at) {
+            Some(t) => t.saturating_since(self.arrival),
+            None => Dur::ZERO,
+        }
+    }
+
+    /// End-to-end request latency (arrival → done); `None` for shed
+    /// requests.
+    pub fn latency(&self) -> Option<Dur> {
+        self.done.map(|d| d.saturating_since(self.arrival))
+    }
+
+    /// Arrival → first chunk boundary; `None` for shed requests and
+    /// empty streams.
+    pub fn time_to_first_chunk(&self) -> Option<Dur> {
+        self.first_chunk.map(|t| t.saturating_since(self.arrival))
+    }
+}
+
+/// Latency distribution of one tenant class's completed requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassLatency {
+    /// Class name.
+    pub class: String,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Median end-to-end latency.
+    pub p50: Dur,
+    /// 95th-percentile end-to-end latency.
+    pub p95: Dur,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Dur,
+    /// Worst end-to-end latency.
+    pub max: Dur,
+    /// Mean admission-queue delay of completed requests.
+    pub mean_queue_delay: Dur,
+}
+
+/// Nearest-rank percentile over an ascending-sorted latency list.
+pub(crate) fn percentile(sorted: &[Dur], q: f64) -> Dur {
+    if sorted.is_empty() {
+        return Dur::ZERO;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Service-level report of one open-loop (or closed-loop) run: offered
+/// vs. achieved load, the admission queue-depth timeline, and latency
+/// percentiles per tenant class. Produced by
+/// [`ShredderService::run`](crate::ShredderService::run) and attached
+/// to the engine report as [`EngineReport::service`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Per-request records, in submit order.
+    pub requests: Vec<RequestReport>,
+    /// Offered load in requests/s: request count over the arrival span
+    /// (first arrival → last arrival), falling back to the makespan for
+    /// batch workloads where every request arrives at once.
+    pub offered_rps: f64,
+    /// Achieved completion rate in requests/s: completed requests over
+    /// the makespan.
+    pub achieved_rps: f64,
+    /// Offered byte rate in GB/s (all requests' bytes over the arrival
+    /// span).
+    pub offered_gbps: f64,
+    /// Achieved byte rate in GB/s (completed requests' bytes over the
+    /// makespan).
+    pub achieved_gbps: f64,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Admission-queue depth over time, sampled at every arrival,
+    /// dispatch and shed.
+    pub queue_depth: TimeSeries,
+    /// Peak admission-queue depth.
+    pub max_queue_depth: usize,
+    /// Latency percentiles per tenant class, in class-definition order.
+    pub classes: Vec<ClassLatency>,
+}
+
+impl ServiceReport {
+    /// The latency report of one tenant class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassLatency> {
+        self.classes.iter().find(|c| c.class == name)
+    }
+
+    /// Fraction of requests shed, in `[0, 1]`.
+    pub fn shed_fraction(&self) -> f64 {
+        let n = self.requests.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / n as f64
+    }
+
+    /// End-to-end latencies of all completed requests, ascending.
+    pub fn latencies(&self) -> Vec<Dur> {
+        let mut l: Vec<Dur> = self.requests.iter().filter_map(|r| r.latency()).collect();
+        l.sort_unstable();
+        l
+    }
+
+    /// Overall p50 end-to-end latency across classes.
+    pub fn p50(&self) -> Dur {
+        percentile(&self.latencies(), 0.50)
+    }
+
+    /// Overall p99 end-to-end latency across classes.
+    pub fn p99(&self) -> Dur {
+        percentile(&self.latencies(), 0.99)
+    }
+
+    /// Worst admission-queue delay across all requests (admitted and
+    /// shed).
+    pub fn max_queue_delay(&self) -> Dur {
+        self.requests
+            .iter()
+            .map(RequestReport::queue_delay)
+            .max()
+            .unwrap_or(Dur::ZERO)
+    }
+}
 
 /// Busy/queue-wait accounting of one shared downstream sink stage
 /// (fingerprint, dedup, ship, …) inside an engine run's simulation.
@@ -189,6 +354,12 @@ pub struct EngineReport {
     pub queue_wait: Dur,
     /// One-time pinned-ring setup cost (shared by all sessions).
     pub ring_setup: Dur,
+    /// Service-frontend accounting (offered vs. achieved load, queue
+    /// depth, per-class latency percentiles). `Some` for runs driven by
+    /// a [`ShredderService`](crate::ShredderService) workload; `None`
+    /// for the legacy closed-batch [`run`](crate::ShredderEngine::run)
+    /// path.
+    pub service: Option<ServiceReport>,
 }
 
 impl EngineReport {
@@ -303,5 +474,45 @@ mod tests {
             makespan: Dur::ZERO,
         });
         assert_eq!(r.throughput_gbps(), 0.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let l: Vec<Dur> = (1..=100).map(Dur::from_millis).collect();
+        assert_eq!(percentile(&l, 0.50), Dur::from_millis(50));
+        assert_eq!(percentile(&l, 0.99), Dur::from_millis(99));
+        assert_eq!(percentile(&l, 1.0), Dur::from_millis(100));
+        assert_eq!(percentile(&[], 0.99), Dur::ZERO);
+        assert_eq!(percentile(&[Dur::from_micros(3)], 0.5), Dur::from_micros(3));
+    }
+
+    #[test]
+    fn request_report_derived_times() {
+        let r = RequestReport {
+            id: 0,
+            name: "r".into(),
+            class: "default".into(),
+            bytes: 10,
+            arrival: SimTime::from_nanos(100),
+            admit: Some(SimTime::from_nanos(150)),
+            first_chunk: Some(SimTime::from_nanos(300)),
+            done: Some(SimTime::from_nanos(400)),
+            shed_at: None,
+        };
+        assert!(!r.is_shed());
+        assert_eq!(r.queue_delay(), Dur::from_nanos(50));
+        assert_eq!(r.latency(), Some(Dur::from_nanos(300)));
+        assert_eq!(r.time_to_first_chunk(), Some(Dur::from_nanos(200)));
+
+        let shed = RequestReport {
+            admit: None,
+            first_chunk: None,
+            done: None,
+            shed_at: Some(SimTime::from_nanos(180)),
+            ..r
+        };
+        assert!(shed.is_shed());
+        assert_eq!(shed.queue_delay(), Dur::from_nanos(80));
+        assert_eq!(shed.latency(), None);
     }
 }

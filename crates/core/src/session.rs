@@ -40,6 +40,10 @@ pub struct ChunkSession<'a> {
     pub(crate) id: SessionId,
     pub(crate) name: String,
     pub(crate) weight: u32,
+    /// Tenant-class index on the service frontend (0 = the default
+    /// class; sessions opened through the legacy engine API are always
+    /// class 0).
+    pub(crate) class: usize,
     /// Explicit device pin: this session's buffers run on the given
     /// pool device regardless of the placement policy.
     pub(crate) pin: Option<usize>,
@@ -67,6 +71,11 @@ impl ChunkSession<'_> {
     /// The pool device this session is pinned to, if any.
     pub fn pinned_device(&self) -> Option<usize> {
         self.pin
+    }
+
+    /// The session's tenant-class index (0 = default class).
+    pub fn class(&self) -> usize {
+        self.class
     }
 
     /// True if a downstream sink is attached.

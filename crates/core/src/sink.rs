@@ -134,6 +134,14 @@ pub struct SinkPipelineHints {
     pub granularity: usize,
     /// Optional intake link (bytes/s) feeding the chunker — the §7.3
     /// image source. `None` models a resident stream.
+    ///
+    /// **Deprecated (doc-level):** on the request path
+    /// ([`ShredderService`](crate::ShredderService)) the ingest cap is
+    /// a [`TenantClass::ingest_bw`](crate::TenantClass) bandwidth limit
+    /// — a first-class per-class link inside the shared simulation —
+    /// instead of this per-sink hint. The hint keeps working on the
+    /// legacy `chunk_source_sink` paths but new code should prefer the
+    /// tenant-class limit.
     pub intake_bw: Option<f64>,
     /// Batches in flight simultaneously.
     pub depth: usize,

@@ -105,6 +105,22 @@ impl MemorySource {
     pub fn new(data: Vec<u8>) -> Self {
         MemorySource { data, pos: 0 }
     }
+
+    /// Creates a source over `len` seeded pseudo-random bytes
+    /// (xorshift64) — convenient for service-frontend workloads where
+    /// each request owns its stream. Deterministic per seed.
+    pub fn pseudo_random(len: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let data = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect();
+        MemorySource::new(data)
+    }
 }
 
 impl StreamSource for MemorySource {

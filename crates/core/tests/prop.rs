@@ -216,4 +216,99 @@ proptest! {
         prop_assert_eq!(first.report, second.report);
         prop_assert_eq!(first.sessions, second.sessions);
     }
+
+    /// Service-frontend determinism under arrivals: any workload trace
+    /// replayed twice — any admission bound, with or without shedding —
+    /// yields identical `ServiceReport` latencies and identical
+    /// per-request chunks and digests.
+    #[test]
+    fn trace_replay_is_deterministic_under_admission(
+        sizes in proptest::collection::vec(4_000usize..60_000, 2..6),
+        gaps_us in proptest::collection::vec(0u64..300, 1..6),
+        slots in 1usize..4,
+        queue_depth_pick in 0usize..4,
+        delay_bound_pick in 0u64..500,
+        policy_pick in 0u8..3,
+    ) {
+        use shredder_core::{
+            AdmissionControl, ChunkRequest, MemorySource, ShredderService, TenantClass, Workload,
+        };
+
+        let policy = match policy_pick {
+            0 => AdmissionPolicy::RoundRobin,
+            1 => AdmissionPolicy::Weighted,
+            _ => AdmissionPolicy::SessionOrder,
+        };
+        // 0 encodes "no bound" (the vendored proptest stub has no
+        // option strategy).
+        let queue_depth = queue_depth_pick.checked_sub(1);
+        let delay_bound_us = (delay_bound_pick > 0).then_some(delay_bound_pick);
+        let mut control = AdmissionControl::fifo(slots).with_policy(policy);
+        if let Some(d) = queue_depth {
+            control = control.with_queue_depth(d);
+        }
+        if let Some(b) = delay_bound_us {
+            control = control.with_max_queue_delay(Dur::from_micros(b));
+        }
+        let trace = Workload::trace(gaps_us.iter().map(|&g| Dur::from_micros(g)).collect());
+
+        let run = || {
+            let mut service = ShredderService::new(
+                ShredderConfig::gpu_streams_memory().with_buffer_size(8 << 10),
+            )
+            .with_admission(control);
+            service.define_class(TenantClass::new("tenant-b").with_weight(3));
+            for (i, &len) in sizes.iter().enumerate() {
+                let mut request = ChunkRequest::new(MemorySource::pseudo_random(len, i as u64))
+                    .named(format!("r{i}"));
+                if i % 2 == 1 {
+                    request = request.with_class("tenant-b");
+                }
+                service.submit(request);
+            }
+            service.run(&trace).unwrap()
+        };
+
+        let first = run();
+        let second = run();
+        prop_assert_eq!(&first.report, &second.report);
+        // Identical per-request outcomes, chunks and digests.
+        for (a, b) in first.requests.iter().zip(&second.requests) {
+            match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x, y);
+                    let i = a.id.index();
+                    // Digests recomputed over the request's own stream.
+                    let mut src = MemorySource::pseudo_random(sizes[i], i as u64);
+                    let mut data = Vec::new();
+                    let mut buf = [0u8; 4096];
+                    loop {
+                        let n = shredder_core::StreamSource::read(&mut src, &mut buf);
+                        if n == 0 { break; }
+                        data.extend_from_slice(&buf[..n]);
+                    }
+                    let dx: Vec<_> = x.chunks.iter().map(|c| sha256(c.slice(&data))).collect();
+                    let dy: Vec<_> = y.chunks.iter().map(|c| sha256(c.slice(&data))).collect();
+                    prop_assert_eq!(dx, dy);
+                    // And the chunks equal a sequential scan of the stream.
+                    prop_assert_eq!(&x.chunks, &chunk_all(&data, &ChunkParams::paper()));
+                }
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                other => prop_assert!(false, "outcome mismatch across replays: {:?}", other),
+            }
+        }
+        // The service report's latency columns replay identically.
+        let svc1 = first.service();
+        let svc2 = second.service();
+        prop_assert_eq!(svc1, svc2);
+        // Queue-delay bound honored for every admitted request.
+        if let Some(b) = delay_bound_us {
+            let bound = Dur::from_micros(b);
+            for r in &svc1.requests {
+                if !r.is_shed() {
+                    prop_assert!(r.queue_delay() <= bound);
+                }
+            }
+        }
+    }
 }

@@ -10,7 +10,10 @@
 use std::fmt;
 
 use bytes::Bytes;
-use shredder_core::{ChunkError, ChunkingService, Shredder, SliceSource};
+use shredder_core::{
+    AdmissionControl, ChunkError, ChunkRequest, ChunkingService, ServiceReport, Shredder,
+    ShredderService, SliceSource, Workload,
+};
 use shredder_des::Dur;
 use shredder_hash::{sha256, Digest};
 use shredder_rabin::{chunk_fixed, Chunk};
@@ -299,6 +302,79 @@ impl IncHdfs {
         Ok(reports)
     }
 
+    /// Online-service ingestion: uploads arrive *inside* the simulation
+    /// according to `workload` (open-loop Poisson, closed loop, trace
+    /// replay or batch) and pass through the bounded admission queue of
+    /// `control` — the Shredder-enabled HDFS client as a long-lived
+    /// ingest frontend instead of a closed batch.
+    ///
+    /// Returns one result per `(path, data)` pair in order (shed
+    /// uploads carry [`HdfsError::Chunking`] wrapping
+    /// `ChunkError::Overloaded` and commit nothing) plus the run's
+    /// [`ServiceReport`] (offered vs. achieved req/s, queue-depth
+    /// timeline, latency percentiles).
+    ///
+    /// # Errors
+    ///
+    /// [`HdfsError::Chunking`] if the engine rejects the configuration
+    /// or a kernel launch fails; no file is committed in that case.
+    #[allow(clippy::type_complexity)]
+    pub fn copy_service_gpu(
+        &mut self,
+        files: &[(&str, &[u8])],
+        shredder: &Shredder,
+        format: &dyn InputFormat,
+        workload: &Workload,
+        control: AdmissionControl,
+    ) -> Result<(Vec<Result<UploadReport, HdfsError>>, ServiceReport), HdfsError> {
+        let mut sinks: Vec<RecordAlignedSink> = files
+            .iter()
+            .map(|_| RecordAlignedSink::new(format))
+            .collect();
+        let outcome = {
+            let mut service =
+                ShredderService::new(shredder.config().clone()).with_admission(control);
+            for ((path, data), sink) in files.iter().zip(sinks.iter_mut()) {
+                service.submit(
+                    ChunkRequest::new(SliceSource::new(data))
+                        .named(path.to_string())
+                        .with_sink(sink),
+                );
+            }
+            service.run(workload).map_err(HdfsError::Chunking)?
+        };
+
+        let service_report = outcome
+            .report
+            .service
+            .clone()
+            .expect("service runs always carry a ServiceReport");
+        let mut reports = Vec::with_capacity(files.len());
+        for ((sink, (path, data)), result) in sinks.into_iter().zip(files).zip(outcome.requests) {
+            match result.outcome {
+                Ok(_) => {
+                    let i = result.id.index();
+                    let per = &outcome.report.sessions[i];
+                    let chunking_time = per
+                        .timeline
+                        .last()
+                        .map(|t| t.store_end.saturating_since(per.first_admit))
+                        .unwrap_or(Dur::ZERO);
+                    let latency = service_report.requests[i].latency().unwrap_or(per.makespan);
+                    reports.push(Ok(self.commit(
+                        path,
+                        data,
+                        &sink.into_aligned(),
+                        chunking_time,
+                        latency,
+                    )));
+                }
+                Err(e) => reports.push(Err(HdfsError::Chunking(e))),
+            }
+        }
+        Ok((reports, service_report))
+    }
+
     fn commit(
         &mut self,
         path: &str,
@@ -569,6 +645,72 @@ mod tests {
         // Per-file chunking time comes from its session in the shared run.
         for r in &reports {
             assert!(r.chunking_time > Dur::ZERO);
+        }
+    }
+
+    #[test]
+    fn service_ingest_matches_batch_and_sheds_cleanly() {
+        use shredder_core::{AdmissionControl, ChunkError, Workload};
+
+        let data: Vec<Vec<u8>> = (21..25).map(corpus).collect();
+        let files: Vec<(&str, &[u8])> = vec![
+            ("/s0", data[0].as_slice()),
+            ("/s1", data[1].as_slice()),
+            ("/s2", data[2].as_slice()),
+            ("/s3", data[3].as_slice()),
+        ];
+        let shredder = Shredder::new(
+            shredder_core::ShredderConfig::gpu_streams_memory()
+                .with_params(ChunkParams::paper().with_expected_size(4096))
+                .with_buffer_size(64 << 10),
+        );
+
+        // Gentle Poisson arrivals: everything lands, splits match the
+        // batch path, and the service report carries latencies.
+        let mut fs = IncHdfs::new(4);
+        let (reports, svc) = fs
+            .copy_service_gpu(
+                &files,
+                &shredder,
+                &TextInputFormat,
+                &Workload::poisson(100.0, 3),
+                AdmissionControl::fifo(2),
+            )
+            .unwrap();
+        assert_eq!(svc.completed, 4);
+        assert_eq!(svc.shed, 0);
+        let mut batch_fs = IncHdfs::new(4);
+        let batch = batch_fs
+            .copy_many_gpu(&files, &shredder, &TextInputFormat)
+            .unwrap();
+        for ((r, b), (path, content)) in reports.iter().zip(&batch).zip(&files) {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.splits, b.splits);
+            assert_eq!(r.new_bytes, b.new_bytes);
+            assert_eq!(fs.read(path).unwrap(), *content);
+        }
+
+        // A zero-length queue under a batch burst: later uploads shed
+        // with Overloaded and commit nothing.
+        let mut fs = IncHdfs::new(4);
+        let (reports, svc) = fs
+            .copy_service_gpu(
+                &files,
+                &shredder,
+                &TextInputFormat,
+                &Workload::Batch,
+                AdmissionControl::fifo(1).with_queue_depth(0),
+            )
+            .unwrap();
+        assert!(svc.shed > 0);
+        for (r, (path, content)) in reports.iter().zip(&files) {
+            match r {
+                Ok(_) => assert_eq!(fs.read(path).unwrap(), *content),
+                Err(HdfsError::Chunking(ChunkError::Overloaded { .. })) => {
+                    assert!(matches!(fs.read(path), Err(HdfsError::FileNotFound(_))));
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
         }
     }
 

@@ -26,8 +26,12 @@
 //!   ring, fair admission), sharded across a device pool (`gpus = N`,
 //!   least-loaded / round-robin / pinned placement, per-device
 //!   utilization + overlap reporting), the single-stream
-//!   [`Shredder`](core::Shredder) convenience, and the host-only
-//!   pthreads baseline.
+//!   [`Shredder`](core::Shredder) convenience, the host-only
+//!   pthreads baseline — and the **online service frontend**
+//!   ([`ShredderService`](core::ShredderService)): open-loop /
+//!   closed-loop / trace arrival workloads, bounded admission with
+//!   per-tenant fair share and load shedding, per-request latency
+//!   timestamps and p50/p95/p99 SLO reporting.
 //! * [`store`] — the versioned content-addressed chunk store: a
 //!   segment-packed payload log behind one shared fingerprint index,
 //!   first-class snapshots (per-stream generations), digest-verified
@@ -45,6 +49,41 @@
 //!
 //! See `DESIGN.md` for the system inventory, the session API, and the
 //! migration notes from the old one-shot `chunk_stream` API.
+//!
+//! # Quickstart: the online service
+//!
+//! Shredder is a storage-system *service*: requests keep arriving while
+//! the GPUs are busy. A [`ShredderService`](core::ShredderService)
+//! takes submitted requests, drives them with an open-loop Poisson
+//! [`Workload`](core::Workload) (or closed-loop / trace-replay /
+//! batch), pushes them through bounded admission, and reports latency
+//! percentiles per tenant class — three lines from config to a p99
+//! readout:
+//!
+//! ```
+//! use shredder::core::{ChunkRequest, MemorySource, ShredderConfig, ShredderService, Workload};
+//!
+//! let mut service = ShredderService::new(ShredderConfig::default().with_buffer_size(256 << 10));
+//! (0..16u64).for_each(|t| {
+//!     service.submit(ChunkRequest::new(MemorySource::pseudo_random(512 << 10, t)));
+//! });
+//! let outcome = service.run(&Workload::poisson(1_000.0, 42)).expect("service run failed");
+//!
+//! println!(
+//!     "offered {:.0} req/s, achieved {:.0} req/s, p99 {:.2} ms, shed {}",
+//!     outcome.service().offered_rps,
+//!     outcome.service().achieved_rps,
+//!     outcome.service().p99().as_millis_f64(),
+//!     outcome.service().shed,
+//! );
+//! # assert_eq!(outcome.service().completed + outcome.service().shed, 16);
+//! ```
+//!
+//! Under overload, bounded admission sheds requests with
+//! [`ChunkError::Overloaded`](core::ChunkError) instead of queueing
+//! without bound, and
+//! [`capacity_search`](core::capacity_search) bisects the highest
+//! sustained rate meeting a p99 SLO.
 //!
 //! # Quickstart: multi-tenant chunking
 //!
