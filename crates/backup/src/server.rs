@@ -17,7 +17,6 @@
 use std::cell::{Ref, RefCell};
 use std::rc::Rc;
 
-use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use shredder_core::{
     AdmissionControl, ChunkError, ChunkRequest, ChunkVerdict, ChunkingService, DedupSink,
@@ -217,12 +216,12 @@ impl BackupServer {
     /// The server's consumer graph configuration: hash → dedup → ship at
     /// the §7.3 stage rates, batched at the server's buffer size.
     ///
-    /// Note: the `intake_bw` hint only matters on the legacy
-    /// engine-less paths ([`backup_image`](Self::backup_image) with a
-    /// non-engine service). The request path
-    /// ([`backup_service`](Self::backup_service)) models the per-site
-    /// ingest cap as a [`TenantClass`] bandwidth limit instead — the
-    /// hint is kept for compatibility but deprecated in favor of it.
+    /// The per-site ingest cap is *not* part of the sink: the legacy
+    /// single-image path ([`backup_image`](Self::backup_image)) passes
+    /// it explicitly through
+    /// [`chunk_stream_sink_capped`](ChunkingService::chunk_stream_sink_capped),
+    /// and the request path ([`backup_service`](Self::backup_service))
+    /// models it as a [`TenantClass`] bandwidth limit.
     fn sink_config(&self) -> DedupSinkConfig {
         DedupSinkConfig {
             hash_bw: self.config.hash_bw,
@@ -233,7 +232,6 @@ impl BackupServer {
             ship_chunk_overhead: self.config.ship_chunk_overhead,
             hints: SinkPipelineHints {
                 granularity: self.config.buffer_size,
-                intake_bw: Some(self.config.ingest_bw),
                 depth: self.config.pipeline_depth,
             },
         }
@@ -253,7 +251,9 @@ impl BackupServer {
         service: &dyn ChunkingService,
     ) -> Result<BackupReport, ChunkError> {
         let mut sink = DedupSink::new(self.sink_config(), self.index.clone());
-        let outcome = service.chunk_stream_sink(image, &mut sink)?;
+        // The §7.3 image source feeds the chunker at the ingest rate.
+        let outcome =
+            service.chunk_stream_sink_capped(image, &mut sink, Some(self.config.ingest_bw))?;
         Ok(self.commit_image(
             image,
             &sink.into_verdicts(),
@@ -328,10 +328,9 @@ impl BackupServer {
     ///
     /// The per-site ingest cap (§7.3's 10 Gbps image source) is modeled
     /// as a [`TenantClass`] bandwidth limit on the `"site"` class — the
-    /// first-class replacement for the ad-hoc
-    /// [`SinkPipelineHints::intake_bw`] hint and the reader-capping
-    /// plumbing of [`backup_batch`](Self::backup_batch) (both still
-    /// work, but are deprecated in favor of this path).
+    /// first-class form of the explicit per-call cap the legacy paths
+    /// ([`backup_image`](Self::backup_image),
+    /// [`backup_batch`](Self::backup_batch)) thread through by hand.
     ///
     /// A shed request touches nothing: its image is not hashed, its
     /// fingerprints never enter the index, and the site stores no
@@ -461,11 +460,10 @@ impl BackupServer {
             } else {
                 new_chunks += 1;
                 new_bytes += v.chunk.len as u64;
-                self.site.receive_chunk(
-                    image_id,
-                    v.digest,
-                    Bytes::copy_from_slice(v.chunk.slice(image)),
-                );
+                // Range-based commit: the chunk is an (offset, len) view
+                // of the image; the only copy is into the segment log.
+                self.site
+                    .receive_chunk_slice(image_id, v.digest, v.chunk.slice(image));
             }
         }
 

@@ -55,10 +55,22 @@ impl BackupSite {
     /// Panics if `image` does not exist or the payload digest mismatches
     /// (in debug builds).
     pub fn receive_chunk(&mut self, image: usize, digest: Digest, payload: Bytes) {
-        let len = payload.len();
-        self.store.put_with_digest(digest, payload);
+        self.receive_chunk_slice(image, digest, &payload);
+    }
+
+    /// Receives a shipped chunk payload as a borrowed range of the
+    /// sender's image — the allocation-free commit path. The payload is
+    /// copied at most once, straight into the store's segment log (and
+    /// not at all on a dedup hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not exist or the payload digest mismatches
+    /// (in debug builds).
+    pub fn receive_chunk_slice(&mut self, image: usize, digest: Digest, payload: &[u8]) {
+        self.store.put_slice(digest, payload);
         self.store
-            .append_chunk(IMAGE_STREAM, image as u64, digest, len)
+            .append_chunk(IMAGE_STREAM, image as u64, digest, payload.len())
             .expect("no such image manifest");
     }
 

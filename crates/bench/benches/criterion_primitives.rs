@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use shredder_hash::sha256;
-use shredder_rabin::{chunk_all, chunk_fixed, ChunkParams, ParallelChunker, RabinTables};
+use shredder_rabin::{
+    chunk_all, chunk_fixed, ChunkParams, GearKernel, ParallelChunker, RabinTables,
+};
 
 fn test_data(len: usize) -> Vec<u8> {
     let mut state = 0x1234_5678_9abc_def0u64;
@@ -39,6 +41,27 @@ fn bench_rabin_tables(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gear_hash(c: &mut Criterion) {
+    // The Gear inner loop against the Rabin one above: one table
+    // lookup, a shift and an add per byte, vs the two-table polynomial
+    // push. This is the per-byte cost ratio the GPU cost model encodes
+    // (26 vs 52 cycles/byte).
+    let kernel = GearKernel::matched(&ChunkParams::paper());
+    let data = test_data(1 << 20);
+    let mut group = c.benchmark_group("gear_hash");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("shift_add_1MiB", |b| {
+        b.iter(|| {
+            let mut h = 0u64;
+            for &byte in &data {
+                h = kernel.step(h, byte);
+            }
+            h
+        })
+    });
+    group.finish();
+}
+
 fn bench_chunking(c: &mut Criterion) {
     let params = ChunkParams::paper();
     let data = test_data(8 << 20);
@@ -56,6 +79,11 @@ fn bench_chunking(c: &mut Criterion) {
         );
     }
     group.bench_function("fixed_size", |b| b.iter(|| chunk_fixed(&data, 8192)));
+    let gear = GearKernel::matched(&params);
+    group.bench_function("gear_cdc", |b| {
+        use shredder_rabin::BoundaryKernel;
+        b.iter(|| gear.chunks(&data))
+    });
     group.finish();
 }
 
@@ -67,5 +95,11 @@ fn bench_sha256(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rabin_tables, bench_chunking, bench_sha256);
+criterion_group!(
+    benches,
+    bench_rabin_tables,
+    bench_gear_hash,
+    bench_chunking,
+    bench_sha256
+);
 criterion_main!(benches);

@@ -20,24 +20,32 @@ use shredder_core::{
     ShredderService, Workload,
 };
 use shredder_des::Dur;
+use shredder_gpu::kernel::KernelVariant;
 
 const REQUESTS: usize = 24;
 const REQ_BYTES: usize = 1 << 20;
 
-fn config() -> ShredderConfig {
-    ShredderConfig::gpu_streams_memory().with_buffer_size(256 << 10)
+fn config(kernel: KernelVariant) -> ShredderConfig {
+    ShredderConfig::gpu_streams_memory()
+        .with_buffer_size(256 << 10)
+        .with_chunk_kernel(kernel)
 }
 
-fn service<'a>(control: AdmissionControl) -> ShredderService<'a> {
-    let mut service = ShredderService::new(config()).with_admission(control);
+fn service<'a>(control: AdmissionControl, kernel: KernelVariant) -> ShredderService<'a> {
+    let mut service = ShredderService::new(config(kernel)).with_admission(control);
     for t in 0..REQUESTS as u64 {
         service.submit(ChunkRequest::new(MemorySource::pseudo_random(REQ_BYTES, t)));
     }
     service
 }
 
-fn run_poisson(rate: f64, control: AdmissionControl, seed: u64) -> ServiceReport {
-    let out = service(control)
+fn run_poisson(
+    rate: f64,
+    control: AdmissionControl,
+    seed: u64,
+    kernel: KernelVariant,
+) -> ServiceReport {
+    let out = service(control, kernel)
         .run(&Workload::poisson(rate, seed))
         .expect("service run failed");
     out.service().clone()
@@ -51,7 +59,7 @@ fn main() {
 
     // Capacity estimate: a closed batch through the same admission
     // slots — the completion rate with the queue never empty.
-    let batch = service(AdmissionControl::fifo(4))
+    let batch = service(AdmissionControl::fifo(4), KernelVariant::Coalesced)
         .run(&Workload::Batch)
         .expect("batch run failed");
     let mu = batch.service().achieved_rps;
@@ -67,7 +75,12 @@ fn main() {
     let mut sweep: Vec<(f64, ServiceReport)> = Vec::new();
     for (i, f) in fractions.iter().enumerate() {
         let rate = f * mu;
-        let report = run_poisson(rate, AdmissionControl::fifo(4), 0xbeef + i as u64);
+        let report = run_poisson(
+            rate,
+            AdmissionControl::fifo(4),
+            0xbeef + i as u64,
+            KernelVariant::Coalesced,
+        );
         sweep.push((rate, report));
     }
 
@@ -116,7 +129,7 @@ fn main() {
     // sheds instead of queueing without bound).
     let control = AdmissionControl::fifo(4).with_max_queue_delay(slo);
     let search = capacity_search(slo, 0.1 * mu, 2.0 * mu, 7, |rate| {
-        Ok(run_poisson(rate, control, 0xcafe))
+        Ok(run_poisson(rate, control, 0xcafe, KernelVariant::Coalesced))
     })
     .expect("capacity search failed");
     let sustained = search.sustained_rps;
@@ -133,6 +146,23 @@ fn main() {
             format!("{:.2} ms", p99.as_millis_f64()),
         );
     }
+
+    // The same bisection with the Gear/FastCDC kernel, against the same
+    // SLO: lighter per-byte kernel cost raises the sustained rate.
+    let gear_search = capacity_search(slo, 0.1 * mu, 2.0 * mu, 7, |rate| {
+        Ok(run_poisson(
+            rate,
+            control,
+            0xcafe,
+            KernelVariant::GearCoalesced,
+        ))
+    })
+    .expect("gear capacity search failed");
+    let gear_sustained = gear_search.sustained_rps;
+    result_line(
+        "sustained rate at SLO (Gear)",
+        format!("{gear_sustained:.0} req/s"),
+    );
 
     println!();
     let light = &sweep[0].1;
@@ -160,6 +190,12 @@ fn main() {
         "sustained rate is below the overloaded end of the sweep",
         sustained < 1.5 * mu,
     );
+    check(
+        &format!(
+            "Gear kernel sustains at least the Rabin rate at SLO ({gear_sustained:.0} vs {sustained:.0} rps)"
+        ),
+        gear_sustained >= sustained,
+    );
 
     // Perf-trajectory dump: bench_gate tracks sustained_rps.
     let sweep_json: Vec<String> = sweep
@@ -177,8 +213,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"sustained_rps\": {:.6},\n  \"sustained_gbps\": {:.6},\n  \"capacity_estimate_rps\": {:.6},\n  \"slo_ms\": {:.6},\n  \"request_bytes\": {},\n  \"requests\": {},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"sustained_rps\": {:.6},\n  \"sustained_rps_gear\": {:.6},\n  \"sustained_gbps\": {:.6},\n  \"capacity_estimate_rps\": {:.6},\n  \"slo_ms\": {:.6},\n  \"request_bytes\": {},\n  \"requests\": {},\n  \"sweep\": [\n{}\n  ]\n}}\n",
         sustained,
+        gear_sustained,
         sustained_gbps,
         mu,
         slo.as_millis_f64(),

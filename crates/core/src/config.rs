@@ -151,6 +151,18 @@ impl ShredderConfig {
         self
     }
 
+    /// Selects the chunking kernel variant: the paper's Rabin kernels
+    /// ([`KernelVariant::Basic`]/[`KernelVariant::Coalesced`]) or the
+    /// Gear/FastCDC kernels
+    /// ([`KernelVariant::Gear`]/[`KernelVariant::GearCoalesced`]),
+    /// whose shift-add update roughly halves the per-byte compute.
+    /// Gear kernels derive their FastCDC parameters from `params` (same
+    /// expected chunk size; min/max carried over when set).
+    pub fn with_chunk_kernel(mut self, kernel: KernelVariant) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Sets the device-pool size. Streams are sharded across the pool
     /// by the [`PlacementPolicy`]; consider scaling
     /// [`with_pipeline_depth`](Self::with_pipeline_depth) with the pool
@@ -275,8 +287,13 @@ impl ShredderConfig {
     /// offending field.
     pub fn validate(&self) -> Result<(), crate::ChunkError> {
         use crate::ChunkError::InvalidConfig;
-        if self.params.window == 0 {
-            return Err(InvalidConfig("chunking window must be non-zero".into()));
+        self.params
+            .validate()
+            .map_err(|e| InvalidConfig(format!("chunking params: {e}")))?;
+        if self.kernel.is_gear() {
+            shredder_rabin::GearParams::matched(&self.params)
+                .validate()
+                .map_err(|e| InvalidConfig(format!("gear chunking params: {e}")))?;
         }
         if self.buffer_size == 0 {
             return Err(InvalidConfig("buffer size must be non-zero".into()));
@@ -422,6 +439,22 @@ mod tests {
             assert_eq!(cfg.placement, PlacementPolicy::LeastLoaded);
             assert_eq!(cfg.ring_slots, None);
         }
+    }
+
+    #[test]
+    fn chunk_kernel_builder_and_gear_validation() {
+        let cfg = ShredderConfig::default().with_chunk_kernel(KernelVariant::GearCoalesced);
+        assert_eq!(cfg.kernel, KernelVariant::GearCoalesced);
+        assert!(cfg.validate().is_ok());
+
+        // A mask this wide passes the Rabin checks but leaves no room
+        // for FastCDC's strict-mask widening — only the gear kernels
+        // reject it.
+        let mut wide = ShredderConfig::default();
+        wide.params.mask_bits = 63;
+        assert!(wide.validate().is_ok());
+        let wide = wide.with_chunk_kernel(KernelVariant::Gear);
+        assert!(wide.validate().is_err());
     }
 
     #[test]

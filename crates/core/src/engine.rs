@@ -65,12 +65,13 @@ use std::rc::Rc;
 use serde::{Deserialize, Serialize};
 use shredder_des::{BandwidthChannel, Dur, FifoServer, SimTime, Simulation, TimeSeries};
 use shredder_gpu::hostmem::{HostAllocModel, HostMemKind};
-use shredder_gpu::kernel::ChunkKernel;
+use shredder_gpu::kernel::{ChunkKernel, KernelVariant};
 use shredder_gpu::pool::{BufferJob, DevicePool, PooledDevice};
 use shredder_gpu::{calibration, PinnedRing};
-use shredder_rabin::chunker::{apply_min_max, cuts_to_chunks};
-use shredder_rabin::Chunk;
+use shredder_rabin::chunker::cuts_to_chunks;
+use shredder_rabin::{Chunk, RawCut};
 
+use crate::bufpool::{BufferPool, PooledBuf};
 use crate::config::ShredderConfig;
 use crate::error::ChunkError;
 use crate::report::{
@@ -193,8 +194,10 @@ pub(crate) struct SessionPlan {
     /// Explicit device pin, if the session requested one.
     pub(crate) pin: Option<usize>,
     pub(crate) bytes: u64,
-    /// Raw cuts at stream-absolute offsets, in stream order.
-    pub(crate) cuts: Vec<u64>,
+    /// Raw cuts at stream-absolute offsets, in stream order. Each cut
+    /// carries the strictness tag its boundary kernel assigned, so the
+    /// store-thread policy pass can replay FastCDC normalization.
+    pub(crate) cuts: Vec<RawCut>,
     pub(crate) buffers: Vec<PlannedBuffer>,
 }
 
@@ -236,6 +239,7 @@ pub struct ShredderEngine<'a> {
     kernel: ChunkKernel,
     policy: AdmissionPolicy,
     sessions: Vec<ChunkSession<'a>>,
+    pool: BufferPool,
 }
 
 impl<'a> ShredderEngine<'a> {
@@ -249,7 +253,17 @@ impl<'a> ShredderEngine<'a> {
             kernel,
             policy: AdmissionPolicy::RoundRobin,
             sessions: Vec::new(),
+            pool: BufferPool::new(),
         }
+    }
+
+    /// The buffer pool backing this engine's host-side scan and
+    /// retention buffers. After the first session of a given shape, the
+    /// planning hot loop leases every buffer from here — the pool's
+    /// allocation counter staying flat across sessions is the
+    /// steady-state zero-allocation property.
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Sets the admission policy (default: round-robin).
@@ -475,7 +489,7 @@ impl<'a> ShredderEngine<'a> {
         let chunk_sets: Vec<Vec<Chunk>> = plans
             .iter()
             .map(|plan| {
-                let cuts = apply_min_max(&plan.cuts, plan.bytes, &self.config.params);
+                let cuts = self.kernel.apply_policy(&plan.cuts, plan.bytes);
                 cuts_to_chunks(&cuts, plan.bytes)
             })
             .collect();
@@ -510,6 +524,7 @@ impl<'a> ShredderEngine<'a> {
                     name: plan.name.clone(),
                     weight: plan.weight,
                     device: sim.placement[idx],
+                    kernel: self.config.kernel,
                     bytes: 0,
                     buffers: 0,
                     chunks: 0,
@@ -534,6 +549,7 @@ impl<'a> ShredderEngine<'a> {
                 name: plan.name.clone(),
                 weight: plan.weight,
                 device: sim.placement[idx],
+                kernel: self.config.kernel,
                 bytes: plan.bytes,
                 buffers: plan.buffers.len(),
                 chunks: chunks.len(),
@@ -604,7 +620,7 @@ impl<'a> ShredderEngine<'a> {
     }
 
     /// Functional pass over one session: pull the stream one pipeline
-    /// buffer at a time, keep a `window − 1` byte carry so windows
+    /// buffer at a time, keep a kernel-overlap byte carry so windows
     /// spanning buffer boundaries are found exactly once, and run the
     /// chunking kernel on each buffer. Kernel errors propagate. When the
     /// session has a payload-reading sink, the stream's bytes are
@@ -614,23 +630,30 @@ impl<'a> ShredderEngine<'a> {
         &self,
         mut session: ChunkSession<'a>,
     ) -> Result<(SessionPlan, Option<SinkBinding<'a>>), ChunkError> {
-        let window = self.config.params.window;
-        // Guarded by `run`, but keep planning safe standalone too.
-        let overlap = window.saturating_sub(1);
+        // The boundary kernel knows its own carry requirement: `window − 1`
+        // bytes for Rabin, `GEAR_WINDOW − 1` for Gear.
+        let overlap = self.kernel.overlap();
         let size = self.config.buffer_size;
         // Retain the stream only when the sink actually reads payloads:
         // boundary-only sinks (the legacy upcall path) stay zero-copy.
         let retain = session.sink.as_ref().is_some_and(|s| s.needs_payload());
 
-        let mut cuts: Vec<u64> = Vec::new();
+        let mut cuts: Vec<RawCut> = Vec::new();
         let mut buffers: Vec<PlannedBuffer> = Vec::new();
-        let mut retained: Vec<u8> = Vec::new();
         let mut start: u64 = 0;
-        // One reused scan buffer: `[carry][current buffer]`. The carry —
-        // the last `window − 1` bytes already scanned — is shifted to the
-        // front and the source reads into the tail, so no per-buffer
-        // allocation or second copy happens.
-        let mut scan = vec![0u8; overlap + size];
+        // One reused scan buffer, leased from the engine pool:
+        // `[carry][current buffer]`. The carry — the last `overlap`
+        // bytes already scanned — is shifted to the front and the source
+        // reads into the tail, so no per-buffer allocation or second
+        // copy happens, and repeat sessions of the same shape allocate
+        // nothing at all. Leased before `retained` so the sized request
+        // gets best-fit first and the open-ended one takes what's left.
+        let mut scan = self.pool.get(overlap + size);
+        let mut retained = self.pool.with_capacity(if retain {
+            session.source.size_hint().unwrap_or(0) as usize
+        } else {
+            0
+        });
         let mut carry_len = 0usize;
 
         loop {
@@ -661,8 +684,11 @@ impl<'a> ShredderEngine<'a> {
             cuts.extend(
                 out.raw_cuts
                     .iter()
-                    .map(|c| c + scan_base)
-                    .filter(|&c| c > start),
+                    .map(|c| RawCut {
+                        offset: c.offset + scan_base,
+                        strict: c.strict,
+                    })
+                    .filter(|c| c.offset > start),
             );
             buffers.push(PlannedBuffer {
                 bytes: filled as u64,
@@ -725,10 +751,12 @@ pub(crate) struct ServiceRun {
 }
 
 /// A session's sink plus the stream bytes retained for its functional
-/// pass.
+/// pass. The bytes are a pooled lease: chunk verdicts reference them as
+/// `(offset, len)` ranges, and the buffer returns to the engine pool
+/// when the binding is consumed.
 pub(crate) struct SinkBinding<'a> {
     sink: Box<dyn ChunkSink + 'a>,
-    data: Vec<u8>,
+    data: PooledBuf,
 }
 
 /// One buffer's downstream work: `(global stage index, service)` per
@@ -999,6 +1027,9 @@ struct PipeCtx {
     pool: Rc<DevicePool>,
     placement: Rc<Vec<usize>>,
     host_kind: HostMemKind,
+    /// Which boundary kernel the run's buffer durations were planned
+    /// with — stamped on every [`BufferJob`] for per-device accounting.
+    variant: KernelVariant,
     /// Whether buffers stage through per-device pinned-ring slots (held
     /// from SAN read through H2D — exhaustion backpressures admission).
     pinned_ring: bool,
@@ -1193,6 +1224,7 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
                     cut_bytes: (pb.cut_count * 8).max(8),
                     kernel: pb.kernel_dur,
                     host: c3.host_kind,
+                    variant: c3.variant,
                 };
                 let (c4, c5, c6) = (c3.clone(), c3.clone(), c3.clone());
                 let dev3 = dev2.clone();
@@ -1516,6 +1548,7 @@ fn simulate_service<'a>(
         pool: Rc::new(pool),
         placement: Rc::new(placement),
         host_kind,
+        variant: config.kernel,
         pinned_ring: config.pinned_ring,
         prep_time,
         stage_servers: stage_servers.clone(),
@@ -1801,6 +1834,29 @@ mod tests {
         }
         let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
         assert_eq!(out.report.bytes, total);
+    }
+
+    #[test]
+    fn steady_state_sessions_are_allocation_free() {
+        let data = pseudo_random(512 << 10, 11);
+        let mut engine = ShredderEngine::new(small_config());
+        // Warm-up run: the pool learns the session's buffer shapes.
+        engine.open_session(SliceSource::new(&data));
+        engine.run().unwrap();
+        let warm = engine.buffer_pool().allocations();
+        assert!(warm > 0, "warm-up must have leased something");
+        // Steady state: identical sessions lease everything from the
+        // pool — the hot loop makes zero new allocations.
+        for _ in 0..4 {
+            engine.open_session(SliceSource::new(&data));
+            engine.run().unwrap();
+        }
+        assert_eq!(
+            engine.buffer_pool().allocations(),
+            warm,
+            "steady-state sessions must not allocate"
+        );
+        assert!(engine.buffer_pool().recycles() >= 4);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use shredder_des::Dur;
 use shredder_gpu::calibration;
 use shredder_rabin::{Chunk, ParallelChunker};
 
+use crate::bufpool::BufferPool;
 use crate::config::HostChunkerConfig;
 use crate::error::ChunkError;
 use crate::report::{HostReport, Report};
@@ -38,13 +39,18 @@ use crate::source::StreamSource;
 pub struct HostChunker {
     config: HostChunkerConfig,
     chunker: ParallelChunker,
+    pool: BufferPool,
 }
 
 impl HostChunker {
     /// Creates an engine from a configuration.
     pub fn new(config: HostChunkerConfig) -> Self {
         let chunker = ParallelChunker::new(&config.params, config.threads);
-        HostChunker { config, chunker }
+        HostChunker {
+            config,
+            chunker,
+            pool: BufferPool::new(),
+        }
     }
 
     /// The paper's optimized baseline (12 threads, Hoard).
@@ -55,6 +61,13 @@ impl HostChunker {
     /// The configuration.
     pub fn config(&self) -> &HostChunkerConfig {
         &self.config
+    }
+
+    /// The buffer pool backing this chunker's materialization path
+    /// (allocation counters included) — after the first stream of a
+    /// given size, repeat streams lease every buffer from here.
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Effective sustained chunking bandwidth of this configuration in
@@ -83,12 +96,13 @@ impl ChunkingService for HostChunker {
         upcall: &mut dyn FnMut(Chunk),
     ) -> Result<Report, ChunkError> {
         // The pthreads baseline materializes the stream before its SPMD
-        // region split (§5.1 operates on a resident buffer).
-        let mut data = match source.size_hint() {
-            Some(n) => Vec::with_capacity(n as usize),
-            None => Vec::new(),
-        };
-        let mut buf = vec![0u8; 1 << 20];
+        // region split (§5.1 operates on a resident buffer). Both the
+        // stream and the read scratch are pooled leases, so repeat
+        // streams allocate nothing (§5.1's allocator-discipline lesson).
+        let mut data = self
+            .pool
+            .with_capacity(source.size_hint().unwrap_or(0) as usize);
+        let mut buf = self.pool.get(1 << 20);
         loop {
             let n = source.read(&mut buf);
             if n == 0 {
@@ -145,6 +159,26 @@ mod tests {
         let data = pseudo_random(1 << 20, 5);
         let out = HostChunker::with_defaults().chunk_stream(&data).unwrap();
         assert_eq!(out.chunks, chunk_all(&data, &ChunkParams::paper()));
+    }
+
+    #[test]
+    fn materialization_is_allocation_free_in_steady_state() {
+        use crate::source::SliceSource;
+        let data = pseudo_random(768 << 10, 9);
+        let chunker = HostChunker::with_defaults();
+        // Warm-up call leases (and so allocates) the stream and scratch
+        // buffers; every repeat call reuses them.
+        chunker.chunk_source(&mut SliceSource::new(&data)).unwrap();
+        let warm = chunker.buffer_pool().allocations();
+        for _ in 0..5 {
+            chunker.chunk_source(&mut SliceSource::new(&data)).unwrap();
+        }
+        assert_eq!(
+            chunker.buffer_pool().allocations(),
+            warm,
+            "steady-state materialization must not allocate"
+        );
+        assert!(chunker.buffer_pool().recycles() >= 10);
     }
 
     #[test]

@@ -143,6 +143,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bufpool;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -156,6 +157,7 @@ pub mod sink;
 pub mod source;
 pub mod workload;
 
+pub use bufpool::{BufferPool, PooledBuf};
 pub use config::{Allocator, HostChunkerConfig, ShredderConfig};
 pub use engine::{AdmissionPolicy, EngineOutcome, PlacementPolicy, ShredderEngine};
 pub use error::ChunkError;

@@ -143,17 +143,17 @@ impl ChunkingService for Shredder {
 
     /// Runs the sink's stages inside the engine's shared simulation: one
     /// session, chunking pipeline and downstream stages contending and
-    /// overlapping on the same virtual clock. The sink's
-    /// [`intake_bw`](crate::SinkPipelineHints) hint, when set, caps the
-    /// engine's reader — here the reader *is* the consumer's intake link
-    /// (e.g. the §7.3 10 Gbps image source).
-    fn chunk_source_sink(
+    /// overlapping on the same virtual clock. The caller's `ingest_bw`
+    /// cap, when set, caps the engine's reader — here the reader *is*
+    /// the consumer's intake link (e.g. the §7.3 10 Gbps image source).
+    fn chunk_source_sink_capped(
         &self,
         source: &mut dyn StreamSource,
         sink: &mut dyn ChunkSink,
+        ingest_bw: Option<f64>,
     ) -> Result<SinkOutcome, ChunkError> {
         let mut config = self.config.clone();
-        if let Some(bw) = sink.hints().intake_bw {
+        if let Some(bw) = ingest_bw {
             config.reader_bandwidth = config.reader_bandwidth.min(bw);
         }
         let outcome = {

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use shredder_des::{Dur, SimTime, TimeSeries};
+use shredder_gpu::kernel::KernelVariant;
 
 use crate::sink::StageKind;
 
@@ -287,6 +288,8 @@ pub struct SessionReport {
     pub weight: u32,
     /// Pool device this session's buffers ran on.
     pub device: usize,
+    /// Boundary-detection kernel that produced this session's chunks.
+    pub kernel: KernelVariant,
     /// Stream bytes chunked.
     pub bytes: u64,
     /// Pipeline buffers the stream was split into.

@@ -152,13 +152,33 @@ pub trait ChunkingService {
         source: &mut dyn StreamSource,
         sink: &mut dyn ChunkSink,
     ) -> Result<SinkOutcome, ChunkError> {
+        self.chunk_source_sink_capped(source, sink, None)
+    }
+
+    /// Like [`chunk_source_sink`](Self::chunk_source_sink), with an
+    /// explicit ingest bandwidth cap in bytes/s modeling the link that
+    /// feeds the chunker (the §7.3 10 Gbps image source). `None` models
+    /// a resident stream. Callers with a per-stream cap (the backup
+    /// server's legacy single-image path) pass it here; the request path
+    /// models the same cap as a
+    /// [`TenantClass::ingest_bw`](crate::TenantClass) limit instead.
+    ///
+    /// # Errors
+    ///
+    /// See [`chunk_source_with`](Self::chunk_source_with).
+    fn chunk_source_sink_capped(
+        &self,
+        source: &mut dyn StreamSource,
+        sink: &mut dyn ChunkSink,
+        ingest_bw: Option<f64>,
+    ) -> Result<SinkOutcome, ChunkError> {
         // Materialize the stream: the sink's functional pass needs real
-        // payloads for every (min/max-adjusted) chunk.
-        let mut data = match source.size_hint() {
-            Some(n) => Vec::with_capacity(n as usize),
-            None => Vec::new(),
-        };
-        let mut buf = vec![0u8; 1 << 20];
+        // payloads for every (min/max-adjusted) chunk. Both buffers are
+        // pooled leases, so repeat calls allocate nothing in steady
+        // state.
+        let pool = crate::bufpool::BufferPool::global();
+        let mut data = pool.with_capacity(source.size_hint().unwrap_or(0) as usize);
+        let mut buf = pool.get(1 << 20);
         loop {
             let n = source.read(&mut buf);
             if n == 0 {
@@ -168,7 +188,9 @@ pub trait ChunkingService {
         }
         let mut chunks = Vec::new();
         let report = self.chunk_stream_with(&data, &mut |c| chunks.push(c))?;
-        Ok(run_sink_after_chunking(&data, &chunks, report, sink))
+        Ok(run_sink_after_chunking(
+            &data, &chunks, report, sink, ingest_bw,
+        ))
     }
 
     /// Chunks an in-memory stream through a sink.
@@ -182,6 +204,22 @@ pub trait ChunkingService {
         sink: &mut dyn ChunkSink,
     ) -> Result<SinkOutcome, ChunkError> {
         self.chunk_source_sink(&mut SliceSource::new(data), sink)
+    }
+
+    /// Chunks an in-memory stream through a sink with an explicit
+    /// ingest bandwidth cap (see
+    /// [`chunk_source_sink_capped`](Self::chunk_source_sink_capped)).
+    ///
+    /// # Errors
+    ///
+    /// See [`chunk_source_with`](Self::chunk_source_with).
+    fn chunk_stream_sink_capped(
+        &self,
+        data: &[u8],
+        sink: &mut dyn ChunkSink,
+        ingest_bw: Option<f64>,
+    ) -> Result<SinkOutcome, ChunkError> {
+        self.chunk_source_sink_capped(&mut SliceSource::new(data), sink, ingest_bw)
     }
 
     /// Human-readable engine name (used in experiment output).

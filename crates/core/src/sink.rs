@@ -132,17 +132,6 @@ pub struct SinkPipelineHints {
     /// Batch granularity in bytes: chunk work is grouped into batches of
     /// this many stream bytes before being pipelined through the stages.
     pub granularity: usize,
-    /// Optional intake link (bytes/s) feeding the chunker — the §7.3
-    /// image source. `None` models a resident stream.
-    ///
-    /// **Deprecated (doc-level):** on the request path
-    /// ([`ShredderService`](crate::ShredderService)) the ingest cap is
-    /// a [`TenantClass::ingest_bw`](crate::TenantClass) bandwidth limit
-    /// — a first-class per-class link inside the shared simulation —
-    /// instead of this per-sink hint. The hint keeps working on the
-    /// legacy `chunk_source_sink` paths but new code should prefer the
-    /// tenant-class limit.
-    pub intake_bw: Option<f64>,
     /// Batches in flight simultaneously.
     pub depth: usize,
 }
@@ -151,7 +140,6 @@ impl Default for SinkPipelineHints {
     fn default() -> Self {
         SinkPipelineHints {
             granularity: 8 << 20,
-            intake_bw: None,
             depth: 4,
         }
     }
@@ -895,14 +883,15 @@ pub(crate) struct ConsumerBatch {
     pub(crate) stage_service: Vec<Dur>,
 }
 
-/// Simulates the degenerate consumer pipeline: optional intake link →
-/// chunker (at the service's measured rate) → the sink's stages, with
-/// `depth` batches in flight. Returns the makespan and per-stage
-/// reports.
+/// Simulates the degenerate consumer pipeline: optional intake link
+/// (`intake` bytes/s, the caller's ingest cap) → chunker (at the
+/// service's measured rate) → the sink's stages, with `depth` batches
+/// in flight. Returns the makespan and per-stage reports.
 pub(crate) fn simulate_consumer_pipeline(
     batches: Vec<ConsumerBatch>,
     specs: &[StageSpec],
     hints: SinkPipelineHints,
+    intake: Option<f64>,
 ) -> (Dur, Vec<StageReport>) {
     if batches.is_empty() {
         return (
@@ -922,9 +911,7 @@ pub(crate) fn simulate_consumer_pipeline(
 
     let mut sim = Simulation::new();
     let admission = Semaphore::new("sink-admission", hints.depth.max(1));
-    let intake = hints
-        .intake_bw
-        .map(|bw| BandwidthChannel::new("sink-intake", bw, Dur::ZERO));
+    let intake = intake.map(|bw| BandwidthChannel::new("sink-intake", bw, Dur::ZERO));
     let chunker = FifoServer::new("chunker", 1);
     let servers: Rc<Vec<FifoServer>> = Rc::new(
         specs
@@ -974,12 +961,15 @@ pub(crate) fn simulate_consumer_pipeline(
 /// [`ChunkingService::chunk_source_sink`](crate::ChunkingService::chunk_source_sink):
 /// chunks are already computed (with the service's own report); the
 /// sink's functional pass runs here and its stages are pipelined behind
-/// a chunker running at the service's measured rate.
+/// a chunker running at the service's measured rate. `intake` is the
+/// caller's ingest cap in bytes/s (the §7.3 image source); `None`
+/// models a resident stream.
 pub(crate) fn run_sink_after_chunking(
     data: &[u8],
     chunks: &[Chunk],
     report: Report,
     sink: &mut dyn ChunkSink,
+    intake: Option<f64>,
 ) -> SinkOutcome {
     let hints = sink.hints();
     let granularity = hints.granularity.max(1);
@@ -1024,7 +1014,7 @@ pub(crate) fn run_sink_after_chunking(
         })
         .collect();
 
-    let (makespan, stages) = simulate_consumer_pipeline(batches, &specs, hints);
+    let (makespan, stages) = simulate_consumer_pipeline(batches, &specs, hints, intake);
     let makespan = makespan.max(report.makespan());
     SinkOutcome {
         report,
@@ -1261,9 +1251,9 @@ mod tests {
             &specs,
             SinkPipelineHints {
                 granularity: 1 << 20,
-                intake_bw: None,
                 depth: 4,
             },
+            None,
         );
         let busy_sum: Dur = stages.iter().map(|s| s.busy).sum::<Dur>() + Dur::from_micros(1600);
         assert!(makespan < busy_sum, "{makespan} !< {busy_sum}");
@@ -1274,7 +1264,7 @@ mod tests {
     #[test]
     fn empty_consumer_pipeline() {
         let (makespan, stages) =
-            simulate_consumer_pipeline(Vec::new(), &[], SinkPipelineHints::default());
+            simulate_consumer_pipeline(Vec::new(), &[], SinkPipelineHints::default(), None);
         assert_eq!(makespan, Dur::ZERO);
         assert!(stages.is_empty());
     }

@@ -93,6 +93,18 @@ pub const GPU_RABIN_CYCLES_PER_BYTE: f64 = 52.0;
 /// through shared memory (cooperative loads + barrier).
 pub const COALESCED_STAGING_CYCLES_PER_BYTE: f64 = 2.0;
 
+/// GPU compute cost of the Gear rolling-hash update, in GPU cycles per
+/// byte per thread.
+///
+/// The gear update (`hash = (hash << 1) + table[byte]`) is one shift,
+/// one table lookup and one add — half the dependency chain of the
+/// Rabin push/pop pair (shift, *two* table lookups, xor, compare) — so
+/// its per-byte latency on the same in-order scalar core is roughly
+/// half of [`GPU_RABIN_CYCLES_PER_BYTE`]. The boundary test also needs
+/// no separate mask-and-compare against a marker: `hash & mask` feeds
+/// a branch directly.
+pub const GPU_GEAR_CYCLES_PER_BYTE: f64 = 26.0;
+
 /// Warp-divergence penalty per chunk-boundary hit, GPU cycles (§5.2.2:
 /// divergent branches serialize the warp; boundary recording is the
 /// data-dependent branch).
@@ -167,6 +179,11 @@ mod tests {
             coalesced > 8.0e9 && coalesced < 11.0e9,
             "coalesced {coalesced}"
         );
+        // Gear's shift-add update roughly halves the per-byte chain, so
+        // the compute-bound coalesced gear kernel lands near 2x.
+        let gear =
+            total_cycles_per_sec / (GPU_GEAR_CYCLES_PER_BYTE + COALESCED_STAGING_CYCLES_PER_BYTE);
+        assert!(gear > 1.6e10 && gear < 2.2e10, "gear {gear}");
     }
 
     #[test]

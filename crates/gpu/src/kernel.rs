@@ -1,6 +1,6 @@
 //! The chunking kernels: functional execution plus access-pattern timing.
 //!
-//! Two variants, as in the paper:
+//! Two memory-access designs, as in the paper:
 //!
 //! * [`KernelVariant::Basic`] (§3.1) — every thread strides through its
 //!   own sub-stream reading global memory directly. Half-warp loads are
@@ -12,14 +12,21 @@
 //!   128 B transactions, then fingerprint out of shared memory at L1-like
 //!   latency. Figure 11 measures this at ≈8× the basic kernel.
 //!
-//! Both variants produce **identical raw cut offsets** — the functional
-//! scan reuses the same Rabin tables as the CPU chunkers — and tests
+//! crossed with two boundary detectors: the paper's Rabin fingerprint
+//! and the Gear/FastCDC rolling hash
+//! ([`shredder_rabin::gear`]), whose one-shift-one-add update roughly
+//! halves the per-byte dependency chain ([`KernelVariant::Gear`],
+//! [`KernelVariant::GearCoalesced`]).
+//!
+//! Variants sharing a detector produce **identical raw cut
+//! candidates** — the functional scan reuses the same
+//! [`BoundaryKernel`] implementations as the CPU chunkers — and tests
 //! enforce equality. Only the *timing descriptors* differ.
 
 use serde::{Deserialize, Serialize};
 use shredder_des::Dur;
-use shredder_rabin::parallel::raw_cuts_substreams;
-use shredder_rabin::ChunkParams;
+use shredder_rabin::boundary::BoundaryKernel;
+use shredder_rabin::{ChunkParams, GearKernel, RabinKernel, RawCut};
 
 use crate::calibration;
 use crate::coalesce::{
@@ -33,15 +40,43 @@ use crate::simt::{KernelWorkload, SimtEngine, SimtReport};
 /// Which chunking kernel to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum KernelVariant {
-    /// Direct per-thread sub-stream reads from global memory (§3.1).
+    /// Rabin scan, direct per-thread sub-stream reads from global
+    /// memory (§3.1).
     Basic,
-    /// Cooperative shared-memory staging with memory coalescing (§4.3).
+    /// Rabin scan with cooperative shared-memory staging and memory
+    /// coalescing (§4.3).
     Coalesced,
+    /// Gear/FastCDC scan with the basic (scattered) access pattern.
+    Gear,
+    /// Gear/FastCDC scan with coalesced shared-memory staging — the
+    /// fastest kernel: the cheap shift-add update halves the compute
+    /// bound on top of §4.3's memory fixes.
+    GearCoalesced,
 }
 
 impl KernelVariant {
     /// All variants, for sweeps.
-    pub const ALL: [KernelVariant; 2] = [KernelVariant::Basic, KernelVariant::Coalesced];
+    pub const ALL: [KernelVariant; 4] = [
+        KernelVariant::Basic,
+        KernelVariant::Coalesced,
+        KernelVariant::Gear,
+        KernelVariant::GearCoalesced,
+    ];
+
+    /// Whether this variant runs the Gear/FastCDC boundary detector
+    /// (as opposed to the paper's Rabin fingerprint).
+    pub fn is_gear(self) -> bool {
+        matches!(self, KernelVariant::Gear | KernelVariant::GearCoalesced)
+    }
+
+    /// Whether this variant stages tiles through shared memory with
+    /// coalesced transactions (§4.3).
+    pub fn is_coalesced(self) -> bool {
+        matches!(
+            self,
+            KernelVariant::Coalesced | KernelVariant::GearCoalesced
+        )
+    }
 }
 
 impl std::fmt::Display for KernelVariant {
@@ -49,6 +84,8 @@ impl std::fmt::Display for KernelVariant {
         match self {
             KernelVariant::Basic => f.write_str("basic"),
             KernelVariant::Coalesced => f.write_str("coalesced"),
+            KernelVariant::Gear => f.write_str("gear"),
+            KernelVariant::GearCoalesced => f.write_str("gear-coalesced"),
         }
     }
 }
@@ -85,11 +122,20 @@ impl KernelStats {
 /// Output of a kernel launch: real boundaries plus simulated timing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelOutput {
-    /// Raw marker cut offsets (no min/max filtering — the Store thread
-    /// applies that on the host, §7.3).
-    pub raw_cuts: Vec<u64>,
+    /// Raw boundary candidates (no size policy applied — the Store
+    /// thread applies that on the host, §7.3). Rabin variants emit only
+    /// strict candidates; gear variants tag loose-mask hits with
+    /// strictness for the FastCDC post-pass.
+    pub raw_cuts: Vec<RawCut>,
     /// Execution statistics.
     pub stats: KernelStats,
+}
+
+impl KernelOutput {
+    /// The candidate offsets alone (report/test helper).
+    pub fn cut_offsets(&self) -> Vec<u64> {
+        shredder_rabin::cut_offsets(&self.raw_cuts)
+    }
 }
 
 /// A configured, launchable chunking kernel.
@@ -109,7 +155,7 @@ pub struct KernelOutput {
 /// let params = ChunkParams::paper();
 /// let out = ChunkKernel::new(params.clone(), KernelVariant::Basic).launch(&dev, buf)?;
 /// // GPU boundaries are bit-identical to the sequential CPU scan.
-/// assert_eq!(out.raw_cuts, raw_cuts(&data, &params));
+/// assert_eq!(out.cut_offsets(), raw_cuts(&data, &params));
 /// # Ok::<(), shredder_gpu::GpuError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -147,6 +193,34 @@ impl ChunkKernel {
         &self.params
     }
 
+    /// The boundary detector behind this variant: Rabin for
+    /// `Basic`/`Coalesced`, Gear (with [`shredder_rabin::GearParams`]
+    /// matched to the Rabin parameters) for the gear variants.
+    pub fn boundary(&self) -> Box<dyn BoundaryKernel> {
+        if self.variant.is_gear() {
+            Box::new(GearKernel::matched(&self.params))
+        } else {
+            Box::new(RabinKernel::new(&self.params))
+        }
+    }
+
+    /// Bytes of lookback the detector's rolling state needs across
+    /// region (and pipeline-buffer) seams.
+    pub fn overlap(&self) -> usize {
+        if self.variant.is_gear() {
+            shredder_rabin::GEAR_WINDOW - 1
+        } else {
+            self.params.window.saturating_sub(1)
+        }
+    }
+
+    /// Applies the detector's chunk-size policy (Rabin min/max or
+    /// FastCDC normalization) to a raw candidate list — the host
+    /// Store-thread post-pass (§7.3).
+    pub fn apply_policy(&self, raw: &[RawCut], len: u64) -> Vec<u64> {
+        self.boundary().apply_policy(raw, len)
+    }
+
     /// Total logical threads for a buffer of `bytes` on `config`.
     ///
     /// The paper divides the buffer into "equal sized sub-streams, as
@@ -155,7 +229,7 @@ impl ChunkKernel {
     /// thread at least one window.
     pub fn thread_count(&self, config: &DeviceConfig, bytes: usize) -> u32 {
         let full = config.sms * config.threads_per_block * self.blocks_per_sm;
-        let max_useful = (bytes / self.params.window.max(1)) as u32;
+        let max_useful = (bytes / (self.overlap() + 1)) as u32;
         full.min(max_useful).max(1)
     }
 
@@ -175,37 +249,39 @@ impl ChunkKernel {
         let threads = self.thread_count(config, data.len());
 
         // ----- Functional half: real chunk boundaries. -----
-        let raw_cuts = raw_cuts_substreams(data, &self.params, threads as usize);
+        let raw_cuts = self.boundary().raw_cuts_substreams(data, threads as usize);
 
         // ----- Timing half: access-pattern descriptors. -----
         let model = AccessModel::new(config);
         let bytes = data.len() as u64;
-        let (mem, compute_cycles_per_byte) = match self.variant {
-            KernelVariant::Basic => {
-                // One byte-load per input byte; each half-warp
-                // instruction serializes into 16 scattered transactions,
-                // i.e. one 32 B transaction per byte scanned.
-                let pattern = AccessPattern {
-                    transactions: bytes,
-                    bytes_per_txn: config.txn_bytes_uncoalesced,
-                    locality: Locality::Scattered,
-                };
-                (model.cost(pattern), calibration::GPU_RABIN_CYCLES_PER_BYTE)
-            }
-            KernelVariant::Coalesced => {
-                // Tile staging: one coalesced 128 B transaction per
-                // segment; fingerprinting then runs from shared memory.
-                let pattern = AccessPattern {
-                    transactions: bytes.div_ceil(config.txn_bytes_coalesced as u64),
-                    bytes_per_txn: config.txn_bytes_coalesced,
-                    locality: Locality::Streaming,
-                };
-                (
-                    model.cost(pattern),
-                    calibration::GPU_RABIN_CYCLES_PER_BYTE
-                        + calibration::COALESCED_STAGING_CYCLES_PER_BYTE,
-                )
-            }
+        // Per-byte compute: the detector's rolling-update chain.
+        let scan_cycles = if self.variant.is_gear() {
+            calibration::GPU_GEAR_CYCLES_PER_BYTE
+        } else {
+            calibration::GPU_RABIN_CYCLES_PER_BYTE
+        };
+        let (mem, compute_cycles_per_byte) = if self.variant.is_coalesced() {
+            // Tile staging: one coalesced 128 B transaction per
+            // segment; the scan then runs from shared memory.
+            let pattern = AccessPattern {
+                transactions: bytes.div_ceil(config.txn_bytes_coalesced as u64),
+                bytes_per_txn: config.txn_bytes_coalesced,
+                locality: Locality::Streaming,
+            };
+            (
+                model.cost(pattern),
+                scan_cycles + calibration::COALESCED_STAGING_CYCLES_PER_BYTE,
+            )
+        } else {
+            // One byte-load per input byte; each half-warp
+            // instruction serializes into 16 scattered transactions,
+            // i.e. one 32 B transaction per byte scanned.
+            let pattern = AccessPattern {
+                transactions: bytes,
+                bytes_per_txn: config.txn_bytes_uncoalesced,
+                locality: Locality::Scattered,
+            };
+            (model.cost(pattern), scan_cycles)
         };
 
         // Boundary hits cause warp divergence (§5.2.2).
@@ -238,18 +314,15 @@ impl ChunkKernel {
     /// the §4.3 conditions and the basic one does not.
     pub fn half_warp_class(&self, config: &DeviceConfig, bytes: usize) -> CoalesceClass {
         let lanes = config.half_warp() as usize;
-        match self.variant {
-            KernelVariant::Basic => {
-                let threads = self.thread_count(config, bytes);
-                let stride = (bytes as u64 / threads as u64).max(1);
-                // Byte loads at sub-stream stride: never coalescable.
-                let addrs = substream_addresses(0, lanes, stride);
-                classify_half_warp(&addrs, 1)
-            }
-            KernelVariant::Coalesced => {
-                let addrs = cooperative_addresses(0, lanes, 4);
-                classify_half_warp(&addrs, 4)
-            }
+        if self.variant.is_coalesced() {
+            let addrs = cooperative_addresses(0, lanes, 4);
+            classify_half_warp(&addrs, 4)
+        } else {
+            let threads = self.thread_count(config, bytes);
+            let stride = (bytes as u64 / threads as u64).max(1);
+            // Byte loads at sub-stream stride: never coalescable.
+            let addrs = substream_addresses(0, lanes, stride);
+            classify_half_warp(&addrs, 1)
         }
     }
 }
@@ -276,29 +349,70 @@ mod tests {
     }
 
     #[test]
-    fn both_variants_match_sequential_cuts() {
+    fn all_variants_match_their_sequential_scan() {
         let params = ChunkParams::paper();
         let data = pseudo_random(2 << 20, 1);
-        let expected = raw_cuts(&data, &params);
         for variant in KernelVariant::ALL {
-            let out = ChunkKernel::new(params.clone(), variant)
-                .run(&config(), &data)
-                .unwrap();
+            let kernel = ChunkKernel::new(params.clone(), variant);
+            let expected = kernel.boundary().raw_cuts(&data);
+            let out = kernel.run(&config(), &data).unwrap();
             assert_eq!(out.raw_cuts, expected, "{variant}");
         }
+        // And the Rabin variants reproduce the free-function scan.
+        let out = ChunkKernel::new(params.clone(), KernelVariant::Basic)
+            .run(&config(), &data)
+            .unwrap();
+        assert_eq!(out.cut_offsets(), raw_cuts(&data, &params));
     }
 
     #[test]
     fn variants_agree_with_each_other() {
         let params = ChunkParams::paper();
         let data = pseudo_random(1 << 20, 9);
-        let basic = ChunkKernel::new(params.clone(), KernelVariant::Basic)
+        let run = |v| {
+            ChunkKernel::new(params.clone(), v)
+                .run(&config(), &data)
+                .unwrap()
+        };
+        assert_eq!(
+            run(KernelVariant::Basic).raw_cuts,
+            run(KernelVariant::Coalesced).raw_cuts
+        );
+        assert_eq!(
+            run(KernelVariant::Gear).raw_cuts,
+            run(KernelVariant::GearCoalesced).raw_cuts
+        );
+    }
+
+    #[test]
+    fn gear_kernels_beat_their_rabin_counterparts() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(8 << 20, 10);
+        let dur = |v| {
+            ChunkKernel::new(params.clone(), v)
+                .run(&config(), &data)
+                .unwrap()
+                .stats
+                .duration
+                .as_secs_f64()
+        };
+        // Scattered kernels are memory-bound, so gear gains little
+        // there; the coalesced pair is compute-bound and gear's cheap
+        // update shows up in full.
+        assert!(dur(KernelVariant::Gear) <= dur(KernelVariant::Basic));
+        let ratio = dur(KernelVariant::Coalesced) / dur(KernelVariant::GearCoalesced);
+        assert!((1.5..2.5).contains(&ratio), "gear speedup {ratio}");
+    }
+
+    #[test]
+    fn gear_coalesced_bandwidth_reflects_cheap_update() {
+        let params = ChunkParams::paper();
+        let data = pseudo_random(16 << 20, 11);
+        let out = ChunkKernel::new(params, KernelVariant::GearCoalesced)
             .run(&config(), &data)
             .unwrap();
-        let coal = ChunkKernel::new(params, KernelVariant::Coalesced)
-            .run(&config(), &data)
-            .unwrap();
-        assert_eq!(basic.raw_cuts, coal.raw_cuts);
+        let gbps = out.stats.effective_bandwidth() / 1e9;
+        assert!(gbps > 12.0 && gbps < 22.0, "{gbps} GB/s");
     }
 
     #[test]
@@ -363,7 +477,7 @@ mod tests {
         let out = ChunkKernel::new(params.clone(), KernelVariant::Coalesced)
             .launch(&dev, buf)
             .unwrap();
-        assert_eq!(out.raw_cuts, raw_cuts(&data, &params));
+        assert_eq!(out.cut_offsets(), raw_cuts(&data, &params));
     }
 
     #[test]
@@ -374,7 +488,7 @@ mod tests {
             let out = ChunkKernel::new(params.clone(), KernelVariant::Basic)
                 .run(&config(), &data)
                 .unwrap();
-            assert_eq!(out.raw_cuts, raw_cuts(&data, &params), "len {len}");
+            assert_eq!(out.cut_offsets(), raw_cuts(&data, &params), "len {len}");
         }
     }
 

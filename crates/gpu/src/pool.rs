@@ -34,6 +34,7 @@ use shredder_des::{Dur, Semaphore, Simulation};
 use crate::config::DeviceConfig;
 use crate::executor::GpuExecutor;
 use crate::hostmem::HostMemKind;
+use crate::kernel::KernelVariant;
 use crate::stream::Stream;
 
 /// One buffer's worth of device work, submitted to a [`PooledDevice`].
@@ -47,6 +48,10 @@ pub struct BufferJob {
     pub kernel: Dur,
     /// Host memory kind (pinned staging vs pageable).
     pub host: HostMemKind,
+    /// Which boundary-detection kernel the duration was computed for.
+    /// The pool keeps per-variant job counts so a run's report can say
+    /// which kernels a device actually executed.
+    pub variant: KernelVariant,
 }
 
 /// A half-open busy interval in nanoseconds of simulated time.
@@ -56,6 +61,9 @@ type Interval = (u64, u64);
 struct DeviceStats {
     jobs: u64,
     bytes: u64,
+    /// Completed jobs per kernel variant, indexed like
+    /// [`KernelVariant::ALL`].
+    jobs_by_variant: [u64; KernelVariant::ALL.len()],
     h2d: Vec<Interval>,
     compute: Vec<Interval>,
     d2h: Vec<Interval>,
@@ -73,6 +81,7 @@ struct DeviceStats {
 ///
 /// ```
 /// use shredder_des::{Dur, Simulation};
+/// use shredder_gpu::kernel::KernelVariant;
 /// use shredder_gpu::pool::{BufferJob, DevicePool};
 /// use shredder_gpu::{DeviceConfig, HostMemKind};
 ///
@@ -82,7 +91,13 @@ struct DeviceStats {
 /// for _ in 0..8 {
 ///     dev.submit(
 ///         &mut sim,
-///         BufferJob { bytes: 64 << 20, cut_bytes: 8, kernel: Dur::from_millis(50), host: HostMemKind::Pinned },
+///         BufferJob {
+///             bytes: 64 << 20,
+///             cut_bytes: 8,
+///             kernel: Dur::from_millis(50),
+///             host: HostMemKind::Pinned,
+///             variant: KernelVariant::Coalesced,
+///         },
 ///         |_| {},
 ///         |_| {},
 ///         |_| {},
@@ -197,6 +212,11 @@ impl PooledDevice {
                     let mut stats = d.stats.borrow_mut();
                     stats.jobs += 1;
                     stats.bytes += job.bytes;
+                    let slot = KernelVariant::ALL
+                        .iter()
+                        .position(|&v| v == job.variant)
+                        .expect("every variant is in ALL");
+                    stats.jobs_by_variant[slot] += 1;
                 }
                 on_complete(sim);
             });
@@ -217,6 +237,15 @@ impl PooledDevice {
     /// Payload bytes transferred to this device.
     pub fn bytes(&self) -> u64 {
         self.stats.borrow().bytes
+    }
+
+    /// Buffers completed on this device with the given kernel variant.
+    pub fn jobs_for(&self, variant: KernelVariant) -> u64 {
+        let slot = KernelVariant::ALL
+            .iter()
+            .position(|&v| v == variant)
+            .expect("every variant is in ALL");
+        self.stats.borrow().jobs_by_variant[slot]
     }
 
     /// Busy time of the H2D DMA engine.
@@ -398,6 +427,7 @@ mod tests {
             cut_bytes: 8,
             kernel: Dur::from_millis(kernel_ms),
             host: HostMemKind::Pinned,
+            variant: KernelVariant::Coalesced,
         }
     }
 

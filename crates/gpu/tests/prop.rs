@@ -16,17 +16,21 @@ fn config() -> DeviceConfig {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Both kernels find exactly the sequential CPU cuts on arbitrary
-    /// data.
+    /// Every kernel variant finds exactly its detector's sequential
+    /// CPU cuts on arbitrary data (Rabin variants additionally match
+    /// the free-function Rabin scan).
     #[test]
     fn kernels_match_sequential(data in proptest::collection::vec(any::<u8>(), 0..65536)) {
         let params = ChunkParams::paper();
-        let expected = raw_cuts(&data, &params);
+        let rabin_expected = raw_cuts(&data, &params);
         for variant in KernelVariant::ALL {
-            let out = ChunkKernel::new(params.clone(), variant)
-                .run(&config(), &data)
-                .unwrap();
+            let kernel = ChunkKernel::new(params.clone(), variant);
+            let expected = kernel.boundary().raw_cuts(&data);
+            let out = kernel.run(&config(), &data).unwrap();
             prop_assert_eq!(&out.raw_cuts, &expected);
+            if !variant.is_gear() {
+                prop_assert_eq!(out.cut_offsets(), rabin_expected.clone());
+            }
         }
     }
 

@@ -18,6 +18,69 @@ use serde::{Deserialize, Serialize};
 use crate::poly::Polynomial;
 use crate::tables::RabinTables;
 
+/// A typed chunking-parameter violation, mirroring the host
+/// `ShredderConfig::validate()` style: constructors validate eagerly
+/// and name the first violated constraint instead of panicking deep in
+/// the scan loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// The sliding window is zero bytes wide.
+    ZeroWindow,
+    /// The boundary mask selects zero bits (every offset would be a cut).
+    ZeroMask,
+    /// The boundary mask (including any normalization widening) does
+    /// not fit a 64-bit fingerprint.
+    MaskTooWide {
+        /// Total mask bits requested.
+        bits: u32,
+    },
+    /// `min_size` ≤ average ≤ `max_size` is violated.
+    SizeOrder {
+        /// Configured minimum chunk size.
+        min: usize,
+        /// Expected (average) chunk size.
+        avg: usize,
+        /// Configured maximum chunk size.
+        max: usize,
+    },
+    /// The FastCDC normalization level is at least as wide as the mask
+    /// itself (the loose mask would select zero bits).
+    NormalizationTooWide {
+        /// Configured normalization level.
+        norm_level: u32,
+        /// Configured mask bits.
+        mask_bits: u32,
+    },
+    /// A fixed chunk size of zero bytes.
+    ZeroChunkSize,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::ZeroWindow => write!(f, "window must be non-zero"),
+            ParamError::ZeroMask => write!(f, "mask_bits must be non-zero"),
+            ParamError::MaskTooWide { bits } => {
+                write!(f, "mask of {bits} bits does not fit a 64-bit fingerprint")
+            }
+            ParamError::SizeOrder { min, avg, max } => write!(
+                f,
+                "chunk sizes must satisfy min <= avg <= max (min {min}, avg {avg}, max {max})"
+            ),
+            ParamError::NormalizationTooWide {
+                norm_level,
+                mask_bits,
+            } => write!(
+                f,
+                "normalization level {norm_level} must be below mask_bits {mask_bits}"
+            ),
+            ParamError::ZeroChunkSize => write!(f, "chunk size must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// Parameters of a content-defined chunking scheme.
 ///
 /// # Examples
@@ -94,6 +157,37 @@ impl ChunkParams {
     /// The mean distance between markers, `2^mask_bits` bytes.
     pub fn expected_chunk_size(&self) -> usize {
         1usize << self.mask_bits
+    }
+
+    /// Validates the parameters: non-zero window, a mask that selects
+    /// at least one but at most 63 fingerprint bits, and
+    /// `min_size ≤ max_size`. (The expected size may legitimately fall
+    /// outside `[min, max]` — min/max then dominate the marker
+    /// spacing — so only the min/max ordering itself is enforced.)
+    ///
+    /// # Errors
+    ///
+    /// A [`ParamError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.window == 0 {
+            return Err(ParamError::ZeroWindow);
+        }
+        if self.mask_bits == 0 {
+            return Err(ParamError::ZeroMask);
+        }
+        if self.mask_bits > 63 {
+            return Err(ParamError::MaskTooWide {
+                bits: self.mask_bits,
+            });
+        }
+        if self.min_size > self.max_size {
+            return Err(ParamError::SizeOrder {
+                min: self.min_size,
+                avg: self.expected_chunk_size(),
+                max: self.max_size,
+            });
+        }
+        Ok(())
     }
 
     /// The fingerprint mask, `2^mask_bits − 1`.
@@ -281,7 +375,12 @@ pub struct Chunker {
 
 impl Chunker {
     /// Creates a chunker for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`ChunkParams::validate`].
     pub fn new(params: &ChunkParams) -> Self {
+        params.validate().expect("invalid chunking parameters");
         let tables = params.tables();
         Chunker {
             mask: params.mask(),
@@ -556,6 +655,36 @@ mod tests {
         let a = raw_cuts(&pseudo_random(100_000, 1), &params);
         let b = raw_cuts(&pseudo_random(100_000, 2), &params);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_degenerate() {
+        assert!(ChunkParams::paper().validate().is_ok());
+        assert!(ChunkParams::backup().validate().is_ok());
+
+        let mut p = ChunkParams::paper();
+        p.window = 0;
+        assert_eq!(p.validate(), Err(ParamError::ZeroWindow));
+
+        let mut p = ChunkParams::paper();
+        p.mask_bits = 0;
+        assert_eq!(p.validate(), Err(ParamError::ZeroMask));
+
+        let mut p = ChunkParams::paper();
+        p.mask_bits = 64;
+        assert_eq!(p.validate(), Err(ParamError::MaskTooWide { bits: 64 }));
+
+        let mut p = ChunkParams::backup();
+        p.min_size = p.max_size + 1;
+        assert!(matches!(p.validate(), Err(ParamError::SizeOrder { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid chunking parameters")]
+    fn chunker_rejects_invalid_params() {
+        let mut p = ChunkParams::paper();
+        p.window = 0;
+        let _ = Chunker::new(&p);
     }
 
     #[test]

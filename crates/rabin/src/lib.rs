@@ -20,6 +20,11 @@
 //!   fingerprint update O(1) per byte.
 //! * [`chunker`] — the streaming content-defined chunker with `min`/`max`
 //!   chunk-size support.
+//! * [`boundary`] — the [`BoundaryKernel`] trait: pluggable boundary
+//!   detectors (Rabin, Gear, fixed) sharing one raw-scan/policy split
+//!   and one SPMD overlap/merge path.
+//! * [`gear`] — the Gear rolling hash with a FastCDC-style normalized
+//!   two-mask cut decision, a cheaper alternative kernel to Rabin.
 //! * [`fixed`] — the fixed-size chunking baseline (what plain HDFS does).
 //! * [`parallel`] — SPMD parallel chunking with region overlap and
 //!   boundary merging (paper §5.1), the "pthreads" baseline.
@@ -39,15 +44,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod boundary;
 pub mod chunker;
 pub mod fixed;
+pub mod gear;
 pub mod parallel;
 pub mod poly;
 pub mod skip;
 pub mod tables;
 
-pub use chunker::{chunk_all, Chunk, ChunkParams, Chunker};
+pub use boundary::{
+    cut_offsets, parallel_raw_cuts, BoundaryKernel, FixedKernel, RabinKernel, RawCut,
+};
+pub use chunker::{chunk_all, Chunk, ChunkParams, Chunker, ParamError};
 pub use fixed::chunk_fixed;
+pub use gear::{gear_table, FastCdcFilter, GearKernel, GearParams, GEAR_SEED, GEAR_WINDOW};
 pub use parallel::{chunk_parallel, merge_boundaries, raw_cuts_substreams, ParallelChunker};
 pub use poly::Polynomial;
 pub use skip::{chunk_all_skipping, SkipScan};

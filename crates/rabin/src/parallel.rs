@@ -2,19 +2,24 @@
 //! baseline, §5.1).
 //!
 //! The input is divided into `N` fixed-size regions, one per thread. Each
-//! thread runs the Rabin chunking scan over its region *plus* the trailing
-//! `w−1` bytes of the previous region (so windows straddling the region
-//! boundary are evaluated by exactly one owner), and the per-thread raw
-//! cut lists are concatenated in region order. Because the fingerprint is
-//! a pure function of the window, the merged raw cuts are bit-identical to
-//! a sequential scan (property-tested); min/max constraints are then
-//! applied by the same [`CutFilter`](crate::chunker::CutFilter) post-pass
-//! used everywhere else — the synchronization step the paper describes as
-//! "synchronize neighboring threads in the end to merge the resulting
-//! chunk boundaries".
+//! thread runs the chunking scan over its region *plus* the trailing
+//! overlap bytes of the previous region (`w−1` for Rabin, so windows
+//! straddling the region boundary are evaluated by exactly one owner),
+//! and the per-thread raw cut lists are concatenated in region order.
+//! Because the rolling state is a pure function of the trailing window,
+//! the merged raw cuts are bit-identical to a sequential scan
+//! (property-tested); min/max constraints are then applied by the same
+//! [`CutFilter`](crate::chunker::CutFilter) post-pass used everywhere
+//! else — the synchronization step the paper describes as "synchronize
+//! neighboring threads in the end to merge the resulting chunk
+//! boundaries".
+//!
+//! The region/overlap machinery itself is kernel-agnostic and lives in
+//! [`crate::boundary`]; this module keeps the Rabin-typed convenience
+//! surface ([`ParallelChunker`], [`raw_cuts_substreams`]) on top of it.
 
+use crate::boundary::{cut_offsets, parallel_raw_cuts, BoundaryKernel, RabinKernel};
 use crate::chunker::{apply_min_max, cuts_to_chunks, Chunk, ChunkParams};
-use crate::tables::RabinTables;
 
 /// A reusable parallel chunker holding shared tables.
 ///
@@ -31,7 +36,7 @@ use crate::tables::RabinTables;
 #[derive(Debug, Clone)]
 pub struct ParallelChunker {
     params: ChunkParams,
-    tables: RabinTables,
+    kernel: RabinKernel,
     threads: usize,
 }
 
@@ -40,12 +45,13 @@ impl ParallelChunker {
     ///
     /// # Panics
     ///
-    /// Panics if `threads` is zero.
+    /// Panics if `threads` is zero or `params` fail
+    /// [`ChunkParams::validate`].
     pub fn new(params: &ChunkParams, threads: usize) -> Self {
         assert!(threads > 0, "thread count must be non-zero");
         ParallelChunker {
             params: params.clone(),
-            tables: params.tables(),
+            kernel: RabinKernel::new(params),
             threads,
         }
     }
@@ -65,82 +71,8 @@ impl ParallelChunker {
 
     /// Computes the raw (unfiltered) marker cuts of `data` in parallel.
     pub fn raw_cuts(&self, data: &[u8]) -> Vec<u64> {
-        let w = self.tables.window();
-        if data.len() <= w || self.threads == 1 {
-            return scan_region(&self.tables, &self.params, data, 0, 0);
-        }
-
-        let n = self.threads.min(data.len() / w).max(1);
-        let region = data.len().div_ceil(n);
-
-        let mut results: Vec<Vec<u64>> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for t in 0..n {
-                let start = t * region;
-                let end = ((t + 1) * region).min(data.len());
-                if start >= end {
-                    break;
-                }
-                let tables = &self.tables;
-                let params = &self.params;
-                handles.push(scope.spawn(move || {
-                    // Overlap: windows ending inside [start, end) begin up
-                    // to w-1 bytes earlier.
-                    let scan_start = start.saturating_sub(w - 1);
-                    scan_region(tables, params, &data[scan_start..end], scan_start, start)
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("chunking worker panicked"));
-            }
-        });
-
-        let mut merged = Vec::with_capacity(results.iter().map(Vec::len).sum());
-        for r in results {
-            merged.extend_from_slice(&r);
-        }
-        debug_assert!(merged.windows(2).all(|p| p[0] < p[1]));
-        merged
+        cut_offsets(&parallel_raw_cuts(&self.kernel, data, self.threads))
     }
-}
-
-/// Scans `region` (whose first byte sits at absolute offset `base`) and
-/// returns raw cuts at absolute offsets ≥ `own_from + 1` — i.e. only cuts
-/// this worker owns. `own_from` is the absolute offset of the first byte
-/// of the owned region.
-fn scan_region(
-    tables: &RabinTables,
-    params: &ChunkParams,
-    region: &[u8],
-    base: usize,
-    own_from: usize,
-) -> Vec<u64> {
-    let w = tables.window();
-    let mask = params.mask();
-    let marker = params.marker & mask;
-    let mut cuts = Vec::new();
-
-    if region.len() < w {
-        return cuts;
-    }
-
-    let mut fp = 0u64;
-    for &b in &region[..w] {
-        fp = tables.push(fp, b);
-    }
-    // Window ends at local index w-1 -> absolute cut offset base + w.
-    if (fp & mask) == marker && base + w > own_from {
-        cuts.push((base + w) as u64);
-    }
-    for i in w..region.len() {
-        fp = tables.slide(fp, region[i - w], region[i]);
-        let cut = base + i + 1;
-        if (fp & mask) == marker && cut > own_from {
-            cuts.push(cut as u64);
-        }
-    }
-    cuts
 }
 
 /// Convenience wrapper: parallel chunking with a one-shot chunker.
@@ -161,32 +93,7 @@ pub fn chunk_parallel(data: &[u8], params: &ChunkParams, threads: usize) -> Vec<
 ///
 /// Panics if `substreams` is zero.
 pub fn raw_cuts_substreams(data: &[u8], params: &ChunkParams, substreams: usize) -> Vec<u64> {
-    assert!(substreams > 0, "substream count must be non-zero");
-    let tables = params.tables();
-    let w = tables.window();
-    if data.len() <= w || substreams == 1 {
-        return scan_region(&tables, params, data, 0, 0);
-    }
-    let n = substreams.min(data.len() / w).max(1);
-    let region = data.len().div_ceil(n);
-    let mut cuts = Vec::new();
-    for t in 0..n {
-        let start = t * region;
-        let end = ((t + 1) * region).min(data.len());
-        if start >= end {
-            break;
-        }
-        let scan_start = start.saturating_sub(w - 1);
-        cuts.extend(scan_region(
-            &tables,
-            params,
-            &data[scan_start..end],
-            scan_start,
-            start,
-        ));
-    }
-    debug_assert!(cuts.windows(2).all(|p| p[0] < p[1]));
-    cuts
+    cut_offsets(&RabinKernel::new(params).raw_cuts_substreams(data, substreams))
 }
 
 /// Merges per-region cut lists produced by independent workers into one

@@ -85,10 +85,37 @@ fn gpu_kernels_agree_with_sequential_raw_cuts() {
     for (name, data) in workloads_under_test() {
         let reference = raw_cuts(&data, &params);
         for variant in KernelVariant::ALL {
-            let out = ChunkKernel::new(params.clone(), variant)
-                .run(&cfg, &data)
-                .expect("kernel");
-            assert_eq!(out.raw_cuts, reference, "{name}: {variant}");
+            let kernel = ChunkKernel::new(params.clone(), variant);
+            let sequential = kernel.boundary().raw_cuts(&data);
+            let out = kernel.run(&cfg, &data).expect("kernel");
+            assert_eq!(out.raw_cuts, sequential, "{name}: {variant}");
+            if !variant.is_gear() {
+                assert_eq!(out.cut_offsets(), reference, "{name}: {variant}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gear_engine_matches_sequential_gear_chunks() {
+    // A Gear-configured engine must agree with the sequential Gear
+    // kernel (FastCDC policy included) exactly as the Rabin engines
+    // agree with `chunk_all`, on every workload and buffer size.
+    use shredder::rabin::{BoundaryKernel, GearKernel};
+    let params = ChunkParams::paper();
+    let gear = GearKernel::matched(&params);
+    for (name, data) in workloads_under_test() {
+        let reference = gear.chunks(&data);
+        for buffer in [64 << 10, 1 << 20] {
+            let out = Shredder::new(
+                ShredderConfig::gpu_streams_memory()
+                    .with_params(params.clone())
+                    .with_chunk_kernel(KernelVariant::GearCoalesced)
+                    .with_buffer_size(buffer),
+            )
+            .chunk_stream(&data)
+            .unwrap();
+            assert_eq!(out.chunks, reference, "{name}: gear buffer {buffer}");
         }
     }
 }
