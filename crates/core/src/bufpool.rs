@@ -104,7 +104,11 @@ impl BufferPool {
     /// regardless of `len` (and never counts an allocation, because an
     /// empty `Vec` has no backing store yet).
     fn reuse(&self, len: usize, largest: bool) -> Vec<u8> {
-        let mut free = self.inner.free.lock().expect("pool poisoned");
+        let mut free = self
+            .inner
+            .free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let pick = if largest {
             free.iter()
                 .enumerate()
@@ -146,7 +150,11 @@ impl BufferPool {
 
     /// Buffers currently parked on the free list.
     pub fn idle(&self) -> usize {
-        self.inner.free.lock().expect("pool poisoned").len()
+        self.inner
+            .free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -197,7 +205,11 @@ impl Drop for PooledBuf {
         if self.buf.capacity() == 0 {
             return;
         }
-        let mut free = self.pool.free.lock().expect("pool poisoned");
+        let mut free = self
+            .pool
+            .free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if free.len() < MAX_POOLED {
             free.push(std::mem::take(&mut self.buf));
         }

@@ -173,6 +173,7 @@ impl ServiceOutcome {
         self.report
             .service
             .as_ref()
+            // shredder-lint: allow(R5) — run_service always fills `report.service`; ServiceOutcome is constructed nowhere else
             .expect("service runs always produce a ServiceReport")
     }
 

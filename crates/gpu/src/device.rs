@@ -7,7 +7,7 @@
 //! reason Shredder processes streams in bounded twin buffers rather than
 //! whole files.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::config::DeviceConfig;
@@ -82,7 +82,7 @@ impl std::error::Error for GpuError {}
 #[derive(Debug)]
 pub struct Device {
     config: DeviceConfig,
-    buffers: HashMap<BufferId, Vec<u8>>,
+    buffers: BTreeMap<BufferId, Vec<u8>>,
     used: usize,
     next_id: u64,
 }
@@ -92,7 +92,7 @@ impl Device {
     pub fn new(config: DeviceConfig) -> Self {
         Device {
             config,
-            buffers: HashMap::new(),
+            buffers: BTreeMap::new(),
             used: 0,
             next_id: 0,
         }

@@ -122,10 +122,10 @@ pub struct IncHdfs {
     datanodes: Vec<ChunkStore>,
     next_node: usize,
     replication: usize,
-    dead: std::collections::HashSet<usize>,
+    dead: std::collections::BTreeSet<usize>,
     /// All nodes holding each chunk (the replica map the NameNode keeps
-    /// in real HDFS).
-    replicas: std::collections::HashMap<Digest, Vec<usize>>,
+    /// in real HDFS). Ordered so reports iterate deterministically.
+    replicas: std::collections::BTreeMap<Digest, Vec<usize>>,
 }
 
 impl IncHdfs {

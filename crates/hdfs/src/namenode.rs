@@ -7,7 +7,7 @@
 //! compares consecutive versions' split digests to decide what to
 //! recompute.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use shredder_hash::Digest;
@@ -47,7 +47,7 @@ impl FileVersion {
 /// The metadata server.
 #[derive(Debug, Clone, Default)]
 pub struct NameNode {
-    files: HashMap<String, Vec<FileVersion>>,
+    files: BTreeMap<String, Vec<FileVersion>>,
 }
 
 impl NameNode {
@@ -78,11 +78,9 @@ impl NameNode {
         self.files.get(path).map_or(0, Vec::len)
     }
 
-    /// All file paths, sorted.
+    /// All file paths, sorted (`BTreeMap` keys iterate in order).
     pub fn paths(&self) -> Vec<&str> {
-        let mut p: Vec<&str> = self.files.keys().map(String::as_str).collect();
-        p.sort_unstable();
-        p
+        self.files.keys().map(String::as_str).collect()
     }
 
     /// Splits of the latest version whose digests differ from the

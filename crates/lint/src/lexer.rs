@@ -1,0 +1,479 @@
+//! A minimal, *total* Rust lexer.
+//!
+//! Just enough fidelity to tell identifiers apart from the insides of
+//! string literals, char literals, lifetimes and comments — the
+//! difference between flagging `thread_rng()` and flagging the word
+//! `"thread_rng"` in a doc string. It is not a parser: it produces a
+//! flat token stream with byte spans and line numbers, handles nested
+//! block comments, raw/byte/C strings with arbitrary `#` fences, raw
+//! identifiers and lifetime-vs-char-literal disambiguation, and is
+//! total: any byte sequence (lossily decoded) lexes to a token list
+//! without panicking, with every span inside the source and strictly
+//! advancing.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `HashMap`).
+    Ident,
+    /// Raw identifier (`r#fn`).
+    RawIdent,
+    /// Lifetime (`'a`, `'_`).
+    Lifetime,
+    /// Numeric literal (loosely lexed; suffixes included).
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Any single punctuation character.
+    Punct,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting respected.
+    BlockComment,
+}
+
+/// One token: kind plus byte span and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into tokens. Total: never panics, always terminates,
+/// and every returned span lies within `src` on char boundaries.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let cs: Vec<(usize, char)> = src.char_indices().collect();
+    let n = cs.len();
+    let off = |i: usize| -> usize {
+        if i < n {
+            cs[i].0
+        } else {
+            src.len()
+        }
+    };
+    let mut toks = Vec::new();
+    let mut line = 1u32;
+    let mut i = 0usize;
+    while i < n {
+        let (start, c) = cs[i];
+        let start_line = line;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            match cs[i + 1].1 {
+                '/' => {
+                    let mut j = i + 2;
+                    while j < n && cs[j].1 != '\n' {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::LineComment,
+                        start,
+                        end: off(j),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                '*' => {
+                    let mut j = i + 2;
+                    let mut depth = 1u32;
+                    while j < n && depth > 0 {
+                        match cs[j].1 {
+                            '\n' => {
+                                line += 1;
+                                j += 1;
+                            }
+                            '*' if j + 1 < n && cs[j + 1].1 == '/' => {
+                                depth -= 1;
+                                j += 2;
+                            }
+                            '/' if j + 1 < n && cs[j + 1].1 == '*' => {
+                                depth += 1;
+                                j += 2;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::BlockComment,
+                        start,
+                        end: off(j),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Identifiers, keywords, and string-literal prefixes.
+        if c == '_' || c.is_alphabetic() {
+            let mut j = i + 1;
+            while j < n && (cs[j].1 == '_' || cs[j].1.is_alphanumeric()) {
+                j += 1;
+            }
+            let text = &src[start..off(j)];
+            let is_prefix = matches!(text, "r" | "b" | "br" | "c" | "cr");
+            if is_prefix && j < n && cs[j].1 == '"' {
+                // Cooked (b"…", c"…") or raw (r"…", br"…", cr"…") string.
+                let raw = text != "b" && text != "c";
+                let (end_idx, nl) = if raw {
+                    scan_raw_string(&cs, j + 1, 0)
+                } else {
+                    scan_cooked_string(&cs, j + 1)
+                };
+                line += nl;
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    start,
+                    end: off(end_idx),
+                    line: start_line,
+                });
+                i = end_idx;
+                continue;
+            }
+            if is_prefix && j < n && cs[j].1 == '#' {
+                let mut h = j;
+                while h < n && cs[h].1 == '#' {
+                    h += 1;
+                }
+                if h < n && cs[h].1 == '"' {
+                    // Raw string with a `#` fence: r#"…"#, br##"…"##.
+                    let (end_idx, nl) = scan_raw_string(&cs, h + 1, h - j);
+                    line += nl;
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        start,
+                        end: off(end_idx),
+                        line: start_line,
+                    });
+                    i = end_idx;
+                    continue;
+                }
+                if text == "r" && h == j + 1 && h < n && (cs[h].1 == '_' || cs[h].1.is_alphabetic())
+                {
+                    // Raw identifier r#foo.
+                    let mut k = h + 1;
+                    while k < n && (cs[k].1 == '_' || cs[k].1.is_alphanumeric()) {
+                        k += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::RawIdent,
+                        start,
+                        end: off(k),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // Fall through: plain ident, `#` lexes separately.
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start,
+                end: off(j),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let (end_idx, nl) = scan_cooked_string(&cs, i + 1);
+            line += nl;
+            toks.push(Tok {
+                kind: TokKind::Str,
+                start,
+                end: off(end_idx),
+                line: start_line,
+            });
+            i = end_idx;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let j = i + 1;
+            if j >= n {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    start,
+                    end: off(j),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if cs[j].1 == '\\' {
+                // Escaped char literal: scan to the closing quote,
+                // bounded so a stray `'\` cannot eat the file.
+                let mut k = j + 1;
+                let mut steps = 0;
+                while k < n && cs[k].1 != '\'' && cs[k].1 != '\n' && steps < 12 {
+                    k += 1;
+                    steps += 1;
+                }
+                if k < n && cs[k].1 == '\'' {
+                    k += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    start,
+                    end: off(k),
+                    line: start_line,
+                });
+                i = k;
+                continue;
+            }
+            if j + 1 < n && cs[j].1 != '\'' && cs[j + 1].1 == '\'' {
+                // 'x'
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    start,
+                    end: off(j + 2),
+                    line: start_line,
+                });
+                i = j + 2;
+                continue;
+            }
+            if cs[j].1 == '_' || cs[j].1.is_alphabetic() {
+                // Lifetime.
+                let mut k = j + 1;
+                while k < n && (cs[k].1 == '_' || cs[k].1.is_alphanumeric()) {
+                    k += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    start,
+                    end: off(k),
+                    line: start_line,
+                });
+                i = k;
+                continue;
+            }
+            // Stray quote (e.g. `''`): single punct, keep advancing.
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                start,
+                end: off(j),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (loose: hex/suffixes lex as one token; `0..9` keeps
+        // the range dots out of the number).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (cs[j].1 == '_' || cs[j].1.is_alphanumeric()) {
+                j += 1;
+            }
+            if j + 1 < n && cs[j].1 == '.' && cs[j + 1].1.is_ascii_digit() {
+                j += 1;
+                while j < n && (cs[j].1 == '_' || cs[j].1.is_alphanumeric()) {
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                start,
+                end: off(j),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: one punctuation char.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            start,
+            end: off(i + 1),
+            line: start_line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Scans a cooked string body from `from` (past the opening quote).
+/// Returns (index past the closing quote or EOF, newlines crossed).
+fn scan_cooked_string(cs: &[(usize, char)], from: usize) -> (usize, u32) {
+    let n = cs.len();
+    let mut j = from;
+    let mut nl = 0u32;
+    while j < n {
+        match cs[j].1 {
+            '\\' => {
+                if j + 1 < n && cs[j + 1].1 == '\n' {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            '"' => return (j + 1, nl),
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (n, nl)
+}
+
+/// Scans a raw string body from `from` (past the opening quote) closed
+/// by `"` followed by `hashes` `#`s. Returns (index past the close or
+/// EOF, newlines crossed).
+fn scan_raw_string(cs: &[(usize, char)], from: usize, hashes: usize) -> (usize, u32) {
+    let n = cs.len();
+    let mut j = from;
+    let mut nl = 0u32;
+    while j < n {
+        if cs[j].1 == '\n' {
+            nl += 1;
+            j += 1;
+            continue;
+        }
+        if cs[j].1 == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && cs[k].1 == '#' {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return (k, nl);
+            }
+        }
+        j += 1;
+    }
+    (n, nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("let x = y.iter();");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "y", ".", "iter", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let ks = kinds(r#"let s = "thread_rng HashMap";"#);
+        assert!(ks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || (t != "thread_rng" && t != "HashMap")));
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r##"quote " and "# inside"## ;"####;
+        let ks = kinds(src);
+        let strs: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r####"r##"quote " and "# inside"##"####]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let ks = kinds(r##"let a = b"bytes"; let b = c"cstr"; let c = br#"raw"#;"##);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        let ks = kinds("// thread_rng\n/* HashMap /* nested */ still */ fn f() {}");
+        let idents: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = ks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ks = kinds("let r#fn = 1;");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawIdent && t == "r#fn"));
+    }
+
+    #[test]
+    fn line_numbers_track_all_multiline_forms() {
+        let src = "a\n\"two\nlines\"\n/* b\nc */\nend";
+        let toks = lex(src);
+        let end = toks.last().unwrap();
+        assert_eq!(end.text(src), "end");
+        assert_eq!(end.line, 6);
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_hang() {
+        for src in ["\"unterminated", "r#\"open", "/* open", "'\\", "b\"x"] {
+            let toks = lex(src);
+            for t in &toks {
+                assert!(t.end <= src.len());
+                assert!(t.start < t.end);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_ordered_and_in_bounds() {
+        let src = "fn main() { println!(\"hi\"); }";
+        let toks = lex(src);
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end);
+            assert!(t.end <= src.len());
+            prev_end = t.end;
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Rendering: human-readable findings and machine-readable JSON.
+
+use crate::{Finding, LintRun};
+
+/// Renders the run in the human format, one finding per line plus a
+/// summary, e.g.:
+///
+/// ```text
+/// crates/hdfs/src/fs.rs:128 R4 order-dependent iteration (…)
+/// 1 finding (3 suppressed) across 58 files
+/// ```
+pub fn human(run: &LintRun) -> String {
+    let mut out = String::new();
+    for f in run.unsuppressed() {
+        out.push_str(&format!("{}:{} {} {}\n", f.file, f.line, f.rule, f.message));
+    }
+    let n = run.unsuppressed_count();
+    out.push_str(&format!(
+        "{n} finding{} ({} suppressed) across {} files\n",
+        if n == 1 { "" } else { "s" },
+        run.suppressed_count(),
+        run.files_scanned,
+    ));
+    out
+}
+
+/// Renders the run as JSON (hand-rolled: the lint is dependency-free).
+/// Shape:
+///
+/// ```json
+/// {
+///   "files_scanned": 58,
+///   "unsuppressed": 1,
+///   "suppressed": 3,
+///   "findings": [
+///     {"rule": "R4", "file": "…", "line": 128, "message": "…",
+///      "suppressed": false}
+///   ]
+/// }
+/// ```
+pub fn json(run: &LintRun) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", run.files_scanned));
+    out.push_str(&format!(
+        "  \"unsuppressed\": {},\n",
+        run.unsuppressed_count()
+    ));
+    out.push_str(&format!("  \"suppressed\": {},\n", run.suppressed_count()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in run.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&finding_json(f));
+    }
+    if !run.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    let mut obj = format!(
+        "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"suppressed\": {}",
+        escape(f.rule),
+        escape(&f.file),
+        f.line,
+        escape(&f.message),
+        f.suppressed,
+    );
+    if let Some(r) = &f.suppress_reason {
+        obj.push_str(&format!(", \"reason\": {}", escape(r)));
+    }
+    obj.push('}');
+    obj
+}
+
+/// Escapes a string for JSON.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> LintRun {
+        let mut bad = Finding::new("R4", "a.rs", 3, "iteration \"quoted\"");
+        bad.suppressed = false;
+        let mut ok = Finding::new("R5", "b.rs", 9, "unwrap");
+        ok.suppressed = true;
+        ok.suppress_reason = Some("proven unreachable".into());
+        LintRun {
+            findings: vec![bad, ok],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn human_lists_only_unsuppressed() {
+        let h = human(&sample_run());
+        assert!(h.contains("a.rs:3 R4"));
+        assert!(!h.contains("b.rs:9"));
+        assert!(h.contains("1 finding (1 suppressed) across 2 files"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = json(&sample_run());
+        assert!(j.contains("\"unsuppressed\": 1"));
+        assert!(j.contains("\"suppressed\": 1"));
+        assert!(j.contains("iteration \\\"quoted\\\""));
+        assert!(j.contains("\"reason\": \"proven unreachable\""));
+    }
+
+    #[test]
+    fn empty_run_is_valid_json_shape() {
+        let j = json(&LintRun::default());
+        assert!(j.contains("\"findings\": []"));
+    }
+}

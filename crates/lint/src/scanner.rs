@@ -1,0 +1,328 @@
+//! Brace/attribute-aware pass over the token stream.
+//!
+//! Two jobs on top of the raw lexer:
+//!
+//! 1. **Test-code masking** — items gated behind a `test` attribute
+//!    (`#[cfg(test)] mod tests { … }`, `#[test] fn …`, `#[cfg(all(test,
+//!    …))]`) are outside the determinism contract; their tokens are
+//!    marked and every rule skips them. `#[cfg(not(test))]` does *not*
+//!    mask.
+//! 2. **Suppression parsing** — `// shredder-lint: allow(R4) — reason`
+//!    comments, collected per line. A suppression without a reason is
+//!    itself reported (rule `A0`): an allow nobody can audit is a hole
+//!    in the contract, not an exemption.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A parsed `shredder-lint: allow(…)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Rules named inside `allow(…)`, e.g. `["R4", "R5"]`.
+    pub rules: Vec<String>,
+    /// The free-text justification after the rule list (after `—`,
+    /// `-` or `:`). Empty when the author gave none.
+    pub reason: String,
+}
+
+impl Suppression {
+    /// True if the suppression carries a non-empty justification.
+    pub fn has_reason(&self) -> bool {
+        !self.reason.is_empty()
+    }
+}
+
+/// A lexed file plus the structural facts the rules need.
+#[derive(Debug)]
+pub struct ScanFile<'a> {
+    /// The source text.
+    pub src: &'a str,
+    /// Non-comment tokens, in order.
+    pub sig: Vec<Tok>,
+    /// Aligned with `sig`: true when the token sits inside a
+    /// test-gated item.
+    pub masked: Vec<bool>,
+    /// Every parsed `shredder-lint:` suppression comment.
+    pub suppressions: Vec<Suppression>,
+    /// Lines holding a `shredder-lint:` marker that failed to parse as
+    /// `allow(<rules>)`.
+    pub malformed: Vec<u32>,
+}
+
+impl<'a> ScanFile<'a> {
+    /// Lexes and scans one file.
+    pub fn new(src: &'a str) -> Self {
+        let toks = lex(src);
+        let mut sig = Vec::with_capacity(toks.len());
+        let mut suppressions = Vec::new();
+        let mut malformed = Vec::new();
+        for t in &toks {
+            match t.kind {
+                TokKind::LineComment | TokKind::BlockComment => {
+                    match parse_suppression(t.text(src), t.line) {
+                        ParsedComment::Suppression(s) => suppressions.push(s),
+                        ParsedComment::Malformed => malformed.push(t.line),
+                        ParsedComment::Plain => {}
+                    }
+                }
+                _ => sig.push(*t),
+            }
+        }
+        let masked = mask_test_items(src, &sig);
+        ScanFile {
+            src,
+            sig,
+            masked,
+            suppressions,
+            malformed,
+        }
+    }
+
+    /// Text of significant token `k`.
+    pub fn text(&self, k: usize) -> &'a str {
+        self.sig[k].text(self.src)
+    }
+
+    /// Kind of significant token `k`.
+    pub fn kind(&self, k: usize) -> TokKind {
+        self.sig[k].kind
+    }
+
+    /// Line of significant token `k`.
+    pub fn line(&self, k: usize) -> u32 {
+        self.sig[k].line
+    }
+
+    /// True when rule `rule` is allowed (with a reason) on `line` or
+    /// the line directly above it.
+    pub fn allowed(&self, rule: &str, line: u32) -> Option<&Suppression> {
+        self.suppressions.iter().find(|s| {
+            s.has_reason()
+                && (s.line == line || s.line + 1 == line)
+                && s.rules.iter().any(|r| r == rule)
+        })
+    }
+}
+
+enum ParsedComment {
+    Plain,
+    Suppression(Suppression),
+    Malformed,
+}
+
+/// Parses `// shredder-lint: allow(R1, R4) — reason` out of a comment.
+/// The marker must open the comment (after the `//`/`/*` fence) so
+/// prose that merely *mentions* the marker, like this doc comment,
+/// stays plain.
+fn parse_suppression(comment: &str, line: u32) -> ParsedComment {
+    let body = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+    let Some(rest) = body.strip_prefix("shredder-lint:") else {
+        return ParsedComment::Plain;
+    };
+    let rest = rest.trim_start();
+    let Some(open) = rest.strip_prefix("allow(") else {
+        return ParsedComment::Malformed;
+    };
+    let Some(close) = open.find(')') else {
+        return ParsedComment::Malformed;
+    };
+    let rules: Vec<String> = open[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() || !rules.iter().all(|r| valid_rule_name(r)) {
+        return ParsedComment::Malformed;
+    }
+    let mut reason = open[close + 1..].trim();
+    // Strip the leading separator (em dash / hyphen / colon) and, for
+    // block comments, the closing `*/`.
+    reason = reason.trim_start_matches(['—', '–', '-', ':', ' ']).trim();
+    let reason = reason.strip_suffix("*/").unwrap_or(reason).trim();
+    ParsedComment::Suppression(Suppression {
+        line,
+        rules,
+        reason: reason.to_string(),
+    })
+}
+
+fn valid_rule_name(r: &str) -> bool {
+    let mut cs = r.chars();
+    cs.next() == Some('R') && r.len() >= 2 && cs.all(|c| c.is_ascii_digit())
+}
+
+/// Marks every token belonging to a test-gated item.
+fn mask_test_items(src: &str, sig: &[Tok]) -> Vec<bool> {
+    let n = sig.len();
+    let mut masked = vec![false; n];
+    let mut k = 0usize;
+    while k < n {
+        if sig[k].text(src) == "#" && k + 1 < n && sig[k + 1].text(src) == "[" {
+            let (after, is_test) = parse_attr(src, sig, k + 1);
+            if is_test {
+                // Swallow any further attributes, then the item itself.
+                let mut m = after;
+                while m + 1 < n && sig[m].text(src) == "#" && sig[m + 1].text(src) == "[" {
+                    let (e, _) = parse_attr(src, sig, m + 1);
+                    m = e;
+                }
+                let end = item_end(src, sig, m);
+                for slot in masked.iter_mut().take(end).skip(k) {
+                    *slot = true;
+                }
+                k = end;
+                continue;
+            }
+            k = after;
+            continue;
+        }
+        k += 1;
+    }
+    masked
+}
+
+/// Parses an attribute starting at the `[` token `open`. Returns the
+/// index one past the matching `]` and whether the attribute gates
+/// test code.
+fn parse_attr(src: &str, sig: &[Tok], open: usize) -> (usize, bool) {
+    let n = sig.len();
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut k = open;
+    while k < n {
+        match sig[k].text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (k + 1, has_test && !has_not);
+                }
+            }
+            "test" if sig[k].kind == TokKind::Ident => has_test = true,
+            "not" if sig[k].kind == TokKind::Ident => has_not = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    (n, false)
+}
+
+/// Finds the end of the item starting at `from`: one past its closing
+/// `}` (tracking brace depth), or one past a top-level `;` for
+/// braceless items (`use`, type aliases, statics).
+fn item_end(src: &str, sig: &[Tok], from: usize) -> usize {
+    let n = sig.len();
+    let mut depth = 0i32;
+    let mut k = from;
+    while k < n {
+        match sig[k].text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return k + 1;
+                }
+            }
+            ";" if depth == 0 => return k + 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn inner() { x.unwrap(); }\n}\nfn after() {}";
+        let f = ScanFile::new(src);
+        let unwrap_pos = (0..f.sig.len()).find(|&k| f.text(k) == "unwrap").unwrap();
+        assert!(f.masked[unwrap_pos]);
+        let after_pos = (0..f.sig.len()).find(|&k| f.text(k) == "after").unwrap();
+        assert!(!f.masked[after_pos]);
+    }
+
+    #[test]
+    fn masks_bare_test_attr_fn() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn live() { b.keep(); }";
+        let f = ScanFile::new(src);
+        let unwrap_pos = (0..f.sig.len()).find(|&k| f.text(k) == "unwrap").unwrap();
+        assert!(f.masked[unwrap_pos]);
+        let keep_pos = (0..f.sig.len()).find(|&k| f.text(k) == "keep").unwrap();
+        assert!(!f.masked[keep_pos]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        let f = ScanFile::new(src);
+        let unwrap_pos = (0..f.sig.len()).find(|&k| f.text(k) == "unwrap").unwrap();
+        assert!(!f.masked[unwrap_pos]);
+    }
+
+    #[test]
+    fn cfg_all_test_masks() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() { y.unwrap(); } }";
+        let f = ScanFile::new(src);
+        let unwrap_pos = (0..f.sig.len()).find(|&k| f.text(k) == "unwrap").unwrap();
+        assert!(f.masked[unwrap_pos]);
+    }
+
+    #[test]
+    fn suppression_roundtrip() {
+        let src = "// shredder-lint: allow(R4, R5) — sorted on the next line\nfoo();";
+        let f = ScanFile::new(src);
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert_eq!(s.rules, ["R4", "R5"]);
+        assert_eq!(s.reason, "sorted on the next line");
+        assert!(f.allowed("R4", 2).is_some());
+        assert!(f.allowed("R4", 1).is_some());
+        assert!(f.allowed("R4", 3).is_none());
+        assert!(f.allowed("R1", 2).is_none());
+    }
+
+    #[test]
+    fn reason_separators() {
+        for sep in ["—", "-", ":", "–"] {
+            let src = format!("// shredder-lint: allow(R1) {sep} why not\nx();");
+            let f = ScanFile::new(&src);
+            assert_eq!(f.suppressions[0].reason, "why not", "sep {sep:?}");
+        }
+    }
+
+    #[test]
+    fn reasonless_suppression_does_not_allow() {
+        let src = "// shredder-lint: allow(R4)\nfoo();";
+        let f = ScanFile::new(src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert!(!f.suppressions[0].has_reason());
+        assert!(f.allowed("R4", 2).is_none());
+    }
+
+    #[test]
+    fn malformed_marker_reported() {
+        for bad in [
+            "// shredder-lint: allow R4 — no parens",
+            "// shredder-lint: allow(Q7) — unknown rule",
+            "// shredder-lint: allow() — empty",
+            "// shredder-lint: disable(R4) — wrong verb",
+        ] {
+            let f = ScanFile::new(bad);
+            assert_eq!(f.malformed, vec![1], "case {bad:?}");
+        }
+    }
+
+    #[test]
+    fn block_comment_suppression() {
+        let src = "/* shredder-lint: allow(R3) — worker pool is join-ordered */\nspawn();";
+        let f = ScanFile::new(src);
+        assert!(f.allowed("R3", 2).is_some());
+        assert_eq!(f.suppressions[0].reason, "worker pool is join-ordered");
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixture: clean code the lint must stay silent on — BTree iteration,
+//! seeded RNG, DES clocks, violations hidden in strings, and real
+//! violations gated behind test attributes (masked).
+
+use std::collections::BTreeMap;
+
+pub fn report(counts: &BTreeMap<String, u64>) -> Vec<String> {
+    counts.iter().map(|(k, v)| format!("{k}={v}")).collect()
+}
+
+pub fn seeded(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+/// Mentions of banned names inside strings are not code.
+pub fn doc_strings() -> &'static str {
+    "call Instant::now or std::thread::spawn or x.unwrap() at your peril"
+}
+
+pub fn membership_only(seen: &std::collections::HashSet<u64>, v: u64) -> bool {
+    // contains() is order-independent; only iteration escaping is R4.
+    seen.contains(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let t0 = std::time::Instant::now();
+        let mut rng = rand::thread_rng();
+        std::thread::spawn(|| {});
+        let m: std::collections::HashMap<u32, u32> = Default::default();
+        for _ in m.iter() {}
+        assert!(t0.elapsed().as_nanos() < u128::MAX && rng.gen::<bool>() || true);
+    }
+}
+
+#[test]
+fn bare_test_attr_masks_too() {
+    Instant::now();
+}

@@ -1,0 +1,20 @@
+//! Fixture: suppression-hygiene violations (A0): reasonless allows and
+//! markers that do not parse. None of these suppress anything.
+
+pub fn reasonless(slots: &[Option<u32>]) -> u32 {
+    // shredder-lint: allow(R5)
+    slots.first().unwrap().unwrap_or(0)
+}
+
+pub fn no_parens() {
+    // shredder-lint: allow R3 — forgot the parens
+    std::thread::spawn(|| {});
+}
+
+pub fn unknown_rule() {
+    // shredder-lint: allow(Q9) — not a rule name
+}
+
+pub fn wrong_verb() {
+    // shredder-lint: disable(R1) — wrong verb
+}

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads in simulation code (R1 twice).
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_wrong() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn stamp_wrong() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,10 @@
+//! Fixture: unseeded randomness (R2 twice).
+
+pub fn roll_wrong() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn seed_wrong() -> SmallRng {
+    SmallRng::from_entropy()
+}

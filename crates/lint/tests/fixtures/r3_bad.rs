@@ -1,0 +1,11 @@
+//! Fixture: OS threads in the single-threaded DES (R3 twice).
+
+pub fn spawn_wrong() {
+    std::thread::spawn(|| {});
+}
+
+pub fn scope_wrong(data: &[u8]) {
+    thread::scope(|s| {
+        s.spawn(|| data.len());
+    });
+}

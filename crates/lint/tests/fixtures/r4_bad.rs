@@ -1,0 +1,30 @@
+//! Fixture: order-dependent hash iteration (R4 three ways).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Report {
+    counts: HashMap<String, u64>,
+}
+
+impl Report {
+    /// Method call on a tracked field binding.
+    pub fn lines(&self) -> Vec<String> {
+        self.counts.iter().map(|(k, v)| format!("{k}={v}")).collect()
+    }
+}
+
+/// `for` loop over a tracked `let` binding.
+pub fn sum_wrong(input: &[u64]) -> Vec<u64> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.extend(input.iter().copied());
+    let mut out = Vec::new();
+    for v in &seen {
+        out.push(*v);
+    }
+    out
+}
+
+/// Direct associated-path iteration.
+pub fn keys_wrong(m: &HashMap<u32, u32>) -> usize {
+    HashMap::iter(m).count()
+}

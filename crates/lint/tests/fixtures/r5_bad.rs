@@ -1,0 +1,10 @@
+//! Fixture: panicking calls in a hot-path file (R5 three ways).
+
+pub fn commit_wrong(slots: &[Option<u32>]) -> u32 {
+    let first = slots.first().unwrap();
+    let value = first.expect("slot filled");
+    if value == 0 {
+        panic!("zero value");
+    }
+    value
+}

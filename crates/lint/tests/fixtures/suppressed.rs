@@ -1,0 +1,37 @@
+//! Fixture: one violation per rule, each carrying a reasoned allow —
+//! everything here must come out suppressed.
+
+pub fn timed_replay() -> u128 {
+    // shredder-lint: allow(R1) — replay harness correlates sim time with wall time on purpose
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn jittered_seed() -> u64 {
+    // shredder-lint: allow(R2) — one-time seed capture at process start, recorded in the report
+    rand::thread_rng().gen()
+}
+
+pub fn parallel_scan(data: &[u8]) -> usize {
+    // shredder-lint: allow(R3) — regions are owner-disjoint and merged in region order
+    std::thread::scope(|s| {
+        s.spawn(|| data.len());
+        data.len()
+    })
+}
+
+pub fn histogram(m: &std::collections::HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> =
+        // shredder-lint: allow(R4) — collected into a Vec and sorted on the next line
+        HashMap::iter(m).map(|(k, v)| (*k, *v)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+pub fn commit(slots: &[Option<u32>]) -> u32 {
+    slots
+        .first()
+        // shredder-lint: allow(R5) — caller guarantees at least one slot; checked by the admission gate
+        .unwrap()
+        .unwrap_or(0)
+}

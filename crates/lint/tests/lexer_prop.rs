@@ -1,0 +1,71 @@
+//! Property tests: the hand-rolled lexer is total. Arbitrary bytes —
+//! including unterminated strings, stray quotes, nested comment
+//! openers and non-UTF-8 sequences run through lossy conversion — must
+//! never panic, never produce out-of-bounds or overlapping spans, and
+//! the full pipeline (scan + rules) must stay total on top of it.
+
+use proptest::prelude::*;
+use shredder_lint::{lint_source, LintConfig};
+
+/// Spans are in bounds, on char boundaries, ordered and non-overlapping.
+fn well_formed(src: &str) -> Result<(), String> {
+    let toks = shredder_lint::lexer::lex(src);
+    let mut prev_end = 0usize;
+    for t in &toks {
+        if t.start >= t.end {
+            return Err(format!("empty span {}..{}", t.start, t.end));
+        }
+        if t.end > src.len() {
+            return Err(format!("span {}..{} past {}", t.start, t.end, src.len()));
+        }
+        if !src.is_char_boundary(t.start) || !src.is_char_boundary(t.end) {
+            return Err(format!("span {}..{} off char boundary", t.start, t.end));
+        }
+        if t.start < prev_end {
+            return Err(format!("span {}..{} overlaps previous", t.start, t.end));
+        }
+        prev_end = t.end;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totally arbitrary bytes (lossily decoded, as `lint_workspace`
+    /// reads files) lex without panicking into well-formed spans.
+    #[test]
+    fn lexer_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        prop_assert!(well_formed(&src).is_ok(), "{:?}", well_formed(&src));
+    }
+
+    /// Sequences drawn from the lexer's trickiest alphabet — quote and
+    /// fence characters — hit the string/comment/lifetime paths hard.
+    #[test]
+    fn lexer_total_on_quote_soup(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("\""), Just("'"), Just("#"), Just("r"), Just("b"), Just("c"),
+            Just("r#"), Just("\\"), Just("/*"), Just("*/"), Just("//"),
+            Just("\n"), Just("x"), Just("'a"), Just("b'"), Just("r##\""),
+        ],
+        0..64,
+    )) {
+        let src: String = parts.concat();
+        prop_assert!(well_formed(&src).is_ok(), "{:?} on {src:?}", well_formed(&src));
+    }
+
+    /// The whole pipeline (lex + scan + every rule) is total too, even
+    /// with the file treated as an R5 hot path.
+    #[test]
+    fn full_lint_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let cfg = LintConfig {
+            wallclock_exempt_dirs: vec![],
+            hot_path_files: vec!["fuzz.rs".into()],
+        };
+        for f in lint_source("fuzz.rs", &src, &cfg) {
+            prop_assert!(f.line >= 1, "line numbers are 1-based: {f:?}");
+        }
+    }
+}

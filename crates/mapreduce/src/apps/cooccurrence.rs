@@ -2,7 +2,7 @@
 //! formulation of the co-occurrence computation, a standard text-mining
 //! MapReduce benchmark).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::job::MapReduceJob;
 
@@ -51,7 +51,8 @@ impl MapReduceJob for Cooccurrence {
 
     fn map(&self, split: &[u8]) -> Vec<(String, u64)> {
         let text = String::from_utf8_lossy(split);
-        let mut counts: HashMap<String, u64> = HashMap::new();
+        // BTreeMap: memoized output ordering must be deterministic.
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
         for line in text.lines() {
             let words: Vec<&str> = line.split_whitespace().collect();
             for (i, &left) in words.iter().enumerate() {
@@ -60,9 +61,7 @@ impl MapReduceJob for Cooccurrence {
                 }
             }
         }
-        let mut pairs: Vec<(String, u64)> = counts.into_iter().collect();
-        pairs.sort_unstable();
-        pairs
+        counts.into_iter().collect()
     }
 
     fn reduce(&self, _key: &String, values: &[u64]) -> u64 {

@@ -1,6 +1,6 @@
 //! Word-Count: the canonical MapReduce job.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::job::MapReduceJob;
 
@@ -26,17 +26,15 @@ impl MapReduceJob for WordCount {
 
     fn map(&self, split: &[u8]) -> Vec<(String, u64)> {
         let text = String::from_utf8_lossy(split);
-        let mut counts: HashMap<&str, u64> = HashMap::new();
+        // BTreeMap: memoized output ordering must be deterministic.
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
         for word in text.split_whitespace() {
             *counts.entry(word).or_default() += 1;
         }
-        let mut pairs: Vec<(String, u64)> = counts
+        counts
             .into_iter()
             .map(|(w, c)| (w.to_string(), c))
-            .collect();
-        // Deterministic memoized output ordering.
-        pairs.sort_unstable();
-        pairs
+            .collect()
     }
 
     fn reduce(&self, _key: &String, values: &[u64]) -> u64 {

@@ -1,7 +1,7 @@
 //! Memoization of map-task outputs (Incoop's fine-grained result reuse,
 //! §6.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use shredder_hash::Digest;
@@ -27,7 +27,7 @@ pub type MemoKey = (Digest, u64);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MemoTable<K, V> {
-    entries: HashMap<MemoKey, Rc<Vec<(K, V)>>>,
+    entries: BTreeMap<MemoKey, Rc<Vec<(K, V)>>>,
     hits: u64,
     misses: u64,
     bytes_saved: u64,
@@ -37,7 +37,7 @@ impl<K, V> MemoTable<K, V> {
     /// Creates an empty table.
     pub fn new() -> Self {
         MemoTable {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             hits: 0,
             misses: 0,
             bytes_saved: 0,
@@ -79,7 +79,7 @@ impl<K, V> MemoTable<K, V> {
         if digests.is_empty() {
             return 0;
         }
-        let dead: std::collections::HashSet<&Digest> = digests.iter().collect();
+        let dead: std::collections::BTreeSet<&Digest> = digests.iter().collect();
         let before = self.entries.len();
         self.entries.retain(|(digest, _), _| !dead.contains(digest));
         before - self.entries.len()

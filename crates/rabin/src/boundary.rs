@@ -143,6 +143,7 @@ pub fn parallel_raw_cuts(kernel: &dyn BoundaryKernel, data: &[u8], threads: usiz
     let region = data.len().div_ceil(n);
 
     let mut results: Vec<Vec<RawCut>> = Vec::with_capacity(n);
+    // shredder-lint: allow(R3) — deterministic despite threads: regions are owner-disjoint and merged in region order; parallel ≡ sequential is property-tested below
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for t in 0..n {

@@ -7,7 +7,7 @@
 //! generic over the value: the store maps digests to segment locations,
 //! the dedup index maps them to nothing but presence.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use shredder_hash::{fnv1a_64, Digest};
 
@@ -34,7 +34,7 @@ const SHARDS: usize = 64;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ChunkIndex<V> {
-    shards: Vec<HashMap<Digest, V>>,
+    shards: Vec<BTreeMap<Digest, V>>,
     lookups: u64,
     hits: u64,
 }
@@ -43,7 +43,7 @@ impl<V> ChunkIndex<V> {
     /// Creates an empty index.
     pub fn new() -> Self {
         ChunkIndex {
-            shards: (0..SHARDS).map(|_| HashMap::new()).collect(),
+            shards: (0..SHARDS).map(|_| BTreeMap::new()).collect(),
             lookups: 0,
             hits: 0,
         }
@@ -90,12 +90,12 @@ impl<V> ChunkIndex<V> {
 
     /// Distinct digests indexed.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
+        self.shards.iter().map(BTreeMap::len).sum()
     }
 
     /// True if nothing is indexed.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(HashMap::is_empty)
+        self.shards.iter().all(BTreeMap::is_empty)
     }
 
     /// Counting lookups performed.
@@ -110,13 +110,14 @@ impl<V> ChunkIndex<V> {
 
     /// Entry count per shard (for balance diagnostics).
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards.iter().map(HashMap::len).collect()
+        self.shards.iter().map(BTreeMap::len).collect()
     }
 
-    /// Iterates every entry. **Shard-internal order is unspecified**;
-    /// callers that need determinism (the GC sweep does) must sort.
+    /// Iterates every entry in deterministic shard-major order: shards
+    /// in index order, digests ascending within each shard. (Not global
+    /// digest order — sort if that's what you need.)
     pub fn iter(&self) -> impl Iterator<Item = (&Digest, &V)> {
-        self.shards.iter().flat_map(HashMap::iter)
+        self.shards.iter().flat_map(BTreeMap::iter)
     }
 }
 

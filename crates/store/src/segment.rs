@@ -94,6 +94,7 @@ impl SegmentLog {
         let roll = {
             let cur = self.segments[self.current()]
                 .as_ref()
+                // shredder-lint: allow(R5) — retire() refuses the current segment, so the append target is always resident
                 .expect("current segment is always resident");
             !cur.data.is_empty() && cur.data.len() + payload.len() > self.segment_bytes
         };
@@ -101,6 +102,7 @@ impl SegmentLog {
             self.segments.push(Some(Segment::default()));
         }
         let id = self.current();
+        // shredder-lint: allow(R5) — `current()` indexes the segment pushed (or checked resident) directly above
         let seg = self.segments[id].as_mut().expect("just ensured resident");
         let offset = seg.data.len();
         seg.data.extend_from_slice(payload);
@@ -126,10 +128,12 @@ impl SegmentLog {
     pub(crate) fn mark_dead(&mut self, loc: ChunkLoc) {
         let seg = self.segments[loc.segment as usize]
             .as_mut()
+            // shredder-lint: allow(R5) — deliberate integrity guard: freeing a chunk in a retired segment is store corruption, not a recoverable error
             .expect("marking a chunk in a retired segment");
         seg.live_bytes = seg
             .live_bytes
             .checked_sub(loc.byte_len())
+            // shredder-lint: allow(R5) — deliberate integrity guard: a double free must halt the simulation, not skew accounting silently
             .expect("live bytes underflow: chunk freed twice");
         self.live_bytes -= loc.byte_len();
     }
@@ -186,6 +190,7 @@ impl SegmentLog {
     /// append target.
     pub(crate) fn retire(&mut self, id: usize) -> u64 {
         assert_ne!(id, self.current(), "cannot retire the open segment");
+        // shredder-lint: allow(R5) — deliberate integrity guard: double retirement is a GC bug, documented under # Panics
         let seg = self.segments[id].take().expect("retiring twice");
         assert_eq!(seg.live_bytes, 0, "retiring a segment with live chunks");
         let freed = seg.data.len() as u64;

@@ -394,9 +394,7 @@ impl ChunkStore {
     /// Drops a stream's oldest snapshots until at most `keep` remain.
     fn trim_stream(state: &mut StreamState, keep: u64) -> usize {
         let mut dropped = 0;
-        while state.snapshots.len() as u64 > keep {
-            let oldest = *state.snapshots.keys().next().expect("non-empty");
-            state.snapshots.remove(&oldest);
+        while state.snapshots.len() as u64 > keep && state.snapshots.pop_first().is_some() {
             dropped += 1;
         }
         dropped
@@ -447,7 +445,8 @@ impl ChunkStore {
     ///
     /// [`StoreError::MissingChunk`] / [`StoreError::CorruptChunk`] if
     /// any reference is invalid; the snapshot is not created in that
-    /// case.
+    /// case. [`StoreError::UnknownGeneration`] if a retention limit of
+    /// zero expired the snapshot the moment it was opened.
     pub fn commit_snapshot(
         &mut self,
         stream: &str,
@@ -464,13 +463,18 @@ impl ChunkStore {
             }
         }
         let generation = self.open_snapshot(stream);
+        // With retention 0 the snapshot we just opened is trimmed
+        // immediately; surface that as an error rather than panicking.
         let manifest = self
             .streams
             .get_mut(stream)
-            .expect("stream just opened")
+            .ok_or_else(|| StoreError::UnknownStream(stream.to_string()))?
             .snapshots
             .get_mut(&generation)
-            .expect("snapshot just opened");
+            .ok_or_else(|| StoreError::UnknownGeneration {
+                stream: stream.to_string(),
+                generation,
+            })?;
         manifest
             .entries
             .extend(recipe.iter().map(|&(digest, len)| ManifestEntry {
@@ -646,10 +650,12 @@ impl ChunkStore {
                 let payload = self
                     .log
                     .read(loc)
+                    // shredder-lint: allow(R5) — survivors were selected from the index, whose locations always point at resident victim segments
                     .expect("survivor payload resident")
                     .to_vec();
                 let new_loc = self.log.append(&payload);
                 self.log.mark_dead(loc);
+                // shredder-lint: allow(R5) — `digest` was copied out of the index four lines up and nothing removed it since
                 *self.index.get_mut(&digest).expect("survivor indexed") = new_loc;
                 moved_bytes += loc.byte_len();
             }
