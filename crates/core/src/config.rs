@@ -6,6 +6,7 @@ use shredder_gpu::{calibration, DeviceConfig};
 use shredder_rabin::ChunkParams;
 
 use crate::engine::PlacementPolicy;
+use crate::fault::FaultPlan;
 
 /// Configuration of the GPU-accelerated Shredder pipeline.
 ///
@@ -79,6 +80,11 @@ pub struct ShredderConfig {
     /// snapshot opens; `None` keeps everything until explicitly
     /// expired. Expired payloads are reclaimed by the store's GC.
     pub retention: Option<u64>,
+    /// Deterministic fault schedule injected into the timing simulation
+    /// (device deaths, stragglers). The default plan is empty and the
+    /// run is bit-identical to a fault-free config; see
+    /// [`FaultPlan`] for the determinism contract.
+    pub faults: FaultPlan,
 }
 
 impl ShredderConfig {
@@ -99,6 +105,7 @@ impl ShredderConfig {
             segment_bytes: 8 << 20,
             gc_threshold: 0.5,
             retention: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -252,6 +259,14 @@ impl ShredderConfig {
         self
     }
 
+    /// Sets the deterministic fault schedule (device deaths and
+    /// stragglers) replayed by the timing simulation. An empty plan is
+    /// equivalent to never calling this.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The downstream chunk-store configuration derived from this
     /// pipeline configuration.
     pub fn store_config(&self) -> shredder_store::StoreConfig {
@@ -331,6 +346,9 @@ impl ShredderConfig {
                 "retention must keep at least one generation".into(),
             ));
         }
+        self.faults
+            .check(self.gpus)
+            .map_err(|e| InvalidConfig(format!("fault plan: {e}")))?;
         Ok(())
     }
 }

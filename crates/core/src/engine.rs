@@ -74,6 +74,7 @@ use shredder_rabin::{Chunk, RawCut};
 use crate::bufpool::{BufferPool, PooledBuf};
 use crate::config::ShredderConfig;
 use crate::error::ChunkError;
+use crate::fault::{FaultKind, FaultReport};
 use crate::report::{
     percentile, BufferTimeline, ClassLatency, DeviceReport, EngineReport, RequestReport,
     ServiceReport, SessionReport, StageBusy, StageReport,
@@ -137,9 +138,26 @@ impl std::fmt::Display for PlacementPolicy {
     }
 }
 
-/// Shards sessions across `gpus` devices: explicit pins first-class,
-/// the policy decides the rest. Deterministic in open order.
-fn place_sessions(plans: &[SessionPlan], gpus: usize, policy: PlacementPolicy) -> Vec<usize> {
+/// Fixed-point scale for straggler-aware placement weights: parts per
+/// million, so `f64` slowdown factors become exact integer weights and
+/// device ordering never depends on float rounding.
+const PPM: u64 = 1_000_000;
+
+/// Shards sessions across a (possibly) degraded pool of `gpus`
+/// devices: explicit pins first-class, the policy decides the rest,
+/// deterministic in open order. `dead` devices take no new sessions
+/// and `slowdown_ppm` scales each device's projected completion
+/// (`(load + bytes) × slowdown`), so LeastLoaded provably routes
+/// around stragglers known at placement time. With every device alive
+/// at factor 1.0 the choice reduces exactly to the legacy
+/// `(load, index)` ordering — healthy runs place identically.
+fn place_sessions_degraded(
+    plans: &[SessionPlan],
+    gpus: usize,
+    policy: PlacementPolicy,
+    dead: &[bool],
+    slowdown_ppm: &[u64],
+) -> Vec<usize> {
     let mut load = vec![0u64; gpus];
     let mut rotor = 0usize;
     plans
@@ -148,14 +166,21 @@ fn place_sessions(plans: &[SessionPlan], gpus: usize, policy: PlacementPolicy) -
             let device = match plan.pin {
                 Some(pin) => pin,
                 None => match policy {
-                    PlacementPolicy::RoundRobin => {
+                    PlacementPolicy::RoundRobin => loop {
                         let d = rotor % gpus;
                         rotor += 1;
-                        d
-                    }
+                        if !dead[d] {
+                            break d;
+                        }
+                    },
                     PlacementPolicy::LeastLoaded | PlacementPolicy::Pinned => {
-                        // shredder-lint: allow(R5) — gpus >= 1 is enforced by ShredderConfig::validate, so the range is never empty
-                        (0..gpus).min_by_key(|&d| (load[d], d)).expect("gpus > 0")
+                        (0..gpus)
+                            .filter(|&d| !dead[d])
+                            .min_by_key(|&d| {
+                                ((load[d] + plan.bytes) as u128 * slowdown_ppm[d] as u128, d)
+                            })
+                            // shredder-lint: allow(R5) — gpus >= 1 and at least one survivor are enforced by ShredderConfig::validate
+                            .expect("at least one device alive")
                     }
                 },
             };
@@ -616,6 +641,7 @@ impl<'a> ShredderEngine<'a> {
             sink_stages: sim.stages,
             ring_setup,
             service,
+            faults: sim.faults,
         };
 
         Ok(ServiceRun { outcomes, report })
@@ -833,6 +859,26 @@ pub(crate) struct SimResult {
     pub(crate) stages: Vec<StageReport>,
     pub(crate) end: SimTime,
     pub(crate) service: ServiceSimOut,
+    pub(crate) faults: FaultReport,
+}
+
+/// Runtime fault state shared by the event closures. Only allocated
+/// when the config carries a non-empty
+/// [`FaultPlan`](crate::FaultPlan) — fault-free runs take the exact
+/// pre-fault code path.
+struct FaultRt {
+    /// Per-device death flags (mirrors the pool's health, kept here for
+    /// cheap survivor scans).
+    dead: Vec<bool>,
+    /// Current attempt of each `[session][buffer]`. A device death
+    /// requeues in-flight buffers by bumping their attempt; callbacks
+    /// belonging to a superseded attempt (work orphaned on the dead
+    /// device) observe the mismatch and return without effect.
+    attempt: Vec<Vec<u32>>,
+    /// Which `[session][buffer]`s are currently in flight (admitted by
+    /// the buffer scheduler, not yet completed through the sink chain).
+    inflight: Vec<Vec<bool>>,
+    report: FaultReport,
 }
 
 /// Central admission state shared by the event closures.
@@ -1027,9 +1073,14 @@ struct PipeCtx {
     class_of: Rc<Vec<usize>>,
     prep: FifoServer,
     store: FifoServer,
-    /// The device pool plus each session's assigned device.
+    /// The device pool plus each session's assigned device. Placement
+    /// is interior-mutable: a device death re-places its sessions onto
+    /// survivors, and `launch` resolves the device at launch time.
     pool: Rc<DevicePool>,
-    placement: Rc<Vec<usize>>,
+    placement: Rc<RefCell<Vec<usize>>>,
+    /// Fault runtime; `None` when the fault plan is empty (the
+    /// fault-free fast path — zero extra events, zero perturbation).
+    faults: Option<Rc<RefCell<FaultRt>>>,
     host_kind: HostMemKind,
     /// Which boundary kernel the run's buffer durations were planned
     /// with — stamped on every [`BufferJob`] for per-device accounting.
@@ -1058,6 +1109,30 @@ impl PipeCtx {
             .and_then(|s| s.get(bidx))
             .and_then(|work| work.get(k))
             .copied()
+    }
+
+    /// The current requeue attempt of one buffer (0 on the fault-free
+    /// path, where attempts never advance).
+    fn attempt_of(&self, sid: usize, bidx: usize) -> u32 {
+        match &self.faults {
+            Some(f) => f.borrow().attempt[sid][bidx],
+            None => 0,
+        }
+    }
+
+    /// Whether a callback chain launched at `attempt` has been
+    /// superseded by a device-death requeue. Stale chains return
+    /// without effect: their work died with the device.
+    fn is_stale(&self, sid: usize, bidx: usize, attempt: u32) -> bool {
+        self.attempt_of(sid, bidx) != attempt
+    }
+
+    /// Tracks whether a buffer is in flight (only when faults are
+    /// armed; death handling requeues exactly the in-flight set).
+    fn note_inflight(&self, sid: usize, bidx: usize, v: bool) {
+        if let Some(f) = &self.faults {
+            f.borrow_mut().inflight[sid][bidx] = v;
+        }
     }
 }
 
@@ -1209,15 +1284,32 @@ fn pump(ctx: &PipeCtx, sim: &mut Simulation) {
 /// read through H2D, an exhausted staging ring does the same.
 fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
     let pb = ctx.buffers[sid][bidx];
-    let device: PooledDevice = ctx.pool.device(ctx.placement[sid]).clone();
+    // Resolve the device at launch time: a device death re-places the
+    // session, so a requeued (or still-queued) buffer lands on the
+    // survivor, not the corpse.
+    let device: PooledDevice = ctx.pool.device(ctx.placement.borrow()[sid]).clone();
+    ctx.note_inflight(sid, bidx, true);
+    // Chains of a superseded attempt (their device died mid-buffer)
+    // observe the bumped attempt at every step and die silently; the
+    // resources they consumed model work genuinely lost to the failure.
+    let attempt = ctx.attempt_of(sid, bidx);
     let c = ctx.clone();
     ctx.prep.process(sim, ctx.prep_time, move |sim| {
+        if c.is_stale(sid, bidx, attempt) {
+            return;
+        }
         let dev = device.clone();
         let c2 = c.clone();
         let staged = move |sim: &mut Simulation| {
+            if c2.is_stale(sid, bidx, attempt) {
+                return;
+            }
             let c3 = c2.clone();
             let dev2 = dev.clone();
             let read_done = move |sim: &mut Simulation| {
+                if c3.is_stale(sid, bidx, attempt) {
+                    return;
+                }
                 {
                     let mut s = c3.sched.borrow_mut();
                     s.timelines[sid][bidx].read_end = sim.now();
@@ -1236,6 +1328,9 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
                     sim,
                     job,
                     move |sim| {
+                        if c4.is_stale(sid, bidx, attempt) {
+                            return;
+                        }
                         // Payload resident on device: the staging slot
                         // is reusable by the next reader.
                         if c4.pinned_ring {
@@ -1245,10 +1340,16 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
                         s.timelines[sid][bidx].transfer_end = sim.now();
                     },
                     move |sim| {
+                        if c5.is_stale(sid, bidx, attempt) {
+                            return;
+                        }
                         let mut s = c5.sched.borrow_mut();
                         s.timelines[sid][bidx].kernel_end = sim.now();
                     },
                     move |sim| {
+                        if c6.is_stale(sid, bidx, attempt) {
+                            return;
+                        }
                         // Host-side adjustment + upcall.
                         let host_time = Dur::from_nanos(
                             calibration::HOST_STAGE_OVERHEAD_NS
@@ -1256,6 +1357,9 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
                         );
                         let c7 = c6.clone();
                         c6.store.process(sim, host_time, move |sim| {
+                            if c7.is_stale(sid, bidx, attempt) {
+                                return;
+                            }
                             {
                                 let mut s = c7.sched.borrow_mut();
                                 s.timelines[sid][bidx].store_end = sim.now();
@@ -1300,6 +1404,7 @@ fn launch(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize) {
 /// pre-sink pipeline.
 fn sink_chain(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize, k: usize) {
     let Some((stage, service)) = ctx.work_at(sid, bidx, k) else {
+        ctx.note_inflight(sid, bidx, false);
         {
             let mut s = ctx.sched.borrow_mut();
             s.completion[sid] = sim.now();
@@ -1325,9 +1430,13 @@ fn sink_chain(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize, k: us
         return;
     };
     let enqueued = sim.now();
+    let attempt = ctx.attempt_of(sid, bidx);
     let server = ctx.stage_servers[stage].clone();
     let c = ctx.clone();
     server.process(sim, service, move |sim| {
+        if c.is_stale(sid, bidx, attempt) {
+            return;
+        }
         {
             let mut acct = c.stage_acct.borrow_mut();
             let wait = sim.now().saturating_since(enqueued).saturating_sub(service);
@@ -1336,6 +1445,107 @@ fn sink_chain(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize, k: us
         }
         sink_chain(c, sim, sid, bidx, k + 1);
     });
+}
+
+/// Applies one scheduled [`FaultKind`] to the running simulation.
+///
+/// *Straggler*: flips the device's slowdown factor — kernels submitted
+/// from now on pay it (t = 0 stragglers additionally bias the initial
+/// LeastLoaded placement).
+///
+/// *Death*: marks the device dead, re-places its unfinished sessions
+/// onto the least-loaded (slowdown-weighted) survivors — ascending
+/// session order, so the outcome is deterministic — and requeues their
+/// in-flight buffers: each gets a bumped attempt and a fresh launch
+/// (new SAN read, surviving device) while the orphaned chain's
+/// callbacks observe the stale attempt and die without effect. A death
+/// that would kill the last survivor is skipped and counted
+/// (`deaths_skipped`): the engine never strands accepted work.
+fn apply_fault(ctx: &PipeCtx, sim: &mut Simulation, kind: FaultKind) {
+    let Some(frt) = ctx.faults.clone() else {
+        return;
+    };
+    match kind {
+        FaultKind::Straggler { device, slowdown } => {
+            ctx.pool.device(device).set_slowdown(slowdown);
+            frt.borrow_mut().report.stragglers += 1;
+        }
+        FaultKind::DeviceDeath { device } => {
+            {
+                let mut f = frt.borrow_mut();
+                if f.dead[device] {
+                    return; // Double kill: nothing left to take.
+                }
+                if f.dead.iter().filter(|&&d| !d).count() <= 1 {
+                    f.report.deaths_skipped += 1;
+                    return;
+                }
+                f.dead[device] = true;
+                f.report.device_deaths += 1;
+            }
+            ctx.pool.device(device).fail();
+
+            // Bytes still assigned per survivor: sessions that are
+            // neither done nor shed, wherever they currently sit.
+            let gpus = ctx.pool.len();
+            let session_bytes: Vec<u64> = ctx
+                .buffers
+                .iter()
+                .map(|bufs| bufs.iter().map(|b| b.bytes).sum())
+                .collect();
+            let placement = ctx.placement.borrow().clone();
+            let (mut load, victims) = {
+                let svc = ctx.svc.borrow();
+                let active = |sid: usize| svc.done[sid].is_none() && svc.shed[sid].is_none();
+                let mut load = vec![0u64; gpus];
+                for sid in 0..placement.len() {
+                    if placement[sid] != device && active(sid) {
+                        load[placement[sid]] += session_bytes[sid];
+                    }
+                }
+                let victims: Vec<usize> = (0..placement.len())
+                    .filter(|&sid| placement[sid] == device && active(sid))
+                    .collect();
+                (load, victims)
+            };
+
+            let dead = frt.borrow().dead.clone();
+            for sid in victims {
+                let target = (0..gpus)
+                    .filter(|&d| !dead[d])
+                    .min_by_key(|&d| {
+                        let ppm = (ctx.pool.device(d).slowdown() * PPM as f64) as u64;
+                        ((load[d] + session_bytes[sid]) as u128 * ppm as u128, d)
+                    })
+                    // shredder-lint: allow(R5) — the last-survivor guard above ensures at least one live device remains
+                    .expect("at least one survivor");
+                load[target] += session_bytes[sid];
+                ctx.placement.borrow_mut()[sid] = target;
+                frt.borrow_mut().report.replaced_sessions += 1;
+
+                // Requeue the session's in-flight buffers in index
+                // order; relaunches go through the calendar so this
+                // handler finishes before any of them runs.
+                for bidx in 0..ctx.buffers[sid].len() {
+                    let requeue = {
+                        let mut f = frt.borrow_mut();
+                        if f.inflight[sid][bidx] {
+                            f.attempt[sid][bidx] += 1;
+                            f.report.requeued_buffers += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if requeue {
+                        ctx.sched.borrow_mut().timelines[sid][bidx].read_start = sim.now();
+                        let c = ctx.clone();
+                        sim.schedule_now(move |sim| launch(c, sim, sid, bidx));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Runs the deferred sink functional pass of one freshly-dispatched
@@ -1405,7 +1615,35 @@ fn simulate_service<'a>(
         config.twin_buffers,
         config.ring_slots(),
     );
-    let placement = place_sessions(plans, gpus, config.placement);
+    // Faults already in force at t = 0 are pre-existing conditions:
+    // they bias the initial placement (LeastLoaded routes around known
+    // stragglers and skips dead devices). Every fault event — t = 0
+    // included — still fires in the calendar below, so the counters and
+    // the pool's health always reflect the full plan.
+    let mut dead0 = vec![false; gpus];
+    let mut ppm0 = vec![PPM; gpus];
+    for ev in &config.faults.events {
+        if ev.at == Dur::ZERO {
+            match ev.kind {
+                FaultKind::DeviceDeath { device } => dead0[device] = true,
+                FaultKind::Straggler { device, slowdown } => {
+                    ppm0[device] = (slowdown * PPM as f64) as u64;
+                }
+            }
+        }
+    }
+    let placement = place_sessions_degraded(plans, gpus, config.placement, &dead0, &ppm0);
+    let faults = (!config.faults.is_empty()).then(|| {
+        Rc::new(RefCell::new(FaultRt {
+            dead: vec![false; gpus],
+            attempt: plans.iter().map(|p| vec![0u32; p.buffers.len()]).collect(),
+            inflight: plans.iter().map(|p| vec![false; p.buffers.len()]).collect(),
+            report: FaultReport {
+                injected: config.faults.len(),
+                ..FaultReport::default()
+            },
+        }))
+    });
     let alloc_model = HostAllocModel::new();
 
     let host_kind = if config.pinned_ring {
@@ -1550,7 +1788,8 @@ fn simulate_service<'a>(
         prep: prep.clone(),
         store: store.clone(),
         pool: Rc::new(pool),
-        placement: Rc::new(placement),
+        placement: Rc::new(RefCell::new(placement)),
+        faults,
         host_kind,
         variant: config.kernel,
         pinned_ring: config.pinned_ring,
@@ -1559,6 +1798,16 @@ fn simulate_service<'a>(
         stage_acct: stage_acct.clone(),
         sink_work: Rc::new(RefCell::new(vec![Vec::new(); n])),
     };
+
+    // Fault events enter the calendar before the arrivals, so a t = 0
+    // fault precedes same-instant arrivals (the calendar breaks ties by
+    // scheduling order). An empty plan schedules nothing at all — the
+    // fault-free calendar is untouched.
+    for ev in &config.faults.events {
+        let c = ctx.clone();
+        let kind = ev.kind;
+        sim.schedule_at_or_now(SimTime::ZERO + ev.at, move |sim| apply_fault(&c, sim, kind));
+    }
 
     // Arrival events enter the calendar up-front (open loop) or chain
     // off completions (closed loop, seeded with each client's first
@@ -1679,14 +1928,32 @@ fn simulate_service<'a>(
     };
     drop(svc);
 
+    let faults = match &ctx.faults {
+        Some(frt) => {
+            let mut f = frt.borrow_mut();
+            let dead_devices: Vec<usize> = (0..gpus).filter(|&d| f.dead[d]).collect();
+            f.report.dead_devices = dead_devices;
+            f.report.slowdowns = (0..gpus)
+                .filter_map(|d| {
+                    let s = ctx.pool.device(d).slowdown();
+                    (s != 1.0).then_some((d, s))
+                })
+                .collect();
+            f.report.clone()
+        }
+        None => FaultReport::default(),
+    };
+
+    let placement = ctx.placement.borrow().clone();
     SimResult {
         sessions,
-        placement: ctx.placement.as_ref().clone(),
+        placement,
         devices,
         stage_busy,
         stages,
         end,
         service,
+        faults,
     }
 }
 

@@ -1,0 +1,317 @@
+//! Deterministic fault injection: seeded, schedule-driven failures.
+//!
+//! Real deployments of a storage-path accelerator lose devices
+//! mid-transfer, see devices slow down under thermal or PCIe pressure,
+//! and find bit-rot in their on-disk segments. This module gives every
+//! one of those failures a *deterministic* representation: a
+//! [`FaultPlan`] is a list of [`FaultEvent`]s with virtual-time
+//! timestamps, injected through
+//! [`ShredderConfig::with_faults`](crate::ShredderConfig::with_faults)
+//! and replayed as ordinary discrete-event-simulation events. The same
+//! plan against the same workload produces the same trace, the same
+//! requeues, and the same [`FaultReport`] — bit-for-bit — so every
+//! failure scenario is a reproducible test rather than a flaky one.
+//!
+//! # Determinism contract
+//!
+//! - An **empty plan schedules zero events**: the engine takes the exact
+//!   code path of a fault-free run, so reports, chunk boundaries, and
+//!   timings are bit-identical to a config without faults.
+//! - Fault events fire at their scheduled virtual time, ordered before
+//!   same-instant arrivals (injection is scheduled first).
+//! - Chunk *identity* can never be changed by a timing-level fault: the
+//!   engine computes chunk boundaries and digests in its functional pass
+//!   before the timing simulation runs. Faults change *when* work
+//!   happens and *which device* does it — never what the chunks are.
+//!
+//! Store-level integrity faults (segment bit-flips, torn final writes)
+//! are not timed events; they are injected directly via
+//! [`ChunkStore::corrupt_chunk`](shredder_store::ChunkStore::corrupt_chunk)
+//! and
+//! [`ChunkStore::tear_log_tail`](shredder_store::ChunkStore::tear_log_tail)
+//! and detected by `scrub()` / `recover()`.
+
+use serde::{Deserialize, Serialize};
+use shredder_des::Dur;
+
+/// One kind of injected device fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The device dies permanently. In-flight buffers on it are
+    /// requeued to the least-loaded surviving device and re-read from
+    /// the SAN; work already enqueued on its streams completes as
+    /// phantom work whose results are discarded.
+    DeviceDeath {
+        /// Pool index of the device to kill.
+        device: usize,
+    },
+    /// The device keeps working but every kernel launched on it from
+    /// the fault time onward runs `slowdown`× slower (straggler).
+    Straggler {
+        /// Pool index of the straggling device.
+        device: usize,
+        /// Multiplier applied to kernel durations; must be finite and
+        /// ≥ 1.0.
+        slowdown: f64,
+    },
+}
+
+impl FaultKind {
+    /// The device this fault targets.
+    pub fn device(&self) -> usize {
+        match *self {
+            FaultKind::DeviceDeath { device } => device,
+            FaultKind::Straggler { device, .. } => device,
+        }
+    }
+}
+
+/// One scheduled fault: a [`FaultKind`] fired `at` after simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time offset from simulation start.
+    pub at: Dur,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of device faults.
+///
+/// Build one with the chainable constructors and hand it to
+/// [`ShredderConfig::with_faults`](crate::ShredderConfig::with_faults):
+///
+/// ```
+/// use shredder_core::{FaultPlan, ShredderConfig};
+/// use shredder_des::Dur;
+///
+/// let plan = FaultPlan::new()
+///     .straggler(Dur::ZERO, 0, 4.0)
+///     .device_death(Dur::from_millis(2), 1);
+/// let cfg = ShredderConfig::gpu_streams_memory()
+///     .with_gpus(4)
+///     .with_faults(plan);
+/// assert!(cfg.validate().is_ok());
+/// ```
+///
+/// The default plan is empty and injects nothing.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults, in construction order. The engine sorts
+    /// injection by virtual time; same-instant events fire in
+    /// construction order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; runs are bit-identical to a
+    /// fault-free config).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Adds a permanent device death at virtual time `at`.
+    pub fn device_death(mut self, at: Dur, device: usize) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::DeviceDeath { device },
+        });
+        self
+    }
+
+    /// Adds a straggler fault: from `at` onward, kernels on `device`
+    /// run `slowdown`× slower.
+    pub fn straggler(mut self, at: Dur, device: usize, slowdown: f64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::Straggler { device, slowdown },
+        });
+        self
+    }
+
+    /// Generates a seeded pseudo-random plan against a pool of `gpus`
+    /// devices with fault times inside `[0, horizon)`.
+    ///
+    /// The generator is a pure function of its arguments (xorshift64*
+    /// over a scrambled seed — the same deterministic stream the
+    /// workload samplers use), so property tests can fan out over seeds
+    /// and still replay any failure exactly. It never schedules the
+    /// death of every device: a death that would kill the last survivor
+    /// is converted into a straggler instead.
+    pub fn random(seed: u64, gpus: usize, horizon: Dur) -> Self {
+        assert!(gpus > 0, "fault plan needs at least one device");
+        let mut state = (seed ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let horizon_ns = horizon.as_nanos().max(1);
+        let count = 1 + (next() % 3) as usize;
+        let mut deaths = vec![false; gpus];
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let at = Dur::from_nanos(next() % horizon_ns);
+            let device = (next() % gpus as u64) as usize;
+            let want_death = next() % 3 == 0;
+            let survivors = deaths.iter().filter(|&&d| !d).count();
+            if want_death && (survivors > 1 || deaths[device]) {
+                deaths[device] = true;
+                plan = plan.device_death(at, device);
+            } else {
+                let slowdown = 1.5 + (next() % 6) as f64 * 0.5;
+                plan = plan.straggler(at, device, slowdown);
+            }
+        }
+        plan
+    }
+
+    /// Validates the plan against a pool of `gpus` devices: every
+    /// target must exist, slowdowns must be finite and ≥ 1.0, and the
+    /// scheduled deaths must leave at least one device alive.
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub(crate) fn check(&self, gpus: usize) -> Result<(), String> {
+        let mut deaths = vec![false; gpus.max(1)];
+        for (i, ev) in self.events.iter().enumerate() {
+            let device = ev.kind.device();
+            if device >= gpus {
+                return Err(format!(
+                    "fault event {i} targets device {device} but the pool has {gpus} device(s)"
+                ));
+            }
+            match ev.kind {
+                FaultKind::DeviceDeath { device } => deaths[device] = true,
+                FaultKind::Straggler { slowdown, .. } => {
+                    if !slowdown.is_finite() || slowdown < 1.0 {
+                        return Err(format!(
+                            "fault event {i}: straggler slowdown must be finite and >= 1.0, \
+                             got {slowdown}"
+                        ));
+                    }
+                }
+            }
+        }
+        if gpus > 0 && deaths.iter().all(|&d| d) {
+            return Err("fault plan kills every device in the pool".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Per-fault counters from one engine run, reported in
+/// [`EngineReport::faults`](crate::EngineReport::faults).
+///
+/// A fault-free run (or an empty [`FaultPlan`]) reports the default
+/// (all-zero) value.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Fault events injected into the simulation calendar.
+    pub injected: usize,
+    /// Device deaths that took effect.
+    pub device_deaths: usize,
+    /// Death events skipped because they would have killed the last
+    /// surviving device (the engine never strands accepted work).
+    pub deaths_skipped: usize,
+    /// Straggler events that took effect.
+    pub stragglers: usize,
+    /// In-flight buffers requeued from a dead device to a survivor and
+    /// re-read from the SAN.
+    pub requeued_buffers: usize,
+    /// Sessions re-placed from a dead device to a survivor.
+    pub replaced_sessions: usize,
+    /// Devices dead at the end of the run, ascending.
+    pub dead_devices: Vec<usize>,
+    /// Final `(device, slowdown)` factors ≠ 1.0, ascending by device.
+    pub slowdowns: Vec<(usize, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_default_and_injects_nothing() {
+        assert_eq!(FaultPlan::new(), FaultPlan::default());
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(FaultPlan::new().len(), 0);
+        assert_eq!(FaultReport::default().injected, 0);
+    }
+
+    #[test]
+    fn builders_record_events_in_order() {
+        let plan = FaultPlan::new()
+            .straggler(Dur::from_millis(1), 2, 3.0)
+            .device_death(Dur::ZERO, 0);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.events[0].kind,
+            FaultKind::Straggler {
+                device: 2,
+                slowdown: 3.0
+            }
+        );
+        assert_eq!(plan.events[1].kind, FaultKind::DeviceDeath { device: 0 });
+        assert_eq!(plan.events[1].at, Dur::ZERO);
+    }
+
+    #[test]
+    fn check_rejects_bad_targets_and_slowdowns() {
+        let oob = FaultPlan::new().device_death(Dur::ZERO, 2);
+        assert!(oob.check(2).is_err());
+        let slow = FaultPlan::new().straggler(Dur::ZERO, 0, 0.5);
+        assert!(slow.check(2).is_err());
+        let nan = FaultPlan::new().straggler(Dur::ZERO, 0, f64::NAN);
+        assert!(nan.check(2).is_err());
+        let total = FaultPlan::new()
+            .device_death(Dur::ZERO, 0)
+            .device_death(Dur::from_millis(1), 1);
+        assert!(total.check(2).is_err());
+        let ok = FaultPlan::new()
+            .device_death(Dur::ZERO, 0)
+            .straggler(Dur::ZERO, 1, 4.0);
+        assert!(ok.check(2).is_ok());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::random(seed, 3, Dur::from_millis(5));
+            let b = FaultPlan::random(seed, 3, Dur::from_millis(5));
+            assert_eq!(a, b, "seed {seed} not reproducible");
+            assert!(!a.is_empty());
+            assert!(
+                a.check(3).is_ok(),
+                "seed {seed} generated invalid plan {a:?}"
+            );
+        }
+        // Different seeds explore different schedules.
+        assert_ne!(
+            FaultPlan::random(1, 3, Dur::from_millis(5)),
+            FaultPlan::random(2, 3, Dur::from_millis(5)),
+        );
+    }
+
+    #[test]
+    fn random_single_device_pool_never_dies() {
+        for seed in 0..32u64 {
+            let plan = FaultPlan::random(seed, 1, Dur::from_millis(5));
+            assert!(plan.check(1).is_ok());
+            assert!(plan
+                .events
+                .iter()
+                .all(|e| matches!(e.kind, FaultKind::Straggler { .. })));
+        }
+    }
+}

@@ -369,6 +369,14 @@ pub struct CapacityReport {
 /// `iters` rounds. The simulation is deterministic, so the result is
 /// too.
 ///
+/// The same search re-derives capacity under *degraded* hardware:
+/// build the trial configs with a [`FaultPlan`](crate::FaultPlan)
+/// (e.g. a device death at `t = 0` for a brownout) and the report
+/// shows the pool's new sustained operating point — the acceptance
+/// suite gates that a half-dead pool sustains measurably less with
+/// p99 still inside the SLO, and `docs/RUNBOOK.md` covers reading the
+/// results operationally.
+///
 /// # Errors
 ///
 /// Propagates the first error `run_at` returns.

@@ -18,6 +18,11 @@
 //!   — exhaustion backpressures admission) and event-chained
 //!   copy–compute overlap, reported per device in
 //!   [`EngineReport::devices`] (utilization + overlap fraction).
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   of device deaths and stragglers replayed as ordinary DES events
+//!   (dead devices requeue their in-flight buffers to survivors;
+//!   stragglers are routed around by least-loaded placement), with
+//!   per-fault counters in [`EngineReport::faults`].
 //! * [`source`] — [`StreamSource`] ingestion ([`SliceSource`],
 //!   [`MemorySource`]): streams feed the engine one pipeline buffer at a
 //!   time instead of as a fully-materialized slice.
@@ -147,6 +152,7 @@ pub mod bufpool;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod frontend;
 pub mod host_chunker;
 pub mod pipeline;
@@ -161,6 +167,7 @@ pub use bufpool::{BufferPool, PooledBuf};
 pub use config::{Allocator, HostChunkerConfig, ShredderConfig};
 pub use engine::{AdmissionPolicy, EngineOutcome, PlacementPolicy, ShredderEngine};
 pub use error::ChunkError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport};
 pub use frontend::{
     capacity_search, CapacityReport, CapacityTrial, ChunkRequest, RequestId, RequestResult,
     ServiceOutcome, ShredderService,

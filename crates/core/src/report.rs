@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use shredder_des::{Dur, SimTime, TimeSeries};
 use shredder_gpu::kernel::KernelVariant;
 
+use crate::fault::FaultReport;
 use crate::sink::StageKind;
 
 /// Per-request record of one trip through the service frontend:
@@ -363,6 +364,11 @@ pub struct EngineReport {
     /// for the legacy closed-batch [`run`](crate::ShredderEngine::run)
     /// path.
     pub service: Option<ServiceReport>,
+    /// Per-fault counters from the injected
+    /// [`FaultPlan`](crate::FaultPlan): deaths taken, buffers requeued,
+    /// sessions re-placed, final straggler factors. All-zero (the
+    /// default) for fault-free runs.
+    pub faults: FaultReport,
 }
 
 impl EngineReport {

@@ -127,6 +127,19 @@ impl Simulation {
         });
     }
 
+    /// Schedules `f` at an absolute instant, clamping instants already
+    /// in the past to the current time.
+    ///
+    /// Fault injectors (and other schedule replayers) compute absolute
+    /// fire times from an external plan; when the plan's instant has
+    /// already passed — e.g. a fault timed inside a warm-up the caller
+    /// skipped — the event should fire immediately rather than panic
+    /// like [`schedule_at`](Self::schedule_at) does. Same-instant
+    /// ordering still follows scheduling order.
+    pub fn schedule_at_or_now(&mut self, at: SimTime, f: impl FnOnce(&mut Simulation) + 'static) {
+        self.schedule_at(at.max(self.now), f);
+    }
+
     /// Runs events until the calendar is empty, returning the final time.
     pub fn run(&mut self) -> SimTime {
         while self.step() {}
@@ -194,6 +207,29 @@ mod tests {
         }
         sim.run();
         assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_at_or_now_clamps_past_instants() {
+        let mut sim = Simulation::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        {
+            let log = log.clone();
+            sim.schedule(Dur::from_nanos(50), move |sim| {
+                // A plan instant already behind the clock fires now…
+                let l = log.clone();
+                sim.schedule_at_or_now(SimTime::from_nanos(10), move |sim| {
+                    l.borrow_mut().push(sim.now().as_nanos() as u32);
+                });
+                // …while a future instant still fires at its time.
+                let l = log.clone();
+                sim.schedule_at_or_now(SimTime::from_nanos(80), move |sim| {
+                    l.borrow_mut().push(sim.now().as_nanos() as u32);
+                });
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![50, 80]);
     }
 
     #[test]

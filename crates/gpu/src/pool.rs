@@ -26,7 +26,7 @@
 //!
 //! [`Event`]: crate::stream::Event
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use shredder_des::{Dur, Semaphore, Simulation};
@@ -118,6 +118,14 @@ pub struct PooledDevice {
     lanes: Semaphore,
     ring: Semaphore,
     stats: Rc<RefCell<DeviceStats>>,
+    health: Rc<Cell<DeviceHealth>>,
+}
+
+/// Mutable fault state of one pool device (shared across clones).
+#[derive(Debug, Clone, Copy)]
+struct DeviceHealth {
+    alive: bool,
+    slowdown: f64,
 }
 
 impl PooledDevice {
@@ -132,6 +140,10 @@ impl PooledDevice {
             ring: Semaphore::new(format!("gpu{id}-pinned-ring"), ring_slots),
             gpu,
             stats: Rc::default(),
+            health: Rc::new(Cell::new(DeviceHealth {
+                alive: true,
+                slowdown: 1.0,
+            })),
         }
     }
 
@@ -161,6 +173,55 @@ impl PooledDevice {
         &self.lanes
     }
 
+    /// Marks the device dead (fault injection). The device's streams
+    /// keep draining already-enqueued work — real DMA engines do not
+    /// vanish instantaneously either — but the caller is expected to
+    /// stop routing to it and to discard results of in-flight jobs.
+    pub fn fail(&self) {
+        let mut h = self.health.get();
+        h.alive = false;
+        self.health.set(h);
+    }
+
+    /// Whether the device is still accepting work (no
+    /// [`fail`](Self::fail) injected).
+    pub fn is_alive(&self) -> bool {
+        self.health.get().alive
+    }
+
+    /// Sets the straggler slowdown factor: kernels submitted from now on
+    /// run `factor`× their modeled duration. `1.0` restores full speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or is below 1.0.
+    pub fn set_slowdown(&self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slowdown must be finite and >= 1.0, got {factor}"
+        );
+        let mut h = self.health.get();
+        h.slowdown = factor;
+        self.health.set(h);
+    }
+
+    /// The current straggler slowdown factor (1.0 when healthy).
+    pub fn slowdown(&self) -> f64 {
+        self.health.get().slowdown
+    }
+
+    /// The kernel duration after applying the current slowdown. Exactly
+    /// `kernel` when the factor is 1.0, so healthy runs stay
+    /// bit-identical to the pre-fault model.
+    fn scaled_kernel(&self, kernel: Dur) -> Dur {
+        let factor = self.health.get().slowdown;
+        if factor == 1.0 {
+            kernel
+        } else {
+            Dur::from_secs_f64(kernel.as_secs_f64() * factor)
+        }
+    }
+
     /// Submits one buffer through the device: lane acquire → H2D →
     /// kernel → D2H, issued on the stream triple and chained with
     /// events so different buffers overlap across engines.
@@ -179,6 +240,8 @@ impl PooledDevice {
     ) {
         let dev = self.clone();
         self.lanes.clone().acquire(sim, 1, move |sim| {
+            // Straggler factor in effect when the job actually starts.
+            let kernel = dev.scaled_kernel(job.kernel);
             // Issue the whole chain up front, in stream order. Each
             // stream is in-order; the events order work *across* the
             // streams (H2D → kernel → D2H) while leaving different
@@ -186,7 +249,7 @@ impl PooledDevice {
             dev.h2d.enqueue_h2d(sim, job.bytes, job.host);
             let landed = dev.h2d.record_event(sim);
             dev.compute.wait_event(sim, &landed);
-            dev.compute.enqueue_kernel(sim, job.kernel);
+            dev.compute.enqueue_kernel(sim, kernel);
             let chunked = dev.compute.record_event(sim);
             dev.d2h.wait_event(sim, &chunked);
             dev.d2h.enqueue_d2h(sim, job.cut_bytes, job.host);
@@ -200,7 +263,7 @@ impl PooledDevice {
             });
             let d = dev.clone();
             chunked.on_fire(sim, move |sim| {
-                d.note(|s| &mut s.compute, sim.now().as_nanos(), job.kernel);
+                d.note(|s| &mut s.compute, sim.now().as_nanos(), kernel);
                 d.lanes.release(sim, 1);
                 on_kernel(sim);
             });
@@ -439,6 +502,36 @@ mod tests {
         assert_eq!(intersection_ns(&a, &b), 5);
         assert_eq!(intersection_ns(&a, &[]), 0);
         assert_eq!(union_sorted(&[], &[]), Vec::<Interval>::new());
+    }
+
+    #[test]
+    fn slowdown_scales_kernels_and_death_flags_stick() {
+        let run = |factor: Option<f64>| {
+            let mut sim = Simulation::new();
+            let pool = DevicePool::homogeneous(1, &DeviceConfig::tesla_c2050(), 1, 4);
+            if let Some(f) = factor {
+                pool.device(0).set_slowdown(f);
+            }
+            for _ in 0..3 {
+                pool.device(0)
+                    .submit(&mut sim, job(64, 50), |_| {}, |_| {}, |_| {});
+            }
+            sim.run().as_nanos()
+        };
+        let healthy = run(None);
+        // Setting the factor to exactly 1.0 is bit-identical to never
+        // touching it.
+        assert_eq!(healthy, run(Some(1.0)));
+        // A 2× straggler pays exactly one extra kernel duration per job.
+        let slowed = run(Some(2.0));
+        assert_eq!(slowed - healthy, 3 * Dur::from_millis(50).as_nanos());
+
+        let pool = DevicePool::homogeneous(2, &DeviceConfig::tesla_c2050(), 1, 4);
+        assert!(pool.device(0).is_alive());
+        pool.device(0).fail();
+        assert!(!pool.device(0).is_alive(), "death is sticky");
+        assert!(pool.device(1).is_alive(), "death is per-device");
+        assert_eq!(pool.device(1).slowdown(), 1.0);
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   [`expire`](ChunkStore::expire) / retention, and mark-and-sweep
 //!   [`gc`](ChunkStore::gc) with segment compaction below a liveness
 //!   threshold. [`StoreReport`] / [`GcReport`] make space accounting
-//!   observable.
+//!   observable. Integrity is first-class: a digest-verified
+//!   [`scrub`](ChunkStore::scrub) pass catches silent corruption
+//!   ([`ScrubReport`]), and [`recover`](ChunkStore::recover) repairs a
+//!   torn final log write on reopen ([`RecoveryReport`]); the matching
+//!   fault hooks ([`corrupt_chunk`](ChunkStore::corrupt_chunk),
+//!   [`tear_log_tail`](ChunkStore::tear_log_tail)) make both paths
+//!   deterministically testable.
 //!
 //! Timing lives elsewhere by design: this crate is purely functional
 //! (real bytes, real hashes, deterministic GC), and `shredder-core`'s
@@ -56,7 +62,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod index;
 pub mod manifest;
@@ -66,4 +72,6 @@ pub mod store;
 pub use index::{ChunkIndex, DedupIndex};
 pub use manifest::{ManifestEntry, SnapshotManifest};
 pub use segment::ChunkLoc;
-pub use store::{ChunkStore, GcReport, StoreConfig, StoreError, StoreReport};
+pub use store::{
+    ChunkStore, GcReport, RecoveryReport, ScrubReport, StoreConfig, StoreError, StoreReport,
+};

@@ -123,6 +123,47 @@ impl SegmentLog {
         seg.data.get(start..start + loc.len as usize)
     }
 
+    /// Fault injection: flips one bit of a stored payload in place (the
+    /// hook behind `ChunkStore::corrupt_chunk`). The bit index wraps
+    /// modulo the payload's bit length; empty payloads and retired
+    /// segments are left untouched.
+    pub(crate) fn flip_bit(&mut self, loc: ChunkLoc, bit: usize) {
+        let Some(seg) = self
+            .segments
+            .get_mut(loc.segment as usize)
+            .and_then(Option::as_mut)
+        else {
+            return;
+        };
+        let nbits = loc.len as usize * 8;
+        if nbits == 0 {
+            return;
+        }
+        let b = bit % nbits;
+        let at = loc.offset as usize + b / 8;
+        if let Some(byte) = seg.data.get_mut(at) {
+            *byte ^= 1 << (b % 8);
+        }
+    }
+
+    /// Fault injection: simulates a torn final write by dropping up to
+    /// `bytes` off the end of the *open* segment's data — a crash tears
+    /// only the tail being appended, never sealed segments. The index
+    /// and the live-byte accounting are deliberately left stale (that
+    /// inconsistency *is* the torn state); `ChunkStore::recover` makes
+    /// them consistent again. Returns how many bytes were torn off.
+    pub(crate) fn truncate_tail(&mut self, bytes: u64) -> u64 {
+        let cur = self.current();
+        let seg = self.segments[cur]
+            .as_mut()
+            // shredder-lint: allow(R5) — retire() refuses the current segment, so the append target is always resident
+            .expect("current segment is always resident");
+        let cut = (bytes as usize).min(seg.data.len());
+        seg.data.truncate(seg.data.len() - cut);
+        self.resident_bytes -= cut as u64;
+        cut as u64
+    }
+
     /// Marks a chunk dead: its bytes stay resident until compaction or
     /// retirement reclaims the segment.
     pub(crate) fn mark_dead(&mut self, loc: ChunkLoc) {
@@ -270,6 +311,56 @@ mod tests {
         let log = SegmentLog::new(8);
         assert_eq!(log.live_fraction(0), 1.0);
         assert!(log.compaction_victims(0.9).is_empty());
+    }
+
+    #[test]
+    fn flip_bit_toggles_and_wraps() {
+        let mut log = SegmentLog::new(64);
+        let a = log.append(&[0u8; 4]);
+        log.flip_bit(a, 0);
+        assert_eq!(log.read(a).unwrap(), &[1, 0, 0, 0]);
+        // Bit index wraps modulo the payload's 32 bits: 32 hits bit 0 again.
+        log.flip_bit(a, 32);
+        assert_eq!(log.read(a).unwrap(), &[0u8; 4]);
+        log.flip_bit(a, 15);
+        assert_eq!(log.read(a).unwrap(), &[0, 0x80, 0, 0]);
+        // Empty payloads and retired segments are no-ops, not panics.
+        let empty = log.append(b"");
+        log.flip_bit(empty, 3);
+        log.flip_bit(
+            ChunkLoc {
+                segment: 99,
+                offset: 0,
+                len: 4,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn truncate_tail_tears_only_the_open_segment() {
+        let mut log = SegmentLog::new(8);
+        let sealed = log.append(&[1u8; 8]);
+        let torn = log.append(&[2u8; 6]); // rolls into segment 1 (open)
+        assert_eq!(log.resident_bytes(), 14);
+        // Asking for more than the open segment holds caps at its size.
+        assert_eq!(log.truncate_tail(100), 6);
+        assert_eq!(log.resident_bytes(), 8);
+        // Live accounting is deliberately stale — that is the torn state.
+        assert_eq!(log.live_bytes(), 14);
+        assert!(log.read(torn).is_none());
+        assert_eq!(log.read(sealed).unwrap(), &[1u8; 8]);
+    }
+
+    #[test]
+    fn truncate_tail_partial_leaves_prefix_unreadable_chunks() {
+        let mut log = SegmentLog::new(64);
+        let a = log.append(&[1u8; 8]);
+        let b = log.append(&[2u8; 8]);
+        assert_eq!(log.truncate_tail(4), 4);
+        // Chunk b now extends past the data end: read fails cleanly.
+        assert!(log.read(b).is_none());
+        assert_eq!(log.read(a).unwrap(), &[1u8; 8]);
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub enum StoreError {
     /// A chunk's payload failed digest (or length) verification on the
     /// read-back path.
     CorruptChunk(Digest),
+    /// A [`ChunkStore::scrub`] pass found corrupt chunks. Carries the
+    /// full pass report, including every corrupt digest.
+    ScrubFailed(ScrubReport),
 }
 
 impl fmt::Display for StoreError {
@@ -71,6 +74,14 @@ impl fmt::Display for StoreError {
             StoreError::MissingChunk(d) => write!(f, "missing chunk {}", d.to_hex()),
             StoreError::CorruptChunk(d) => {
                 write!(f, "chunk {} failed digest verification", d.to_hex())
+            }
+            StoreError::ScrubFailed(r) => {
+                write!(
+                    f,
+                    "scrub found {} corrupt chunk(s) of {} scanned",
+                    r.corrupt.len(),
+                    r.chunks_scanned
+                )
             }
         }
     }
@@ -111,6 +122,34 @@ impl GcReport {
         }
         self.reclaimed_bytes() as f64 / self.physical_before as f64
     }
+}
+
+/// Outcome of one [`ChunkStore::scrub`] pass.
+///
+/// Returned as `Ok` when every chunk verified, and inside
+/// [`StoreError::ScrubFailed`] when any did not, so callers always get
+/// the scan totals either way.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Chunks read back and verified.
+    pub chunks_scanned: usize,
+    /// Payload bytes read back.
+    pub bytes_scanned: u64,
+    /// Digests whose payloads failed verification (wrong bytes, wrong
+    /// length, or unreadable), sorted.
+    pub corrupt: Vec<Digest>,
+}
+
+/// Outcome of one [`ChunkStore::recover`] pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Index entries examined.
+    pub chunks_checked: usize,
+    /// Digests dropped because their payloads were lost (torn off the
+    /// log tail), sorted. The caller re-ships these chunks.
+    pub dropped_digests: Vec<Digest>,
+    /// Payload bytes those dropped chunks claimed.
+    pub dropped_bytes: u64,
 }
 
 /// Aggregate store observability.
@@ -678,6 +717,91 @@ impl ChunkStore {
         }
     }
 
+    // ----- Integrity: scrub, corruption, crash recovery -----
+
+    /// Verifies every indexed chunk payload against its recorded digest
+    /// and length — the background integrity pass a dedup store runs to
+    /// catch silent corruption before a restore trips over it.
+    ///
+    /// Chunks are scanned in digest order, so two identical stores
+    /// produce identical reports. A clean pass returns the scan totals;
+    /// a dirty pass returns [`StoreError::ScrubFailed`] carrying the
+    /// same report with the corrupt digests listed (sorted).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ScrubFailed`] if any chunk fails verification.
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        let mut entries: Vec<(Digest, ChunkLoc)> =
+            self.index.iter().map(|(d, loc)| (*d, *loc)).collect();
+        entries.sort_by_key(|(d, _)| *d);
+        let mut report = ScrubReport::default();
+        for (digest, loc) in entries {
+            report.chunks_scanned += 1;
+            report.bytes_scanned += loc.byte_len();
+            let ok = self.log.read(loc).is_some_and(|payload| {
+                payload.len() == loc.len as usize && sha256(payload) == digest
+            });
+            if !ok {
+                report.corrupt.push(digest);
+            }
+        }
+        if report.corrupt.is_empty() {
+            Ok(report)
+        } else {
+            Err(StoreError::ScrubFailed(report))
+        }
+    }
+
+    /// Fault injection: flips one bit of a stored chunk's payload in
+    /// place, leaving the index and digests untouched — exactly the
+    /// silent media corruption [`scrub`](Self::scrub) exists to catch.
+    /// The bit index wraps modulo the payload's bit length. Returns
+    /// `false` (and does nothing) if the digest is not stored.
+    pub fn corrupt_chunk(&mut self, digest: &Digest, bit: usize) -> bool {
+        match self.index.get(digest) {
+            Some(&loc) => {
+                self.log.flip_bit(loc, bit);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault injection: simulates a crash that tore the final log write
+    /// by dropping up to `bytes` off the end of the open segment. The
+    /// index still references the torn payloads — the inconsistent
+    /// state [`recover`](Self::recover) repairs on "reopen". Returns
+    /// how many bytes were actually torn off (capped at the open
+    /// segment's size; sealed segments are never torn).
+    pub fn tear_log_tail(&mut self, bytes: u64) -> u64 {
+        self.log.truncate_tail(bytes)
+    }
+
+    /// Crash-consistent recovery: the "reopen" pass after a torn final
+    /// write ([`tear_log_tail`](Self::tear_log_tail)). Every index
+    /// entry whose payload is no longer readable is dropped (in digest
+    /// order) and its bytes are written off, leaving the store
+    /// consistent at the last durable prefix. The caller re-ships the
+    /// dropped chunks — content addressing makes the re-put land
+    /// bit-identically.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let mut entries: Vec<(Digest, ChunkLoc)> =
+            self.index.iter().map(|(d, loc)| (*d, *loc)).collect();
+        entries.sort_by_key(|(d, _)| *d);
+        let mut report = RecoveryReport::default();
+        for (digest, loc) in entries {
+            report.chunks_checked += 1;
+            if self.log.read(loc).is_none() {
+                self.index.remove(&digest);
+                self.log.mark_dead(loc);
+                report.dropped_digests.push(digest);
+                report.dropped_bytes += loc.byte_len();
+            }
+        }
+        report
+    }
+
     /// The aggregate store report.
     pub fn report(&self) -> StoreReport {
         StoreReport {
@@ -1038,5 +1162,99 @@ mod tests {
             gc_threshold: 1.5,
             ..StoreConfig::default()
         });
+    }
+
+    #[test]
+    fn scrub_clean_store_reports_totals() {
+        let mut s = ChunkStore::new();
+        s.put(payload(100, 1));
+        s.put(payload(50, 2));
+        let r = s.scrub().unwrap();
+        assert_eq!(r.chunks_scanned, 2);
+        assert_eq!(r.bytes_scanned, 150);
+        assert!(r.corrupt.is_empty());
+    }
+
+    #[test]
+    fn scrub_catches_flipped_bit() {
+        let mut s = ChunkStore::new();
+        let good = s.put(payload(100, 1));
+        let bad = s.put(payload(50, 2));
+        assert!(s.corrupt_chunk(&bad, 123));
+        assert!(!s.corrupt_chunk(&Digest::ZERO, 0));
+        let err = s.scrub().unwrap_err();
+        let StoreError::ScrubFailed(r) = err else {
+            panic!("expected ScrubFailed");
+        };
+        assert_eq!(r.chunks_scanned, 2);
+        assert_eq!(r.corrupt, vec![bad]);
+        // Untouched chunks still verify; a second flip heals the chunk.
+        assert!(s.corrupt_chunk(&bad, 123));
+        let r = s.scrub().unwrap();
+        assert_eq!(r.chunks_scanned, 2);
+        assert!(s.contains(&good));
+    }
+
+    #[test]
+    fn corrupt_chunk_fails_restore_too() {
+        let mut s = ChunkStore::new();
+        let data = payload(200, 5);
+        let d = s.put(data.clone());
+        let gen = s.commit_snapshot("vm", &[(d, data.len())]).unwrap();
+        assert!(s.corrupt_chunk(&d, 7));
+        assert_eq!(s.restore("vm", gen), Err(StoreError::CorruptChunk(d)));
+    }
+
+    #[test]
+    fn torn_tail_recovery_drops_lost_chunks_and_reput_restores() {
+        let mut s = ChunkStore::with_config(StoreConfig {
+            segment_bytes: 1 << 20, // everything in one open segment
+            ..StoreConfig::default()
+        });
+        let a = payload(100, 1);
+        let b = payload(80, 2);
+        let c = payload(60, 3);
+        let da = s.put(a.clone());
+        let db = s.put(b.clone());
+        let dc = s.put(c.clone());
+        let gen = s
+            .commit_snapshot("vm", &[(da, 100), (db, 80), (dc, 60)])
+            .unwrap();
+
+        // Crash tears the final chunk (and part of the one before it).
+        assert_eq!(s.tear_log_tail(100), 100);
+        assert_eq!(s.restore("vm", gen), Err(StoreError::MissingChunk(db)));
+
+        // Reopen: recovery drops exactly the unreadable chunks…
+        let r = s.recover();
+        assert_eq!(r.chunks_checked, 3);
+        let mut expect = vec![db, dc];
+        expect.sort();
+        assert_eq!(r.dropped_digests, expect);
+        assert_eq!(r.dropped_bytes, 140);
+        assert!(s.contains(&da));
+        assert!(!s.contains(&db));
+        // …the store is internally consistent again (scrub passes)…
+        let scrub = s.scrub().unwrap();
+        assert_eq!(scrub.chunks_scanned, 1);
+        // …and re-shipping the lost chunks restores bit-identically.
+        assert_eq!(s.put(b.clone()), db);
+        assert_eq!(s.put(c.clone()), dc);
+        assert_eq!(
+            s.restore("vm", gen).unwrap(),
+            [&a[..], &b[..], &c[..]].concat()
+        );
+    }
+
+    #[test]
+    fn recover_on_consistent_store_is_a_no_op() {
+        let mut s = ChunkStore::new();
+        s.put(payload(64, 4));
+        let before = s.report();
+        let r = s.recover();
+        assert_eq!(r.chunks_checked, 1);
+        assert!(r.dropped_digests.is_empty());
+        assert_eq!(r.dropped_bytes, 0);
+        assert_eq!(s.report(), before);
     }
 }

@@ -24,7 +24,10 @@ fn build_service<'a>(control: AdmissionControl) -> ShredderService<'a> {
         ShredderService::new(ShredderConfig::gpu_streams_memory().with_buffer_size(128 << 10))
             .with_admission(control);
     // Two tenant classes: paying traffic gets 4x the fair-share weight;
-    // free traffic is additionally capped at a 10 Gbps ingest link.
+    // free traffic is additionally capped at a 10 Gbps ingest link via
+    // `TenantClass::with_ingest_bw` — the per-class successor of the
+    // old per-sink intake cap (one-shot consumers cap their reader with
+    // `ChunkingService::chunk_source_sink_capped` instead).
     service.define_class(TenantClass::new("gold").with_weight(4));
     service.define_class(TenantClass::new("free").with_ingest_bw(1.25e9));
     for t in 0..REQUESTS as u64 {

@@ -83,7 +83,11 @@
 //! [`ChunkError::Overloaded`](core::ChunkError) instead of queueing
 //! without bound, and
 //! [`capacity_search`](core::capacity_search) bisects the highest
-//! sustained rate meeting a p99 SLO.
+//! sustained rate meeting a p99 SLO. Ingest-bandwidth caps are
+//! per tenant class ([`TenantClass::with_ingest_bw`](core::TenantClass))
+//! — or per request for one-shot consumers, via
+//! `ChunkingService::chunk_source_sink_capped` — rather than a
+//! property of the sink itself.
 //!
 //! # Quickstart: multi-tenant chunking
 //!

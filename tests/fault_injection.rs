@@ -1,0 +1,389 @@
+//! Acceptance: deterministic fault injection and integrity scenarios.
+//!
+//! The failure-model contract (DESIGN.md §7) in executable form. The
+//! load-bearing property everywhere: faults are *timing-level* events,
+//! and chunk identity is computed in the functional pass before the
+//! timing simulation runs — so no fault schedule may ever change a
+//! surviving session's chunks or digests. The scenarios:
+//!
+//! 1. GPU device death mid-buffer: in-flight work requeues to survivors,
+//!    every session still completes bit-identically.
+//! 2. Straggler device: `LeastLoaded` placement provably routes load
+//!    around the slow device, again without touching chunk identity.
+//! 3. Segment-log bit-flips: caught by the digest-verified `scrub` pass
+//!    as a typed `StoreError::ScrubFailed`.
+//! 4. Torn final log write: `recover()` truncates to the durable prefix
+//!    and re-shipped chunks restore bit-identically.
+//! 5. Brownout: `capacity_search` over a degraded pool finds a lower
+//!    sustained rate, with shedding and p99 still gated by the SLO.
+//!
+//! Plus the regression pinning the zero-overhead rule: an *empty*
+//! `FaultPlan` is bit-identical — chunks, digests, and timings — to a
+//! run with no fault config at all.
+
+use shredder::core::{
+    capacity_search, AdmissionControl, ChunkRequest, EngineOutcome, FaultPlan, MemorySource,
+    ShredderConfig, ShredderEngine, ShredderService, SliceSource, Workload,
+};
+use shredder::des::Dur;
+use shredder::hash::{sha256, Digest};
+use shredder::rabin::{chunk_all, ChunkParams};
+use shredder::store::{ChunkStore, StoreError};
+use shredder::workloads;
+
+use proptest::prelude::*;
+
+const GPUS: usize = 3;
+const STREAMS: usize = 6;
+const STREAM_BYTES: usize = 2 << 20;
+
+/// A pool provisioned so the devices — not the SAN reader — set the
+/// pace, with enough admission slots to keep every device fed.
+fn pool_config() -> ShredderConfig {
+    ShredderConfig::gpu_streams_memory()
+        .with_buffer_size(256 << 10)
+        .with_reader_bandwidth(32e9)
+        .with_gpus(GPUS)
+        .with_pipeline_depth(4 * GPUS)
+}
+
+fn tenant_streams() -> Vec<Vec<u8>> {
+    (0..STREAMS)
+        .map(|t| workloads::random_bytes(STREAM_BYTES, 0xfa17 + t as u64))
+        .collect()
+}
+
+fn run_with(streams: &[Vec<u8>], config: ShredderConfig) -> EngineOutcome {
+    let mut engine = ShredderEngine::new(config);
+    for (t, data) in streams.iter().enumerate() {
+        engine.open_named_session(format!("tenant-{t}"), 1, SliceSource::new(data));
+    }
+    engine.run().expect("engine run failed")
+}
+
+fn digests_of(outcome: &EngineOutcome, streams: &[Vec<u8>]) -> Vec<Vec<Digest>> {
+    outcome
+        .sessions
+        .iter()
+        .zip(streams)
+        .map(|(s, data)| s.chunks.iter().map(|c| sha256(c.slice(data))).collect())
+        .collect()
+}
+
+/// Asserts the fault-injected run's sessions are bit-identical to the
+/// fault-free baseline: same chunk boundaries, same digests, and both
+/// equal to a sequential CPU scan of each stream alone.
+fn assert_sessions_identical(base: &EngineOutcome, faulted: &EngineOutcome, streams: &[Vec<u8>]) {
+    let params = ChunkParams::paper();
+    for ((a, b), data) in base.sessions.iter().zip(&faulted.sessions).zip(streams) {
+        assert_eq!(a.chunks, b.chunks, "{} diverged under faults", a.name);
+        assert_eq!(b.chunks, chunk_all(data, &params), "{}", b.name);
+    }
+    assert_eq!(digests_of(base, streams), digests_of(faulted, streams));
+}
+
+// ----- Scenario 1: device death mid-buffer -----
+
+#[test]
+fn device_death_mid_run_requeues_and_keeps_chunks_bit_identical() {
+    let streams = tenant_streams();
+    let base = run_with(&streams, pool_config());
+    assert_eq!(base.report.faults, Default::default());
+
+    // Kill device 1 a third of the way through the fault-free makespan:
+    // buffers are in flight, sessions are mid-stream.
+    let at = Dur::from_secs_f64(base.report.makespan.as_secs_f64() / 3.0);
+    let plan = FaultPlan::new().device_death(at, 1);
+    let faulted = run_with(&streams, pool_config().with_faults(plan));
+
+    assert_sessions_identical(&base, &faulted, &streams);
+
+    let faults = &faulted.report.faults;
+    assert_eq!(faults.injected, 1);
+    assert_eq!(faults.device_deaths, 1);
+    assert_eq!(faults.dead_devices, vec![1]);
+    assert!(
+        faults.replaced_sessions > 0,
+        "mid-run death re-placed no sessions: {faults:?}"
+    );
+    assert!(
+        faults.requeued_buffers > 0,
+        "mid-run death caught no buffers in flight: {faults:?}"
+    );
+    // Losing a device costs throughput, never correctness.
+    assert!(faulted.report.makespan >= base.report.makespan);
+
+    // Deterministic: the identical fault schedule replays identically.
+    let again = run_with(
+        &streams,
+        pool_config().with_faults(FaultPlan::new().device_death(at, 1)),
+    );
+    assert_eq!(faulted.report, again.report);
+    assert_eq!(faulted.sessions, again.sessions);
+}
+
+// ----- Scenario 2: straggler device -----
+
+#[test]
+fn least_loaded_placement_routes_around_a_straggler() {
+    let streams = tenant_streams();
+    let base = run_with(&streams, pool_config());
+
+    // Device 0 runs kernels 4x slow from t=0; LeastLoaded placement
+    // weighs load by the slowdown factor, so the straggler should carry
+    // measurably fewer bytes than each healthy device.
+    let plan = FaultPlan::new().straggler(Dur::ZERO, 0, 4.0);
+    let faulted = run_with(&streams, pool_config().with_faults(plan));
+
+    assert_sessions_identical(&base, &faulted, &streams);
+
+    let faults = &faulted.report.faults;
+    assert_eq!(faults.stragglers, 1);
+    assert_eq!(faults.slowdowns, vec![(0, 4.0)]);
+    assert!(faults.dead_devices.is_empty());
+
+    let bytes: Vec<u64> = faulted.report.devices.iter().map(|d| d.bytes).collect();
+    for (d, &b) in bytes.iter().enumerate().skip(1) {
+        assert!(
+            bytes[0] < b,
+            "straggler device 0 ({} bytes) not routed around vs device {d} ({b} bytes)",
+            bytes[0]
+        );
+    }
+}
+
+// ----- Scenario 3: segment-log corruption caught by scrub -----
+
+#[test]
+fn scrub_catches_bit_flips_in_chunked_stream() {
+    let data = workloads::random_bytes(1 << 20, 0xc0de);
+    let chunks = chunk_all(&data, &ChunkParams::paper());
+    let mut store = ChunkStore::new();
+    let digests: Vec<Digest> = chunks
+        .iter()
+        .map(|c| store.put(c.slice(&data).to_vec().into()))
+        .collect();
+    assert!(digests.len() > 3, "stream produced too few chunks to test");
+
+    // A clean store scrubs clean, and the pass is deterministic.
+    let clean = store.scrub().expect("clean store must scrub clean");
+    assert_eq!(clean.chunks_scanned, store.chunk_count());
+    assert_eq!(store.scrub().unwrap(), clean);
+
+    // Flip one bit in the middle chunk: scrub returns the typed error
+    // naming exactly that digest.
+    let victim = digests[digests.len() / 2];
+    assert!(store.corrupt_chunk(&victim, 9));
+    match store.scrub() {
+        Err(StoreError::ScrubFailed(r)) => {
+            assert_eq!(r.corrupt, vec![victim]);
+            assert_eq!(r.chunks_scanned, clean.chunks_scanned);
+        }
+        other => panic!("expected ScrubFailed, got {other:?}"),
+    }
+}
+
+// ----- Scenario 4: crash-consistent recovery of a torn log tail -----
+
+#[test]
+fn torn_log_tail_recovers_and_reshipped_chunks_restore_bit_identically() {
+    let data = workloads::random_bytes(1 << 20, 0x7012);
+    let chunks = chunk_all(&data, &ChunkParams::paper());
+    let mut store = ChunkStore::new();
+    let mut recipe = Vec::new();
+    for c in &chunks {
+        let payload = c.slice(&data);
+        recipe.push((store.put(payload.to_vec().into()), payload.len()));
+    }
+    let gen = store.commit_snapshot("vm", &recipe).unwrap();
+    assert_eq!(store.restore("vm", gen).unwrap(), data);
+
+    // Crash: the final segment write tears mid-chunk.
+    let torn = store.tear_log_tail(10_000);
+    assert!(torn > 0);
+
+    // Reopen: recovery truncates to the durable prefix…
+    let rec = store.recover();
+    assert!(
+        !rec.dropped_digests.is_empty(),
+        "tearing 10kB dropped nothing: {rec:?}"
+    );
+    assert_eq!(rec.chunks_checked, recipe.len());
+    // …after which the store is internally consistent again…
+    store.scrub().expect("recovered store must scrub clean");
+    // …and re-shipping the lost chunks (content-addressed, so the
+    // re-put lands on the same digests) restores bit-identically.
+    for c in &chunks {
+        store.put(c.slice(&data).to_vec().into());
+    }
+    assert_eq!(store.restore("vm", gen).unwrap(), data);
+}
+
+// ----- Scenario 5: brownout capacity under a degraded pool -----
+
+const REQUESTS: usize = 16;
+const REQ_BYTES: usize = 1 << 20;
+
+fn service_run(
+    faults: FaultPlan,
+    workload: &Workload,
+) -> Result<shredder::core::ServiceReport, shredder::core::ChunkError> {
+    // A fast SAN fabric and kernel-heavy requests so the device pool —
+    // the thing the brownout degrades — sets the service's capacity.
+    let cfg = ShredderConfig::gpu_streams_memory()
+        .with_buffer_size(256 << 10)
+        .with_reader_bandwidth(32e9)
+        .with_gpus(2)
+        .with_pipeline_depth(8)
+        .with_faults(faults);
+    let mut service = ShredderService::new(cfg)
+        .with_admission(AdmissionControl::fifo(4).with_max_queue_delay(Dur::from_millis(1)));
+    for t in 0..REQUESTS as u64 {
+        service.submit(ChunkRequest::new(MemorySource::pseudo_random(REQ_BYTES, t)));
+    }
+    Ok(service.run(workload)?.service().clone())
+}
+
+#[test]
+fn brownout_capacity_search_finds_lower_sustained_rate_with_p99_gated() {
+    let mu = service_run(FaultPlan::new(), &Workload::Batch)
+        .unwrap()
+        .achieved_rps;
+    let slo = Dur::from_millis(2);
+
+    let search = |faults: fn() -> FaultPlan| {
+        capacity_search(slo, 0.05 * mu, 2.0 * mu, 6, |rate| {
+            service_run(faults(), &Workload::poisson(rate, 4242))
+        })
+        .expect("capacity search failed")
+    };
+
+    let healthy = search(FaultPlan::new);
+    // Brownout: one of the two devices is dead from t=0.
+    let degraded = search(|| FaultPlan::new().device_death(Dur::ZERO, 1));
+
+    assert!(healthy.sustained_rps > 0.0, "healthy: {healthy:?}");
+    assert!(degraded.sustained_rps > 0.0, "degraded: {degraded:?}");
+    assert!(
+        degraded.sustained_rps < healthy.sustained_rps,
+        "losing half the pool must cost capacity: degraded {} !< healthy {}",
+        degraded.sustained_rps,
+        healthy.sustained_rps
+    );
+    // The sustained operating points still meet the latency SLO.
+    for report in [&healthy, &degraded] {
+        let p99 = report.p99_at_sustained.expect("passing trial records p99");
+        assert!(p99 <= slo, "{p99} > {slo}");
+    }
+    // And the brownout pool genuinely sheds under a burst well past the
+    // healthy pool's pace.
+    let overloaded = service_run(
+        FaultPlan::new().device_death(Dur::ZERO, 1),
+        &Workload::poisson(4.0 * mu, 4242),
+    )
+    .unwrap();
+    assert!(
+        overloaded.shed > 0,
+        "degraded pool at 4x healthy capacity never shed"
+    );
+    assert_eq!(overloaded.completed + overloaded.shed, REQUESTS);
+}
+
+// ----- Regression: the empty plan is the zero-overhead no-op -----
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_fault_config() {
+    let streams = tenant_streams();
+    let plain = run_with(&streams, pool_config());
+    let empty = run_with(&streams, pool_config().with_faults(FaultPlan::new()));
+
+    // Not just the chunks: the *entire* report — timings, utilization,
+    // queue waits, device accounting — must match bit-for-bit.
+    assert_eq!(plain.sessions, empty.sessions);
+    assert_eq!(plain.report, empty.report);
+    assert_eq!(empty.report.faults, Default::default());
+}
+
+// ----- Property: no fault schedule changes surviving sessions -----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random seeded fault schedules — deaths and stragglers at random
+    /// instants — never change any surviving session's chunks or
+    /// digests. (`FaultPlan::random` never kills the last device, and
+    /// death requeues rather than kills, so *every* session survives.)
+    #[test]
+    fn random_fault_schedules_never_change_surviving_sessions(seed in 0u64..1024) {
+        let streams: Vec<Vec<u8>> = (0..3)
+            .map(|t| workloads::random_bytes(1 << 20, 0x9e37 + t as u64))
+            .collect();
+        let base = run_with(&streams, pool_config());
+        let horizon = base.report.makespan;
+        let plan = FaultPlan::random(seed, GPUS, horizon);
+        prop_assert!(!plan.is_empty());
+
+        let faulted = run_with(&streams, pool_config().with_faults(plan.clone()));
+        prop_assert_eq!(faulted.sessions.len(), streams.len());
+        for ((a, b), data) in base.sessions.iter().zip(&faulted.sessions).zip(&streams) {
+            prop_assert_eq!(&a.chunks, &b.chunks, "{} diverged under {:?}", a.name, plan);
+            let d1: Vec<Digest> = a.chunks.iter().map(|c| sha256(c.slice(data))).collect();
+            let d2: Vec<Digest> = b.chunks.iter().map(|c| sha256(c.slice(data))).collect();
+            prop_assert_eq!(d1, d2);
+        }
+        prop_assert_eq!(faulted.report.faults.injected, plan.len());
+    }
+}
+
+// ----- CI fault-matrix artifact -----
+
+/// Runs one seeded fault schedule end to end and dumps the fault report
+/// as JSON to the path named by `SHREDDER_FAULT_JSON` (no-op when
+/// unset). `SHREDDER_FAULT_SEED` selects the schedule; the CI
+/// fault-matrix job runs this under several seeds and uploads the
+/// dumps as artifacts.
+#[test]
+fn fault_matrix_report_dump() {
+    let seed: u64 = std::env::var("SHREDDER_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let streams = tenant_streams();
+    let base = run_with(&streams, pool_config());
+    let plan = FaultPlan::random(seed, GPUS, base.report.makespan);
+    let faulted = run_with(&streams, pool_config().with_faults(plan.clone()));
+    assert_sessions_identical(&base, &faulted, &streams);
+
+    let f = &faulted.report.faults;
+    let slowdowns: Vec<String> = f
+        .slowdowns
+        .iter()
+        .map(|(d, s)| format!("{{\"device\":{d},\"slowdown\":{s}}}"))
+        .collect();
+    let dead: Vec<String> = f.dead_devices.iter().map(|d| d.to_string()).collect();
+    let json = format!(
+        concat!(
+            "{{\"seed\":{},\"injected\":{},\"device_deaths\":{},",
+            "\"deaths_skipped\":{},\"stragglers\":{},\"requeued_buffers\":{},",
+            "\"replaced_sessions\":{},\"dead_devices\":[{}],\"slowdowns\":[{}],",
+            "\"makespan_ms\":{:.6},\"baseline_makespan_ms\":{:.6},",
+            "\"sessions_bit_identical\":true}}"
+        ),
+        seed,
+        f.injected,
+        f.device_deaths,
+        f.deaths_skipped,
+        f.stragglers,
+        f.requeued_buffers,
+        f.replaced_sessions,
+        dead.join(","),
+        slowdowns.join(","),
+        faulted.report.makespan.as_millis_f64(),
+        base.report.makespan.as_millis_f64(),
+    );
+    if let Ok(path) = std::env::var("SHREDDER_FAULT_JSON") {
+        std::fs::write(&path, &json)
+            .unwrap_or_else(|e| panic!("could not write fault JSON to {path}: {e}"));
+        println!("fault report written to {path}");
+    }
+}
