@@ -12,12 +12,15 @@
 //!
 //! Set `SHREDDER_BENCH_JSON=<path>` to dump the headline numbers; the
 //! CI gate (`bench_gate`) tracks `sustained_rps` — the sustained req/s
-//! at SLO — release over release.
+//! at SLO — release over release. Set `SHREDDER_TRACE_JSON=<path>` to
+//! additionally run one telemetry-on sweep point and dump its Chrome
+//! trace (load it at <https://ui.perfetto.dev>); the headline numbers
+//! always come from telemetry-off runs.
 
 use shredder_bench::{check, dump_bench_json, header, result_line, table};
 use shredder_core::{
     capacity_search, AdmissionControl, ChunkRequest, MemorySource, ServiceReport, ShredderConfig,
-    ShredderService, Workload,
+    ShredderService, TelemetryConfig, Workload,
 };
 use shredder_des::Dur;
 use shredder_gpu::kernel::KernelVariant;
@@ -196,6 +199,33 @@ fn main() {
         ),
         gear_sustained >= sustained,
     );
+
+    // Chrome-trace export: when SHREDDER_TRACE_JSON names a path, rerun
+    // one sweep point (85% of capacity — loaded but within SLO) with
+    // telemetry on and dump the trace. Kept out of the headline runs so
+    // the gated numbers always measure the telemetry-off path.
+    if std::env::var("SHREDDER_TRACE_JSON").is_ok_and(|p| !p.is_empty()) {
+        let mut svc = ShredderService::new(
+            config(KernelVariant::Coalesced).with_telemetry(TelemetryConfig::enabled()),
+        )
+        .with_admission(AdmissionControl::fifo(4));
+        for t in 0..REQUESTS as u64 {
+            svc.submit(ChunkRequest::new(MemorySource::pseudo_random(REQ_BYTES, t)));
+        }
+        let out = svc
+            .run(&Workload::poisson(0.85 * mu, 0xbeef + 3))
+            .expect("trace run failed");
+        let telemetry = out
+            .report
+            .telemetry
+            .as_ref()
+            .expect("telemetry-on run carries a report");
+        if let Some(path) =
+            shredder_telemetry::dump_json("SHREDDER_TRACE_JSON", &telemetry.to_chrome_json())
+        {
+            result_line("chrome trace written to", path);
+        }
+    }
 
     // Perf-trajectory dump: bench_gate tracks sustained_rps.
     let sweep_json: Vec<String> = sweep

@@ -62,20 +62,20 @@ pub fn ms(d: shredder_des::Dur) -> String {
 }
 
 /// Dumps a bench's headline JSON to the path named by the
-/// `SHREDDER_BENCH_JSON` env var (no-op when unset). The CI bench gate
-/// (`bench_gate`) reads these dumps, so a write failure is a hard error:
-/// better to fail here than have the gate later report a confusing
-/// "cannot read" failure.
+/// `SHREDDER_BENCH_JSON` env var (no-op when unset). One of the three
+/// env-var dump channels (`SHREDDER_BENCH_JSON`, `SHREDDER_FAULT_JSON`,
+/// `SHREDDER_TRACE_JSON`) that share
+/// [`shredder_telemetry::dump_json`]'s hard-error-on-write-failure
+/// semantics: the CI bench gate (`bench_gate`) reads these dumps, so
+/// it is better to fail here than have the gate later report a
+/// confusing "cannot read" failure.
 ///
 /// # Panics
 ///
 /// Panics if the env var is set but the file cannot be written.
 pub fn dump_bench_json(json: &str) {
-    if let Ok(path) = std::env::var("SHREDDER_BENCH_JSON") {
-        match std::fs::write(&path, json) {
-            Ok(()) => println!("\n  perf trajectory written to {path}"),
-            Err(e) => panic!("could not write bench JSON to {path}: {e}"),
-        }
+    if let Some(path) = shredder_telemetry::dump_json("SHREDDER_BENCH_JSON", json) {
+        println!("\n  perf trajectory written to {path}");
     }
 }
 

@@ -5,6 +5,8 @@ use shredder_gpu::kernel::KernelVariant;
 use shredder_gpu::{calibration, DeviceConfig};
 use shredder_rabin::ChunkParams;
 
+use shredder_telemetry::TelemetryConfig;
+
 use crate::engine::PlacementPolicy;
 use crate::fault::FaultPlan;
 
@@ -85,6 +87,15 @@ pub struct ShredderConfig {
     /// run is bit-identical to a fault-free config; see
     /// [`FaultPlan`] for the determinism contract.
     pub faults: FaultPlan,
+    /// In-simulation tracing and metrics
+    /// ([`shredder_telemetry::TraceRecorder`]). Off by default: no
+    /// recorder is allocated and the run is bit-identical to a config
+    /// that never mentions telemetry — the same zero-overhead contract
+    /// an empty [`FaultPlan`] honors. When enabled, the engine records
+    /// request/device/stage/fault spans passively and attaches a
+    /// [`shredder_telemetry::TelemetryReport`] to the
+    /// [`EngineReport`](crate::EngineReport).
+    pub telemetry: TelemetryConfig,
 }
 
 impl ShredderConfig {
@@ -106,6 +117,7 @@ impl ShredderConfig {
             gc_threshold: 0.5,
             retention: None,
             faults: FaultPlan::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -267,6 +279,14 @@ impl ShredderConfig {
         self
     }
 
+    /// Sets the telemetry configuration. A disabled config (the
+    /// default) is equivalent to never calling this: no recorder is
+    /// allocated and the run stays bit-identical.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// The downstream chunk-store configuration derived from this
     /// pipeline configuration.
     pub fn store_config(&self) -> shredder_store::StoreConfig {
@@ -349,6 +369,9 @@ impl ShredderConfig {
         self.faults
             .check(self.gpus)
             .map_err(|e| InvalidConfig(format!("fault plan: {e}")))?;
+        self.telemetry
+            .check()
+            .map_err(|e| InvalidConfig(format!("telemetry: {e}")))?;
         Ok(())
     }
 }

@@ -70,6 +70,7 @@ use shredder_gpu::pool::{BufferJob, DevicePool, PooledDevice};
 use shredder_gpu::{calibration, PinnedRing};
 use shredder_rabin::chunker::cuts_to_chunks;
 use shredder_rabin::{Chunk, RawCut};
+use shredder_telemetry::{ArgValue, Lane, TelemetryReport, TraceRecorder};
 
 use crate::bufpool::{BufferPool, PooledBuf};
 use crate::config::ShredderConfig;
@@ -642,6 +643,7 @@ impl<'a> ShredderEngine<'a> {
             ring_setup,
             service,
             faults: sim.faults,
+            telemetry: sim.telemetry,
         };
 
         Ok(ServiceRun { outcomes, report })
@@ -860,6 +862,8 @@ pub(crate) struct SimResult {
     pub(crate) end: SimTime,
     pub(crate) service: ServiceSimOut,
     pub(crate) faults: FaultReport,
+    /// `Some` only when the config enabled telemetry.
+    pub(crate) telemetry: Option<TelemetryReport>,
 }
 
 /// Runtime fault state shared by the event closures. Only allocated
@@ -1081,6 +1085,13 @@ struct PipeCtx {
     /// Fault runtime; `None` when the fault plan is empty (the
     /// fault-free fast path — zero extra events, zero perturbation).
     faults: Option<Rc<RefCell<FaultRt>>>,
+    /// Telemetry recorder; `None` when telemetry is off (the
+    /// zero-overhead path — nothing allocated, nothing recorded).
+    /// Recording is passive: it schedules no events and reads no clock
+    /// of its own, so an attached recorder never perturbs timing.
+    trace: Option<Rc<RefCell<TraceRecorder>>>,
+    /// Engine-global sink stage names, for stage-lane span labels.
+    stage_names: Rc<Vec<&'static str>>,
     host_kind: HostMemKind,
     /// Which boundary kernel the run's buffer durations were planned
     /// with — stamped on every [`BufferJob`] for per-device accounting.
@@ -1191,6 +1202,16 @@ fn queue_timeout(ctx: &PipeCtx, sim: &mut Simulation, sid: usize) {
 /// with their next request; freed capacity dispatches waiters).
 fn shed_request(ctx: &PipeCtx, sim: &mut Simulation, sid: usize) {
     ctx.svc.borrow_mut().shed[sid] = Some(sim.now());
+    if let Some(trace) = &ctx.trace {
+        let mut t = trace.borrow_mut();
+        t.instant(
+            Lane::Control,
+            "shed",
+            sim.now(),
+            vec![("session", ArgValue::U64(sid as u64))],
+        );
+        t.metrics_mut().incr("shredder_requests_shed");
+    }
     after_request(ctx, sim, sid);
 }
 
@@ -1437,11 +1458,40 @@ fn sink_chain(ctx: PipeCtx, sim: &mut Simulation, sid: usize, bidx: usize, k: us
         if c.is_stale(sid, bidx, attempt) {
             return;
         }
-        {
+        let wait = {
             let mut acct = c.stage_acct.borrow_mut();
             let wait = sim.now().saturating_since(enqueued).saturating_sub(service);
             acct[stage].0 += wait;
             acct[stage].1 += 1;
+            wait
+        };
+        if let Some(trace) = &c.trace {
+            // The FIFO stage server serializes its jobs, so service
+            // spans on one stage lane never overlap; the queue wait
+            // (which *can* overlap) rides along as an arg and a
+            // histogram instead of a span.
+            let name = c.stage_names[stage];
+            let end = sim.now();
+            let start = SimTime::from_nanos(end.as_nanos().saturating_sub(service.as_nanos()));
+            let mut t = trace.borrow_mut();
+            t.span(
+                Lane::Stage {
+                    name: name.to_string(),
+                },
+                name,
+                start,
+                end,
+                vec![
+                    ("session", ArgValue::U64(sid as u64)),
+                    ("queue_wait_ns", ArgValue::U64(wait.as_nanos())),
+                ],
+            );
+            t.metrics_mut()
+                .observe(&format!("shredder_stage_wait_ns:{name}"), wait.as_nanos());
+            t.metrics_mut().observe(
+                &format!("shredder_stage_service_ns:{name}"),
+                service.as_nanos(),
+            );
         }
         sink_chain(c, sim, sid, bidx, k + 1);
     });
@@ -1469,6 +1519,19 @@ fn apply_fault(ctx: &PipeCtx, sim: &mut Simulation, kind: FaultKind) {
         FaultKind::Straggler { device, slowdown } => {
             ctx.pool.device(device).set_slowdown(slowdown);
             frt.borrow_mut().report.stragglers += 1;
+            if let Some(trace) = &ctx.trace {
+                let mut t = trace.borrow_mut();
+                t.instant(
+                    Lane::Control,
+                    "straggler",
+                    sim.now(),
+                    vec![
+                        ("device", ArgValue::U64(device as u64)),
+                        ("slowdown", ArgValue::F64(slowdown)),
+                    ],
+                );
+                t.metrics_mut().incr("shredder_faults_stragglers");
+            }
         }
         FaultKind::DeviceDeath { device } => {
             {
@@ -1484,6 +1547,16 @@ fn apply_fault(ctx: &PipeCtx, sim: &mut Simulation, kind: FaultKind) {
                 f.report.device_deaths += 1;
             }
             ctx.pool.device(device).fail();
+            if let Some(trace) = &ctx.trace {
+                let mut t = trace.borrow_mut();
+                t.instant(
+                    Lane::Control,
+                    "device-death",
+                    sim.now(),
+                    vec![("device", ArgValue::U64(device as u64))],
+                );
+                t.metrics_mut().incr("shredder_faults_device_deaths");
+            }
 
             // Bytes still assigned per survivor: sessions that are
             // neither done nor shed, wherever they currently sit.
@@ -1538,6 +1611,20 @@ fn apply_fault(ctx: &PipeCtx, sim: &mut Simulation, kind: FaultKind) {
                         }
                     };
                     if requeue {
+                        if let Some(trace) = &ctx.trace {
+                            let mut t = trace.borrow_mut();
+                            t.instant(
+                                Lane::Control,
+                                "requeue",
+                                sim.now(),
+                                vec![
+                                    ("session", ArgValue::U64(sid as u64)),
+                                    ("buffer", ArgValue::U64(bidx as u64)),
+                                    ("target", ArgValue::U64(target as u64)),
+                                ],
+                            );
+                            t.metrics_mut().incr("shredder_faults_requeued_buffers");
+                        }
                         ctx.sched.borrow_mut().timelines[sid][bidx].read_start = sim.now();
                         let c = ctx.clone();
                         sim.schedule_now(move |sim| launch(c, sim, sid, bidx));
@@ -1644,6 +1731,13 @@ fn simulate_service<'a>(
             },
         }))
     });
+    // Telemetry mirrors the fault runtime's contract: the recorder only
+    // exists when the config asks for it, so a disabled run allocates
+    // nothing and takes the exact pre-telemetry code path.
+    let trace = config
+        .telemetry
+        .enabled
+        .then(|| Rc::new(RefCell::new(TraceRecorder::new(&config.telemetry))));
     let alloc_model = HostAllocModel::new();
 
     let host_kind = if config.pinned_ring {
@@ -1797,7 +1891,14 @@ fn simulate_service<'a>(
         stage_servers: stage_servers.clone(),
         stage_acct: stage_acct.clone(),
         sink_work: Rc::new(RefCell::new(vec![Vec::new(); n])),
+        trace,
+        stage_names: Rc::new(specs.iter().map(|s| s.name).collect()),
     };
+    if let Some(t) = &ctx.trace {
+        // Device-engine lanes: every completed H2D/kernel/D2H interval
+        // lands in the trace alongside the pool's busy accounting.
+        ctx.pool.attach_recorder(t);
+    }
 
     // Fault events enter the calendar before the arrivals, so a t = 0
     // fault precedes same-instant arrivals (the calendar breaks ties by
@@ -1944,6 +2045,78 @@ fn simulate_service<'a>(
         None => FaultReport::default(),
     };
 
+    // Drain the recorder into a report, first deriving the
+    // request-lane spans and summary metrics from the service
+    // timestamps the run already keeps — the "reports are views" hook:
+    // the same numbers ServiceReport is built from, as trace records.
+    let telemetry = ctx.trace.as_ref().map(|t| {
+        let makespan = end.saturating_since(SimTime::ZERO);
+        let mut rec = t.borrow_mut();
+        for sid in 0..n {
+            let lane = Lane::Request { id: sid as u64 };
+            let arrival = service.arrival[sid];
+            let class = inputs.classes[plans[sid].class].name.as_str();
+            rec.metrics_mut().incr("shredder_requests_total");
+            if let Some(done) = service.done[sid] {
+                rec.span(
+                    lane.clone(),
+                    "request",
+                    arrival,
+                    done,
+                    vec![
+                        ("bytes", ArgValue::U64(plans[sid].bytes)),
+                        ("class", ArgValue::Text(class.to_string())),
+                    ],
+                );
+                if let Some(admit) = service.admit[sid] {
+                    rec.span(lane.clone(), "queued", arrival, admit, Vec::new());
+                }
+                // The session's buffer-level lifetime: first buffer
+                // admission → last buffer completion. Nested inside
+                // the request span, after the queued interval.
+                let first = sessions[sid].first_admit;
+                let last = sessions[sid].completion;
+                if last > SimTime::ZERO && first <= last {
+                    rec.span(lane.clone(), "session", first, last, Vec::new());
+                }
+                if let Some(fc) = service.first_chunk[sid] {
+                    rec.instant(lane.clone(), "first-chunk", fc, Vec::new());
+                }
+                let latency = done.saturating_since(arrival).as_nanos();
+                rec.metrics_mut().incr("shredder_requests_completed");
+                rec.metrics_mut()
+                    .observe("shredder_request_latency_ns", latency);
+                rec.metrics_mut()
+                    .observe(&format!("shredder_request_latency_ns:{class}"), latency);
+            } else if let Some(shed_at) = service.shed[sid] {
+                rec.instant(
+                    lane,
+                    "shed",
+                    shed_at,
+                    vec![("class", ArgValue::Text(class.to_string()))],
+                );
+            }
+        }
+        for &(at, depth) in &service.depth_points {
+            rec.metrics_mut()
+                .sample("shredder_admission_queue_depth", at, depth);
+        }
+        rec.metrics_mut().set_gauge(
+            "shredder_admission_queue_depth_max",
+            service.max_depth as f64,
+        );
+        for (i, d) in devices.iter().enumerate() {
+            let util = if makespan.is_zero() {
+                0.0
+            } else {
+                d.kernel_busy.as_secs_f64() / makespan.as_secs_f64()
+            };
+            rec.metrics_mut()
+                .set_gauge(&format!("shredder_device_utilization:{i}"), util);
+        }
+        rec.finish_report()
+    });
+
     let placement = ctx.placement.borrow().clone();
     SimResult {
         sessions,
@@ -1954,6 +2127,7 @@ fn simulate_service<'a>(
         end,
         service,
         faults,
+        telemetry,
     }
 }
 

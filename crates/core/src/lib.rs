@@ -187,3 +187,5 @@ pub use sink::{
 };
 pub use source::{MemorySource, SliceSource, StreamSource};
 pub use workload::{AdmissionControl, TenantClass, Workload};
+
+pub use shredder_telemetry::{TelemetryConfig, TelemetryReport};

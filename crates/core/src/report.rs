@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use shredder_des::{Dur, SimTime, TimeSeries};
 use shredder_gpu::kernel::KernelVariant;
+use shredder_telemetry::TelemetryReport;
 
 use crate::fault::FaultReport;
 use crate::sink::StageKind;
@@ -85,13 +86,12 @@ pub struct ClassLatency {
     pub mean_queue_delay: Dur,
 }
 
-/// Nearest-rank percentile over an ascending-sorted latency list.
+/// Nearest-rank percentile over an ascending-sorted latency list
+/// (empty lists report [`Dur::ZERO`]). The rank arithmetic lives in
+/// [`shredder_des::nearest_rank`], shared with the capacity search and
+/// the telemetry histograms.
 pub(crate) fn percentile(sorted: &[Dur], q: f64) -> Dur {
-    if sorted.is_empty() {
-        return Dur::ZERO;
-    }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    shredder_des::nearest_rank(sorted, q).unwrap_or(Dur::ZERO)
 }
 
 /// Service-level report of one open-loop (or closed-loop) run: offered
@@ -369,6 +369,13 @@ pub struct EngineReport {
     /// sessions re-placed, final straggler factors. All-zero (the
     /// default) for fault-free runs.
     pub faults: FaultReport,
+    /// Trace records and metrics from the run's
+    /// [`TraceRecorder`](shredder_telemetry::TraceRecorder). `Some`
+    /// only when [`ShredderConfig::telemetry`](crate::ShredderConfig)
+    /// enabled telemetry; `None` runs record nothing and are
+    /// bit-identical (this field aside) to a run under a config that
+    /// never mentioned telemetry.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl EngineReport {

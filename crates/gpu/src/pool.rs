@@ -29,7 +29,8 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use shredder_des::{Dur, Semaphore, Simulation};
+use shredder_des::{Dur, Semaphore, SimTime, Simulation};
+use shredder_telemetry::{ArgValue, Lane, LaneEngine, TraceRecorder};
 
 use crate::config::DeviceConfig;
 use crate::executor::GpuExecutor;
@@ -119,6 +120,10 @@ pub struct PooledDevice {
     ring: Semaphore,
     stats: Rc<RefCell<DeviceStats>>,
     health: Rc<Cell<DeviceHealth>>,
+    /// Optional telemetry recorder (shared across clones). `None` —
+    /// the default — records nothing and keeps the submit path
+    /// identical to an uninstrumented pool.
+    trace: Rc<RefCell<Option<Rc<RefCell<TraceRecorder>>>>>,
 }
 
 /// Mutable fault state of one pool device (shared across clones).
@@ -144,6 +149,33 @@ impl PooledDevice {
                 alive: true,
                 slowdown: 1.0,
             })),
+            trace: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// Attaches a telemetry recorder: every completed H2D/kernel/D2H
+    /// service interval is additionally recorded as a span on this
+    /// device's engine lanes. Recording is passive — it reads the
+    /// interval the device already computes for its busy accounting —
+    /// so an attached recorder never changes timing.
+    pub fn attach_recorder(&self, recorder: &Rc<RefCell<TraceRecorder>>) {
+        *self.trace.borrow_mut() = Some(recorder.clone());
+    }
+
+    /// Records a completed engine interval on the attached recorder, if
+    /// any.
+    fn trace_engine_span(&self, engine: LaneEngine, end: u64, d: Dur, bytes: u64) {
+        if let Some(trace) = self.trace.borrow().as_ref() {
+            trace.borrow_mut().span(
+                Lane::Device {
+                    device: self.id as u64,
+                    engine,
+                },
+                engine.label(),
+                SimTime::from_nanos(end.saturating_sub(d.as_nanos())),
+                SimTime::from_nanos(end),
+                vec![("bytes", ArgValue::U64(bytes))],
+            );
         }
     }
 
@@ -259,11 +291,13 @@ impl PooledDevice {
             landed.on_fire(sim, move |sim| {
                 let t = d.gpu.h2d_time(job.host, job.bytes);
                 d.note(|s| &mut s.h2d, sim.now().as_nanos(), t);
+                d.trace_engine_span(LaneEngine::H2d, sim.now().as_nanos(), t, job.bytes);
                 on_transfer(sim);
             });
             let d = dev.clone();
             chunked.on_fire(sim, move |sim| {
                 d.note(|s| &mut s.compute, sim.now().as_nanos(), kernel);
+                d.trace_engine_span(LaneEngine::Kernel, sim.now().as_nanos(), kernel, job.bytes);
                 d.lanes.release(sim, 1);
                 on_kernel(sim);
             });
@@ -271,6 +305,7 @@ impl PooledDevice {
             returned.on_fire(sim, move |sim| {
                 let t = d.gpu.d2h_time(job.host, job.cut_bytes);
                 d.note(|s| &mut s.d2h, sim.now().as_nanos(), t);
+                d.trace_engine_span(LaneEngine::D2h, sim.now().as_nanos(), t, job.cut_bytes);
                 {
                     let mut stats = d.stats.borrow_mut();
                     stats.jobs += 1;
@@ -435,6 +470,14 @@ impl DevicePool {
     /// All devices, in index order.
     pub fn devices(&self) -> &[PooledDevice] {
         &self.devices
+    }
+
+    /// Attaches a telemetry recorder to every device in the pool (see
+    /// [`PooledDevice::attach_recorder`]).
+    pub fn attach_recorder(&self, recorder: &Rc<RefCell<TraceRecorder>>) {
+        for dev in &self.devices {
+            dev.attach_recorder(recorder);
+        }
     }
 }
 

@@ -14,6 +14,9 @@
 //! * **R3** — no OS threads (`std::thread`) in the single-threaded DES
 //! * **R4** — no order-dependent `HashMap`/`HashSet` iteration
 //! * **R5** — no `unwrap`/`expect`/`panic!` in hot-path library files
+//! * **R6** — no wall clock at all (`SystemTime`, `Instant::now`, any
+//!   `std::time` path — imports included) in telemetry paths:
+//!   telemetry records sim time only
 //! * **A0** — suppression hygiene (every `allow` carries a reason)
 //!
 //! Test code is exempt: items behind `#[cfg(test)]`/`#[test]` are
@@ -41,7 +44,7 @@ use std::path::{Path, PathBuf};
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`"R1"`…`"R5"`, or `"A0"` for suppression hygiene).
+    /// Rule id (`"R1"`…`"R6"`, or `"A0"` for suppression hygiene).
     pub rule: &'static str,
     /// Workspace-relative path with `/` separators.
     pub file: String,
@@ -79,6 +82,12 @@ pub struct LintConfig {
     /// Path suffixes of the hot-path library files R5 covers: the
     /// engine, the pipeline, the sink stages and the store commit path.
     pub hot_path_files: Vec<String>,
+    /// Directory prefixes (workspace-relative) where R6 forbids *any*
+    /// wall clock (`SystemTime`, `Instant::now`, any `std::time` path,
+    /// imports included) — the telemetry subsystem, whose determinism
+    /// contract requires every timestamp to be sim time handed in by
+    /// the simulation.
+    pub telemetry_dirs: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -99,6 +108,7 @@ impl Default for LintConfig {
             .into_iter()
             .map(String::from)
             .collect(),
+            telemetry_dirs: vec!["crates/telemetry".into()],
         }
     }
 }

@@ -12,6 +12,7 @@
 //! | R3 | No OS threads (`std::thread`, `thread::spawn/scope/…`) |
 //! | R4 | No order-dependent `HashMap`/`HashSet` iteration |
 //! | R5 | No `unwrap`/`expect`/`panic!` in hot-path library files |
+//! | R6 | No wall clock at all (`SystemTime`, `Instant::now`, any `std::time` path) in telemetry paths |
 //! | A0 | Suppression hygiene (reasonless or malformed `allow`) |
 
 use crate::lexer::TokKind;
@@ -75,6 +76,10 @@ pub fn check_file(rel_path: &str, scan: &ScanFile<'_>, config: &LintConfig) -> V
         .hot_path_files
         .iter()
         .any(|f| rel_path.ends_with(f.as_str()));
+    let r6_applies = config
+        .telemetry_dirs
+        .iter()
+        .any(|d| rel_path.starts_with(d.as_str()));
 
     let hashed_names = collect_hashed_bindings(scan);
 
@@ -109,6 +114,36 @@ pub fn check_file(rel_path: &str, scan: &ScanFile<'_>, config: &LintConfig) -> V
                     rel_path,
                     line,
                     "wall-clock type (`SystemTime`) in simulation code; use the DES clock",
+                ));
+            }
+        }
+
+        // R6 — wall clock anywhere in telemetry paths. Stricter than
+        // R1: telemetry stamps every record with sim time handed in by
+        // the simulation, so beyond the `::now()` reads R1 catches,
+        // any `SystemTime` mention and any `std::time` path — imports
+        // included, the gateway for a later bare `Instant` — is a
+        // finding. (A bare `Instant` ident alone is not matched: the
+        // crate's own `TraceRecord::Instant` variant shares the name.)
+        if r6_applies {
+            if t == "SystemTime"
+                || (t == "Instant" && path_sep(k + 1) && k + 3 < n && txt(k + 3) == "now")
+            {
+                findings.push(Finding::new(
+                    "R6",
+                    rel_path,
+                    line,
+                    &format!(
+                        "wall-clock use (`{t}`) in a telemetry path; telemetry records sim time only"
+                    ),
+                ));
+            }
+            if t == "std" && path_sep(k + 1) && k + 3 < n && txt(k + 3) == "time" {
+                findings.push(Finding::new(
+                    "R6",
+                    rel_path,
+                    line,
+                    "`std::time` in a telemetry path; telemetry records sim time only",
                 ));
             }
         }

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock types in telemetry code (R6).
+
+use std::time::SystemTime;
+
+pub fn stamp_wrong() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

@@ -63,6 +63,7 @@ proptest! {
         let cfg = LintConfig {
             wallclock_exempt_dirs: vec![],
             hot_path_files: vec!["fuzz.rs".into()],
+            telemetry_dirs: vec!["fuzz.rs".into()],
         };
         for f in lint_source("fuzz.rs", &src, &cfg) {
             prop_assert!(f.line >= 1, "line numbers are 1-based: {f:?}");

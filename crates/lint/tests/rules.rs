@@ -1,4 +1,4 @@
-//! Fixture-corpus tests: each rule R1–R5 must fire on its seeded
+//! Fixture-corpus tests: each rule R1–R6 must fire on its seeded
 //! violation file, stay silent on the known-good file, respect reasoned
 //! `allow` suppressions, and report suppression-hygiene breaks (A0).
 
@@ -15,6 +15,7 @@ fn config(hot: &[&str]) -> LintConfig {
     LintConfig {
         wallclock_exempt_dirs: vec![],
         hot_path_files: hot.iter().map(|s| s.to_string()).collect(),
+        telemetry_dirs: vec!["crates/telemetry".into()],
     }
 }
 
@@ -93,6 +94,29 @@ fn r5_fires_only_in_hot_path_files() {
 
     let cold = lint("r5_bad.rs", &[]);
     assert!(cold.is_empty(), "R5 must not apply off hot paths: {cold:?}");
+}
+
+#[test]
+fn r6_fires_on_wall_clock_in_telemetry_paths() {
+    let src = fixture("r6_bad.rs");
+    let findings = lint_source("crates/telemetry/src/recorder.rs", &src, &config(&[]));
+    let lines: Vec<u32> = unsuppressed(&findings, "R6")
+        .iter()
+        .map(|f| f.line)
+        .collect();
+    assert!(lines.contains(&3), "std::time import missed: {lines:?}");
+    assert!(lines.contains(&6), "Instant missed: {lines:?}");
+    assert!(lines.contains(&11), "SystemTime::now missed: {lines:?}");
+}
+
+#[test]
+fn r6_stays_quiet_off_telemetry_paths() {
+    let src = fixture("r6_bad.rs");
+    // In an ordinary sim crate only R1 applies (wall-clock *reads*);
+    // the blanket type ban is telemetry-specific.
+    let findings = lint_source("crates/core/src/engine.rs", &src, &config(&[]));
+    assert!(unsuppressed(&findings, "R6").is_empty(), "{findings:?}");
+    assert!(!unsuppressed(&findings, "R1").is_empty(), "{findings:?}");
 }
 
 #[test]

@@ -6,6 +6,7 @@ use std::fmt;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use shredder_hash::{sha256, Digest};
+use shredder_telemetry::MetricsRegistry;
 
 use crate::index::ChunkIndex;
 use crate::manifest::{ManifestEntry, SnapshotManifest};
@@ -822,6 +823,31 @@ impl ChunkStore {
             freed_bytes_total: self.freed_bytes_total,
         }
     }
+
+    /// Exports the store's aggregate state into a telemetry
+    /// [`MetricsRegistry`]: gauges for the live inventory (chunks,
+    /// segments, bytes, streams, snapshots) and counters for the
+    /// monotonic totals (dedup hits, GC runs, freed chunks/bytes).
+    ///
+    /// The export is a point-in-time snapshot of [`report`]: counters
+    /// are *set* by adding the full total, so call it once per registry
+    /// (a fresh registry per dump), not repeatedly into the same one.
+    ///
+    /// [`report`]: ChunkStore::report
+    pub fn export_metrics(&self, metrics: &mut MetricsRegistry) {
+        let r = self.report();
+        metrics.set_gauge("shredder_store_chunks", r.chunk_count as f64);
+        metrics.set_gauge("shredder_store_segments", r.segment_count as f64);
+        metrics.set_gauge("shredder_store_physical_bytes", r.physical_bytes as f64);
+        metrics.set_gauge("shredder_store_live_bytes", r.live_bytes as f64);
+        metrics.set_gauge("shredder_store_logical_bytes", r.logical_bytes as f64);
+        metrics.set_gauge("shredder_store_streams", r.streams as f64);
+        metrics.set_gauge("shredder_store_snapshots", r.snapshots as f64);
+        metrics.add("shredder_store_dedup_hits", r.dedup_hits);
+        metrics.add("shredder_store_gc_runs", r.gc_runs);
+        metrics.add("shredder_store_freed_chunks_total", r.freed_chunks_total);
+        metrics.add("shredder_store_freed_bytes_total", r.freed_bytes_total);
+    }
 }
 
 impl Default for ChunkStore {
@@ -848,6 +874,19 @@ mod tests {
         assert_eq!(s.get(&d).unwrap(), Bytes::from_static(b"abc"));
         assert!(s.contains(&d));
         assert_eq!(s.chunk_count(), 1);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_report() {
+        let mut s = ChunkStore::new();
+        s.put(Bytes::from_static(b"abc"));
+        s.put(Bytes::from_static(b"abc"));
+        let mut m = MetricsRegistry::default();
+        s.export_metrics(&mut m);
+        assert_eq!(m.gauge("shredder_store_chunks"), Some(1.0));
+        assert_eq!(m.gauge("shredder_store_live_bytes"), Some(3.0));
+        assert_eq!(m.counter("shredder_store_dedup_hits"), 1);
+        assert_eq!(m.counter("shredder_store_gc_runs"), 0);
     }
 
     #[test]

@@ -1,0 +1,757 @@
+//! Chrome trace-event export, structural validation, and the shared
+//! env-var JSON dump helper.
+//!
+//! The emitter produces the Trace Event Format's JSON-array flavor —
+//! `B`/`E` duration pairs per lane, `i` instants, `M` metadata naming
+//! processes and threads — loadable directly in Perfetto or
+//! `chrome://tracing`. The validator re-parses a trace with a
+//! hand-rolled JSON reader (the workspace's vendored `serde` is a
+//! no-op stub) and checks the structural contract CI relies on:
+//! required keys, nondecreasing `ts`, and matched `B`/`E` pairs per
+//! thread.
+
+use std::collections::BTreeMap;
+
+use crate::recorder::{ArgValue, Args, Lane, LaneEngine, TraceRecord};
+
+/// Microsecond timestamp with nanosecond fraction, e.g. `12.345`.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn args_json(id: u64, args: &Args) -> String {
+    let mut out = format!("{{\"record_id\": {id}");
+    for (key, value) in args {
+        out.push_str(&format!(", \"{key}\": "));
+        match value {
+            ArgValue::U64(v) => out.push_str(&v.to_string()),
+            ArgValue::F64(v) => out.push_str(&format!("{v}")),
+            ArgValue::Text(v) => out.push_str(&format!("\"{}\"", json_escape(v))),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Stable (pid, tid, process name, thread name) assignment for a lane.
+fn lane_track(lane: &Lane, stage_tids: &BTreeMap<&str, u64>) -> (u64, u64, &'static str, String) {
+    match lane {
+        Lane::Request { id } => (1, id + 1, "requests", format!("request {id}")),
+        Lane::Device { device, engine } => {
+            let slot = match engine {
+                LaneEngine::H2d => 0,
+                LaneEngine::Kernel => 1,
+                LaneEngine::D2h => 2,
+            };
+            (
+                2,
+                device * 3 + slot + 1,
+                "devices",
+                format!("dev{device} {}", engine.label()),
+            )
+        }
+        Lane::Stage { name } => (
+            3,
+            stage_tids.get(name.as_str()).copied().unwrap_or(0) + 1,
+            "sink-stages",
+            name.clone(),
+        ),
+        Lane::Control => (4, 1, "control", "events".to_string()),
+    }
+}
+
+fn lane_category(lane: &Lane) -> &'static str {
+    match lane {
+        Lane::Request { .. } => "request",
+        Lane::Device { .. } => "device",
+        Lane::Stage { .. } => "stage",
+        Lane::Control => "control",
+    }
+}
+
+struct PendingEvent {
+    ts: u64,
+    json: String,
+}
+
+/// Renders records as a Chrome trace-event JSON array.
+///
+/// Spans become `B`/`E` pairs; because a lane's spans are emitted with
+/// an explicit nesting sweep (close-before-open at shared boundaries),
+/// every `B` has a matching same-name `E` on its thread and `ts` is
+/// globally nondecreasing — the properties [`validate_chrome_trace`]
+/// checks.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    // Stage lanes get dense tids in name order.
+    let mut stage_tids: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in records {
+        if let Lane::Stage { name } = r.lane() {
+            let next = stage_tids.len() as u64;
+            stage_tids.entry(name.as_str()).or_insert(next);
+        }
+    }
+
+    // Group span records per lane; instants go straight to the pool.
+    let mut lanes: BTreeMap<Lane, Vec<&TraceRecord>> = BTreeMap::new();
+    let mut events: Vec<PendingEvent> = Vec::new();
+    let mut tracks: BTreeMap<(u64, u64), (&'static str, String)> = BTreeMap::new();
+    for r in records {
+        let (pid, tid, pname, tname) = lane_track(r.lane(), &stage_tids);
+        tracks.entry((pid, tid)).or_insert((pname, tname));
+        match r {
+            TraceRecord::Span { .. } => lanes.entry(r.lane().clone()).or_default().push(r),
+            TraceRecord::Instant {
+                id, name, at, args, ..
+            } => {
+                let ts = at.as_nanos();
+                events.push(PendingEvent {
+                    ts,
+                    json: format!(
+                        "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \
+                         \"ts\": {}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {}}}",
+                        json_escape(name),
+                        lane_category(r.lane()),
+                        ts_us(ts),
+                        args_json(*id, args),
+                    ),
+                });
+            }
+        }
+    }
+
+    // Per lane: sort spans (start asc, end desc, id asc) and sweep with
+    // an explicit stack so B/E pairs nest. Spans on one lane must not
+    // partially overlap (the recorder's lane discipline); if one does,
+    // its end is clamped to its enclosing span to keep the trace
+    // loadable.
+    for (lane, mut spans) in lanes {
+        let (pid, tid, _, _) = lane_track(&lane, &stage_tids);
+        let cat = lane_category(&lane);
+        spans.sort_by(|a, b| {
+            let (
+                TraceRecord::Span {
+                    start: sa,
+                    end: ea,
+                    id: ia,
+                    ..
+                },
+                TraceRecord::Span {
+                    start: sb,
+                    end: eb,
+                    id: ib,
+                    ..
+                },
+            ) = (a, b)
+            else {
+                unreachable!("lane groups hold spans only")
+            };
+            sa.cmp(sb).then(eb.cmp(ea)).then(ia.cmp(ib))
+        });
+        let mut stack: Vec<(u64, &'static str)> = Vec::new(); // (end ns, name)
+        let close =
+            |stack: &mut Vec<(u64, &'static str)>, events: &mut Vec<PendingEvent>, upto: u64| {
+                while let Some(&(end, name)) = stack.last() {
+                    if end > upto {
+                        break;
+                    }
+                    stack.pop();
+                    events.push(PendingEvent {
+                        ts: end,
+                        json: format!(
+                            "{{\"name\": \"{}\", \"cat\": \"{cat}\", \"ph\": \"E\", \
+                         \"ts\": {}, \"pid\": {pid}, \"tid\": {tid}}}",
+                            json_escape(name),
+                            ts_us(end),
+                        ),
+                    });
+                }
+            };
+        for r in spans {
+            let TraceRecord::Span {
+                id,
+                name,
+                start,
+                end,
+                args,
+                ..
+            } = r
+            else {
+                unreachable!("lane groups hold spans only")
+            };
+            let (start, mut end) = (start.as_nanos(), end.as_nanos());
+            close(&mut stack, &mut events, start);
+            if let Some(&(outer_end, _)) = stack.last() {
+                end = end.min(outer_end);
+            }
+            events.push(PendingEvent {
+                ts: start,
+                json: format!(
+                    "{{\"name\": \"{}\", \"cat\": \"{cat}\", \"ph\": \"B\", \
+                     \"ts\": {}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {}}}",
+                    json_escape(name),
+                    ts_us(start),
+                    args_json(*id, args),
+                ),
+            });
+            stack.push((end, name));
+        }
+        close(&mut stack, &mut events, u64::MAX);
+    }
+
+    // Globally: stable sort by ts. Per-lane streams are already in
+    // order, and cross-lane ties keep deterministic insertion order.
+    events.sort_by_key(|e| e.ts);
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+    let mut pids_named: BTreeMap<u64, &'static str> = BTreeMap::new();
+    for (&(pid, _), &(pname, _)) in &tracks {
+        pids_named.entry(pid).or_insert(pname);
+    }
+    for (pid, pname) in &pids_named {
+        push(
+            format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"ts\": 0.000, \"pid\": {pid}, \
+                 \"tid\": 0, \"args\": {{\"name\": \"{pname}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+    for (&(pid, tid), (_, tname)) in &tracks {
+        push(
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"ts\": 0.000, \"pid\": {pid}, \
+                 \"tid\": {tid}, \"args\": {{\"name\": \"{}\"}}}}",
+                json_escape(tname)
+            ),
+            &mut first,
+        );
+    }
+    for e in &events {
+        push(e.json.clone(), &mut first);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Structural validation (hand-rolled JSON reader; no serde_json here).
+// ---------------------------------------------------------------------
+
+/// Summary counts from a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCheck {
+    /// Total events in the array.
+    pub events: usize,
+    /// Matched `B`/`E` span pairs.
+    pub spans: usize,
+    /// `i` instant events.
+    pub instants: usize,
+    /// `M` metadata events.
+    pub metadata: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.fail(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.fail(&format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.fail("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.fail("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Copy the full UTF-8 sequence starting at b.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.fail("invalid utf-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses and structurally validates a Chrome trace-event JSON array.
+///
+/// Checks, in order: the document is a JSON array of objects; every
+/// event carries `name` (string), `ph` (one of `M`/`B`/`E`/`i`), `ts`,
+/// `pid` and `tid` (numbers); `ts` is nondecreasing across non-`M`
+/// events in array order; and per `(pid, tid)` thread every `B` has a
+/// matching same-name `E` (LIFO), with none left open at the end.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_telemetry::validate_chrome_trace;
+///
+/// let trace = r#"[
+///   {"name": "request", "ph": "B", "ts": 1.000, "pid": 1, "tid": 1, "args": {}},
+///   {"name": "request", "ph": "E", "ts": 5.000, "pid": 1, "tid": 1}
+/// ]"#;
+/// let check = validate_chrome_trace(trace).unwrap();
+/// assert_eq!(check.spans, 1);
+/// ```
+pub fn validate_chrome_trace(json: &str) -> Result<TraceCheck, String> {
+    let mut parser = Parser::new(json);
+    let doc = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.fail("trailing garbage after document"));
+    }
+    let Json::Arr(events) = doc else {
+        return Err("trace must be a JSON array of events".to_string());
+    };
+
+    let mut check = TraceCheck {
+        events: events.len(),
+        ..TraceCheck::default()
+    };
+    let mut last_ts: Option<f64> = None;
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |msg: String| format!("event {i}: {msg}");
+        if !matches!(ev, Json::Obj(_)) {
+            return Err(ctx("not an object".to_string()));
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string 'name'".to_string()))?
+            .to_string();
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string 'ph'".to_string()))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("missing numeric 'ts'".to_string()))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("missing numeric 'pid'".to_string()))? as u64;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("missing numeric 'tid'".to_string()))? as u64;
+
+        match ph {
+            "M" => check.metadata += 1,
+            "B" | "E" | "i" => {
+                if let Some(last) = last_ts {
+                    if ts < last {
+                        return Err(ctx(format!("ts went backwards: {ts} after {last}")));
+                    }
+                }
+                last_ts = Some(ts);
+                match ph {
+                    "B" => {
+                        begins += 1;
+                        stacks.entry((pid, tid)).or_default().push(name);
+                    }
+                    "E" => {
+                        ends += 1;
+                        let open =
+                            stacks
+                                .get_mut(&(pid, tid))
+                                .and_then(Vec::pop)
+                                .ok_or_else(|| {
+                                    ctx(format!("'E' with no open span on pid {pid} tid {tid}"))
+                                })?;
+                        if open != name {
+                            return Err(ctx(format!(
+                                "'E' name '{name}' does not match open span '{open}'"
+                            )));
+                        }
+                    }
+                    _ => check.instants += 1,
+                }
+            }
+            other => return Err(ctx(format!("unknown ph '{other}'"))),
+        }
+    }
+
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "span '{open}' on pid {pid} tid {tid} never ends ({} left open)",
+                stack.len()
+            ));
+        }
+    }
+    if begins != ends {
+        return Err(format!("{begins} 'B' events vs {ends} 'E' events"));
+    }
+    check.spans = begins;
+    Ok(check)
+}
+
+// ---------------------------------------------------------------------
+// Env-var dump plumbing.
+// ---------------------------------------------------------------------
+
+/// Writes `json` to the path named by the environment variable
+/// `env_var`, if set and non-empty.
+///
+/// This is the single dump gate for `SHREDDER_BENCH_JSON`,
+/// `SHREDDER_FAULT_JSON` and `SHREDDER_TRACE_JSON`: returns `None`
+/// (and writes nothing) when the variable is unset, and returns the
+/// path written otherwise.
+///
+/// # Panics
+///
+/// Panics if the write fails — a requested dump that cannot land is a
+/// hard error, never a silent skip (CI depends on the artifact).
+pub fn dump_json(env_var: &str, json: &str) -> Option<String> {
+    let path = std::env::var(env_var).ok().filter(|p| !p.is_empty())?;
+    std::fs::write(&path, json)
+        .unwrap_or_else(|e| panic!("could not write {env_var} JSON to {path}: {e}"));
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{TelemetryConfig, TraceRecorder};
+    use shredder_des::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let mut rec = TraceRecorder::new(&TelemetryConfig::enabled());
+        // Retroactively recorded outer span: export must still order B
+        // before the nested span's B.
+        rec.span(
+            Lane::Request { id: 0 },
+            "queued",
+            t(100),
+            t(250),
+            vec![("class", ArgValue::Text("default".into()))],
+        );
+        rec.span(Lane::Request { id: 0 }, "request", t(100), t(900), vec![]);
+        rec.span(
+            Lane::Device {
+                device: 0,
+                engine: LaneEngine::H2d,
+            },
+            "h2d",
+            t(300),
+            t(400),
+            vec![("bytes", ArgValue::U64(1024))],
+        );
+        rec.instant(
+            Lane::Control,
+            "shed",
+            t(500),
+            vec![("request", ArgValue::U64(3))],
+        );
+        rec.span(
+            Lane::Stage {
+                name: "fingerprint".to_string(),
+            },
+            "service",
+            t(600),
+            t(700),
+            vec![("queue_wait_ns", ArgValue::U64(42))],
+        );
+        rec.finish_report().records
+    }
+
+    #[test]
+    fn export_is_schema_valid_and_deterministic() {
+        let records = sample_records();
+        let json = chrome_trace_json(&records);
+        assert_eq!(json, chrome_trace_json(&records));
+        let check = validate_chrome_trace(&json).unwrap();
+        assert_eq!(check.spans, 4);
+        assert_eq!(check.instants, 1);
+        assert!(check.metadata >= 4, "process + thread names expected");
+        // All four lane categories present.
+        for cat in ["request", "device", "stage", "control"] {
+            assert!(
+                json.contains(&format!("\"cat\": \"{cat}\"")),
+                "missing {cat}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_and_sequential_spans_emit_matched_pairs() {
+        let mut rec = TraceRecorder::new(&TelemetryConfig::enabled());
+        let lane = Lane::Request { id: 7 };
+        // Inner recorded before outer; zero-width span; back-to-back
+        // boundary sharing — all must stay well-formed.
+        rec.span(lane.clone(), "inner", t(20), t(30), vec![]);
+        rec.span(lane.clone(), "outer", t(10), t(50), vec![]);
+        rec.span(lane.clone(), "zero", t(50), t(50), vec![]);
+        rec.span(lane.clone(), "next", t(50), t(60), vec![]);
+        let json = chrome_trace_json(&rec.finish_report().records);
+        let check = validate_chrome_trace(&json).unwrap();
+        assert_eq!(check.spans, 4);
+    }
+
+    #[test]
+    fn validator_rejects_broken_traces() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("[{\"ph\": \"B\"}]").is_err());
+        // Backwards ts.
+        let back = r#"[
+          {"name": "a", "ph": "i", "s": "t", "ts": 5.0, "pid": 1, "tid": 1},
+          {"name": "b", "ph": "i", "s": "t", "ts": 4.0, "pid": 1, "tid": 1}
+        ]"#;
+        assert!(validate_chrome_trace(back)
+            .unwrap_err()
+            .contains("backwards"));
+        // Unmatched B.
+        let open = r#"[{"name": "a", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1, "args": {}}]"#;
+        assert!(validate_chrome_trace(open)
+            .unwrap_err()
+            .contains("never ends"));
+        // E without B.
+        let stray = r#"[{"name": "a", "ph": "E", "ts": 1.0, "pid": 1, "tid": 1}]"#;
+        assert!(validate_chrome_trace(stray)
+            .unwrap_err()
+            .contains("no open span"));
+        // Mismatched names.
+        let cross = r#"[
+          {"name": "a", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1, "args": {}},
+          {"name": "b", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1}
+        ]"#;
+        assert!(validate_chrome_trace(cross)
+            .unwrap_err()
+            .contains("does not match"));
+    }
+
+    #[test]
+    fn dump_json_writes_when_env_set_and_skips_when_unset() {
+        let var = "SHREDDER_TELEMETRY_TEST_DUMP";
+        std::env::remove_var(var);
+        assert_eq!(dump_json(var, "{}"), None);
+        let path = std::env::temp_dir().join("shredder_telemetry_dump_test.json");
+        let path_str = path.to_string_lossy().to_string();
+        std::env::set_var(var, &path_str);
+        assert_eq!(dump_json(var, "{\"ok\": true}"), Some(path_str.clone()));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\": true}");
+        std::env::remove_var(var);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -38,6 +38,10 @@
 //!   restore, and mark-and-sweep GC with segment compaction. Fed
 //!   in-simulation by [`core::StoreSink`]; the Inc-HDFS DataNodes and
 //!   the backup site are its clients.
+//! * [`telemetry`] — in-simulation tracing and metrics: sim-time spans
+//!   and instants on request/device/stage lanes, counters, gauges and
+//!   log-bucketed histograms, Chrome-trace export for Perfetto. Off by
+//!   default, with a zero-overhead-off contract.
 //! * [`workloads`] — seeded data/trace generators (mutations, VM images,
 //!   record datasets).
 //! * [`hdfs`] — Inc-HDFS: content-defined chunking for HDFS-style
@@ -191,4 +195,5 @@ pub use shredder_hdfs as hdfs;
 pub use shredder_mapreduce as mapreduce;
 pub use shredder_rabin as rabin;
 pub use shredder_store as store;
+pub use shredder_telemetry as telemetry;
 pub use shredder_workloads as workloads;

@@ -23,7 +23,7 @@
 
 use shredder::core::{
     capacity_search, AdmissionControl, ChunkRequest, EngineOutcome, FaultPlan, MemorySource,
-    ShredderConfig, ShredderEngine, ShredderService, SliceSource, Workload,
+    ShredderConfig, ShredderEngine, ShredderService, SliceSource, TelemetryConfig, Workload,
 };
 use shredder::des::Dur;
 use shredder::hash::{sha256, Digest};
@@ -341,7 +341,9 @@ proptest! {
 /// as JSON to the path named by `SHREDDER_FAULT_JSON` (no-op when
 /// unset). `SHREDDER_FAULT_SEED` selects the schedule; the CI
 /// fault-matrix job runs this under several seeds and uploads the
-/// dumps as artifacts.
+/// dumps as artifacts. When `SHREDDER_TRACE_JSON` also names a path,
+/// the same schedule reruns with telemetry on and its Chrome trace is
+/// dumped there too.
 #[test]
 fn fault_matrix_report_dump() {
     let seed: u64 = std::env::var("SHREDDER_FAULT_SEED")
@@ -381,9 +383,25 @@ fn fault_matrix_report_dump() {
         faulted.report.makespan.as_millis_f64(),
         base.report.makespan.as_millis_f64(),
     );
-    if let Ok(path) = std::env::var("SHREDDER_FAULT_JSON") {
-        std::fs::write(&path, &json)
-            .unwrap_or_else(|e| panic!("could not write fault JSON to {path}: {e}"));
+    if let Some(path) = shredder::telemetry::dump_json("SHREDDER_FAULT_JSON", &json) {
         println!("fault report written to {path}");
+    }
+
+    if std::env::var("SHREDDER_TRACE_JSON").is_ok_and(|p| !p.is_empty()) {
+        let traced = run_with(
+            &streams,
+            pool_config()
+                .with_faults(plan)
+                .with_telemetry(TelemetryConfig::enabled()),
+        );
+        let telemetry = traced
+            .report
+            .telemetry
+            .expect("telemetry-on run carries a report");
+        if let Some(path) =
+            shredder::telemetry::dump_json("SHREDDER_TRACE_JSON", &telemetry.to_chrome_json())
+        {
+            println!("chrome trace written to {path}");
+        }
     }
 }
