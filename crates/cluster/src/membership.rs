@@ -1,0 +1,292 @@
+//! Planned membership churn: nodes leaving and (re)joining the fleet.
+//!
+//! A [`MembershipPlan`] is the cluster-level sibling of
+//! [`FaultPlan`](shredder_core::FaultPlan): a deterministic schedule of
+//! [`MembershipEvent`]s in virtual time. *Planned* churn (drain a node,
+//! bring it back) lives here; *unplanned* node death rides the fleet's
+//! node-level fault plan, where a
+//! [`DeviceDeath`](shredder_core::FaultKind::DeviceDeath) targeting
+//! fleet slot `k` kills node `k` outright. The fleet merges both
+//! schedules into one membership timeline: every transition re-routes
+//! the ring and triggers bounded rebalancing, and a rejoin after a
+//! death additionally repairs the node's reassigned streams from
+//! surviving replicas.
+
+use serde::{Deserialize, Serialize};
+use shredder_core::{FaultKind, FaultPlan};
+use shredder_des::Dur;
+
+/// What a membership event does to the fleet's live set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipChange {
+    /// The node drains and leaves: its shards re-route to survivors and
+    /// the bytes they need move off before it is forgotten.
+    Leave,
+    /// An absent node (previously left, or dead via the fault plan)
+    /// rejoins the fleet and takes back its ring points. After a death
+    /// the rejoining node comes back *empty* and is repaired from
+    /// replicas; after a planned leave rebalancing simply flows back.
+    Join,
+}
+
+/// One scheduled membership transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipEvent {
+    /// Virtual-time offset from simulation start.
+    pub at: Dur,
+    /// Fleet slot of the node joining or leaving.
+    pub node: usize,
+    /// The transition.
+    pub change: MembershipChange,
+}
+
+/// A deterministic schedule of planned joins and leaves.
+///
+/// The default plan is empty: the fleet's membership never changes and
+/// runs are bit-identical to a config that never mentions membership.
+///
+/// # Examples
+///
+/// ```
+/// use shredder_cluster::MembershipPlan;
+/// use shredder_core::FaultPlan;
+/// use shredder_des::Dur;
+///
+/// let plan = MembershipPlan::new()
+///     .leave(Dur::from_millis(2), 1)
+///     .join(Dur::from_millis(6), 1);
+/// assert!(plan.check(3, &FaultPlan::new()).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MembershipPlan {
+    /// The scheduled transitions, in construction order. The fleet
+    /// applies them in virtual-time order; same-instant node deaths
+    /// (from the fault plan) apply before same-instant membership
+    /// events.
+    pub events: Vec<MembershipEvent>,
+}
+
+impl MembershipPlan {
+    /// An empty plan: membership never changes.
+    pub fn new() -> Self {
+        MembershipPlan::default()
+    }
+
+    /// True when the plan schedules no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled transitions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Schedules `node` to leave at `at`.
+    pub fn leave(mut self, at: Dur, node: usize) -> Self {
+        self.events.push(MembershipEvent {
+            at,
+            node,
+            change: MembershipChange::Leave,
+        });
+        self
+    }
+
+    /// Schedules `node` to (re)join at `at`.
+    pub fn join(mut self, at: Dur, node: usize) -> Self {
+        self.events.push(MembershipEvent {
+            at,
+            node,
+            change: MembershipChange::Join,
+        });
+        self
+    }
+
+    /// Validates the plan against a fleet of `nodes` slots whose
+    /// unplanned deaths come from `faults` (fleet-level: fault device
+    /// index = node slot). Checks, replaying the merged timeline:
+    ///
+    /// * every event targets an existing slot;
+    /// * a leave targets a live node, a join an absent one, a death
+    ///   (from `faults`) a live one;
+    /// * at least one node is live at every instant.
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn check(&self, nodes: usize, faults: &FaultPlan) -> Result<(), String> {
+        if nodes == 0 {
+            return Err("a fleet needs at least one node".to_string());
+        }
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.node >= nodes {
+                return Err(format!(
+                    "membership event {i} targets node {} but the fleet has {nodes} node(s)",
+                    ev.node
+                ));
+            }
+        }
+        let mut live = vec![true; nodes];
+        for (at, node, change) in merged_timeline(self, faults) {
+            match change {
+                Transition::Death => {
+                    if node >= nodes {
+                        return Err(format!(
+                            "fault plan kills node {node} but the fleet has {nodes} node(s)"
+                        ));
+                    }
+                    if !live[node] {
+                        return Err(format!(
+                            "fault plan kills node {node} at {at:?} but it is not live"
+                        ));
+                    }
+                    live[node] = false;
+                }
+                Transition::Leave => {
+                    if !live[node] {
+                        return Err(format!("node {node} leaves at {at:?} but it is not live"));
+                    }
+                    live[node] = false;
+                }
+                Transition::Join => {
+                    if live[node] {
+                        return Err(format!(
+                            "node {node} joins at {at:?} but it is already live"
+                        ));
+                    }
+                    live[node] = true;
+                }
+            }
+            if live.iter().all(|&l| !l) {
+                return Err(format!(
+                    "membership plan empties the fleet at {at:?}: no live node remains"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A single step of the merged membership timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Transition {
+    /// Unplanned node death from the fleet fault plan.
+    Death,
+    /// Planned leave.
+    Leave,
+    /// Planned (re)join.
+    Join,
+}
+
+/// Merges planned membership events with fault-plan node deaths into
+/// one `(time, node, transition)` timeline, sorted by time; ties break
+/// deaths-first, then construction order (stable sort over the
+/// concatenation). Node-level stragglers are not membership changes and
+/// do not appear.
+pub(crate) fn merged_timeline(
+    plan: &MembershipPlan,
+    faults: &FaultPlan,
+) -> Vec<(Dur, usize, Transition)> {
+    let mut timeline: Vec<(Dur, usize, Transition)> = faults
+        .events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            FaultKind::DeviceDeath { device } => Some((ev.at, device, Transition::Death)),
+            FaultKind::Straggler { .. } => None,
+        })
+        .collect();
+    timeline.extend(plan.events.iter().map(|ev| {
+        let t = match ev.change {
+            MembershipChange::Leave => Transition::Leave,
+            MembershipChange::Join => Transition::Join,
+        };
+        (ev.at, ev.node, t)
+    }));
+    timeline.sort_by_key(|&(at, _, _)| at);
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Dur {
+        Dur::from_millis(n)
+    }
+
+    #[test]
+    fn empty_plan_is_default_and_valid() {
+        assert_eq!(MembershipPlan::new(), MembershipPlan::default());
+        assert!(MembershipPlan::new().is_empty());
+        assert_eq!(MembershipPlan::new().len(), 0);
+        assert!(MembershipPlan::new().check(1, &FaultPlan::new()).is_ok());
+    }
+
+    #[test]
+    fn leave_then_rejoin_round_trip_validates() {
+        let plan = MembershipPlan::new().leave(ms(1), 2).join(ms(3), 2);
+        assert!(plan.check(3, &FaultPlan::new()).is_ok());
+    }
+
+    #[test]
+    fn rejoin_after_fault_death_validates() {
+        let faults = FaultPlan::new().device_death(ms(1), 0);
+        let plan = MembershipPlan::new().join(ms(4), 0);
+        assert!(plan.check(2, &faults).is_ok());
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected_with_reasons() {
+        let none = FaultPlan::new();
+        // Out-of-range slot.
+        assert!(MembershipPlan::new()
+            .leave(ms(1), 5)
+            .check(2, &none)
+            .is_err());
+        // Leave of an absent node.
+        let double = MembershipPlan::new().leave(ms(1), 0).leave(ms(2), 0);
+        assert!(double.check(2, &none).is_err());
+        // Join of a live node.
+        assert!(MembershipPlan::new()
+            .join(ms(1), 0)
+            .check(2, &none)
+            .is_err());
+        // Emptying the fleet.
+        let drain = MembershipPlan::new().leave(ms(1), 0).leave(ms(2), 1);
+        assert!(drain.check(2, &none).is_err());
+        // Death of a node that already left.
+        let faults = FaultPlan::new().device_death(ms(2), 0);
+        assert!(MembershipPlan::new()
+            .leave(ms(1), 0)
+            .check(2, &faults)
+            .is_err());
+        // Zero-node fleet.
+        assert!(MembershipPlan::new().check(0, &none).is_err());
+    }
+
+    #[test]
+    fn timeline_merges_deaths_and_membership_in_time_order() {
+        let faults = FaultPlan::new()
+            .straggler(ms(1), 1, 2.0) // not a membership change
+            .device_death(ms(2), 0);
+        let plan = MembershipPlan::new().leave(ms(1), 2).join(ms(5), 0);
+        let tl = merged_timeline(&plan, &faults);
+        assert_eq!(
+            tl,
+            vec![
+                (ms(1), 2, Transition::Leave),
+                (ms(2), 0, Transition::Death),
+                (ms(5), 0, Transition::Join),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_instant_death_applies_before_membership() {
+        let faults = FaultPlan::new().device_death(ms(3), 1);
+        let plan = MembershipPlan::new().join(ms(3), 1);
+        let tl = merged_timeline(&plan, &faults);
+        assert_eq!(tl[0].2, Transition::Death);
+        assert_eq!(tl[1].2, Transition::Join);
+        // And the replay accepts death-then-rejoin at one instant.
+        assert!(plan.check(2, &faults).is_ok());
+    }
+}

@@ -1,0 +1,244 @@
+//! Fleet-level observability: per-node and cluster-wide accounting.
+//!
+//! A [`FleetReport`] is to a [`ShredderFleet`](crate::ShredderFleet)
+//! what an [`EngineReport`](shredder_core::EngineReport) is to one
+//! engine: every number a scaling or availability claim rests on, in
+//! one serializable value. Per-node ingest and latency tails live in
+//! [`NodeReport`]s; the cross-node effects the fleet exists to measure
+//! — replication amplification, rebalance traffic, repair traffic,
+//! content duplicated across shards — get their own sub-reports.
+
+use serde::{Deserialize, Serialize};
+use shredder_des::{Dur, SimTime};
+use shredder_telemetry::TelemetryReport;
+
+/// One node's share of a fleet run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Fleet slot of this node.
+    pub node: usize,
+    /// Requests the router sent here.
+    pub routed: usize,
+    /// Requests that completed chunking and committed.
+    pub completed: usize,
+    /// Requests shed by this node's admission control.
+    pub shed: usize,
+    /// Requests lost in flight when the node died (arrived before the
+    /// death, would have completed after it).
+    pub lost: usize,
+    /// Completions per second of fleet makespan.
+    pub achieved_rps: f64,
+    /// Median request latency (arrival → done). Zero with no
+    /// completions.
+    pub p50: Dur,
+    /// 95th-percentile request latency.
+    pub p95: Dur,
+    /// 99th-percentile request latency.
+    pub p99: Dur,
+    /// Logical bytes ingested (before dedup).
+    pub ingest_bytes: u64,
+    /// Unique bytes after intra-node dedup (what the local store
+    /// actually wrote from ingest).
+    pub new_bytes: u64,
+    /// Ingested bytes that deduplicated against the local store.
+    pub dedup_bytes: u64,
+    /// Bytes this node's NIC shipped for replication.
+    pub replication_out_bytes: u64,
+    /// Bytes this node's NIC shipped for rebalancing.
+    pub rebalance_out_bytes: u64,
+    /// Bytes this node's NIC shipped repairing rejoined peers.
+    pub repair_out_bytes: u64,
+    /// Busy time of the node's egress link.
+    pub nic_busy: Dur,
+    /// When the node died (fault-plan death), if it did.
+    pub died_at: Option<SimTime>,
+    /// When the node left (planned), if it did.
+    pub left_at: Option<SimTime>,
+    /// When the node (re)joined, if it did.
+    pub rejoined_at: Option<SimTime>,
+}
+
+/// Replication-layer accounting for one fleet run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReplicationReport {
+    /// Replication factor in effect (total copies, primary included).
+    pub factor: usize,
+    /// Segment shipments scheduled (one per committed generation per
+    /// replica target).
+    pub shipments: usize,
+    /// Shipments whose install completed.
+    pub completed: usize,
+    /// Shipments aborted because the source died or the target
+    /// died/left before the transfer landed.
+    pub aborted: usize,
+    /// Logical bytes the completed shipments covered (manifest bytes —
+    /// what a dedup-blind replicator would have moved).
+    pub logical_bytes: u64,
+    /// Physical bytes actually moved (chunks missing at the target at
+    /// ship time).
+    pub physical_bytes: u64,
+}
+
+impl ReplicationReport {
+    /// Physical savings of dedup-aware replication: moved / covered, in
+    /// `[0, 1]`. `1.0` when nothing was covered.
+    pub fn physical_fraction(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 1.0;
+        }
+        self.physical_bytes as f64 / self.logical_bytes as f64
+    }
+}
+
+/// Rebalancing accounting across every membership transition.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RebalanceReport {
+    /// Membership transitions that triggered a rebalance pass.
+    pub events: usize,
+    /// Stream reassignments that moved data.
+    pub streams_moved: usize,
+    /// Physical bytes moved by rebalancing.
+    pub bytes_moved: u64,
+    /// The worst single transition's moved fraction: bytes moved over
+    /// live stored bytes at that instant. Consistent hashing bounds the
+    /// *expected* value near `1/N`.
+    pub max_moved_fraction: f64,
+}
+
+/// Repair accounting (rejoins after a death, restored from replicas).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RepairSummary {
+    /// Rejoin-after-death events that ran a repair pass.
+    pub events: usize,
+    /// Snapshot manifests re-installed on rejoined nodes.
+    pub snapshots_installed: usize,
+    /// Chunk payloads copied from replicas.
+    pub chunks_copied: usize,
+    /// Physical bytes those copies moved.
+    pub bytes_copied: u64,
+}
+
+/// Aggregate report of one fleet run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-node accounting, one entry per fleet slot.
+    pub nodes: Vec<NodeReport>,
+    /// End-to-end simulated time: first arrival → last completion
+    /// (ingest or inter-node transfer, whichever lands last).
+    pub makespan: Dur,
+    /// Requests offered per second of makespan.
+    pub offered_rps: f64,
+    /// Requests completed per second of makespan.
+    pub achieved_rps: f64,
+    /// Requests completed fleet-wide.
+    pub completed: usize,
+    /// Requests shed fleet-wide.
+    pub shed: usize,
+    /// Requests lost to node deaths fleet-wide.
+    pub lost: usize,
+    /// Fleet-wide median request latency.
+    pub p50: Dur,
+    /// Fleet-wide 95th-percentile request latency.
+    pub p95: Dur,
+    /// Fleet-wide 99th-percentile request latency.
+    pub p99: Dur,
+    /// Logical bytes ingested fleet-wide.
+    pub ingest_bytes: u64,
+    /// Unique bytes after intra-node dedup, summed over nodes.
+    pub new_bytes: u64,
+    /// Bytes that deduplicated inside their own node.
+    pub intra_node_dedup_bytes: u64,
+    /// Bytes resident on more than one node *before* replication ran:
+    /// content the sharding split across shards, so per-node dedup
+    /// could not catch it. Sharding by stream key keeps this low for
+    /// stream-local redundancy; this field is the measurement.
+    pub cross_node_duplicate_bytes: u64,
+    /// Replication-layer accounting.
+    pub replication: ReplicationReport,
+    /// Rebalancing accounting.
+    pub rebalance: RebalanceReport,
+    /// Repair accounting.
+    pub repair: RepairSummary,
+    /// Fleet-level trace (Node-lane spans for every inter-node
+    /// transfer, instants for membership transitions). `Some` only when
+    /// the fleet config enabled telemetry.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+impl FleetReport {
+    /// Cross-node dedup hit rate: the fraction of per-node unique bytes
+    /// that a fleet-global index would have deduplicated away, in
+    /// `[0, 1]`. Zero when nodes share no content.
+    pub fn cross_node_dup_fraction(&self) -> f64 {
+        if self.new_bytes == 0 {
+            return 0.0;
+        }
+        self.cross_node_duplicate_bytes as f64 / self.new_bytes as f64
+    }
+
+    /// Replication write amplification: physical bytes written
+    /// fleet-wide (primary ingest + replica copies) over primary ingest
+    /// alone. `1.0` means replication moved nothing; a dedup-blind
+    /// factor-R replicator approaches `R`.
+    pub fn replication_amplification(&self) -> f64 {
+        if self.new_bytes == 0 {
+            return 1.0;
+        }
+        (self.new_bytes + self.replication.physical_bytes) as f64 / self.new_bytes as f64
+    }
+
+    /// The report of one node by fleet slot.
+    pub fn node(&self, node: usize) -> Option<&NodeReport> {
+        self.nodes.iter().find(|n| n.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios_guard_zero_denominators() {
+        let empty = FleetReport::default();
+        assert_eq!(empty.cross_node_dup_fraction(), 0.0);
+        assert_eq!(empty.replication_amplification(), 1.0);
+        assert_eq!(ReplicationReport::default().physical_fraction(), 1.0);
+    }
+
+    #[test]
+    fn amplification_counts_replica_copies_over_primary_bytes() {
+        let report = FleetReport {
+            new_bytes: 1000,
+            replication: ReplicationReport {
+                factor: 2,
+                physical_bytes: 600,
+                logical_bytes: 1000,
+                ..ReplicationReport::default()
+            },
+            cross_node_duplicate_bytes: 250,
+            ..FleetReport::default()
+        };
+        assert!((report.replication_amplification() - 1.6).abs() < 1e-12);
+        assert!((report.cross_node_dup_fraction() - 0.25).abs() < 1e-12);
+        assert!((report.replication.physical_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_lookup_is_by_slot() {
+        let report = FleetReport {
+            nodes: vec![
+                NodeReport {
+                    node: 0,
+                    ..NodeReport::default()
+                },
+                NodeReport {
+                    node: 2,
+                    ..NodeReport::default()
+                },
+            ],
+            ..FleetReport::default()
+        };
+        assert_eq!(report.node(2).unwrap().node, 2);
+        assert!(report.node(1).is_none());
+    }
+}

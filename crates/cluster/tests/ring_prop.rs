@@ -1,0 +1,131 @@
+//! Property tests pinning the hash ring's load-bearing guarantees.
+//!
+//! The rebalancer's bounded-data-movement claim rests entirely on the
+//! ring: adding or removing one node of `N` may remap only the keys
+//! that node owns — an expected `1/N` fraction, concentrated by the
+//! virtual points. These properties pin that bound (with a
+//! concentration allowance), plus determinism and replica-set shape,
+//! over arbitrary seeds and memberships.
+
+use proptest::prelude::*;
+use shredder_cluster::HashRing;
+
+const VNODES: usize = 128;
+const KEYS: usize = 1500;
+
+/// Concentration allowance over the expected `1/N` remap fraction.
+/// With 128 vnodes the removed node's arc share concentrates tightly
+/// around its mean; 0.12 gives ~4 standard deviations of headroom so
+/// the bound never flakes while still catching a broken ring (naive
+/// modulo hashing remaps ~1/2 of all keys, far past any ε here).
+const EPSILON: f64 = 0.12;
+
+fn keys() -> Vec<String> {
+    (0..KEYS)
+        .map(|i| format!("tenant-{}/stream-{i}", i % 37))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Removing one node of `N` remaps at most `~(1/N + ε)` of keys,
+    /// and every remapped key belonged to the removed node.
+    #[test]
+    fn removal_remaps_a_bounded_fraction(
+        seed in any::<u64>(),
+        nodes in 2usize..9,
+        victim_ix in 0usize..8,
+    ) {
+        let victim = victim_ix % nodes;
+        let mut ring = HashRing::with_nodes(seed, VNODES, nodes);
+        let ks = keys();
+        let before: Vec<usize> = ks.iter().map(|k| ring.route(k).unwrap()).collect();
+        ring.remove_node(victim);
+        let mut remapped = 0usize;
+        for (k, &owner) in ks.iter().zip(&before) {
+            let now = ring.route(k).unwrap();
+            if now != owner {
+                prop_assert_eq!(owner, victim, "key {} moved off a surviving node", k);
+                remapped += 1;
+            }
+        }
+        let fraction = remapped as f64 / ks.len() as f64;
+        let bound = 1.0 / nodes as f64 + EPSILON;
+        prop_assert!(
+            fraction <= bound,
+            "removal remapped {:.3} of keys, bound {:.3} (N={})",
+            fraction, bound, nodes
+        );
+    }
+
+    /// Adding one node to `N` remaps at most `~(1/(N+1) + ε)` of keys,
+    /// and every remapped key lands on the new node.
+    #[test]
+    fn addition_remaps_a_bounded_fraction(
+        seed in any::<u64>(),
+        nodes in 1usize..8,
+    ) {
+        let mut ring = HashRing::with_nodes(seed, VNODES, nodes);
+        let ks = keys();
+        let before: Vec<usize> = ks.iter().map(|k| ring.route(k).unwrap()).collect();
+        ring.add_node(nodes);
+        let mut remapped = 0usize;
+        for (k, &owner) in ks.iter().zip(&before) {
+            let now = ring.route(k).unwrap();
+            if now != owner {
+                prop_assert_eq!(now, nodes, "key {} moved between old nodes", k);
+                remapped += 1;
+            }
+        }
+        let fraction = remapped as f64 / ks.len() as f64;
+        let bound = 1.0 / (nodes + 1) as f64 + EPSILON;
+        prop_assert!(
+            fraction <= bound,
+            "addition remapped {:.3} of keys, bound {:.3} (N={})",
+            fraction, bound, nodes
+        );
+    }
+
+    /// Routing is a pure function of `(seed, vnodes, membership set)`:
+    /// two rings built through different membership histories agree on
+    /// every key, and an independently rebuilt ring agrees too.
+    #[test]
+    fn routing_is_deterministic_and_history_free(
+        seed in any::<u64>(),
+        nodes in 2usize..7,
+        churn in 0usize..6,
+    ) {
+        let churn = churn % nodes;
+        let direct = HashRing::with_nodes(seed, VNODES, nodes);
+        let rebuilt = HashRing::with_nodes(seed, VNODES, nodes);
+        let mut churned = HashRing::with_nodes(seed, VNODES, nodes);
+        churned.remove_node(churn);
+        churned.add_node(churn);
+        prop_assert_eq!(&direct, &rebuilt);
+        prop_assert_eq!(&direct, &churned);
+        for k in keys().iter().take(300) {
+            prop_assert_eq!(direct.route(k), churned.route(k));
+        }
+    }
+
+    /// Replica sets are primary-led, distinct, and capped by the node
+    /// count, for every key and factor.
+    #[test]
+    fn replica_sets_are_distinct_and_primary_led(
+        seed in any::<u64>(),
+        nodes in 1usize..7,
+        factor in 1usize..5,
+    ) {
+        let ring = HashRing::with_nodes(seed, VNODES, nodes);
+        for k in keys().iter().take(200) {
+            let reps = ring.replicas(k, factor);
+            prop_assert_eq!(reps.len(), factor.min(nodes));
+            prop_assert_eq!(reps[0], ring.route(k).unwrap());
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), reps.len(), "duplicate replica for {}", k);
+        }
+    }
+}

@@ -150,27 +150,21 @@ impl FaultPlan {
     /// is converted into a straggler instead.
     pub fn random(seed: u64, gpus: usize, horizon: Dur) -> Self {
         assert!(gpus > 0, "fault plan needs at least one device");
-        let mut state = (seed ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
-        };
+        let mut rng = shredder_hash::mix::SeededRng::new(seed);
         let horizon_ns = horizon.as_nanos().max(1);
-        let count = 1 + (next() % 3) as usize;
+        let count = 1 + rng.next_below(3) as usize;
         let mut deaths = vec![false; gpus];
         let mut plan = FaultPlan::new();
         for _ in 0..count {
-            let at = Dur::from_nanos(next() % horizon_ns);
-            let device = (next() % gpus as u64) as usize;
-            let want_death = next() % 3 == 0;
+            let at = Dur::from_nanos(rng.next_below(horizon_ns));
+            let device = rng.next_below(gpus as u64) as usize;
+            let want_death = rng.next_below(3) == 0;
             let survivors = deaths.iter().filter(|&&d| !d).count();
             if want_death && (survivors > 1 || deaths[device]) {
                 deaths[device] = true;
                 plan = plan.device_death(at, device);
             } else {
-                let slowdown = 1.5 + (next() % 6) as f64 * 0.5;
+                let slowdown = 1.5 + rng.next_below(6) as f64 * 0.5;
                 plan = plan.straggler(at, device, slowdown);
             }
         }

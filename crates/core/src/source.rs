@@ -48,6 +48,16 @@ impl<S: StreamSource + ?Sized> StreamSource for &mut S {
     }
 }
 
+impl<S: StreamSource + ?Sized> StreamSource for Box<S> {
+    fn read(&mut self, buf: &mut [u8]) -> usize {
+        (**self).read(buf)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        (**self).size_hint()
+    }
+}
+
 /// A source borrowing an in-memory stream.
 #[derive(Debug, Clone)]
 pub struct SliceSource<'a> {

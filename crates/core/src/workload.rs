@@ -30,27 +30,16 @@
 //! bandwidth cap).
 
 use shredder_des::{Dur, SimTime};
+use shredder_hash::mix::SeededRng;
 
 use crate::engine::AdmissionPolicy;
 
-/// A deterministic xorshift64* state for exponential sampling. No
-/// wall-clock entropy: the same seed always yields the same arrival
-/// sequence, so service runs replay bit-identically.
-fn xorshift_next(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *state = x;
-    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-}
-
-/// One exponential inter-arrival gap at `rate` requests/s.
-fn exponential_gap(state: &mut u64, rate: f64) -> Dur {
-    // 53 mantissa bits, offset by half a ulp so u ∈ (0, 1): ln never
-    // sees 0.
-    let u = ((xorshift_next(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
-    Dur::from_secs_f64(-u.ln() / rate)
+/// One exponential inter-arrival gap at `rate` requests/s, drawn from
+/// the shared deterministic sampler (no wall-clock entropy: the same
+/// seed always yields the same arrival sequence, so service runs
+/// replay bit-identically).
+fn exponential_gap(rng: &mut SeededRng, rate: f64) -> Dur {
+    Dur::from_secs_f64(-rng.next_unit_open().ln() / rate)
 }
 
 /// How requests arrive at a [`ShredderService`](crate::ShredderService).
@@ -119,40 +108,61 @@ impl Workload {
     /// Resolves the workload into a concrete arrival schedule for `n`
     /// requests.
     pub(crate) fn schedule(&self, n: usize) -> ArrivalSchedule {
+        match self.arrivals(n) {
+            Some(times) => ArrivalSchedule::Open(times),
+            None => match self {
+                Workload::ClosedLoop { clients, think } => ArrivalSchedule::Closed {
+                    clients: (*clients).max(1),
+                    think: *think,
+                },
+                _ => unreachable!("only closed loops lack absolute arrivals"),
+            },
+        }
+    }
+
+    /// Resolves an *open-loop* workload into absolute arrival instants
+    /// for `n` requests, in submit order.
+    ///
+    /// Returns `None` for [`Workload::ClosedLoop`]: closed-loop
+    /// arrivals depend on completions and cannot be precomputed. This
+    /// is the routing hook the cluster fleet uses — it splits one
+    /// global arrival stream across nodes while preserving every
+    /// request's absolute arrival time exactly (integer nanoseconds,
+    /// no re-sampling).
+    pub fn arrivals(&self, n: usize) -> Option<Vec<SimTime>> {
         match self {
-            Workload::Batch => ArrivalSchedule::Open(vec![SimTime::ZERO; n]),
+            Workload::Batch => Some(vec![SimTime::ZERO; n]),
             Workload::Poisson { rate_rps, seed } => {
-                // Splitmix-style seed scramble so nearby seeds (42, 43)
-                // land in unrelated xorshift orbits.
-                let mut state =
-                    (seed ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1;
-                xorshift_next(&mut state);
+                // The shared scramble keeps nearby seeds (42, 43) in
+                // unrelated xorshift orbits; one warm-up draw preserves
+                // the historical stream bit-for-bit.
+                let mut rng = SeededRng::new(*seed);
+                rng.next_u64();
                 let mut at = SimTime::ZERO;
-                let times = (0..n)
-                    .map(|_| {
-                        at += exponential_gap(&mut state, *rate_rps);
-                        at
-                    })
-                    .collect();
-                ArrivalSchedule::Open(times)
+                Some(
+                    (0..n)
+                        .map(|_| {
+                            at += exponential_gap(&mut rng, *rate_rps);
+                            at
+                        })
+                        .collect(),
+                )
             }
             Workload::Trace { gaps } => {
                 if gaps.is_empty() {
-                    return ArrivalSchedule::Open(vec![SimTime::ZERO; n]);
+                    return Some(vec![SimTime::ZERO; n]);
                 }
                 let mut at = SimTime::ZERO;
-                let times = (0..n)
-                    .map(|k| {
-                        at += gaps[k % gaps.len()];
-                        at
-                    })
-                    .collect();
-                ArrivalSchedule::Open(times)
+                Some(
+                    (0..n)
+                        .map(|k| {
+                            at += gaps[k % gaps.len()];
+                            at
+                        })
+                        .collect(),
+                )
             }
-            Workload::ClosedLoop { clients, think } => ArrivalSchedule::Closed {
-                clients: (*clients).max(1),
-                think: *think,
-            },
+            Workload::ClosedLoop { .. } => None,
         }
     }
 }
@@ -362,6 +372,20 @@ mod tests {
             ArrivalSchedule::Open(t) => assert_eq!(t, vec![SimTime::ZERO; 3]),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn arrivals_match_schedule_and_reject_closed_loops() {
+        let w = Workload::poisson(500.0, 7);
+        let direct = w.arrivals(100).expect("open loop has arrivals");
+        match w.schedule(100) {
+            ArrivalSchedule::Open(t) => assert_eq!(t, direct),
+            _ => panic!("poisson must resolve to open arrivals"),
+        }
+        assert_eq!(
+            Workload::closed_loop(2, Dur::from_millis(1)).arrivals(10),
+            None
+        );
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! [SHA-256](fn@sha256) implementation used to compute collision-resistant
 //! chunk fingerprints (the paper's Store thread "computes a hash for the
 //! overall chunk", §7.2), a fast non-cryptographic [FNV-1a](fnv) hash used
-//! by in-memory dedup indexes, and the [`Digest`] newtype that the rest of
-//! the workspace uses as a chunk identity.
+//! by in-memory dedup indexes, the [`Digest`] newtype that the rest of
+//! the workspace uses as a chunk identity, and the shared seeded-hash /
+//! deterministic-PRNG utilities ([`mix`]) behind every reproducible
+//! pseudo-random stream in the simulation (workload arrivals, fault
+//! plans, gear tables, the cluster hash ring).
 //!
 //! SHA-256 is implemented here because the offline dependency set contains
 //! no cryptographic hash crate; it is tested against the NIST FIPS 180-4
@@ -29,8 +32,10 @@
 
 pub mod digest;
 pub mod fnv;
+pub mod mix;
 pub mod sha256;
 
 pub use digest::Digest;
 pub use fnv::{fnv1a_32, fnv1a_64, Fnv1a64};
+pub use mix::{scramble_seed, splitmix64, SeededRng};
 pub use sha256::{sha256, Sha256};

@@ -1,0 +1,174 @@
+//! Shared seeded-hash and deterministic PRNG utilities.
+//!
+//! Three independent copies of the same seeding idiom used to live in
+//! the workspace: the workload sampler's xorshift64* stream
+//! ([`Workload::Poisson`](https://docs.rs/shredder-core)), the fault
+//! plan generator, and the gear-table splitmix64 derivation. They are
+//! consolidated here so every seeded stream in the simulation draws
+//! from one audited implementation — and so new consumers (the cluster
+//! hash ring) do not grow a fourth copy.
+//!
+//! Everything in this module is a pure function of its inputs: no
+//! wall-clock entropy, no global state. The same seed always yields
+//! the same stream, which is what makes whole-fleet simulations replay
+//! bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use shredder_hash::mix::SeededRng;
+//!
+//! let mut a = SeededRng::new(42);
+//! let mut b = SeededRng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let u = a.next_unit_open();
+//! assert!(u > 0.0 && u < 1.0);
+//! ```
+
+/// The golden-ratio increment used by splitmix64 and the seed
+/// scrambler (⌊2^64 / φ⌋, forced odd).
+pub const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Scrambles a user-facing seed into an xorshift64* state.
+///
+/// Nearby seeds (42, 43) must land in unrelated orbits, and xorshift
+/// forbids the all-zero state — hence the splitmix-style multiply and
+/// the forced low bit.
+#[must_use]
+pub fn scramble_seed(seed: u64) -> u64 {
+    (seed ^ GOLDEN_GAMMA).wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1
+}
+
+/// One step of splitmix64: advances `state` by [`GOLDEN_GAMMA`] and
+/// returns the mixed output.
+///
+/// This is the table-derivation generator (gear tables, telemetry
+/// sampling); for request-level streams prefer [`SeededRng`].
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xorshift64* generator seeded through
+/// [`scramble_seed`].
+///
+/// This is the one PRNG every seeded stream in the simulation uses:
+/// workload inter-arrival sampling, fault-plan generation, and any
+/// future consumer that needs reproducible pseudo-randomness. It is
+/// deliberately *not* a [`rand`](https://docs.rs/rand) RNG: the exact
+/// bit stream is part of the repository's determinism contract and
+/// must not change underneath a dependency upgrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// A generator over the scrambled orbit of `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            state: scramble_seed(seed),
+        }
+    }
+
+    /// The next 64-bit output (xorshift64* step).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform draw in the *open* interval (0, 1): 53 mantissa bits,
+    /// offset by half a ulp so `ln` never sees zero.
+    pub fn next_unit_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw in `[0, bound)` by modulo reduction.
+    ///
+    /// The tiny modulo bias is irrelevant for simulation scheduling and
+    /// keeping the historical reduction preserves every existing seeded
+    /// stream bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below needs a positive bound");
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_separates_nearby_seeds_and_is_never_zero() {
+        assert_ne!(scramble_seed(42), scramble_seed(43));
+        // The forced low bit keeps xorshift's zero state unreachable.
+        for seed in 0..256u64 {
+            assert_ne!(scramble_seed(seed), 0);
+            assert_eq!(scramble_seed(seed) & 1, 1);
+        }
+    }
+
+    #[test]
+    fn seeded_rng_replays_and_diverges_across_seeds() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        let mut c = SeededRng::new(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_open_stays_strictly_inside_the_interval() {
+        let mut rng = SeededRng::new(1);
+        for _ in 0..10_000 {
+            let u = rng.next_unit_open();
+            assert!(u > 0.0 && u < 1.0, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SeededRng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn next_below_zero_panics() {
+        SeededRng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 from the canonical
+        // splitmix64 (Steele, Lea & Flood; same constants as
+        // java.util.SplittableRandom).
+        let mut state = 1234567u64;
+        let out: Vec<u64> = (0..3).map(|_| splitmix64(&mut state)).collect();
+        assert_eq!(
+            out,
+            vec![
+                0x599e_d017_fb08_fc85,
+                0x2c73_f084_5854_0fa5,
+                0x883e_bce5_a3f2_7c77
+            ]
+        );
+    }
+}

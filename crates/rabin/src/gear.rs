@@ -186,11 +186,7 @@ pub fn gear_table(seed: u64) -> [u64; 256] {
     let mut state = seed;
     let mut table = [0u64; 256];
     for entry in table.iter_mut() {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        *entry = z ^ (z >> 31);
+        *entry = shredder_hash::mix::splitmix64(&mut state);
     }
     table
 }

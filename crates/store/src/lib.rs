@@ -73,5 +73,6 @@ pub use index::{ChunkIndex, DedupIndex};
 pub use manifest::{ManifestEntry, SnapshotManifest};
 pub use segment::ChunkLoc;
 pub use store::{
-    ChunkStore, GcReport, RecoveryReport, ScrubReport, StoreConfig, StoreError, StoreReport,
+    ChunkStore, GcReport, RecoveryReport, RepairReport, ScrubReport, StoreConfig, StoreError,
+    StoreReport,
 };

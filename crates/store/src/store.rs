@@ -153,6 +153,39 @@ pub struct RecoveryReport {
     pub dropped_bytes: u64,
 }
 
+/// Outcome of one [`ChunkStore::repair_from`] pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Snapshot manifests installed from the peer (missing locally).
+    pub snapshots_installed: usize,
+    /// Streams that gained at least one installed snapshot, sorted.
+    pub streams_repaired: Vec<String>,
+    /// Chunk payloads copied from the peer (digest-verified on copy).
+    pub chunks_copied: usize,
+    /// Payload bytes those copies moved — the physical repair traffic a
+    /// real cluster would ship over the wire.
+    pub bytes_copied: u64,
+    /// Referenced chunks that were already resident locally (dedup
+    /// against the survivor's own inventory; no bytes moved).
+    pub chunks_already_present: usize,
+}
+
+impl RepairReport {
+    /// Folds `other` into `self` — counters add, repaired-stream lists
+    /// merge (sorted, deduplicated). Lets a caller aggregate many
+    /// per-snapshot [`ChunkStore::install_snapshot`] reports into one
+    /// repair-pass summary.
+    pub fn absorb(&mut self, other: RepairReport) {
+        self.snapshots_installed += other.snapshots_installed;
+        self.chunks_copied += other.chunks_copied;
+        self.bytes_copied += other.bytes_copied;
+        self.chunks_already_present += other.chunks_already_present;
+        self.streams_repaired.extend(other.streams_repaired);
+        self.streams_repaired.sort();
+        self.streams_repaired.dedup();
+    }
+}
+
 /// Aggregate store observability.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreReport {
@@ -371,6 +404,20 @@ impl ChunkStore {
     /// Number of distinct chunks stored.
     pub fn chunk_count(&self) -> usize {
         self.index.len()
+    }
+
+    /// The store's full chunk inventory — every resident `(digest,
+    /// payload length)` pair, sorted by digest. This is what cross-store
+    /// dedup analysis needs: duplicate bytes between two nodes are the
+    /// lengths of the digests their inventories share.
+    pub fn chunk_inventory(&self) -> Vec<(Digest, u64)> {
+        let mut out: Vec<(Digest, u64)> = self
+            .index
+            .iter()
+            .map(|(digest, loc)| (*digest, loc.byte_len()))
+            .collect();
+        out.sort_unstable_by_key(|(digest, _)| *digest);
+        out
     }
 
     /// Bytes resident in segments (live chunks plus dead bytes GC has
@@ -803,6 +850,132 @@ impl ChunkStore {
         report
     }
 
+    /// Replica repair: rebuilds this store's missing snapshots from a
+    /// peer replica — the entry point a rejoining cluster node uses
+    /// after losing its local state.
+    ///
+    /// Every peer snapshot absent locally (matched by stream name *and*
+    /// generation number) is installed under the same generation, and
+    /// every chunk its manifest references that this store does not
+    /// hold is copied over, digest-verified on the way in. Chunks the
+    /// survivor already holds are deduplicated (counted, not copied),
+    /// so repair traffic is bounded by the genuinely lost bytes.
+    /// Snapshots that already exist locally are left untouched.
+    ///
+    /// The pass is deterministic: peers are walked in stream/generation
+    /// order, so repairing the same pair of stores always produces the
+    /// same [`RepairReport`] and the same post-repair state.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingChunk`] if the peer's manifest references a
+    /// chunk the peer itself no longer holds, and
+    /// [`StoreError::CorruptChunk`] if a copied payload fails digest or
+    /// length verification. The failing snapshot is not installed;
+    /// snapshots installed before the failure remain (each snapshot is
+    /// repaired atomically, the pass is resumable).
+    pub fn repair_from(&mut self, peer: &ChunkStore) -> Result<RepairReport, StoreError> {
+        let mut report = RepairReport::default();
+        let targets: Vec<(String, u64)> = peer
+            .streams
+            .iter()
+            .flat_map(|(stream, state)| {
+                state
+                    .snapshots
+                    .keys()
+                    .map(move |&generation| (stream.clone(), generation))
+            })
+            .collect();
+        for (stream, generation) in targets {
+            report.absorb(self.install_snapshot(&stream, generation, peer)?);
+        }
+        Ok(report)
+    }
+
+    /// Installs one of `peer`'s snapshots — `generation` of `stream` —
+    /// into this store, copying (digest-verified) whatever chunks its
+    /// manifest references that this store does not hold. The snapshot
+    /// lands under the *same* generation number, and the stream's
+    /// generation counter advances past it, so primary and replica
+    /// numbering stay aligned. A no-op (default report) when this store
+    /// already holds that generation.
+    ///
+    /// This is the single-shipment building block of
+    /// [`repair_from`](Self::repair_from): a replication layer calls it
+    /// once per committed segment shipment, repair calls it for every
+    /// snapshot a rejoined node is missing.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] / [`StoreError::UnknownGeneration`]
+    /// if `peer` does not hold the requested snapshot,
+    /// [`StoreError::MissingChunk`] if its manifest references a chunk
+    /// `peer` no longer holds, and [`StoreError::CorruptChunk`] if a
+    /// copied payload fails digest or length verification. On error
+    /// nothing is installed (chunks are verified before any state
+    /// changes).
+    pub fn install_snapshot(
+        &mut self,
+        stream: &str,
+        generation: u64,
+        peer: &ChunkStore,
+    ) -> Result<RepairReport, StoreError> {
+        let manifest = peer
+            .streams
+            .get(stream)
+            .ok_or_else(|| StoreError::UnknownStream(stream.to_string()))?
+            .snapshots
+            .get(&generation)
+            .ok_or_else(|| StoreError::UnknownGeneration {
+                stream: stream.to_string(),
+                generation,
+            })?;
+        let mut report = RepairReport::default();
+        if self
+            .streams
+            .get(stream)
+            .is_some_and(|s| s.snapshots.contains_key(&generation))
+        {
+            return Ok(report);
+        }
+        // Verify-and-copy the missing payloads before touching local
+        // snapshot state, so a corrupt peer chunk cannot leave a
+        // half-installed manifest behind.
+        let mut incoming: Vec<(Digest, Bytes)> = Vec::new();
+        let mut seen = HashSet::new();
+        for entry in &manifest.entries {
+            if self.index.contains(&entry.digest) || !seen.insert(entry.digest) {
+                continue;
+            }
+            let loc = *peer
+                .index
+                .get(&entry.digest)
+                .ok_or(StoreError::MissingChunk(entry.digest))?;
+            let payload = peer
+                .log
+                .read(loc)
+                .ok_or(StoreError::MissingChunk(entry.digest))?;
+            if payload.len() != entry.len as usize || sha256(payload) != entry.digest {
+                return Err(StoreError::CorruptChunk(entry.digest));
+            }
+            incoming.push((entry.digest, Bytes::copy_from_slice(payload)));
+        }
+        report.chunks_already_present += manifest.entries.len().saturating_sub(incoming.len());
+        for (digest, payload) in incoming {
+            report.chunks_copied += 1;
+            report.bytes_copied += payload.len() as u64;
+            let loc = self.log.append(&payload);
+            self.index.insert(digest, loc);
+            self.logical_bytes += loc.byte_len();
+        }
+        let state = self.streams.entry(stream.to_string()).or_default();
+        state.snapshots.insert(generation, manifest.clone());
+        state.next_generation = state.next_generation.max(generation + 1);
+        report.snapshots_installed += 1;
+        report.streams_repaired.push(stream.to_string());
+        Ok(report)
+    }
+
     /// The aggregate store report.
     pub fn report(&self) -> StoreReport {
         StoreReport {
@@ -908,6 +1081,101 @@ mod tests {
         assert!(s.get(&Digest::ZERO).is_none());
         assert!(!s.contains(&Digest::ZERO));
         assert_eq!(s.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn repair_from_rebuilds_missing_snapshots_digest_verified() {
+        // Peer (the replica) holds two generations of "vm"; the local
+        // store (the rejoined node) is empty except for one shared
+        // chunk, which must dedup instead of copying.
+        let mut peer = ChunkStore::new();
+        let a = payload(1000, 3);
+        let b = payload(500, 7);
+        let da = peer.put(a.clone());
+        let db = peer.put(b.clone());
+        let g0 = peer.commit_snapshot("vm", &[(da, 1000)]).unwrap();
+        let g1 = peer
+            .commit_snapshot("vm", &[(da, 1000), (db, 500)])
+            .unwrap();
+
+        let mut local = ChunkStore::new();
+        local.put(a.clone()); // already resident → dedup, not copied
+        let report = local.repair_from(&peer).unwrap();
+        assert_eq!(report.snapshots_installed, 2);
+        assert_eq!(report.streams_repaired, vec!["vm".to_string()]);
+        assert_eq!(report.chunks_copied, 1); // only `b` moved
+        assert_eq!(report.bytes_copied, 500);
+        assert_eq!(report.chunks_already_present, 2); // `a` twice
+        assert_eq!(local.restore("vm", g0).unwrap(), a.to_vec());
+        assert_eq!(
+            local.restore("vm", g1).unwrap(),
+            [a.to_vec(), b.to_vec()].concat()
+        );
+        // Repair is idempotent and next_generation advanced past the
+        // installed ones.
+        let again = local.repair_from(&peer).unwrap();
+        assert_eq!(again, RepairReport::default());
+        let g2 = local.open_snapshot("vm");
+        assert!(g2 > g1);
+    }
+
+    #[test]
+    fn repair_from_rejects_corrupt_peer_chunks() {
+        let mut peer = ChunkStore::new();
+        let a = payload(800, 5);
+        let da = peer.put(a);
+        peer.commit_snapshot("vm", &[(da, 800)]).unwrap();
+        peer.corrupt_chunk(&da, 17);
+        let mut local = ChunkStore::new();
+        assert_eq!(local.repair_from(&peer), Err(StoreError::CorruptChunk(da)));
+        // Nothing half-installed.
+        assert_eq!(local.snapshot_count(), 0);
+        assert_eq!(local.chunk_count(), 0);
+    }
+
+    #[test]
+    fn install_snapshot_ships_one_generation_and_dedups() {
+        let mut peer = ChunkStore::new();
+        let a = payload(1000, 3);
+        let b = payload(500, 7);
+        let da = peer.put(a.clone());
+        let db = peer.put(b.clone());
+        let g0 = peer.commit_snapshot("vm", &[(da, 1000)]).unwrap();
+        let g1 = peer
+            .commit_snapshot("vm", &[(da, 1000), (db, 500)])
+            .unwrap();
+
+        let mut local = ChunkStore::new();
+        let r1 = local.install_snapshot("vm", g1, &peer).unwrap();
+        assert_eq!(r1.snapshots_installed, 1);
+        assert_eq!(r1.chunks_copied, 2);
+        assert_eq!(r1.bytes_copied, 1500);
+        assert_eq!(
+            local.restore("vm", g1).unwrap(),
+            [a.to_vec(), b.to_vec()].concat()
+        );
+        // The earlier generation ships later, dedups fully, and the
+        // generation counter already cleared it.
+        let r0 = local.install_snapshot("vm", g0, &peer).unwrap();
+        assert_eq!(r0.chunks_copied, 0);
+        assert_eq!(r0.chunks_already_present, 1);
+        assert_eq!(local.restore("vm", g0).unwrap(), a.to_vec());
+        // Reinstalling is a no-op; unknown handles are typed errors.
+        assert_eq!(
+            local.install_snapshot("vm", g1, &peer).unwrap(),
+            RepairReport::default()
+        );
+        assert!(matches!(
+            local.install_snapshot("vm", 99, &peer),
+            Err(StoreError::UnknownGeneration { .. })
+        ));
+        assert!(matches!(
+            local.install_snapshot("nope", 0, &peer),
+            Err(StoreError::UnknownStream(_))
+        ));
+        // Inventories now match: same digests, same lengths.
+        assert_eq!(local.chunk_inventory(), peer.chunk_inventory());
+        assert_eq!(local.chunk_inventory().len(), 2);
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn lane_track(lane: &Lane, stage_tids: &BTreeMap<&str, u64>) -> (u64, u64, &'sta
             name.clone(),
         ),
         Lane::Control => (4, 1, "control", "events".to_string()),
+        Lane::Node { node } => (5, node + 1, "nodes", format!("node {node}")),
     }
 }
 
@@ -82,6 +83,7 @@ fn lane_category(lane: &Lane) -> &'static str {
         Lane::Device { .. } => "device",
         Lane::Stage { .. } => "stage",
         Lane::Control => "control",
+        Lane::Node { .. } => "node",
     }
 }
 
@@ -673,6 +675,13 @@ mod tests {
             t(700),
             vec![("queue_wait_ns", ArgValue::U64(42))],
         );
+        rec.span(
+            Lane::Node { node: 1 },
+            "replicate",
+            t(700),
+            t(800),
+            vec![("bytes", ArgValue::U64(4096))],
+        );
         rec.finish_report().records
     }
 
@@ -682,16 +691,19 @@ mod tests {
         let json = chrome_trace_json(&records);
         assert_eq!(json, chrome_trace_json(&records));
         let check = validate_chrome_trace(&json).unwrap();
-        assert_eq!(check.spans, 4);
+        assert_eq!(check.spans, 5);
         assert_eq!(check.instants, 1);
-        assert!(check.metadata >= 4, "process + thread names expected");
-        // All four lane categories present.
-        for cat in ["request", "device", "stage", "control"] {
+        assert!(check.metadata >= 5, "process + thread names expected");
+        // All five lane categories present.
+        for cat in ["request", "device", "stage", "control", "node"] {
             assert!(
                 json.contains(&format!("\"cat\": \"{cat}\"")),
                 "missing {cat}"
             );
         }
+        // Node lanes render as their own process track.
+        assert!(json.contains("\"nodes\""));
+        assert!(json.contains("node 1"));
     }
 
     #[test]

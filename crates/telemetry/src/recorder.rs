@@ -130,6 +130,14 @@ pub enum Lane {
     /// Control-plane lane: admission sheds, fault injections,
     /// requeues.
     Control,
+    /// One lane per cluster node: inter-node traffic (replication
+    /// shipments, rebalance handoffs, repair copies) and membership
+    /// instants. A node's NIC is a FIFO link, so its spans are a
+    /// serial, naturally nesting stream.
+    Node {
+        /// Fleet index of the node.
+        node: u64,
+    },
 }
 
 /// A label attached to a record's `args`.

@@ -1,0 +1,116 @@
+//! A sharded Shredder fleet: routing, replication, a node death, and
+//! the repair that follows.
+//!
+//! Demonstrates the cluster regime one service cannot express: tenant
+//! streams consistent-hash onto four nodes, every committed generation
+//! replicates to a ring successor, a node dies mid-run taking its
+//! in-flight requests with it, and — once it rejoins — surviving
+//! replicas rebuild its store digest-verified. Run with:
+//!
+//! ```text
+//! cargo run --release --example cluster_fleet
+//! ```
+
+use shredder::cluster::{FleetConfig, FleetRequest, MembershipPlan, ShredderFleet};
+use shredder::core::{AdmissionControl, FaultPlan, MemorySource, ShredderConfig, Workload};
+use shredder::des::Dur;
+
+const TENANTS: usize = 24;
+const REQ_BYTES: usize = 256 << 10;
+
+fn build_fleet<'a>(config: FleetConfig) -> ShredderFleet<'a> {
+    let mut fleet = ShredderFleet::new(config);
+    for t in 0..TENANTS as u64 {
+        fleet.submit(
+            FleetRequest::new(
+                format!("tenant-{t}"),
+                MemorySource::pseudo_random(REQ_BYTES, t),
+            )
+            .named(format!("tenant-{t}")),
+        );
+    }
+    fleet
+}
+
+fn config() -> FleetConfig {
+    FleetConfig::new(
+        4,
+        ShredderConfig::gpu_streams_memory().with_buffer_size(128 << 10),
+    )
+    .with_admission(AdmissionControl::fifo(2))
+    .with_replication(2)
+}
+
+fn main() {
+    // 1. A healthy run: the mix spreads over the ring, replication puts
+    //    every generation on two nodes.
+    let healthy = build_fleet(config())
+        .run(&Workload::poisson(3_000.0, 42))
+        .expect("fleet run failed");
+    let report = &healthy.report;
+    println!("-- healthy 4-node fleet, R=2 --");
+    println!(
+        "completed {}/{TENANTS} at {:.0} req/s aggregate, p99 {:.2} ms",
+        report.completed,
+        report.achieved_rps,
+        report.p99.as_millis_f64()
+    );
+    for node in &report.nodes {
+        println!(
+            "  node {}: routed {:2}, {:.1} MB ingested, {:.1} MB replicated out",
+            node.node,
+            node.routed,
+            node.ingest_bytes as f64 / 1e6,
+            node.replication_out_bytes as f64 / 1e6,
+        );
+    }
+    println!(
+        "replication: {} shipments, amplification {:.2}x (dedup-blind R=2 would be 2.00x)",
+        report.replication.shipments,
+        report.replication_amplification(),
+    );
+
+    // 2. Kill node 1 a third of the way in, rejoin it later: in-flight
+    //    requests are lost, post-death arrivals re-route, and the
+    //    rejoined node is repaired from its peers' replicas.
+    let death_at = Dur::from_nanos(report.makespan.as_nanos() / 3);
+    let rejoin_at = Dur::from_nanos(report.makespan.as_nanos() * 2);
+    let faulted = build_fleet(
+        config()
+            .with_faults(FaultPlan::new().device_death(death_at, 1))
+            .with_membership(MembershipPlan::new().join(rejoin_at, 1)),
+    )
+    .run(&Workload::poisson(3_000.0, 42))
+    .expect("fleet run failed");
+    let report = &faulted.report;
+    println!(
+        "\n-- node 1 dies at {:.2} ms, rejoins at {:.2} ms --",
+        death_at.as_millis_f64(),
+        rejoin_at.as_millis_f64()
+    );
+    println!(
+        "completed {}, lost {}, shed {} of {TENANTS}",
+        report.completed, report.lost, report.shed
+    );
+    println!(
+        "repair on rejoin: {} snapshots, {:.1} MB re-shipped from replicas",
+        report.repair.snapshots_installed,
+        report.repair.bytes_copied as f64 / 1e6,
+    );
+    println!(
+        "rebalance after rejoin: {:.1} MB moved ({:.0}% of live bytes; consistent hashing bounds this near 1/N)",
+        report.rebalance.bytes_moved as f64 / 1e6,
+        report.rebalance.max_moved_fraction * 100.0,
+    );
+
+    // 3. The repaired node's store scrubs clean: every re-shipped chunk
+    //    was digest-verified on install.
+    let store = faulted.store(1).expect("node 1 exists");
+    let store = store.borrow();
+    let scrub = store.scrub().expect("repaired store must scrub clean");
+    println!(
+        "node 1 after repair: {} chunks, scrub clean ({} scanned)",
+        store.chunk_count(),
+        scrub.chunks_scanned,
+    );
+}

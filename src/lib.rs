@@ -42,6 +42,13 @@
 //!   and instants on request/device/stage lanes, counters, gauges and
 //!   log-bucketed histograms, Chrome-trace export for Perfetto. Off by
 //!   default, with a zero-overhead-off contract.
+//! * [`cluster`] — the sharded multi-node fleet: N node replicas in one
+//!   simulation behind consistent-hash routing
+//!   ([`HashRing`](cluster::HashRing)), dedup-aware replicated segment
+//!   writes over modeled inter-node links, planned membership churn and
+//!   fault-plan node deaths with bounded rebalancing and digest-verified
+//!   repair, all reported per node and fleet-wide in a
+//!   [`FleetReport`](cluster::FleetReport).
 //! * [`workloads`] — seeded data/trace generators (mutations, VM images,
 //!   record datasets).
 //! * [`hdfs`] — Inc-HDFS: content-defined chunking for HDFS-style
@@ -187,6 +194,7 @@
 #![warn(missing_docs)]
 
 pub use shredder_backup as backup;
+pub use shredder_cluster as cluster;
 pub use shredder_core as core;
 pub use shredder_des as des;
 pub use shredder_gpu as gpu;

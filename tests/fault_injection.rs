@@ -17,6 +17,11 @@
 //! 5. Brownout: `capacity_search` over a degraded pool finds a lower
 //!    sustained rate, with shedding and p99 still gated by the SLO.
 //!
+//! 6. Node death in a sharded fleet: requests in flight on the dead
+//!    node are reported lost, every surviving request's chunks stay
+//!    bit-identical, bounded admission sheds are reported, and the
+//!    node's segments repair from `R = 2` replicas when it rejoins.
+//!
 //! Plus the regression pinning the zero-overhead rule: an *empty*
 //! `FaultPlan` is bit-identical — chunks, digests, and timings — to a
 //! run with no fault config at all.
@@ -287,6 +292,205 @@ fn brownout_capacity_search_finds_lower_sustained_rate_with_p99_gated() {
         "degraded pool at 4x healthy capacity never shed"
     );
     assert_eq!(overloaded.completed + overloaded.shed, REQUESTS);
+}
+
+// ----- Scenario 6: node death in a sharded fleet -----
+
+use shredder::cluster::{FleetConfig, FleetOutcome, FleetRequest, MembershipPlan, ShredderFleet};
+
+const FLEET_STREAMS: usize = 20;
+const FLEET_STREAM_BYTES: usize = 256 << 10;
+
+fn fleet_streams() -> Vec<Vec<u8>> {
+    (0..FLEET_STREAMS)
+        .map(|t| workloads::random_bytes(FLEET_STREAM_BYTES, 0xf1ee7 + t as u64))
+        .collect()
+}
+
+/// A two-node fleet with serialized per-node pipelines and a bounded
+/// admission queue, so a batch overloads each node deterministically
+/// (sheds) and a mid-backlog death catches requests in flight (losses).
+fn fleet_config() -> FleetConfig {
+    FleetConfig::new(
+        2,
+        ShredderConfig::gpu_streams_memory().with_buffer_size(128 << 10),
+    )
+    .with_admission(AdmissionControl::fifo(1).with_queue_depth(6))
+    .with_replication(2)
+}
+
+fn run_fleet(streams: &[Vec<u8>], config: FleetConfig) -> FleetOutcome {
+    let mut fleet = ShredderFleet::new(config);
+    for (t, data) in streams.iter().enumerate() {
+        fleet.submit(
+            FleetRequest::new(format!("tenant-{t}"), SliceSource::new(data))
+                .named(format!("tenant-{t}")),
+        );
+    }
+    fleet.run(&Workload::Batch).expect("fleet run failed")
+}
+
+#[test]
+fn fleet_node_death_sheds_loses_in_flight_and_repairs_on_rejoin() {
+    let streams = fleet_streams();
+    let base = run_fleet(&streams, fleet_config());
+    assert!(
+        base.report.shed > 0,
+        "bounded admission never shed under the batch: {:?}",
+        base.report
+    );
+    assert_eq!(base.report.lost, 0);
+    assert_eq!(
+        base.report.completed + base.report.shed,
+        FLEET_STREAMS,
+        "fault-free fleet neither completes nor sheds some request"
+    );
+
+    // Kill node 0 a third of the way through its backlog, rejoin it
+    // after everything else has drained.
+    let full = base.report.makespan;
+    let death_at = Dur::from_nanos(full.as_nanos() / 3);
+    let rejoin_at = Dur::from_nanos(full.as_nanos() * 2);
+    let faulted = run_fleet(
+        &streams,
+        fleet_config()
+            .with_faults(FaultPlan::new().device_death(death_at, 0))
+            .with_membership(MembershipPlan::new().join(rejoin_at, 0)),
+    );
+    let report = &faulted.report;
+
+    // The death converts part of node 0's backlog into reported
+    // losses; batch arrivals mean the shed set cannot change.
+    assert!(
+        report.lost > 0,
+        "mid-backlog death caught nothing in flight"
+    );
+    assert_eq!(
+        report.shed, base.report.shed,
+        "sheds are pre-death admission decisions"
+    );
+    assert_eq!(report.completed + report.shed + report.lost, FLEET_STREAMS);
+    assert_eq!(
+        report.node(0).unwrap().lost,
+        report.lost,
+        "only the dead node loses"
+    );
+
+    // Surviving requests — on both nodes — are bit-identical to the
+    // fault-free run, digests included.
+    let mut survivors = 0;
+    for ((faulted_req, base_req), data) in faulted.requests.iter().zip(&base.requests).zip(&streams)
+    {
+        if let Some(session) = faulted_req.outcome.completed() {
+            let base_session = base_req
+                .outcome
+                .completed()
+                .expect("faulted completion implies baseline completion under batch arrivals");
+            assert_eq!(
+                session, base_session,
+                "{} diverged under the death",
+                faulted_req.name
+            );
+            let d1: Vec<Digest> = session
+                .chunks
+                .iter()
+                .map(|c| sha256(c.slice(data)))
+                .collect();
+            let d2: Vec<Digest> = base_session
+                .chunks
+                .iter()
+                .map(|c| sha256(c.slice(data)))
+                .collect();
+            assert_eq!(d1, d2);
+            survivors += 1;
+        }
+    }
+    assert_eq!(survivors, report.completed);
+
+    // On rejoin, replicas repair the dead node's segments: every
+    // generation the fleet still holds lands back on node 0's fresh
+    // store and restores digest-verified.
+    assert_eq!(report.repair.events, 1);
+    assert!(
+        report.repair.snapshots_installed > 0,
+        "rejoin repaired nothing: {:?}",
+        report.repair
+    );
+    let repaired = faulted.store(0).expect("node 0 exists");
+    let repaired = repaired.borrow();
+    repaired.scrub().expect("repaired store must scrub clean");
+    let mut restored = 0;
+    for (req, data) in faulted.requests.iter().zip(&streams) {
+        for generation in repaired.generations(&req.store_stream) {
+            let bytes = repaired
+                .restore(&req.store_stream, generation)
+                .expect("repaired generation failed digest-verified restore");
+            assert_eq!(
+                sha256(&bytes),
+                sha256(data),
+                "{} corrupt after repair",
+                req.store_stream
+            );
+            restored += 1;
+        }
+    }
+    assert!(restored > 0, "node 0 holds nothing after repair");
+
+    // Determinism: the same death/rejoin schedule replays identically.
+    let again = run_fleet(
+        &streams,
+        fleet_config()
+            .with_faults(FaultPlan::new().device_death(death_at, 0))
+            .with_membership(MembershipPlan::new().join(rejoin_at, 0)),
+    );
+    assert_eq!(again.report, faulted.report);
+}
+
+/// Dumps the fleet node-death scenario's headline numbers as JSON to
+/// the path named by `SHREDDER_FLEET_JSON` (no-op when unset). The CI
+/// fault-matrix job uploads the dump next to the per-seed device-level
+/// fault reports, so every run leaves an auditable record of the
+/// cluster failure model: losses, sheds, repair traffic, replication
+/// amplification.
+#[test]
+fn fleet_fault_matrix_dump() {
+    if std::env::var("SHREDDER_FLEET_JSON").map_or(true, |p| p.is_empty()) {
+        return;
+    }
+    let streams = fleet_streams();
+    let base = run_fleet(&streams, fleet_config());
+    let full = base.report.makespan;
+    let faulted = run_fleet(
+        &streams,
+        fleet_config()
+            .with_faults(FaultPlan::new().device_death(Dur::from_nanos(full.as_nanos() / 3), 0))
+            .with_membership(MembershipPlan::new().join(Dur::from_nanos(full.as_nanos() * 2), 0)),
+    );
+    let r = &faulted.report;
+    let json = format!(
+        concat!(
+            "{{\"nodes\":2,\"replication\":{},\"completed\":{},\"shed\":{},",
+            "\"lost\":{},\"repair_snapshots\":{},\"repair_bytes\":{},",
+            "\"replication_logical_bytes\":{},\"replication_physical_bytes\":{},",
+            "\"replication_amplification\":{:.6},\"rebalance_bytes\":{},",
+            "\"makespan_ms\":{:.6},\"baseline_makespan_ms\":{:.6}}}"
+        ),
+        r.replication.factor,
+        r.completed,
+        r.shed,
+        r.lost,
+        r.repair.snapshots_installed,
+        r.repair.bytes_copied,
+        r.replication.logical_bytes,
+        r.replication.physical_bytes,
+        r.replication_amplification(),
+        r.rebalance.bytes_moved,
+        r.makespan.as_millis_f64(),
+        base.report.makespan.as_millis_f64(),
+    );
+    if let Some(path) = shredder::telemetry::dump_json("SHREDDER_FLEET_JSON", &json) {
+        println!("fleet fault report written to {path}");
+    }
 }
 
 // ----- Regression: the empty plan is the zero-overhead no-op -----
